@@ -1,0 +1,82 @@
+//! Simulator performance benchmarks: event throughput scaling with task
+//! count and dependency depth, the fair-share solver, and the scheduler
+//! ablation (FIFO vs. backfill).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wrm_bench::{bag_scenario, layered_scenario};
+use wrm_sim::{max_min_rates, simulate, FlowDemand, SchedulerPolicy, SimOptions};
+
+fn sim_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/bag_scaling");
+    for n in [16usize, 64, 256, 1024] {
+        let scenario = bag_scenario(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scenario, |b, s| {
+            b.iter(|| black_box(simulate(s).unwrap().makespan))
+        });
+    }
+    group.finish();
+}
+
+fn sim_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/layered");
+    for (depth, width) in [(8usize, 8usize), (32, 8), (8, 32)] {
+        let scenario = layered_scenario(depth, width);
+        group.throughput(Throughput::Elements((depth * width) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{depth}x{width}")),
+            &scenario,
+            |b, s| b.iter(|| black_box(simulate(s).unwrap().makespan)),
+        );
+    }
+    group.finish();
+}
+
+fn fair_share_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/max_min_solver");
+    for n in [8usize, 64, 512, 4096] {
+        let flows: Vec<FlowDemand> = (0..n)
+            .map(|id| FlowDemand {
+                id,
+                cap: if id % 3 == 0 {
+                    (id + 1) as f64
+                } else {
+                    f64::INFINITY
+                },
+            })
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &flows, |b, f| {
+            b.iter(|| black_box(max_min_rates(1e12, f)))
+        });
+    }
+    group.finish();
+}
+
+fn scheduler_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/scheduler_ablation");
+    let base = bag_scenario(512);
+    for (name, policy) in [
+        ("fifo", SchedulerPolicy::Fifo),
+        ("backfill", SchedulerPolicy::Backfill),
+    ] {
+        let mut scenario = base.clone();
+        scenario.options = SimOptions {
+            scheduler: policy,
+            node_limit: Some(64),
+            ..SimOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scenario, |b, s| {
+            b.iter(|| black_box(simulate(s).unwrap().makespan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = engine;
+    config = Criterion::default().sample_size(10);
+    targets = sim_scaling, sim_layers, fair_share_solver, scheduler_ablation
+}
+criterion_main!(engine);

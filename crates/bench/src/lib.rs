@@ -1,0 +1,81 @@
+//! # wrm-bench — benchmark harnesses for the paper's tables and figures
+//!
+//! The criterion benches in `benches/` regenerate every evaluation
+//! element of the paper:
+//!
+//! * `figures` — one group per figure (F1–F10) and Table I: builds the
+//!   same series the paper reports and prints the headline comparisons.
+//! * `engine` — simulator performance: event throughput vs. task count,
+//!   fair-share solver scaling, scheduler ablation (FIFO vs. backfill).
+//! * `model` — roofline construction/evaluation throughput and the
+//!   max–min vs. equal-split sharing ablation.
+//!
+//! This library crate hosts the shared workload builders so the three
+//! bench binaries stay small and consistent.
+
+use wrm_core::{ids, BytesPerSec, Machine};
+use wrm_sim::{Phase, Scenario, TaskSpec, WorkflowSpec};
+
+/// A synthetic bag of `n` tasks, each with an overhead phase and a
+/// shared-file-system read, on a 256-node machine with a 100 GB/s FS.
+pub fn bag_scenario(n: usize) -> Scenario {
+    let machine = Machine::builder("bench", 256)
+        .system(ids::FILE_SYSTEM, "FS", BytesPerSec::gbps(100.0))
+        .build()
+        .expect("valid machine");
+    let mut wf = WorkflowSpec::new(format!("bag[{n}]"));
+    for i in 0..n {
+        wf = wf.task(
+            TaskSpec::new(format!("t{i}"), 1)
+                .phase(Phase::overhead("setup", 1.0))
+                .phase(Phase::system_data(ids::FILE_SYSTEM, 10e9)),
+        );
+    }
+    Scenario::new(machine, wf)
+}
+
+/// A chain of `depth` stages, each a `width`-wide layer gated on the
+/// previous layer (layered pipeline), stressing dependency handling.
+pub fn layered_scenario(depth: usize, width: usize) -> Scenario {
+    let machine = Machine::builder("bench", 512)
+        .system(ids::FILE_SYSTEM, "FS", BytesPerSec::gbps(100.0))
+        .build()
+        .expect("valid machine");
+    let mut wf = WorkflowSpec::new(format!("layers[{depth}x{width}]"));
+    for d in 0..depth {
+        for w in 0..width {
+            let mut t = TaskSpec::new(format!("t{d}.{w}"), 1)
+                .phase(Phase::system_data(ids::FILE_SYSTEM, 1e9));
+            if d > 0 {
+                for p in 0..width {
+                    t = t.after(format!("t{}.{p}", d - 1));
+                }
+            }
+            wf = wf.task(t);
+        }
+    }
+    Scenario::new(machine, wf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrm_sim::simulate;
+
+    #[test]
+    fn bag_scenario_simulates() {
+        let r = simulate(&bag_scenario(32)).unwrap();
+        assert_eq!(r.task_times.len(), 32);
+        // 32 x 10 GB through 100 GB/s (all fit in the 256-node pool):
+        // 3.2 s of I/O after the 1 s overhead.
+        assert!((r.makespan - 4.2).abs() < 0.1, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn layered_scenario_simulates() {
+        let r = simulate(&layered_scenario(4, 8)).unwrap();
+        assert_eq!(r.task_times.len(), 32);
+        // Each layer drains 8 GB at 100 GB/s = 0.08 s; four layers.
+        assert!((r.makespan - 0.32).abs() < 0.01, "makespan {}", r.makespan);
+    }
+}

@@ -1,0 +1,548 @@
+//! `wrm` — the Workflow Roofline Model command line.
+//!
+//! ```text
+//! wrm machines                          list built-in machine models
+//! wrm analyze <file.wrm> [options]      compile, (optionally) simulate,
+//!                                       classify, advise, render
+//!     --machine <name>                  override the file's machine
+//!     --simulate                        run the simulator for the dot
+//!     --contention <res>=<factor>       scale a shared resource
+//!     --svg <out.svg>                   write the roofline figure
+//!     --html <out.html>                 write a single-file HTML report
+//!     --ascii                           print a terminal roofline
+//! wrm simulate <file.wrm> [options]     simulate and print the trace
+//!     --gantt                           print a Gantt chart
+//!     --jsonl <out.jsonl>               write the trace as JSON lines
+//! wrm figures [all|<id>] [--out <dir>]  regenerate paper figures
+//! ```
+
+mod figures;
+mod report;
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use wrm_core::{machines, RooflineModel, Seconds};
+use wrm_dag::{list_schedule, GanttChart, ParallelismProfile, Policy};
+use wrm_sim::{simulate, Scenario, SimOptions};
+use wrm_trace::{characterize, Structure};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("wrm: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("machines") => cmd_machines(),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("figures") => cmd_figures(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("import") => cmd_import(&args[1..]),
+        Some("help") | None => {
+            print!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: wrm <command>\n\
+     \n\
+     commands:\n\
+     \x20 machines                         list built-in machine models\n\
+     \x20 analyze <file.wrm> [--machine M] [--simulate] [--contention r=f]\n\
+     \x20         [--svg out.svg] [--html out.html] [--ascii]\n\
+     \x20                                    analyze a workflow file\n\
+     \x20 simulate <file.wrm> [--gantt] [--jsonl out.jsonl] [--contention r=f]\n\
+     \x20 figures [all|f1|f2|f3|f4|f5a|f5b|f6|f7a|f7b|f7c|f7d|f8|f9|f10|t1]\n\
+     \x20         [--out dir]                 regenerate the paper's figures\n\
+     \x20 compare <file.wrm>                 project the workflow onto every\n\
+     \x20                                    built-in machine\n\
+     \x20 profile <file.wrm> [--svg out.svg] simulate and chart parallelism\n\
+     \x20                                    over time\n\
+     \x20 import <report.csv> --machine M --structure T,P,N\n\
+     \x20         [--svg out.svg]            analyze an external timing report\n\
+     \x20 help                               this text\n"
+}
+
+fn cmd_machines() -> Result<(), String> {
+    for m in machines::all() {
+        println!("{} ({} nodes)", m.name, m.total_nodes);
+        for r in &m.node_resources {
+            println!("  node   {:<8} {:<12} {}", r.id, r.label, r.peak_per_node);
+        }
+        for r in &m.system_resources {
+            println!(
+                "  system {:<8} {:<12} {} ({})",
+                r.id, r.label, r.peak, r.scaling
+            );
+        }
+    }
+    Ok(())
+}
+
+struct Flags {
+    file: Option<String>,
+    machine: Option<String>,
+    simulate: bool,
+    contention: Vec<(String, f64)>,
+    svg: Option<String>,
+    ascii: bool,
+    gantt: bool,
+    jsonl: Option<String>,
+    out_dir: String,
+    id: String,
+    structure: Option<(f64, f64, u64)>,
+    html: Option<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        file: None,
+        machine: None,
+        simulate: false,
+        contention: Vec::new(),
+        svg: None,
+        ascii: false,
+        gantt: false,
+        jsonl: None,
+        out_dir: "figures".into(),
+        id: "all".into(),
+        structure: None,
+        html: None,
+    };
+    let mut i = 0;
+    let mut positional = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("flag {a} needs a value"))
+        };
+        match a.as_str() {
+            "--machine" => f.machine = Some(value(&mut i)?),
+            "--simulate" => f.simulate = true,
+            "--ascii" => f.ascii = true,
+            "--gantt" => f.gantt = true,
+            "--svg" => f.svg = Some(value(&mut i)?),
+            "--html" => f.html = Some(value(&mut i)?),
+            "--jsonl" => f.jsonl = Some(value(&mut i)?),
+            "--out" => f.out_dir = value(&mut i)?,
+            "--structure" => {
+                let v = value(&mut i)?;
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() != 3 {
+                    return Err(format!(
+                        "--structure expects total,parallel,nodes_per_task, got `{v}`"
+                    ));
+                }
+                let total: f64 = parts[0]
+                    .parse()
+                    .map_err(|_| format!("bad total `{}`", parts[0]))?;
+                let parallel: f64 = parts[1]
+                    .parse()
+                    .map_err(|_| format!("bad parallel `{}`", parts[1]))?;
+                let nodes: u64 = parts[2]
+                    .parse()
+                    .map_err(|_| format!("bad nodes `{}`", parts[2]))?;
+                f.structure = Some((total, parallel, nodes));
+            }
+            "--contention" => {
+                let v = value(&mut i)?;
+                let (res, factor) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--contention expects res=factor, got `{v}`"))?;
+                let factor: f64 = factor
+                    .parse()
+                    .map_err(|_| format!("bad contention factor `{factor}`"))?;
+                f.contention.push((res.to_owned(), factor));
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            other => {
+                if positional == 0 {
+                    f.file = Some(other.to_owned());
+                    f.id = other.to_owned();
+                }
+                positional += 1;
+            }
+        }
+        i += 1;
+    }
+    Ok(f)
+}
+
+fn load(flags: &Flags) -> Result<(wrm_lang::Compiled, wrm_core::Machine), String> {
+    let path = flags
+        .file
+        .as_ref()
+        .ok_or_else(|| "missing workflow file argument".to_owned())?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let compiled = wrm_lang::compile_source(&source).map_err(|e| format!("{path}:{e}"))?;
+    let machine = match &flags.machine {
+        Some(name) => machines::by_name(name)
+            .ok_or_else(|| format!("unknown machine `{name}` (try: pm-gpu, pm-cpu, cori-hsw)"))?,
+        None => compiled
+            .machine
+            .clone()
+            .ok_or_else(|| "no machine: add `on <machine>` to the file or pass --machine".to_owned())?,
+    };
+    Ok((compiled, machine))
+}
+
+fn sim_options(flags: &Flags) -> SimOptions {
+    let mut opts = SimOptions::default();
+    for (res, factor) in &flags.contention {
+        opts = opts.with_contention(res.clone(), *factor);
+    }
+    opts
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let (compiled, machine) = load(&flags)?;
+    let mut wf = compiled
+        .characterization()
+        .map_err(|e| e.to_string())?;
+
+    if flags.simulate {
+        let scenario = Scenario::new(machine.clone(), compiled.spec.clone())
+            .with_options(sim_options(&flags));
+        let result = simulate(&scenario).map_err(|e| e.to_string())?;
+        wf.makespan = Some(Seconds(result.makespan));
+        println!("simulated makespan: {:.2} s", result.makespan);
+    }
+
+    let model = RooflineModel::build_lenient(&machine, &wf).map_err(|e| e.to_string())?;
+    print!("{}", report::render(&model));
+
+    if flags.ascii {
+        println!("\n{}", wrm_plot::ascii::roofline(&model, 84, 24));
+    }
+    if let Some(path) = &flags.svg {
+        let svg = wrm_plot::RooflinePlot::new(format!("{} on {}", wf.name, machine.name))
+            .model(&model)
+            .render_svg()
+            .ok_or_else(|| "nothing to render".to_owned())?;
+        std::fs::write(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &flags.html {
+        let html = build_html_report(&flags, &compiled, &machine, &model)?;
+        std::fs::write(path, html).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Assembles the single-file HTML report: analysis text, the roofline,
+/// and (when --simulate ran) the Gantt chart, time breakdown, and
+/// parallelism profile from the simulated run.
+fn build_html_report(
+    flags: &Flags,
+    compiled: &wrm_lang::Compiled,
+    machine: &wrm_core::Machine,
+    model: &RooflineModel,
+) -> Result<String, String> {
+    use wrm_plot::Section;
+    let mut sections = vec![
+        Section::Heading("Analysis".into()),
+        Section::Pre(report::render(model)),
+        Section::Heading("Workflow Roofline".into()),
+    ];
+    if let Some(svg) = wrm_plot::RooflinePlot::new(format!(
+        "{} on {}",
+        model.workflow.name, machine.name
+    ))
+    .model(model)
+    .render_svg()
+    {
+        sections.push(Section::Svg(svg));
+    }
+    if let Ok(dag0) = compiled.dag(machine) {
+        if let Some(svg) = wrm_plot::skeleton::render_svg(&dag0, 860.0) {
+            sections.push(Section::Heading("Skeleton".into()));
+            sections.push(Section::Svg(svg));
+        }
+    }
+    if flags.simulate {
+        let scenario = Scenario::new(machine.clone(), compiled.spec.clone())
+            .with_options(sim_options(flags));
+        let result = simulate(&scenario).map_err(|e| e.to_string())?;
+        let mut dag = compiled.dag(machine).map_err(|e| e.to_string())?;
+        for id in dag.task_ids().collect::<Vec<_>>() {
+            let name = dag.task(id).name.clone();
+            if let Some(t) = result.trace.task_time(&name) {
+                dag.task_mut(id).duration = t;
+            }
+        }
+        let sched = list_schedule(&dag, machine.total_nodes, Policy::Fifo)
+            .map_err(|e| e.to_string())?;
+        if let Ok(chart) = GanttChart::build(&dag, &sched) {
+            sections.push(Section::Heading("Gantt chart".into()));
+            sections.push(Section::Svg(wrm_plot::gantt_plot::render_svg(
+                &[&chart],
+                860.0,
+            )));
+        }
+        sections.push(Section::Heading("Time breakdown".into()));
+        sections.push(Section::Svg(wrm_plot::breakdown_plot::render_svg(
+            "phase time by category",
+            &[result.trace.breakdown()],
+            680.0,
+            420.0,
+        )));
+        let profile = ParallelismProfile::from_schedule(&sched);
+        sections.push(Section::Heading("Parallelism profile".into()));
+        sections.push(Section::Svg(wrm_plot::profile_plot::render_svg(
+            "concurrency over time",
+            &profile,
+            760.0,
+        )));
+    }
+    Ok(wrm_plot::html::render(
+        &format!("{} on {}", model.workflow.name, machine.name),
+        &sections,
+    ))
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let (compiled, machine) = load(&flags)?;
+    let scenario =
+        Scenario::new(machine.clone(), compiled.spec.clone()).with_options(sim_options(&flags));
+    let result = simulate(&scenario).map_err(|e| e.to_string())?;
+
+    println!(
+        "{} on {}: makespan {:.2} s, {} tasks, {:.0} node-seconds \
+         ({:.1}% pool utilization)",
+        compiled.spec.name,
+        machine.name,
+        result.makespan,
+        result.task_times.len(),
+        result.node_seconds(),
+        result.utilization() * 100.0
+    );
+    let structure = Structure::new(
+        compiled.total_tasks,
+        compiled.parallel_tasks,
+        compiled.nodes_per_task,
+    );
+    let wf = characterize(&result.trace, &structure).map_err(|e| e.to_string())?;
+    if let Ok(tps) = wf.throughput() {
+        println!("throughput: {:.4e} tasks/s", tps.get());
+    }
+    println!("\ntime breakdown:");
+    let b = result.trace.breakdown();
+    for (cat, secs) in &b.categories {
+        println!("  {cat:<24} {secs:>12.2} s");
+    }
+
+    if flags.gantt {
+        let mut dag = compiled.dag(&machine).map_err(|e| e.to_string())?;
+        for id in dag.task_ids().collect::<Vec<_>>() {
+            let name = dag.task(id).name.clone();
+            if let Some(t) = result.trace.task_time(&name) {
+                dag.task_mut(id).duration = t;
+            }
+        }
+        let sched = list_schedule(&dag, machine.total_nodes, Policy::Fifo)
+            .map_err(|e| e.to_string())?;
+        let chart = GanttChart::build(&dag, &sched).map_err(|e| e.to_string())?;
+        println!("\n{}", wrm_plot::ascii::gantt(&chart, 72));
+    }
+    if let Some(path) = &flags.jsonl {
+        std::fs::write(path, result.trace.to_jsonl())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_figures(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let figures = if flags.id == "all" {
+        figures::build_all()
+    } else {
+        vec![figures::build(&flags.id)
+            .ok_or_else(|| format!("unknown figure id `{}` (try `all`)", flags.id))?]
+    };
+    std::fs::create_dir_all(&flags.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", flags.out_dir))?;
+    let mut stdout = std::io::stdout().lock();
+    for fig in &figures {
+        for (name, content) in &fig.files {
+            let path = format!("{}/{name}", flags.out_dir);
+            std::fs::write(&path, content)
+                .map_err(|e| format!("[{}] cannot write {path}: {e}", fig.id))?;
+        }
+        writeln!(stdout, "{}", fig.summary).map_err(|e| e.to_string())?;
+    }
+    writeln!(
+        stdout,
+        "\nwrote {} file(s) to {}/",
+        figures.iter().map(|f| f.files.len()).sum::<usize>(),
+        flags.out_dir
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let path = flags
+        .file
+        .as_ref()
+        .ok_or_else(|| "missing workflow file argument".to_owned())?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let compiled = wrm_lang::compile_source(&source).map_err(|e| format!("{path}:{e}"))?;
+    let mut wf = compiled.characterization().map_err(|e| e.to_string())?;
+
+    // Simulate on each machine to give every projection a measured dot.
+    let all = machines::all();
+    println!(
+        "projecting `{}` ({} tasks, {} parallel, {} nodes/task) onto {} machines:\n",
+        wf.name,
+        wf.total_tasks,
+        wf.parallel_tasks,
+        wf.nodes_per_task,
+        all.len()
+    );
+    let projections =
+        wrm_core::across_machines(&wf, &all).map_err(|e| e.to_string())?;
+    print!("{}", wrm_core::projection::render_table(&projections));
+
+    // If a throughput target exists, answer the architect's question per
+    // machine: what external/file-system peak would meet it?
+    if wf.targets.throughput.is_some() {
+        println!("\nrequired peaks to reach the throughput target:");
+        for machine in &all {
+            for res in [wrm_core::ids::EXTERNAL, wrm_core::ids::FILE_SYSTEM] {
+                match wrm_core::required_peak(machine, &wf, res) {
+                    Ok(Some(peak)) if peak.is_finite() => println!(
+                        "  {:<18} {res:<4} -> {:.3e} B/s",
+                        machine.name, peak
+                    ),
+                    Ok(Some(_)) => println!(
+                        "  {:<18} {res:<4} -> unattainable by scaling this resource",
+                        machine.name
+                    ),
+                    Ok(None) => println!(
+                        "  {:<18} {res:<4} -> already attainable",
+                        machine.name
+                    ),
+                    Err(_) => {}
+                }
+            }
+        }
+    }
+    let _ = &mut wf;
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let (compiled, machine) = load(&flags)?;
+    let scenario =
+        Scenario::new(machine.clone(), compiled.spec.clone()).with_options(sim_options(&flags));
+    let result = simulate(&scenario).map_err(|e| e.to_string())?;
+
+    // Build the profile from the simulated task times.
+    let mut dag = compiled.dag(&machine).map_err(|e| e.to_string())?;
+    for id in dag.task_ids().collect::<Vec<_>>() {
+        let name = dag.task(id).name.clone();
+        if let Some(t) = result.trace.task_time(&name) {
+            dag.task_mut(id).duration = t;
+        }
+    }
+    let sched =
+        list_schedule(&dag, machine.total_nodes, Policy::Fifo).map_err(|e| e.to_string())?;
+    let profile = ParallelismProfile::from_schedule(&sched);
+    println!(
+        "{} on {}: makespan {:.2} s",
+        compiled.spec.name, machine.name, result.makespan
+    );
+    println!(
+        "  peak concurrency: {} tasks / {} nodes",
+        profile.peak_tasks(),
+        profile.peak_nodes()
+    );
+    println!("  mean concurrency: {:.2} tasks", profile.mean_tasks());
+    println!(
+        "  serial fraction:  {:.0}% of the makespan at <= 1 running task",
+        profile.serial_fraction() * 100.0
+    );
+    if let Some(path) = &flags.svg {
+        let svg = wrm_plot::profile_plot::render_svg(
+            &format!("{} parallelism profile", compiled.spec.name),
+            &profile,
+            760.0,
+        );
+        std::fs::write(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_import(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let path = flags
+        .file
+        .as_ref()
+        .ok_or_else(|| "missing report file argument".to_owned())?;
+    let machine_name = flags
+        .machine
+        .as_ref()
+        .ok_or_else(|| "import needs --machine".to_owned())?;
+    let machine = machines::by_name(machine_name)
+        .ok_or_else(|| format!("unknown machine `{machine_name}`"))?;
+    let csv =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let trace = wrm_trace::trace_from_csv(
+        path.rsplit('/').next().unwrap_or(path).trim_end_matches(".csv"),
+        machine.name.clone(),
+        &csv,
+    )
+    .map_err(|e| format!("{path}: {e}"))?;
+
+    let structure = match &flags.structure {
+        Some((t, p, n)) => Structure::new(*t, *p, *n),
+        None => {
+            // Infer: every task is one unit; assume all run in parallel
+            // on the max node count seen.
+            let tasks = trace.task_names().len().max(1) as f64;
+            let nodes = trace.spans.iter().map(|s| s.nodes).max().unwrap_or(1);
+            println!(
+                "(no --structure given: assuming {tasks} tasks all parallel on {nodes} \
+                 nodes each)"
+            );
+            Structure::new(tasks, tasks, nodes)
+        }
+    };
+    let wf = characterize(&trace, &structure).map_err(|e| e.to_string())?;
+    let model = RooflineModel::build_lenient(&machine, &wf).map_err(|e| e.to_string())?;
+    print!("{}", report::render(&model));
+    if let Some(path) = &flags.svg {
+        let svg = wrm_plot::RooflinePlot::new(format!("{} on {}", wf.name, machine.name))
+            .model(&model)
+            .render_svg()
+            .ok_or_else(|| "nothing to render".to_owned())?;
+        std::fs::write(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}

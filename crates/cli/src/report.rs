@@ -1,0 +1,133 @@
+//! Text reports for analyzed workflows: model summary, bound/zone
+//! classification, and the optimization advice of paper §III-C.
+
+use wrm_core::analysis::{advise, classify_bound, classify_zone, BoundKind};
+use wrm_core::{CeilingKind, RooflineModel};
+
+/// Renders a full plain-text analysis report for a built model.
+pub fn render(model: &RooflineModel) -> String {
+    let mut out = String::new();
+    let wf = &model.workflow;
+    out.push_str(&format!(
+        "Workflow Roofline analysis: {} on {}\n",
+        wf.name, model.machine_name
+    ));
+    out.push_str(&format!(
+        "  tasks: {} total, {} parallel, {} nodes/task (wall @ {} tasks)\n",
+        wf.total_tasks, wf.parallel_tasks, wf.nodes_per_task, model.parallelism_wall
+    ));
+    if let Some(m) = wf.makespan {
+        out.push_str(&format!("  makespan: {m}\n"));
+    }
+    if let Ok(tps) = wf.throughput() {
+        out.push_str(&format!("  throughput: {:.4e} tasks/s\n", tps.get()));
+    }
+
+    out.push_str("\nCeilings (most binding first at the workflow's parallelism):\n");
+    let x = wf.parallel_tasks;
+    let mut ceilings: Vec<_> = model.ceilings.iter().collect();
+    ceilings.sort_by(|a, b| {
+        a.tps_at(x)
+            .get()
+            .partial_cmp(&b.tps_at(x).get())
+            .expect("finite")
+    });
+    for c in ceilings {
+        let kind = match c.kind {
+            CeilingKind::Node => "node  ",
+            CeilingKind::System => "system",
+        };
+        out.push_str(&format!(
+            "  [{kind}] {:<52} bound {:.4e} tasks/s\n",
+            c.label,
+            c.tps_at(x).get()
+        ));
+    }
+
+    let bounds = classify_bound(model);
+    out.push_str("\nClassification:\n");
+    let bound_text = match &bounds.bound {
+        BoundKind::Node { resource } => format!("node-bound on `{resource}`"),
+        BoundKind::System { resource } => format!("system-bound on `{resource}`"),
+        BoundKind::Parallelism => "parallelism-bound (at the wall)".to_owned(),
+        BoundKind::Unbounded => "unconstrained (no volumes recorded)".to_owned(),
+    };
+    out.push_str(&format!("  {bound_text}\n"));
+    if let Some(e) = bounds.efficiency {
+        out.push_str(&format!("  achieved {:.1}% of the attainable envelope\n", e * 100.0));
+    }
+
+    if let Ok(zone) = classify_zone(wf) {
+        out.push_str(&format!(
+            "  target zone: {:?} ({})\n",
+            zone.zone,
+            zone.zone.color()
+        ));
+        if let Some(m) = zone.makespan_margin {
+            out.push_str(&format!("    makespan margin: {m:.2}x\n"));
+        }
+        if let Some(t) = zone.throughput_margin {
+            out.push_str(&format!("    throughput margin: {t:.2}x\n"));
+        }
+    }
+
+    let advice = advise(model);
+    out.push_str(&format!("\nAdvice: {}\n", advice.headline));
+    for (i, r) in advice.recommendations.iter().enumerate() {
+        let gain = match r.max_gain {
+            Some(g) => format!(" (<= {g:.1}x)"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "  {}. [{:?}] {:?}{gain}\n     {}\n",
+            i + 1,
+            r.audience,
+            r.direction,
+            r.rationale
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrm_core::{ids, machines, Bytes, Seconds, TasksPerSec, Work, WorkflowCharacterization};
+
+    #[test]
+    fn report_contains_all_sections() {
+        let wf = WorkflowCharacterization::builder("LCLS")
+            .total_tasks(6.0)
+            .parallel_tasks(5.0)
+            .nodes_per_task(32)
+            .makespan(Seconds::minutes(17.0))
+            .node_volume(ids::DRAM, Work::Bytes(Bytes::gb(32.0)))
+            .system_volume(ids::EXTERNAL, Bytes::tb(5.0))
+            .target_makespan(Seconds::secs(600.0))
+            .target_throughput(TasksPerSec(0.01))
+            .build()
+            .unwrap();
+        let model = RooflineModel::build(&machines::cori_haswell(), &wf).unwrap();
+        let text = render(&model);
+        assert!(text.contains("LCLS on Cori Haswell"));
+        assert!(text.contains("wall @ 74 tasks"));
+        assert!(text.contains("system-bound on `ext`"));
+        assert!(text.contains("target zone"));
+        assert!(text.contains("Advice:"));
+        assert!(text.contains("[system]"));
+        assert!(text.contains("[node  ]"));
+    }
+
+    #[test]
+    fn report_without_makespan_or_targets() {
+        let wf = WorkflowCharacterization::builder("plan")
+            .system_volume(ids::FILE_SYSTEM, Bytes::gb(1.0))
+            .build()
+            .unwrap();
+        let model = RooflineModel::build(&machines::perlmutter_gpu(), &wf).unwrap();
+        let text = render(&model);
+        assert!(!text.contains("makespan:"));
+        assert!(!text.contains("target zone"));
+        assert!(text.contains("Advice:"));
+    }
+}

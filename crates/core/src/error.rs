@@ -1,0 +1,105 @@
+//! Error type for model construction and evaluation.
+
+use std::fmt;
+
+/// Errors produced while building machines, characterizations, or
+/// evaluating the Workflow Roofline Model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A numeric or structural input was out of range.
+    InvalidInput(String),
+    /// A resource id was referenced but is not defined on the machine.
+    UnknownResource(String),
+    /// The same resource id was defined twice on one machine.
+    DuplicateResource(String),
+    /// A workflow volume's unit does not match the machine resource's unit
+    /// (e.g. bytes against a FLOP/s peak).
+    UnitMismatch {
+        /// The offending resource.
+        resource: String,
+        /// Unit of the workflow volume.
+        volume_unit: String,
+        /// Unit of the machine peak.
+        peak_unit: String,
+    },
+    /// A task requires more nodes than the machine has.
+    TaskTooLarge {
+        /// Nodes each task requires.
+        nodes_per_task: u64,
+        /// Nodes the machine offers.
+        total_nodes: u64,
+    },
+    /// The workflow characterization is missing a measured makespan where
+    /// one is required (plotting the empirical dot).
+    MissingMakespan(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            CoreError::UnknownResource(id) => write!(f, "unknown resource id: {id}"),
+            CoreError::DuplicateResource(id) => write!(f, "duplicate resource id: {id}"),
+            CoreError::UnitMismatch {
+                resource,
+                volume_unit,
+                peak_unit,
+            } => write!(
+                f,
+                "unit mismatch on {resource}: workflow volume in {volume_unit} \
+                 but machine peak in {peak_unit}"
+            ),
+            CoreError::TaskTooLarge {
+                nodes_per_task,
+                total_nodes,
+            } => write!(
+                f,
+                "a task needs {nodes_per_task} nodes but the machine has {total_nodes}"
+            ),
+            CoreError::MissingMakespan(wf) => {
+                write!(f, "workflow {wf} has no measured makespan")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::UnitMismatch {
+            resource: "hbm".into(),
+            volume_unit: "flops".into(),
+            peak_unit: "bytes".into(),
+        };
+        assert!(e.to_string().contains("hbm"));
+        assert!(CoreError::UnknownResource("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(CoreError::TaskTooLarge {
+            nodes_per_task: 2048,
+            total_nodes: 1792
+        }
+        .to_string()
+        .contains("1792"));
+        assert!(CoreError::MissingMakespan("bgw".into())
+            .to_string()
+            .contains("bgw"));
+        assert!(CoreError::InvalidInput("nope".into())
+            .to_string()
+            .contains("nope"));
+        assert!(CoreError::DuplicateResource("fs".into())
+            .to_string()
+            .contains("fs"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&CoreError::InvalidInput("x".into()));
+    }
+}

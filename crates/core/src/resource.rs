@@ -1,0 +1,141 @@
+//! Resource identities: the node-local and system-wide performance
+//! dimensions a workflow exercises and a machine bounds.
+//!
+//! The Workflow Roofline Model matches workflow *volumes* against machine
+//! *peaks* by resource identity. Node resources produce diagonal ceilings;
+//! system resources produce horizontal ceilings (see
+//! [`crate::roofline`]). Identities are small string keys so that machines
+//! can expose arbitrary resource sets (the paper's machines have different
+//! mixes: Cori has burst buffers, PM-GPU has HBM and PCIe).
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::fmt;
+
+/// Identifies one performance dimension (e.g. `gpu_flops`, `hbm`, `fs`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ResourceId(String);
+
+impl ResourceId {
+    /// Creates an id from any string-like value.
+    pub fn new(id: impl Into<String>) -> Self {
+        Self(id.into())
+    }
+
+    /// The raw key.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ResourceId {
+    fn from(s: &str) -> Self {
+        Self(s.to_owned())
+    }
+}
+
+impl From<String> for ResourceId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl Borrow<str> for ResourceId {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Well-known resource ids used by the built-in machine models and the
+/// paper's case studies. Custom ids are equally valid everywhere.
+pub mod ids {
+    /// Node-local floating-point compute (GPU or CPU).
+    pub const COMPUTE: &str = "compute";
+    /// Node-local high-bandwidth GPU memory.
+    pub const HBM: &str = "hbm";
+    /// Node-local CPU DRAM.
+    pub const DRAM: &str = "dram";
+    /// Host-device PCIe link (per node, all GPUs aggregated).
+    pub const PCIE: &str = "pcie";
+    /// Shared parallel file system (system internal I/O).
+    pub const FILE_SYSTEM: &str = "fs";
+    /// System interconnect NICs (MPI traffic).
+    pub const NETWORK: &str = "net";
+    /// System external connectivity (WAN / data transfer nodes).
+    pub const EXTERNAL: &str = "ext";
+    /// Burst-buffer tier (Cori).
+    pub const BURST_BUFFER: &str = "bb";
+}
+
+/// How a system-level resource's aggregate capacity scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemScaling {
+    /// A fixed aggregate capacity shared by every task (file system,
+    /// external link): adding nodes does not add capacity.
+    Aggregate,
+    /// Capacity proportional to the nodes in use (NICs): every node in the
+    /// workflow's allocation contributes its injection bandwidth. The
+    /// paper's BGW network ceiling `volume / (N x 100 GB/s)` uses this.
+    PerNodeInUse,
+}
+
+impl fmt::Display for SystemScaling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemScaling::Aggregate => f.write_str("aggregate"),
+            SystemScaling::PerNodeInUse => f.write_str("per-node-in-use"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn id_round_trips() {
+        let id = ResourceId::new("hbm");
+        assert_eq!(id.as_str(), "hbm");
+        assert_eq!(id.to_string(), "hbm");
+        assert_eq!(ResourceId::from("hbm"), id);
+        assert_eq!(ResourceId::from(String::from("hbm")), id);
+    }
+
+    #[test]
+    fn id_works_as_map_key_via_borrow() {
+        let mut m: BTreeMap<ResourceId, u32> = BTreeMap::new();
+        m.insert(ids::FILE_SYSTEM.into(), 1);
+        assert_eq!(m.get(ids::FILE_SYSTEM), Some(&1));
+        assert_eq!(m.get("missing"), None);
+    }
+
+    #[test]
+    fn scaling_display() {
+        assert_eq!(SystemScaling::Aggregate.to_string(), "aggregate");
+        assert_eq!(SystemScaling::PerNodeInUse.to_string(), "per-node-in-use");
+    }
+
+    #[test]
+    fn ids_are_distinct() {
+        let all = [
+            ids::COMPUTE,
+            ids::HBM,
+            ids::DRAM,
+            ids::PCIE,
+            ids::FILE_SYSTEM,
+            ids::NETWORK,
+            ids::EXTERNAL,
+            ids::BURST_BUFFER,
+        ];
+        let set: std::collections::BTreeSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

@@ -1,0 +1,216 @@
+//! Strong-scaling trajectories: the Fig. 2c trade-off swept over a range
+//! of intra-task scaling factors under an Amdahl-style efficiency model.
+//!
+//! "The more you shift to intra-task parallelism, the easier it is to
+//! hit makespan targets, but the harder it is to hit throughput
+//! targets" — this module quantifies that sentence: for each scaling
+//! factor `k` it applies [`scale_intra_task_parallelism`] with the
+//! efficiency implied by a serial fraction, rebuilds the model, and
+//! reports wall, envelope, predicted makespan, and target zones.
+
+use crate::analysis::whatif::scale_intra_task_parallelism;
+use crate::analysis::zones::{classify, ZoneReport};
+use crate::charz::WorkflowCharacterization;
+use crate::error::CoreError;
+use crate::machine::Machine;
+use crate::roofline::RooflineModel;
+use crate::units::{Seconds, TasksPerSec};
+use serde::{Deserialize, Serialize};
+
+/// Amdahl-style strong-scaling efficiency: a task with serial fraction
+/// `sigma` on `k`x the nodes achieves speedup `k / (1 + sigma (k-1))`,
+/// i.e. scalability (efficiency of the extra nodes) `1 / (1 + sigma
+/// (k-1))`.
+pub fn amdahl_scalability(serial_fraction: f64, k: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&serial_fraction),
+        "serial fraction must be in [0,1]"
+    );
+    assert!(k >= 1.0, "scaling factor must be >= 1");
+    1.0 / (1.0 + serial_fraction * (k - 1.0))
+}
+
+/// One point of a trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Intra-task scaling factor applied to the base configuration.
+    pub k: f64,
+    /// Nodes per task after scaling.
+    pub nodes_per_task: u64,
+    /// Parallel tasks after scaling (clamped at 1).
+    pub parallel_tasks: f64,
+    /// Parallelism wall.
+    pub parallelism_wall: u64,
+    /// Attainable envelope at the new parallelism.
+    pub envelope: TasksPerSec,
+    /// Predicted makespan (base makespan / scalability).
+    pub predicted_makespan: Option<Seconds>,
+    /// Predicted throughput.
+    pub predicted_tps: Option<TasksPerSec>,
+    /// Zone against the declared targets, when a makespan is predicted.
+    pub zone: Option<ZoneReport>,
+}
+
+/// Sweeps intra-task scaling factors `ks` (each >= 1, relative to the
+/// base characterization) under a serial fraction `sigma`.
+pub fn strong_scaling_trajectory(
+    machine: &Machine,
+    base: &WorkflowCharacterization,
+    ks: &[f64],
+    serial_fraction: f64,
+) -> Result<Vec<TrajectoryPoint>, CoreError> {
+    let mut out = Vec::with_capacity(ks.len());
+    for &k in ks {
+        if !(k.is_finite() && k >= 1.0) {
+            return Err(CoreError::InvalidInput(format!(
+                "scaling factors must be >= 1, got {k}"
+            )));
+        }
+        let s = amdahl_scalability(serial_fraction, k);
+        let wf = scale_intra_task_parallelism(base, k, s)?;
+        let model = RooflineModel::build_lenient(machine, &wf)?;
+        let envelope = model
+            .envelope_at(wf.parallel_tasks)
+            .unwrap_or(TasksPerSec(0.0));
+        let predicted_tps = wf.makespan.map(|m| TasksPerSec(wf.total_tasks / m.get()));
+        let zone = wf.makespan.and_then(|_| classify(&wf).ok());
+        out.push(TrajectoryPoint {
+            k,
+            nodes_per_task: wf.nodes_per_task,
+            parallel_tasks: wf.parallel_tasks,
+            parallelism_wall: model.parallelism_wall,
+            envelope,
+            predicted_makespan: wf.makespan,
+            predicted_tps,
+            zone,
+        });
+    }
+    Ok(out)
+}
+
+/// The smallest factor in `ks` whose predicted makespan meets the base
+/// characterization's makespan target (None when no point does, or no
+/// target/makespan exists).
+pub fn smallest_k_meeting_deadline(trajectory: &[TrajectoryPoint]) -> Option<f64> {
+    trajectory
+        .iter()
+        .filter(|p| {
+            p.zone
+                .as_ref()
+                .map(|z| z.zone.good_makespan())
+                .unwrap_or(false)
+        })
+        .map(|p| p.k)
+        .fold(None, |acc: Option<f64>, k| {
+            Some(acc.map_or(k, |a| a.min(k)))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+    use crate::resource::ids;
+    use crate::units::{Flops, Work};
+
+    fn base() -> WorkflowCharacterization {
+        WorkflowCharacterization::builder("ensemble")
+            .total_tasks(16.0)
+            .parallel_tasks(16.0)
+            .nodes_per_task(16)
+            .makespan(Seconds::secs(2000.0))
+            .node_volume(ids::COMPUTE, Work::Flops(Flops::pflops(30.0)))
+            .target_makespan(Seconds::secs(1200.0))
+            .target_throughput(TasksPerSec(0.01))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn amdahl_limits() {
+        assert!((amdahl_scalability(0.0, 8.0) - 1.0).abs() < 1e-12);
+        // sigma = 1: no speedup at all -> scalability 1/k.
+        assert!((amdahl_scalability(1.0, 4.0) - 0.25).abs() < 1e-12);
+        // Monotone decreasing in k.
+        assert!(amdahl_scalability(0.1, 2.0) > amdahl_scalability(0.1, 8.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "serial fraction")]
+    fn amdahl_rejects_bad_sigma() {
+        amdahl_scalability(1.5, 2.0);
+    }
+
+    #[test]
+    fn trajectory_trades_wall_for_makespan() {
+        let ks = [1.0, 2.0, 4.0, 8.0];
+        let traj =
+            strong_scaling_trajectory(&machines::perlmutter_gpu(), &base(), &ks, 0.05)
+                .unwrap();
+        assert_eq!(traj.len(), 4);
+        // Walls shrink monotonically; predicted makespans grow with the
+        // accumulated inefficiency (makespan / scalability).
+        for w in traj.windows(2) {
+            assert!(w[1].parallelism_wall <= w[0].parallelism_wall);
+            assert!(
+                w[1].predicted_makespan.unwrap().get()
+                    >= w[0].predicted_makespan.unwrap().get()
+            );
+        }
+        // k=1 is the identity.
+        assert_eq!(traj[0].nodes_per_task, 16);
+        assert!((traj[0].predicted_makespan.unwrap().get() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_scaling_keeps_makespan_constant() {
+        let ks = [1.0, 2.0, 4.0];
+        let traj =
+            strong_scaling_trajectory(&machines::perlmutter_gpu(), &base(), &ks, 0.0)
+                .unwrap();
+        for p in &traj {
+            assert!((p.predicted_makespan.unwrap().get() - 2000.0).abs() < 1e-9);
+        }
+        // Parallel tasks halve at each doubling.
+        assert!((traj[1].parallel_tasks - 8.0).abs() < 1e-12);
+        assert!((traj[2].parallel_tasks - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_finder() {
+        // The base misses its 1200 s deadline (2000 s); under Amdahl
+        // scaling, no k can shrink the *ensemble* makespan in this
+        // transform (each slot runs k x the members k x faster at best),
+        // so the finder returns None with sigma > 0.
+        let ks = [1.0, 2.0, 4.0, 8.0];
+        let traj =
+            strong_scaling_trajectory(&machines::perlmutter_gpu(), &base(), &ks, 0.1)
+                .unwrap();
+        assert_eq!(smallest_k_meeting_deadline(&traj), None);
+
+        // A workflow already meeting its deadline reports k = 1.
+        let mut ok = base();
+        ok.targets.makespan = Some(Seconds::secs(2500.0));
+        let traj =
+            strong_scaling_trajectory(&machines::perlmutter_gpu(), &ok, &ks, 0.0).unwrap();
+        assert_eq!(smallest_k_meeting_deadline(&traj), Some(1.0));
+    }
+
+    #[test]
+    fn invalid_factors_are_rejected() {
+        let err = strong_scaling_trajectory(
+            &machines::perlmutter_gpu(),
+            &base(),
+            &[0.5],
+            0.0,
+        );
+        assert!(err.is_err());
+        let err = strong_scaling_trajectory(
+            &machines::perlmutter_gpu(),
+            &base(),
+            &[f64::NAN],
+            0.0,
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,494 @@
+//! Workflow task graphs.
+//!
+//! A [`Dag`] is the workflow skeleton of the paper's Fig. 4/Fig. 9: tasks
+//! with node requirements and (estimated or measured) durations, connected
+//! by happens-before edges. Levels, widths and critical paths defined here
+//! feed the characterization metrics of the Workflow Roofline Model
+//! (number of parallel tasks, critical path length).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Index of a task inside its [`Dag`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One task: a job in the workflow, from a large MPI application to a
+/// small script.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task name (unique within the DAG).
+    pub name: String,
+    /// Nodes the task occupies while running.
+    pub nodes: u64,
+    /// Duration in seconds (estimate at plan time, measurement afterwards).
+    pub duration: f64,
+}
+
+/// Errors from DAG construction and validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DagError {
+    /// An edge referenced a task id not in the graph.
+    UnknownTask(TaskId),
+    /// Two tasks share a name.
+    DuplicateName(String),
+    /// The graph contains a dependency cycle (names one involved task).
+    Cycle(String),
+    /// A numeric field was invalid.
+    InvalidTask(String),
+    /// An edge would connect a task to itself.
+    SelfDependency(String),
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::UnknownTask(id) => write!(f, "unknown task id {id}"),
+            DagError::DuplicateName(n) => write!(f, "duplicate task name: {n}"),
+            DagError::Cycle(n) => write!(f, "dependency cycle involving task {n}"),
+            DagError::InvalidTask(msg) => write!(f, "invalid task: {msg}"),
+            DagError::SelfDependency(n) => write!(f, "task {n} depends on itself"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A directed acyclic graph of workflow tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dag {
+    /// Workflow name.
+    pub name: String,
+    tasks: Vec<Task>,
+    /// `succs[i]` = tasks that must start after task `i` completes.
+    succs: Vec<Vec<TaskId>>,
+    /// `preds[i]` = tasks that must complete before task `i` starts.
+    preds: Vec<Vec<TaskId>>,
+}
+
+impl Dag {
+    /// Creates an empty DAG.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tasks: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+        }
+    }
+
+    /// Adds a task and returns its id.
+    pub fn add_task(
+        &mut self,
+        name: impl Into<String>,
+        nodes: u64,
+        duration: f64,
+    ) -> Result<TaskId, DagError> {
+        let name = name.into();
+        if self.tasks.iter().any(|t| t.name == name) {
+            return Err(DagError::DuplicateName(name));
+        }
+        if nodes == 0 {
+            return Err(DagError::InvalidTask(format!("{name}: zero nodes")));
+        }
+        if !(duration.is_finite() && duration >= 0.0) {
+            return Err(DagError::InvalidTask(format!(
+                "{name}: duration must be finite and non-negative, got {duration}"
+            )));
+        }
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task {
+            name,
+            nodes,
+            duration,
+        });
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Declares that `before` must complete before `after` starts.
+    /// Duplicate edges are ignored.
+    pub fn add_dep(&mut self, before: TaskId, after: TaskId) -> Result<(), DagError> {
+        if before.0 >= self.tasks.len() {
+            return Err(DagError::UnknownTask(before));
+        }
+        if after.0 >= self.tasks.len() {
+            return Err(DagError::UnknownTask(after));
+        }
+        if before == after {
+            return Err(DagError::SelfDependency(self.tasks[before.0].name.clone()));
+        }
+        if !self.succs[before.0].contains(&after) {
+            self.succs[before.0].push(after);
+            self.preds[after.0].push(before);
+        }
+        Ok(())
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the DAG has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The task with the given id.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// Mutable access to a task (e.g. to record a measured duration).
+    pub fn task_mut(&mut self, id: TaskId) -> &mut Task {
+        &mut self.tasks[id.0]
+    }
+
+    /// Looks a task up by name.
+    pub fn task_by_name(&self, name: &str) -> Option<TaskId> {
+        self.tasks
+            .iter()
+            .position(|t| t.name == name)
+            .map(TaskId)
+    }
+
+    /// All task ids in insertion order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len()).map(TaskId)
+    }
+
+    /// All tasks in insertion order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Direct successors of a task.
+    pub fn successors(&self, id: TaskId) -> &[TaskId] {
+        &self.succs[id.0]
+    }
+
+    /// Direct predecessors of a task.
+    pub fn predecessors(&self, id: TaskId) -> &[TaskId] {
+        &self.preds[id.0]
+    }
+
+    /// Tasks with no predecessors.
+    pub fn roots(&self) -> Vec<TaskId> {
+        self.task_ids()
+            .filter(|id| self.preds[id.0].is_empty())
+            .collect()
+    }
+
+    /// Tasks with no successors.
+    pub fn leaves(&self) -> Vec<TaskId> {
+        self.task_ids()
+            .filter(|id| self.succs[id.0].is_empty())
+            .collect()
+    }
+
+    /// Kahn topological order; fails with [`DagError::Cycle`] if the graph
+    /// has one.
+    pub fn topo_order(&self) -> Result<Vec<TaskId>, DagError> {
+        let mut indegree: Vec<usize> = self.preds.iter().map(Vec::len).collect();
+        let mut queue: Vec<TaskId> = self
+            .task_ids()
+            .filter(|id| indegree[id.0] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.len());
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            order.push(id);
+            for &s in &self.succs[id.0] {
+                indegree[s.0] -= 1;
+                if indegree[s.0] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if order.len() == self.len() {
+            Ok(order)
+        } else {
+            let stuck = self
+                .task_ids()
+                .find(|id| indegree[id.0] > 0)
+                .expect("a cycle leaves some task with positive indegree");
+            Err(DagError::Cycle(self.tasks[stuck.0].name.clone()))
+        }
+    }
+
+    /// Validates acyclicity.
+    pub fn validate(&self) -> Result<(), DagError> {
+        self.topo_order().map(|_| ())
+    }
+
+    /// The level of each task: roots are level 0, otherwise
+    /// `1 + max(level of predecessors)`. Matches the paper's skeleton
+    /// figures ("five parallel tasks at level 0").
+    pub fn levels(&self) -> Result<Vec<usize>, DagError> {
+        let order = self.topo_order()?;
+        let mut level = vec![0usize; self.len()];
+        for id in order {
+            for &p in &self.preds[id.0] {
+                level[id.0] = level[id.0].max(level[p.0] + 1);
+            }
+        }
+        Ok(level)
+    }
+
+    /// Tasks grouped by level, in level order.
+    pub fn level_groups(&self) -> Result<Vec<Vec<TaskId>>, DagError> {
+        let levels = self.levels()?;
+        let depth = levels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut groups = vec![Vec::new(); depth];
+        for id in self.task_ids() {
+            groups[levels[id.0]].push(id);
+        }
+        Ok(groups)
+    }
+
+    /// Critical path *length*: number of levels (LCLS: 2).
+    pub fn critical_path_length(&self) -> Result<usize, DagError> {
+        Ok(self.level_groups()?.len())
+    }
+
+    /// Maximum number of tasks at any level: the structural "number of
+    /// parallel tasks" the model uses as its x coordinate.
+    pub fn max_width(&self) -> Result<usize, DagError> {
+        Ok(self
+            .level_groups()?
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0))
+    }
+
+    /// The critical path by *duration*: the dependency chain with the
+    /// largest total duration, and that total.
+    pub fn critical_path(&self) -> Result<(Vec<TaskId>, f64), DagError> {
+        let order = self.topo_order()?;
+        let mut dist: Vec<f64> = vec![0.0; self.len()];
+        let mut via: Vec<Option<TaskId>> = vec![None; self.len()];
+        for &id in &order {
+            let d = dist[id.0] + self.tasks[id.0].duration;
+            for &s in &self.succs[id.0] {
+                if d > dist[s.0] {
+                    dist[s.0] = d;
+                    via[s.0] = Some(id);
+                }
+            }
+        }
+        let Some(end) = self
+            .task_ids()
+            .max_by(|a, b| {
+                let fa = dist[a.0] + self.tasks[a.0].duration;
+                let fb = dist[b.0] + self.tasks[b.0].duration;
+                fa.partial_cmp(&fb).expect("durations are finite")
+            })
+        else {
+            return Ok((Vec::new(), 0.0));
+        };
+        let total = dist[end.0] + self.tasks[end.0].duration;
+        let mut path = vec![end];
+        let mut cur = end;
+        while let Some(p) = via[cur.0] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Ok((path, total))
+    }
+
+    /// Sum of all task durations (serial work).
+    pub fn total_duration(&self) -> f64 {
+        self.tasks.iter().map(|t| t.duration).sum()
+    }
+
+    /// Sum of `nodes x duration` over all tasks (node-seconds of
+    /// allocation).
+    pub fn total_node_seconds(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| t.nodes as f64 * t.duration)
+            .sum()
+    }
+
+    /// The largest node requirement of any single task.
+    pub fn max_task_nodes(&self) -> u64 {
+        self.tasks.iter().map(|t| t.nodes).max().unwrap_or(0)
+    }
+
+    /// Counts of tasks per name prefix, a convenience for reports.
+    pub fn name_histogram(&self) -> BTreeMap<String, usize> {
+        let mut h = BTreeMap::new();
+        for t in &self.tasks {
+            let key = t
+                .name
+                .split(['[', '.', '#'])
+                .next()
+                .unwrap_or(&t.name)
+                .to_owned();
+            *h.entry(key).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The LCLS skeleton of Fig. 4: A..E in parallel, F merges.
+    fn lcls() -> Dag {
+        let mut d = Dag::new("LCLS");
+        let analyses: Vec<TaskId> = (0..5)
+            .map(|i| d.add_task(format!("analyze[{i}]"), 32, 1000.0).unwrap())
+            .collect();
+        let merge = d.add_task("merge", 1, 20.0).unwrap();
+        for a in analyses {
+            d.add_dep(a, merge).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn lcls_structure_matches_fig4() {
+        let d = lcls();
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.critical_path_length().unwrap(), 2);
+        assert_eq!(d.max_width().unwrap(), 5);
+        assert_eq!(d.roots().len(), 5);
+        assert_eq!(d.leaves(), vec![TaskId(5)]);
+        let groups = d.level_groups().unwrap();
+        assert_eq!(groups[0].len(), 5);
+        assert_eq!(groups[1], vec![TaskId(5)]);
+    }
+
+    #[test]
+    fn critical_path_by_duration() {
+        let d = lcls();
+        let (path, total) = d.critical_path().unwrap();
+        assert_eq!(path.len(), 2);
+        assert!((total - 1020.0).abs() < 1e-9);
+        assert_eq!(d.task(path[1]).name, "merge");
+    }
+
+    #[test]
+    fn chain_critical_path() {
+        // BGW: Epsilon -> Sigma.
+        let mut d = Dag::new("BGW");
+        let e = d.add_task("Epsilon", 64, 1200.0).unwrap();
+        let s = d.add_task("Sigma", 64, 2985.0).unwrap();
+        d.add_dep(e, s).unwrap();
+        assert_eq!(d.critical_path_length().unwrap(), 2);
+        assert_eq!(d.max_width().unwrap(), 1);
+        let (path, total) = d.critical_path().unwrap();
+        assert_eq!(path, vec![e, s]);
+        assert!((total - 4185.0).abs() < 1e-9);
+        assert!((d.total_node_seconds() - 64.0 * 4185.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut d = Dag::new("c");
+        let a = d.add_task("a", 1, 1.0).unwrap();
+        let b = d.add_task("b", 1, 1.0).unwrap();
+        d.add_dep(a, b).unwrap();
+        d.add_dep(b, a).unwrap();
+        assert!(matches!(d.topo_order(), Err(DagError::Cycle(_))));
+        assert!(d.validate().is_err());
+        assert!(d.levels().is_err());
+    }
+
+    #[test]
+    fn construction_errors() {
+        let mut d = Dag::new("e");
+        let a = d.add_task("a", 1, 1.0).unwrap();
+        assert!(matches!(
+            d.add_task("a", 1, 1.0),
+            Err(DagError::DuplicateName(_))
+        ));
+        assert!(d.add_task("z", 0, 1.0).is_err());
+        assert!(d.add_task("n", 1, f64::NAN).is_err());
+        assert!(d.add_task("neg", 1, -1.0).is_err());
+        assert!(matches!(
+            d.add_dep(a, a),
+            Err(DagError::SelfDependency(_))
+        ));
+        assert!(matches!(
+            d.add_dep(a, TaskId(99)),
+            Err(DagError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_edges_are_idempotent() {
+        let mut d = Dag::new("d");
+        let a = d.add_task("a", 1, 1.0).unwrap();
+        let b = d.add_task("b", 1, 1.0).unwrap();
+        d.add_dep(a, b).unwrap();
+        d.add_dep(a, b).unwrap();
+        assert_eq!(d.successors(a), &[b]);
+        assert_eq!(d.predecessors(b), &[a]);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let d = lcls();
+        let order = d.topo_order().unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; d.len()];
+            for (i, id) in order.iter().enumerate() {
+                p[id.0] = i;
+            }
+            p
+        };
+        for id in d.task_ids() {
+            for &s in d.successors(id) {
+                assert!(pos[id.0] < pos[s.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dag() {
+        let d = Dag::new("empty");
+        assert!(d.is_empty());
+        assert_eq!(d.critical_path().unwrap(), (Vec::new(), 0.0));
+        assert_eq!(d.max_width().unwrap(), 0);
+        assert_eq!(d.critical_path_length().unwrap(), 0);
+        assert_eq!(d.max_task_nodes(), 0);
+    }
+
+    #[test]
+    fn name_lookup_and_histogram() {
+        let d = lcls();
+        assert_eq!(d.task_by_name("merge"), Some(TaskId(5)));
+        assert_eq!(d.task_by_name("nope"), None);
+        let h = d.name_histogram();
+        assert_eq!(h.get("analyze"), Some(&5));
+        assert_eq!(h.get("merge"), Some(&1));
+    }
+
+    #[test]
+    fn task_mut_updates_duration() {
+        let mut d = lcls();
+        let id = d.task_by_name("merge").unwrap();
+        d.task_mut(id).duration = 60.0;
+        let (_, total) = d.critical_path().unwrap();
+        assert!((total - 1060.0).abs() < 1e-9);
+    }
+}

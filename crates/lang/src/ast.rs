@@ -1,0 +1,114 @@
+//! Abstract syntax for the workflow description language.
+
+/// A parsed workflow file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowAst {
+    /// Workflow name.
+    pub name: String,
+    /// Optional machine short-name (`on pm-gpu` or a custom machine
+    /// declared in the same file).
+    pub machine: Option<String>,
+    /// Optional targets.
+    pub targets: TargetsAst,
+    /// Task declarations in source order.
+    pub tasks: Vec<TaskAst>,
+    /// Custom machine declarations preceding the workflow.
+    pub machines: Vec<MachineAst>,
+}
+
+/// A custom machine declaration.
+///
+/// ```text
+/// machine mycluster {
+///   nodes 128
+///   node compute 10TFLOPS      # flops unit => FLOP/s peak per node
+///   node dram 200GB/s
+///   system fs 1TB/s            # fixed aggregate
+///   system_per_node net 25GB/s # scales with nodes in use
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineAst {
+    /// Machine name (referenced by `on <name>`).
+    pub name: String,
+    /// Total node count.
+    pub nodes: u64,
+    /// Node-local peaks: `(id, peak, is_flops)` where peak is in
+    /// base-units/second.
+    pub node_resources: Vec<(String, f64, bool)>,
+    /// System peaks: `(id, peak bytes/s, per_node_in_use)`.
+    pub system_resources: Vec<(String, f64, bool)>,
+}
+
+/// Parsed targets.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TargetsAst {
+    /// Target makespan in seconds.
+    pub makespan: Option<f64>,
+    /// Target throughput in tasks/s.
+    pub throughput: Option<f64>,
+}
+
+/// One task declaration (possibly replicated: `task analyze[5]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskAst {
+    /// Base name.
+    pub name: String,
+    /// Replica count (1 when no bracket was given).
+    pub count: usize,
+    /// Serialize the replicas (`task iter[40] chain { ... }`): replica
+    /// `i` depends on replica `i-1`.
+    pub chain: bool,
+    /// Node requirement (defaults to 1).
+    pub nodes: u64,
+    /// Phase statements in order.
+    pub phases: Vec<PhaseAst>,
+    /// Dependencies.
+    pub after: Vec<AfterRef>,
+}
+
+/// One phase statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhaseAst {
+    /// `compute 69PFLOPS [eff 0.4]`
+    Compute {
+        /// Total FLOPs.
+        flops: f64,
+        /// Efficiency in (0,1].
+        eff: f64,
+    },
+    /// `node_bytes hbm 80GB [eff 0.9]`
+    NodeBytes {
+        /// Node resource id.
+        resource: String,
+        /// Total bytes.
+        bytes: f64,
+        /// Efficiency in (0,1].
+        eff: f64,
+    },
+    /// `system_bytes ext 1TB [cap 1GB/s]`
+    SystemBytes {
+        /// System resource id.
+        resource: String,
+        /// Total bytes.
+        bytes: f64,
+        /// Optional per-flow cap (bytes/s).
+        cap: Option<f64>,
+    },
+    /// `overhead python 5.2s`
+    Overhead {
+        /// Label.
+        label: String,
+        /// Seconds.
+        seconds: f64,
+    },
+}
+
+/// A dependency reference: a base name, optionally one replica index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AfterRef {
+    /// Referenced task base name.
+    pub name: String,
+    /// Specific replica (None = all replicas of that name).
+    pub index: Option<usize>,
+}

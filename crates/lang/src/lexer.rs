@@ -1,0 +1,305 @@
+//! Lexer: source text -> tokens.
+//!
+//! Numbers accept decimal-SI unit suffixes, case-insensitive:
+//!
+//! * bytes: `B KB MB GB TB PB`
+//! * rates: `B/s KB/s MB/s GB/s TB/s`
+//! * flops: `FLOP GFLOP TFLOP PFLOP` (plural `...S` accepted)
+//! * time:  `ms s min h`
+//!
+//! `#` starts a line comment. Identifiers are
+//! `[A-Za-z_][A-Za-z0-9_.-]*`.
+
+use crate::token::{LangError, Token, TokenKind, Unit};
+
+fn unit_of(suffix: &str) -> Option<(f64, Unit)> {
+    let s = suffix.to_ascii_lowercase();
+    let (body, rate) = match s.strip_suffix("/s") {
+        Some(b) => (b.to_owned(), true),
+        None => (s.clone(), false),
+    };
+    let bytes = |scale: f64| {
+        Some(if rate {
+            (scale, Unit::BytesPerSec)
+        } else {
+            (scale, Unit::Bytes)
+        })
+    };
+    match body.as_str() {
+        "b" => bytes(1.0),
+        "kb" => bytes(1e3),
+        "mb" => bytes(1e6),
+        "gb" => bytes(1e9),
+        "tb" => bytes(1e12),
+        "pb" => bytes(1e15),
+        _ if rate => None,
+        "flop" | "flops" => Some((1.0, Unit::Flops)),
+        "kflop" | "kflops" => Some((1e3, Unit::Flops)),
+        "mflop" | "mflops" => Some((1e6, Unit::Flops)),
+        "gflop" | "gflops" => Some((1e9, Unit::Flops)),
+        "tflop" | "tflops" => Some((1e12, Unit::Flops)),
+        "pflop" | "pflops" => Some((1e15, Unit::Flops)),
+        "ms" => Some((1e-3, Unit::Seconds)),
+        "s" | "sec" | "secs" => Some((1.0, Unit::Seconds)),
+        "min" => Some((60.0, Unit::Seconds)),
+        "h" | "hr" | "hrs" => Some((3600.0, Unit::Seconds)),
+        _ => None,
+    }
+}
+
+/// Tokenizes `source`.
+pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = source.chars().peekable();
+
+    macro_rules! bump {
+        ($c:expr) => {{
+            if $c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' | ',' | ';' => {
+                chars.next();
+                bump!(c);
+            }
+            '#' => {
+                // Comment to end of line.
+                while let Some(&c2) = chars.peek() {
+                    chars.next();
+                    bump!(c2);
+                    if c2 == '\n' {
+                        break;
+                    }
+                }
+            }
+            '{' => {
+                chars.next();
+                bump!(c);
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '}' => {
+                chars.next();
+                bump!(c);
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '[' => {
+                chars.next();
+                bump!(c);
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            ']' => {
+                chars.next();
+                bump!(c);
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '0'..='9' | '.' => {
+                let mut num = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_digit() || c2 == '.' || c2 == 'e' || c2 == 'E'
+                        || ((c2 == '+' || c2 == '-')
+                            && matches!(num.chars().last(), Some('e') | Some('E')))
+                    {
+                        num.push(c2);
+                        chars.next();
+                        bump!(c2);
+                    } else {
+                        break;
+                    }
+                }
+                // An exponent-less trailing 'e' actually starts a suffix
+                // (e.g. "5e" is invalid anyway; "5" + "GB" is typical).
+                let value: f64 = num.parse().map_err(|_| {
+                    LangError::new(format!("invalid number `{num}`"), tline, tcol)
+                })?;
+                // Optional unit suffix, directly attached.
+                let mut suffix = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_alphabetic() || c2 == '/' {
+                        suffix.push(c2);
+                        chars.next();
+                        bump!(c2);
+                    } else {
+                        break;
+                    }
+                }
+                let kind = if suffix.is_empty() {
+                    TokenKind::Number {
+                        value,
+                        unit: None,
+                    }
+                } else {
+                    match unit_of(&suffix) {
+                        Some((scale, unit)) => TokenKind::Number {
+                            value: value * scale,
+                            unit: Some(unit),
+                        },
+                        None => {
+                            return Err(LangError::new(
+                                format!("unknown unit suffix `{suffix}`"),
+                                tline,
+                                tcol,
+                            ))
+                        }
+                    }
+                };
+                tokens.push(Token {
+                    kind,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c2 if c2.is_ascii_alphabetic() || c2 == '_' => {
+                let mut ident = String::new();
+                while let Some(&c3) = chars.peek() {
+                    if c3.is_ascii_alphanumeric() || c3 == '_' || c3 == '.' || c3 == '-' {
+                        ident.push(c3);
+                        chars.next();
+                        bump!(c3);
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(ident),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            other => {
+                return Err(LangError::new(
+                    format!("unexpected character `{other}`"),
+                    tline,
+                    tcol,
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds("workflow lcls { task a[5] }");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("workflow".into()),
+                TokenKind::Ident("lcls".into()),
+                TokenKind::LBrace,
+                TokenKind::Ident("task".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::LBracket,
+                TokenKind::Number {
+                    value: 5.0,
+                    unit: None
+                },
+                TokenKind::RBracket,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn units_normalize_to_base() {
+        let k = kinds("1TB 32GB 100GB/s 9.7TFLOPS 600s 10min 0.5h 3ms");
+        let vals: Vec<(f64, Option<Unit>)> = k
+            .into_iter()
+            .filter_map(|t| match t {
+                TokenKind::Number { value, unit } => Some((value, unit)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(vals[0], (1e12, Some(Unit::Bytes)));
+        assert_eq!(vals[1], (32e9, Some(Unit::Bytes)));
+        assert_eq!(vals[2], (100e9, Some(Unit::BytesPerSec)));
+        assert_eq!(vals[3], (9.7e12, Some(Unit::Flops)));
+        assert_eq!(vals[4], (600.0, Some(Unit::Seconds)));
+        assert_eq!(vals[5], (600.0, Some(Unit::Seconds)));
+        assert_eq!(vals[6], (1800.0, Some(Unit::Seconds)));
+        assert_eq!(vals[7], (0.003, Some(Unit::Seconds)));
+    }
+
+    #[test]
+    fn comments_and_separators_are_skipped() {
+        let k = kinds("a # a comment with { } [ ] 5TB\nb; c, d");
+        assert_eq!(k.len(), 5); // a b c d Eof
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let k = kinds("1.5e9 2e-3s");
+        assert_eq!(
+            k[0],
+            TokenKind::Number {
+                value: 1.5e9,
+                unit: None
+            }
+        );
+        assert_eq!(
+            k[1],
+            TokenKind::Number {
+                value: 0.002,
+                unit: Some(Unit::Seconds)
+            }
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("task a\n  nodes 5qq").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown unit suffix"));
+        let err = lex("a ? b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        let err = lex("1.2.3").unwrap_err();
+        assert!(err.message.contains("invalid number"));
+    }
+
+    #[test]
+    fn identifiers_allow_dots_and_dashes() {
+        let k = kinds("pm-gpu cori_hsw ids.fs");
+        assert_eq!(k[0], TokenKind::Ident("pm-gpu".into()));
+        assert_eq!(k[1], TokenKind::Ident("cori_hsw".into()));
+        assert_eq!(k[2], TokenKind::Ident("ids.fs".into()));
+    }
+}

@@ -1,0 +1,541 @@
+//! Recursive-descent parser: tokens -> [`WorkflowAst`].
+//!
+//! Grammar (whitespace/`,`/`;` are separators, `#` comments):
+//!
+//! ```text
+//! file      := machine* "workflow" IDENT ["on" IDENT] "{" item* "}"
+//! machine   := "machine" IDENT "{" mstmt* "}"
+//! mstmt     := "nodes" INT
+//!            | "node" IDENT RATE            (flops- or bytes-per-second)
+//!            | "system" IDENT RATE
+//!            | "system_per_node" IDENT RATE
+//! item      := targets | task
+//! targets   := "targets" "{" tstmt* "}"
+//! tstmt     := "makespan" TIME
+//!            | "throughput" NUMBER ["per" TIME]
+//! task      := "task" IDENT ["[" INT "]"] ["chain"] "{" stmt* "}"
+//! stmt      := "nodes" INT
+//!            | "compute" FLOPS ["eff" NUMBER]
+//!            | "node_bytes" IDENT BYTES ["eff" NUMBER]
+//!            | "system_bytes" IDENT BYTES ["cap" RATE]
+//!            | "overhead" IDENT TIME
+//!            | "after" IDENT ["[" INT "]"]
+//! ```
+
+use crate::ast::{AfterRef, MachineAst, PhaseAst, TargetsAst, TaskAst, WorkflowAst};
+use crate::lexer::lex;
+use crate::token::{LangError, Token, TokenKind, Unit};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LangError {
+        let t = self.peek();
+        LangError::new(msg, t.line, t.col)
+    }
+
+    fn expect_ident(&mut self) -> Result<String, LangError> {
+        match self.next() {
+            Token {
+                kind: TokenKind::Ident(s),
+                ..
+            } => Ok(s),
+            t => Err(LangError::new(
+                format!("expected identifier, found {}", t.kind),
+                t.line,
+                t.col,
+            )),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), LangError> {
+        let t = self.next();
+        match &t.kind {
+            TokenKind::Ident(s) if s == kw => Ok(()),
+            other => Err(LangError::new(
+                format!("expected `{kw}`, found {other}"),
+                t.line,
+                t.col,
+            )),
+        }
+    }
+
+    fn expect_token(&mut self, kind: TokenKind) -> Result<(), LangError> {
+        let t = self.next();
+        if t.kind == kind {
+            Ok(())
+        } else {
+            Err(LangError::new(
+                format!("expected {kind}, found {}", t.kind),
+                t.line,
+                t.col,
+            ))
+        }
+    }
+
+    /// A number whose unit must be `expected` (or unit-less, which is
+    /// accepted and taken at face value).
+    fn expect_number(&mut self, expected: Option<Unit>, what: &str) -> Result<f64, LangError> {
+        let t = self.next();
+        match t.kind {
+            TokenKind::Number { value, unit } => match (unit, expected) {
+                (None, _) => Ok(value),
+                (Some(u), Some(e)) if u == e => Ok(value),
+                (Some(u), _) => Err(LangError::new(
+                    format!("{what}: wrong unit {u:?}, expected {expected:?}"),
+                    t.line,
+                    t.col,
+                )),
+            },
+            other => Err(LangError::new(
+                format!("{what}: expected a number, found {other}"),
+                t.line,
+                t.col,
+            )),
+        }
+    }
+
+    fn expect_uint(&mut self, what: &str) -> Result<u64, LangError> {
+        let t = self.peek().clone();
+        let v = self.expect_number(None, what)?;
+        if v.fract() != 0.0 || v < 0.0 || v > u64::MAX as f64 {
+            return Err(LangError::new(
+                format!("{what}: expected a non-negative integer, got {v}"),
+                t.line,
+                t.col,
+            ));
+        }
+        Ok(v as u64)
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn parse_optional_eff(&mut self) -> Result<f64, LangError> {
+        if self.peek_keyword("eff") {
+            self.next();
+            let t = self.peek().clone();
+            let v = self.expect_number(None, "eff")?;
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(LangError::new(
+                    format!("eff must be in (0, 1], got {v}"),
+                    t.line,
+                    t.col,
+                ));
+            }
+            Ok(v)
+        } else {
+            Ok(1.0)
+        }
+    }
+
+    fn parse_task(&mut self) -> Result<TaskAst, LangError> {
+        let name = self.expect_ident()?;
+        let count = if self.peek().kind == TokenKind::LBracket {
+            self.next();
+            let n = self.expect_uint("replica count")? as usize;
+            self.expect_token(TokenKind::RBracket)?;
+            if n == 0 {
+                return Err(self.err("replica count must be at least 1"));
+            }
+            n
+        } else {
+            1
+        };
+        let chain = if self.peek_keyword("chain") {
+            self.next();
+            true
+        } else {
+            false
+        };
+        self.expect_token(TokenKind::LBrace)?;
+        let mut task = TaskAst {
+            name,
+            count,
+            chain,
+            nodes: 1,
+            phases: Vec::new(),
+            after: Vec::new(),
+        };
+        loop {
+            match &self.peek().kind {
+                TokenKind::RBrace => {
+                    self.next();
+                    break;
+                }
+                TokenKind::Ident(kw) => {
+                    let kw = kw.clone();
+                    self.next();
+                    match kw.as_str() {
+                        "nodes" => {
+                            task.nodes = self.expect_uint("nodes")?;
+                        }
+                        "compute" => {
+                            let flops = self.expect_number(Some(Unit::Flops), "compute")?;
+                            let eff = self.parse_optional_eff()?;
+                            task.phases.push(PhaseAst::Compute { flops, eff });
+                        }
+                        "node_bytes" => {
+                            let resource = self.expect_ident()?;
+                            let bytes = self.expect_number(Some(Unit::Bytes), "node_bytes")?;
+                            let eff = self.parse_optional_eff()?;
+                            task.phases.push(PhaseAst::NodeBytes {
+                                resource,
+                                bytes,
+                                eff,
+                            });
+                        }
+                        "system_bytes" => {
+                            let resource = self.expect_ident()?;
+                            let bytes = self.expect_number(Some(Unit::Bytes), "system_bytes")?;
+                            let cap = if self.peek_keyword("cap") {
+                                self.next();
+                                Some(self.expect_number(Some(Unit::BytesPerSec), "cap")?)
+                            } else {
+                                None
+                            };
+                            task.phases.push(PhaseAst::SystemBytes {
+                                resource,
+                                bytes,
+                                cap,
+                            });
+                        }
+                        "overhead" => {
+                            let label = self.expect_ident()?;
+                            let seconds = self.expect_number(Some(Unit::Seconds), "overhead")?;
+                            task.phases.push(PhaseAst::Overhead { label, seconds });
+                        }
+                        "after" => {
+                            let name = self.expect_ident()?;
+                            let index = if self.peek().kind == TokenKind::LBracket {
+                                self.next();
+                                let i = self.expect_uint("replica index")? as usize;
+                                self.expect_token(TokenKind::RBracket)?;
+                                Some(i)
+                            } else {
+                                None
+                            };
+                            task.after.push(AfterRef { name, index });
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "unknown task statement `{other}` (expected nodes, compute, \
+                                 node_bytes, system_bytes, overhead, or after)"
+                            )));
+                        }
+                    }
+                }
+                other => {
+                    return Err(self.err(format!("expected a task statement, found {other}")));
+                }
+            }
+        }
+        Ok(task)
+    }
+
+    /// A rate: a bytes/s number, or a flops number (interpreted as
+    /// FLOP/s). Returns (value, is_flops).
+    fn expect_rate(&mut self, what: &str) -> Result<(f64, bool), LangError> {
+        let t = self.next();
+        match t.kind {
+            TokenKind::Number { value, unit } => match unit {
+                Some(Unit::BytesPerSec) => Ok((value, false)),
+                Some(Unit::Flops) => Ok((value, true)),
+                None => Ok((value, false)),
+                Some(other) => Err(LangError::new(
+                    format!("{what}: expected a rate (B/s or FLOPS), got {other:?}"),
+                    t.line,
+                    t.col,
+                )),
+            },
+            other => Err(LangError::new(
+                format!("{what}: expected a rate, found {other}"),
+                t.line,
+                t.col,
+            )),
+        }
+    }
+
+    fn parse_machine(&mut self) -> Result<MachineAst, LangError> {
+        let name = self.expect_ident()?;
+        self.expect_token(TokenKind::LBrace)?;
+        let mut m = MachineAst {
+            name,
+            nodes: 1,
+            node_resources: Vec::new(),
+            system_resources: Vec::new(),
+        };
+        loop {
+            match &self.peek().kind {
+                TokenKind::RBrace => {
+                    self.next();
+                    break;
+                }
+                TokenKind::Ident(kw) => {
+                    let kw = kw.clone();
+                    self.next();
+                    match kw.as_str() {
+                        "nodes" => m.nodes = self.expect_uint("nodes")?,
+                        "node" => {
+                            let id = self.expect_ident()?;
+                            let (rate, is_flops) = self.expect_rate("node peak")?;
+                            m.node_resources.push((id, rate, is_flops));
+                        }
+                        "system" => {
+                            let id = self.expect_ident()?;
+                            let (rate, is_flops) = self.expect_rate("system peak")?;
+                            if is_flops {
+                                return Err(self.err("system peaks are bandwidths (B/s)"));
+                            }
+                            m.system_resources.push((id, rate, false));
+                        }
+                        "system_per_node" => {
+                            let id = self.expect_ident()?;
+                            let (rate, is_flops) = self.expect_rate("system peak")?;
+                            if is_flops {
+                                return Err(self.err("system peaks are bandwidths (B/s)"));
+                            }
+                            m.system_resources.push((id, rate, true));
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "unknown machine statement `{other}` (expected nodes, node,                                  system, or system_per_node)"
+                            )));
+                        }
+                    }
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected a machine statement, found {other}"
+                    )));
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    fn parse_targets(&mut self) -> Result<TargetsAst, LangError> {
+        self.expect_token(TokenKind::LBrace)?;
+        let mut t = TargetsAst::default();
+        loop {
+            match &self.peek().kind {
+                TokenKind::RBrace => {
+                    self.next();
+                    break;
+                }
+                TokenKind::Ident(kw) if kw == "makespan" => {
+                    self.next();
+                    t.makespan = Some(self.expect_number(Some(Unit::Seconds), "makespan")?);
+                }
+                TokenKind::Ident(kw) if kw == "throughput" => {
+                    self.next();
+                    let n = self.expect_number(None, "throughput")?;
+                    if self.peek_keyword("per") {
+                        self.next();
+                        let per = self.expect_number(Some(Unit::Seconds), "per")?;
+                        if per <= 0.0 {
+                            return Err(self.err("`per` duration must be positive"));
+                        }
+                        t.throughput = Some(n / per);
+                    } else {
+                        t.throughput = Some(n);
+                    }
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected `makespan` or `throughput`, found {other}"
+                    )));
+                }
+            }
+        }
+        Ok(t)
+    }
+}
+
+/// Parses a workflow source file.
+pub fn parse(source: &str) -> Result<WorkflowAst, LangError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut machines = Vec::new();
+    while p.peek_keyword("machine") {
+        p.next();
+        machines.push(p.parse_machine()?);
+    }
+    p.expect_keyword("workflow")?;
+    let name = p.expect_ident()?;
+    let machine = if p.peek_keyword("on") {
+        p.next();
+        Some(p.expect_ident()?)
+    } else {
+        None
+    };
+    p.expect_token(TokenKind::LBrace)?;
+    let mut ast = WorkflowAst {
+        name,
+        machine,
+        targets: TargetsAst::default(),
+        tasks: Vec::new(),
+        machines,
+    };
+    loop {
+        match &p.peek().kind {
+            TokenKind::RBrace => {
+                p.next();
+                break;
+            }
+            TokenKind::Ident(kw) if kw == "task" => {
+                p.next();
+                ast.tasks.push(p.parse_task()?);
+            }
+            TokenKind::Ident(kw) if kw == "targets" => {
+                p.next();
+                ast.targets = p.parse_targets()?;
+            }
+            other => {
+                return Err(p.err(format!("expected `task` or `targets`, found {other}")));
+            }
+        }
+    }
+    if p.peek().kind != TokenKind::Eof {
+        return Err(p.err(format!(
+            "unexpected trailing input: {}",
+            p.peek().kind
+        )));
+    }
+    Ok(ast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LCLS: &str = r#"
+# The LCLS workflow of paper Fig. 4.
+workflow lcls on cori-hsw {
+  targets { makespan 10min  throughput 6 per 600s }
+  task analyze[5] {
+    nodes 32
+    system_bytes ext 1TB cap 1GB/s
+    node_bytes dram 1024GB
+    system_bytes bb 1GB
+  }
+  task merge {
+    nodes 1
+    system_bytes bb 5GB
+    after analyze
+  }
+}
+"#;
+
+    #[test]
+    fn parses_the_lcls_example() {
+        let ast = parse(LCLS).unwrap();
+        assert_eq!(ast.name, "lcls");
+        assert_eq!(ast.machine.as_deref(), Some("cori-hsw"));
+        assert_eq!(ast.targets.makespan, Some(600.0));
+        assert!((ast.targets.throughput.unwrap() - 0.01).abs() < 1e-12);
+        assert_eq!(ast.tasks.len(), 2);
+        let analyze = &ast.tasks[0];
+        assert_eq!(analyze.count, 5);
+        assert_eq!(analyze.nodes, 32);
+        assert_eq!(analyze.phases.len(), 3);
+        assert_eq!(
+            analyze.phases[0],
+            PhaseAst::SystemBytes {
+                resource: "ext".into(),
+                bytes: 1e12,
+                cap: Some(1e9)
+            }
+        );
+        let merge = &ast.tasks[1];
+        assert_eq!(
+            merge.after,
+            vec![AfterRef {
+                name: "analyze".into(),
+                index: None
+            }]
+        );
+    }
+
+    #[test]
+    fn parses_compute_and_overhead() {
+        let ast = parse(
+            "workflow bgw { task e { nodes 64 compute 1164PFLOPS eff 0.39 \
+             overhead setup 5s } task s { nodes 64 compute 3226PFLOPS after e } }",
+        )
+        .unwrap();
+        assert_eq!(
+            ast.tasks[0].phases[0],
+            PhaseAst::Compute {
+                flops: 1.164e18,
+                eff: 0.39
+            }
+        );
+        assert_eq!(
+            ast.tasks[0].phases[1],
+            PhaseAst::Overhead {
+                label: "setup".into(),
+                seconds: 5.0
+            }
+        );
+        assert_eq!(ast.tasks[1].after[0].name, "e");
+    }
+
+    #[test]
+    fn after_with_index() {
+        let ast = parse("workflow w { task a[3] { } task b { after a[1] } }").unwrap();
+        assert_eq!(ast.tasks[1].after[0].index, Some(1));
+    }
+
+    #[test]
+    fn throughput_as_plain_rate() {
+        let ast = parse("workflow w { targets { throughput 0.02 } }").unwrap();
+        assert_eq!(ast.targets.throughput, Some(0.02));
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let e = parse("task a {}").unwrap_err();
+        assert!(e.message.contains("expected `workflow`"), "{e}");
+        let e = parse("workflow w { task a { nodes 1.5 } }").unwrap_err();
+        assert!(e.message.contains("integer"), "{e}");
+        let e = parse("workflow w { task a { compute 5GB } }").unwrap_err();
+        assert!(e.message.contains("wrong unit"), "{e}");
+        let e = parse("workflow w { task a { warp 9 } }").unwrap_err();
+        assert!(e.message.contains("unknown task statement"), "{e}");
+        let e = parse("workflow w { task a { eff } }").unwrap_err();
+        assert!(e.message.contains("unknown task statement"), "{e}");
+        let e = parse("workflow w { task a[0] { } }").unwrap_err();
+        assert!(e.message.contains("at least 1"), "{e}");
+        let e = parse("workflow w { task a { compute 1GFLOP eff 2 } }").unwrap_err();
+        assert!(e.message.contains("eff must be"), "{e}");
+        let e = parse("workflow w { targets { makespan } }").unwrap_err();
+        assert!(e.message.contains("expected a number"), "{e}");
+        let e = parse("workflow w { targets { throughput 6 per 0s } }").unwrap_err();
+        assert!(e.message.contains("positive"), "{e}");
+        let e = parse("workflow w { } trailing").unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn eof_inside_block_is_an_error() {
+        let e = parse("workflow w { task a {").unwrap_err();
+        assert!(e.message.contains("expected a task statement"), "{e}");
+    }
+}

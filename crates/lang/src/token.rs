@@ -1,0 +1,101 @@
+//! Tokens for the workflow description language (WDL-lite).
+
+use std::fmt;
+
+/// A token with its source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`workflow`, `task`, `nodes`, resource ids).
+    Ident(String),
+    /// A number with an optional unit suffix, normalized to base units:
+    /// bytes, flops, seconds, or bytes/s. A bare number has `unit: None`.
+    Number {
+        /// Normalized value (base units when a unit was given).
+        value: f64,
+        /// The unit class, when a suffix was present.
+        unit: Option<Unit>,
+    },
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `per` keyword used in throughput expressions (also an Ident, but
+    /// the lexer keeps it as Ident; listed here for documentation only).
+    /// End of input.
+    Eof,
+}
+
+/// Unit classes a number suffix can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Data volume (bytes).
+    Bytes,
+    /// Compute volume (FLOPs).
+    Flops,
+    /// Duration (seconds).
+    Seconds,
+    /// Data rate (bytes/second).
+    BytesPerSec,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Number { value, unit } => match unit {
+                Some(u) => write!(f, "number {value} ({u:?})"),
+                None => write!(f, "number {value}"),
+            },
+            TokenKind::LBrace => f.write_str("`{`"),
+            TokenKind::RBrace => f.write_str("`}`"),
+            TokenKind::LBracket => f.write_str("`[`"),
+            TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A language-level error with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl LangError {
+    /// Creates an error at a position.
+    pub fn new(message: impl Into<String>, line: usize, col: usize) -> Self {
+        Self {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}

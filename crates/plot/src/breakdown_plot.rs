@@ -1,0 +1,174 @@
+//! SVG stacked-bar time breakdowns (paper Fig. 5b and Fig. 10b).
+
+use crate::svg::{Anchor, Svg};
+use wrm_trace::TimeBreakdown;
+
+const STACK_COLORS: [&str; 8] = [
+    "#1565c0", "#ef6c00", "#2e7d32", "#6a1b9a", "#c62828", "#00838f", "#f9a825", "#4e342e",
+];
+
+/// Renders vertical stacked bars, one per breakdown, with a shared time
+/// axis and a category legend.
+pub fn render_svg(title: &str, breakdowns: &[TimeBreakdown], width: f64, height: f64) -> String {
+    let mut svg = Svg::new(width, height);
+    svg.text(width / 2.0, 22.0, title, 15.0, "#111111", Anchor::Middle, None);
+
+    if breakdowns.is_empty() {
+        svg.text(
+            width / 2.0,
+            height / 2.0,
+            "(no data)",
+            13.0,
+            "#666666",
+            Anchor::Middle,
+            None,
+        );
+        return svg.finish();
+    }
+
+    // Stable category order across bars.
+    let mut cats: Vec<String> = Vec::new();
+    for b in breakdowns {
+        for (c, _) in &b.categories {
+            if !cats.contains(c) {
+                cats.push(c.clone());
+            }
+        }
+    }
+
+    let max_total = breakdowns
+        .iter()
+        .map(TimeBreakdown::total)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let ml = 64.0;
+    let mb = 46.0;
+    let mt = 40.0;
+    let legend_w = 150.0;
+    let plot_w = width - ml - legend_w;
+    let plot_h = height - mt - mb;
+    let bar_w = (plot_w / breakdowns.len() as f64 * 0.55).min(90.0);
+
+    // y-axis with 5 linear ticks.
+    for i in 0..=5 {
+        let v = max_total * i as f64 / 5.0;
+        let y = height - mb - plot_h * i as f64 / 5.0;
+        svg.line(ml, y, width - legend_w, y, "#e0e0e0", 1.0, None);
+        svg.text(ml - 6.0, y + 4.0, &format!("{v:.0}"), 10.5, "#444444", Anchor::End, None);
+    }
+    svg.text(
+        18.0,
+        mt + plot_h / 2.0,
+        "Time (s)",
+        12.0,
+        "#111111",
+        Anchor::Middle,
+        Some(-90.0),
+    );
+    svg.line(ml, height - mb, width - legend_w, height - mb, "#222222", 1.5, None);
+
+    for (bi, b) in breakdowns.iter().enumerate() {
+        let cx = ml + plot_w * (bi as f64 + 0.5) / breakdowns.len() as f64;
+        let mut y = height - mb;
+        for (ci, cat) in cats.iter().enumerate() {
+            let t = b.get(cat);
+            if t <= 0.0 {
+                continue;
+            }
+            let h = t / max_total * plot_h;
+            y -= h;
+            svg.rect(
+                cx - bar_w / 2.0,
+                y,
+                bar_w,
+                h,
+                STACK_COLORS[ci % STACK_COLORS.len()],
+                Some("#ffffff"),
+            );
+        }
+        svg.text(
+            cx,
+            height - mb + 16.0,
+            &b.label,
+            12.0,
+            "#111111",
+            Anchor::Middle,
+            None,
+        );
+        svg.text(
+            cx,
+            y - 6.0,
+            &format!("{:.0} s", b.total()),
+            11.0,
+            "#333333",
+            Anchor::Middle,
+            None,
+        );
+    }
+
+    // Legend.
+    let lx = width - legend_w + 10.0;
+    let mut ly = mt + 6.0;
+    for (ci, cat) in cats.iter().enumerate() {
+        svg.rect(lx, ly - 9.0, 12.0, 12.0, STACK_COLORS[ci % STACK_COLORS.len()], None);
+        svg.text(lx + 18.0, ly + 1.0, cat, 11.0, "#111111", Anchor::Start, None);
+        ly += 18.0;
+    }
+    svg.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_fig10b_shape() {
+        let bars = vec![
+            TimeBreakdown {
+                label: "RCI".into(),
+                categories: vec![
+                    ("bash".into(), 295.0),
+                    ("python".into(), 209.0),
+                    ("load_data".into(), 30.0),
+                    ("application".into(), 14.0),
+                    ("model_and_search".into(), 5.0),
+                ],
+            },
+            TimeBreakdown {
+                label: "Spawn".into(),
+                categories: vec![
+                    ("python".into(), 209.0),
+                    ("load_data".into(), 0.02),
+                    ("application".into(), 14.0),
+                    ("model_and_search".into(), 5.0),
+                ],
+            },
+        ];
+        let svg = render_svg("GPTune time breakdown", &bars, 640.0, 420.0);
+        assert!(svg.contains("GPTune time breakdown"));
+        assert!(svg.contains("RCI"));
+        assert!(svg.contains("Spawn"));
+        assert!(svg.contains("bash"));
+        assert!(svg.contains("Time (s)"));
+        assert!(svg.contains("553 s"));
+        assert!(svg.contains("228 s"));
+    }
+
+    #[test]
+    fn empty_input() {
+        let svg = render_svg("t", &[], 300.0, 200.0);
+        assert!(svg.contains("(no data)"));
+    }
+
+    #[test]
+    fn zero_categories_are_skipped() {
+        let bars = vec![TimeBreakdown {
+            label: "only".into(),
+            categories: vec![("a".into(), 0.0), ("b".into(), 10.0)],
+        }];
+        let svg = render_svg("t", &bars, 300.0, 200.0);
+        // Exactly one stacked rect (plus the background + legend swatches).
+        assert!(svg.contains("only"));
+        assert!(svg.contains("10 s"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Self-contained HTML reports: the analysis text plus every figure
+//! (roofline, Gantt, breakdown, profile) inlined as SVG in one file a
+//! browser can open with no server and no assets.
+
+use crate::svg::escape;
+use std::fmt::Write as _;
+
+/// One report section.
+#[derive(Debug, Clone)]
+pub enum Section {
+    /// A heading.
+    Heading(String),
+    /// Preformatted text (reports, tables, ASCII charts).
+    Pre(String),
+    /// Prose.
+    Text(String),
+    /// An inline SVG document (embedded as-is, XML prolog stripped).
+    Svg(String),
+}
+
+/// Builds a complete HTML document from sections.
+pub fn render(title: &str, sections: &[Section]) -> String {
+    let mut body = String::new();
+    for section in sections {
+        match section {
+            Section::Heading(h) => {
+                writeln!(body, "<h2>{}</h2>", escape(h)).expect("write to string");
+            }
+            Section::Pre(text) => {
+                writeln!(body, "<pre>{}</pre>", escape(text)).expect("write to string");
+            }
+            Section::Text(text) => {
+                writeln!(body, "<p>{}</p>", escape(text)).expect("write to string");
+            }
+            Section::Svg(svg) => {
+                // Strip the XML prolog so the SVG embeds inline.
+                let inline = svg
+                    .lines()
+                    .skip_while(|l| l.starts_with("<?xml"))
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                writeln!(body, "<div class=\"figure\">{inline}</div>")
+                    .expect("write to string");
+            }
+        }
+    }
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>{title}</title>\n<style>\n\
+         body {{ font-family: Helvetica, Arial, sans-serif; max-width: 900px; \
+         margin: 2em auto; color: #1a1a1a; }}\n\
+         pre {{ background: #f6f8fa; padding: 12px; overflow-x: auto; \
+         border-radius: 6px; font-size: 13px; }}\n\
+         h1 {{ border-bottom: 2px solid #1565c0; padding-bottom: 6px; }}\n\
+         h2 {{ color: #1565c0; margin-top: 1.6em; }}\n\
+         .figure {{ margin: 1em 0; }}\n\
+         </style>\n</head>\n<body>\n<h1>{escaped}</h1>\n{body}</body>\n</html>\n",
+        title = escape(title),
+        escaped = escape(title),
+        body = body
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svg::Svg;
+
+    #[test]
+    fn document_assembles_all_section_kinds() {
+        let svg = Svg::new(100.0, 50.0).finish();
+        let html = render(
+            "LCLS <analysis>",
+            &[
+                Section::Heading("Roofline".into()),
+                Section::Text("The dot & the ceiling.".into()),
+                Section::Svg(svg),
+                Section::Pre("col1  col2\n1     2".into()),
+            ],
+        );
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("LCLS &lt;analysis&gt;"));
+        assert!(html.contains("<h2>Roofline</h2>"));
+        assert!(html.contains("The dot &amp; the ceiling."));
+        // SVG is inlined without its XML prolog.
+        assert!(html.contains("<svg xmlns"));
+        assert!(!html.contains("<?xml"));
+        assert!(html.contains("<pre>col1  col2"));
+        assert!(html.trim_end().ends_with("</html>"));
+    }
+
+    #[test]
+    fn empty_report() {
+        let html = render("empty", &[]);
+        assert!(html.contains("<h1>empty</h1>"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # wrm-plot — rendering for the Workflow Roofline Model
+//!
+//! Self-contained SVG and ASCII backends (no plotting dependencies) for
+//! every visual in the paper:
+//!
+//! * [`RooflinePlot`] — the roofline figure itself (Figs. 1, 5a, 6,
+//!   7a–c, 8, 10a): log-log axes, diagonal node ceilings, horizontal
+//!   system ceilings, the parallelism wall with the unattainable region
+//!   shaded, target lines, and measured/projected dots;
+//! * [`gantt_plot`] — Gantt charts with the critical path highlighted
+//!   (Fig. 7d);
+//! * [`breakdown_plot`] — stacked time-breakdown bars (Figs. 5b, 10b);
+//! * [`skeleton`] — workflow-skeleton diagrams (Figs. 4, 9);
+//! * [`profile_plot`] — parallelism-profile step charts (tasks/nodes
+//!   over time), exposing pipelining quality the roofline's y-axis
+//!   hides;
+//! * [`ascii`] — terminal renderings of rooflines, Gantt charts and
+//!   breakdowns for quick inspection.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ascii;
+pub mod breakdown_plot;
+pub mod gantt_plot;
+pub mod html;
+pub mod profile_plot;
+pub mod roofline_plot;
+pub mod scale;
+pub mod skeleton;
+pub mod svg;
+
+pub use html::Section;
+pub use roofline_plot::{ExtraDot, RooflinePlot};
+pub use svg::{Anchor, Svg};

@@ -1,0 +1,540 @@
+//! SVG rendering of Workflow Roofline models (the paper's Figs. 1,
+//! 5a, 6, 7a–c, 8, 10a).
+//!
+//! One plot can overlay several models (e.g. good vs. bad days, RCI vs.
+//! Spawn): the first model draws the ceilings and wall; later models
+//! contribute extra ceilings only if they differ, and every model's dot
+//! is drawn with its own colour.
+
+use crate::scale::{log_domain, tick_label, LogScale};
+use crate::svg::{Anchor, Svg};
+use wrm_core::{CeilingKind, RooflineModel, Seconds, TasksPerSec};
+
+/// Palette for dots, cycled in order.
+const DOT_COLORS: [&str; 6] = [
+    "#2e7d32", "#c62828", "#1565c0", "#ef6c00", "#6a1b9a", "#00838f",
+];
+
+/// Palette for ceilings (node = warm, system = cool tones chosen per
+/// index).
+const CEILING_COLORS: [&str; 6] = [
+    "#37474f", "#5d4037", "#00695c", "#4527a0", "#b71c1c", "#1b5e20",
+];
+
+/// An extra dot to overlay (projections, per-task points).
+#[derive(Debug, Clone)]
+pub struct ExtraDot {
+    /// Legend label.
+    pub label: String,
+    /// Parallel tasks (x).
+    pub x: f64,
+    /// Throughput (y).
+    pub tps: TasksPerSec,
+    /// Fill color (empty = auto from the palette).
+    pub color: String,
+    /// Hollow (projection) instead of filled.
+    pub hollow: bool,
+}
+
+/// Builder for a roofline figure.
+#[derive(Debug, Clone)]
+pub struct RooflinePlot {
+    title: String,
+    models: Vec<RooflineModel>,
+    extra_dots: Vec<ExtraDot>,
+    show_targets: bool,
+    show_zones: bool,
+    width: f64,
+    height: f64,
+}
+
+impl RooflinePlot {
+    /// Starts a plot.
+    pub fn new(title: impl Into<String>) -> Self {
+        RooflinePlot {
+            title: title.into(),
+            models: Vec::new(),
+            extra_dots: Vec::new(),
+            show_targets: true,
+            show_zones: false,
+            width: 760.0,
+            height: 540.0,
+        }
+    }
+
+    /// Adds a model (ceilings + wall from the first one; dots from all).
+    pub fn model(mut self, model: &RooflineModel) -> Self {
+        self.models.push(model.clone());
+        self
+    }
+
+    /// Adds a standalone dot.
+    pub fn dot(mut self, dot: ExtraDot) -> Self {
+        self.extra_dots.push(dot);
+        self
+    }
+
+    /// Toggles target-line rendering.
+    pub fn targets(mut self, show: bool) -> Self {
+        self.show_targets = show;
+        self
+    }
+
+    /// Shades the four target zones of Fig. 2a (needs both targets on
+    /// the first model).
+    pub fn zones(mut self, show: bool) -> Self {
+        self.show_zones = show;
+        self
+    }
+
+    /// Sets the canvas size in pixels.
+    pub fn size(mut self, width: f64, height: f64) -> Self {
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Renders the SVG document. Returns `None` when no model was added.
+    pub fn render_svg(&self) -> Option<String> {
+        let primary = self.models.first()?;
+        let wall = primary.parallelism_wall as f64;
+
+        // Collect y values that must be visible.
+        let mut ys: Vec<f64> = Vec::new();
+        let mut xs: Vec<f64> = vec![0.5, wall * 2.0];
+        for m in &self.models {
+            for c in &m.ceilings {
+                ys.push(c.tps_at(1.0).get());
+                ys.push(c.tps_at(wall).get());
+            }
+            if let Some(d) = &m.dot {
+                ys.push(d.tps.get());
+                xs.push(d.x);
+            }
+            if let Some(t) = m.workflow.targets.throughput {
+                ys.push(t.get());
+            }
+            if let Some(t) = m.workflow.targets.makespan {
+                ys.push(m.makespan_isoline_at(t, m.workflow.parallel_tasks).get());
+            }
+        }
+        for d in &self.extra_dots {
+            ys.push(d.tps.get());
+            xs.push(d.x);
+        }
+        let (x_lo, x_hi) = log_domain(xs);
+        let (y_lo, y_hi) = log_domain(ys);
+
+        let ml = 72.0; // margins
+        let mr = 24.0;
+        let mt = 40.0;
+        let mb = 56.0;
+        let sx = LogScale::new(x_lo, x_hi, ml, self.width - mr);
+        let sy = LogScale::new(y_lo, y_hi, self.height - mb, mt);
+
+        let mut svg = Svg::new(self.width, self.height);
+        svg.text(
+            self.width / 2.0,
+            24.0,
+            &self.title,
+            16.0,
+            "#111111",
+            Anchor::Middle,
+            None,
+        );
+
+        // Axes and grid.
+        for t in sx.decade_ticks() {
+            let px = sx.px(t);
+            svg.line(px, mt, px, self.height - mb, "#e0e0e0", 1.0, None);
+            svg.text(
+                px,
+                self.height - mb + 18.0,
+                &tick_label(t),
+                11.0,
+                "#444444",
+                Anchor::Middle,
+                None,
+            );
+        }
+        for t in sy.decade_ticks() {
+            let py = sy.px(t);
+            svg.line(ml, py, self.width - mr, py, "#e0e0e0", 1.0, None);
+            svg.text(ml - 6.0, py + 4.0, &tick_label(t), 11.0, "#444444", Anchor::End, None);
+        }
+        svg.line(ml, self.height - mb, self.width - mr, self.height - mb, "#222222", 1.5, None);
+        svg.line(ml, mt, ml, self.height - mb, "#222222", 1.5, None);
+        svg.text(
+            (ml + self.width - mr) / 2.0,
+            self.height - 14.0,
+            "Number of Parallel Tasks",
+            13.0,
+            "#111111",
+            Anchor::Middle,
+            None,
+        );
+        svg.text(
+            20.0,
+            (mt + self.height - mb) / 2.0,
+            "Throughput [tasks/s]",
+            13.0,
+            "#111111",
+            Anchor::Middle,
+            Some(-90.0),
+        );
+
+        // The four target zones of Fig. 2a: split by the target-makespan
+        // isoline (diagonal) and the target-throughput line (horizontal).
+        // In pixel space (y grows downward): green occupies pixels above
+        // both boundary curves, red below both, yellow/orange between
+        // them depending on which boundary is lower.
+        if self.show_zones {
+            if let (Some(tm), Some(tt)) = (
+                primary.workflow.targets.makespan,
+                primary.workflow.targets.throughput,
+            ) {
+                let samples = 48;
+                let mut xs_px = Vec::with_capacity(samples + 1);
+                let mut iso_px = Vec::with_capacity(samples + 1);
+                for i in 0..=samples {
+                    let lx = x_lo.log10()
+                        + (x_hi.log10() - x_lo.log10()) * i as f64 / samples as f64;
+                    let x = 10f64.powf(lx);
+                    let iso = primary.makespan_isoline_at(tm, x).get();
+                    xs_px.push(sx.px(x));
+                    iso_px.push(sy.px(iso.clamp(y_lo, y_hi)));
+                }
+                let y_t_px = sy.px(tt.get().clamp(y_lo, y_hi));
+                let top = mt;
+                let bottom = self.height - mb;
+                // Fills the band between two per-column pixel bounds
+                // (hi above lo; empty columns collapse to a point).
+                let mut band = |color: &str, hi: &dyn Fn(usize) -> f64, lo: &dyn Fn(usize) -> f64| {
+                    let mut poly: Vec<(f64, f64)> = Vec::new();
+                    for (i, &x) in xs_px.iter().enumerate() {
+                        poly.push((x, hi(i).clamp(top, bottom)));
+                    }
+                    for (i, &x) in xs_px.iter().enumerate().rev() {
+                        let l = lo(i).clamp(top, bottom);
+                        poly.push((x, l.max(hi(i).clamp(top, bottom))));
+                    }
+                    svg.polygon(&poly, color, 0.10);
+                };
+                // green: [top, min(iso, y_t)]
+                band("#2e7d32", &|_| top, &|i| iso_px[i].min(y_t_px));
+                // yellow: meets the deadline, misses the rate --
+                // between the throughput line and the isoline where the
+                // isoline sits below it (larger py).
+                band("#f9a825", &|_| y_t_px, &|i| iso_px[i].max(y_t_px));
+                // orange: meets the rate, misses the deadline.
+                band("#ef6c00", &|i| iso_px[i], &|i| y_t_px.max(iso_px[i]));
+                // red: [max(iso, y_t), bottom]
+                band("#c62828", &|i| iso_px[i].max(y_t_px), &|_| bottom);
+            }
+        }
+
+        // Unattainable region: above the envelope and right of the wall.
+        let wall_px = sx.px(wall);
+        if sx.contains(wall) {
+            svg.polygon(
+                &[
+                    (wall_px, mt),
+                    (self.width - mr, mt),
+                    (self.width - mr, self.height - mb),
+                    (wall_px, self.height - mb),
+                ],
+                "#9e9e9e",
+                0.25,
+            );
+            svg.line(wall_px, mt, wall_px, self.height - mb, "#424242", 2.0, None);
+            svg.text(
+                wall_px - 6.0,
+                mt + 14.0,
+                &format!("System parallelism @ {} tasks", primary.parallelism_wall),
+                11.0,
+                "#424242",
+                Anchor::End,
+                None,
+            );
+        }
+        // Shade above the envelope (sampled), left of the wall.
+        let mut upper: Vec<(f64, f64)> = Vec::new();
+        let samples = 64;
+        for i in 0..=samples {
+            let lx = x_lo.log10()
+                + (wall.min(x_hi).log10() - x_lo.log10()) * i as f64 / samples as f64;
+            let x = 10f64.powf(lx);
+            if let Some(env) = primary.envelope_at(x) {
+                if env.get().is_finite() {
+                    upper.push((sx.px(x), sy.px(env.get())));
+                }
+            }
+        }
+        if upper.len() > 1 {
+            let mut poly = vec![(upper[0].0, mt)];
+            poly.extend(upper.iter().copied());
+            poly.push((upper.last().expect("non-empty").0, mt));
+            svg.polygon(&poly, "#bdbdbd", 0.35);
+        }
+
+        // Ceilings from the primary model.
+        for (i, c) in primary.ceilings.iter().enumerate() {
+            let color = CEILING_COLORS[i % CEILING_COLORS.len()];
+            match c.kind {
+                CeilingKind::Node => {
+                    // Solid up to the wall, dashed beyond.
+                    let x_end = wall.min(x_hi);
+                    svg.line(
+                        sx.px(x_lo),
+                        sy.px(c.tps_at(x_lo).get()),
+                        sx.px(x_end),
+                        sy.px(c.tps_at(x_end).get()),
+                        color,
+                        2.0,
+                        None,
+                    );
+                    if x_hi > wall {
+                        svg.line(
+                            sx.px(wall),
+                            sy.px(c.tps_at(wall).get()),
+                            sx.px(x_hi),
+                            sy.px(c.tps_at(x_hi).get()),
+                            color,
+                            1.5,
+                            Some("5 4"),
+                        );
+                    }
+                }
+                CeilingKind::System => {
+                    let y = sy.px(c.tps_at_one.get());
+                    svg.line(sx.px(x_lo), y, sx.px(wall.min(x_hi)), y, color, 2.0, None);
+                    if x_hi > wall {
+                        svg.line(sx.px(wall), y, sx.px(x_hi), y, color, 1.5, Some("5 4"));
+                    }
+                }
+            }
+            let label_y = match c.kind {
+                CeilingKind::Node => sy.px(c.tps_at(x_lo * 1.6).get()) - 6.0,
+                CeilingKind::System => sy.px(c.tps_at_one.get()) - 6.0,
+            };
+            svg.text(
+                sx.px(x_lo * 1.25),
+                label_y.max(mt + 10.0),
+                &c.label,
+                10.5,
+                color,
+                Anchor::Start,
+                None,
+            );
+        }
+
+        // Target lines from the primary model.
+        if self.show_targets {
+            if let Some(tp) = primary.workflow.targets.throughput {
+                let y = sy.px(tp.get());
+                svg.line(ml, y, self.width - mr, y, "#880e4f", 1.5, Some("2 3"));
+                svg.text(
+                    self.width - mr - 4.0,
+                    y - 5.0,
+                    &format!("target throughput = {}", tp),
+                    10.5,
+                    "#880e4f",
+                    Anchor::End,
+                    None,
+                );
+            }
+            if let Some(tm) = primary.workflow.targets.makespan {
+                let y1 = primary.makespan_isoline_at(tm, x_lo).get();
+                let y2 = primary.makespan_isoline_at(tm, x_hi).get();
+                svg.line(
+                    sx.px(x_lo),
+                    sy.px(y1),
+                    sx.px(x_hi),
+                    sy.px(y2),
+                    "#4a148c",
+                    1.5,
+                    Some("2 3"),
+                );
+                svg.text(
+                    sx.px(x_lo * 1.25),
+                    sy.px(primary.makespan_isoline_at(tm, x_lo * 1.25).get()) + 14.0,
+                    &format!("target makespan = {}", Seconds(tm.get())),
+                    10.5,
+                    "#4a148c",
+                    Anchor::Start,
+                    None,
+                );
+            }
+        }
+
+        // Dots: one per model plus extras.
+        let mut legend_y = mt + 16.0;
+        let mut color_idx = 0usize;
+        let draw_dot = |svg: &mut Svg,
+                            label: &str,
+                            x: f64,
+                            tps: f64,
+                            color: &str,
+                            hollow: bool,
+                            legend_y: &mut f64| {
+            let (px, py) = (sx.px(x), sy.px(tps));
+            if hollow {
+                svg.circle(px, py, 6.0, "#ffffff", Some(color));
+            } else {
+                svg.circle(px, py, 6.0, color, Some("#00000033"));
+            }
+            svg.circle(ml + 10.0, *legend_y - 4.0, 5.0, if hollow { "#ffffff" } else { color }, Some(color));
+            svg.text(ml + 20.0, *legend_y, label, 11.0, "#111111", Anchor::Start, None);
+            *legend_y += 16.0;
+        };
+        for m in &self.models {
+            if let Some(d) = &m.dot {
+                let color = DOT_COLORS[color_idx % DOT_COLORS.len()];
+                color_idx += 1;
+                draw_dot(&mut svg, &d.label, d.x, d.tps.get(), color, false, &mut legend_y);
+            }
+        }
+        for d in &self.extra_dots {
+            let color = if d.color.is_empty() {
+                let c = DOT_COLORS[color_idx % DOT_COLORS.len()];
+                color_idx += 1;
+                c.to_owned()
+            } else {
+                d.color.clone()
+            };
+            draw_dot(&mut svg, &d.label, d.x, d.tps.get(), &color, d.hollow, &mut legend_y);
+        }
+
+        Some(svg.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrm_core::{ids, machines, Bytes, Flops, Work, WorkflowCharacterization};
+
+    fn sample_model() -> RooflineModel {
+        let wf = WorkflowCharacterization::builder("demo")
+            .total_tasks(2.0)
+            .parallel_tasks(1.0)
+            .nodes_per_task(64)
+            .makespan(Seconds::secs(4184.86))
+            .node_volume(ids::COMPUTE, Work::Flops(Flops::pflops(4390.0) / 64.0))
+            .system_volume(ids::FILE_SYSTEM, Bytes::gb(70.0))
+            .target_makespan(Seconds::secs(3600.0))
+            .target_throughput(TasksPerSec(1e-3))
+            .build()
+            .unwrap();
+        RooflineModel::build(&machines::perlmutter_gpu(), &wf).unwrap()
+    }
+
+    #[test]
+    fn renders_a_complete_figure() {
+        let svg = RooflinePlot::new("BGW on PM-GPU")
+            .model(&sample_model())
+            .render_svg()
+            .unwrap();
+        assert!(svg.contains("BGW on PM-GPU"));
+        assert!(svg.contains("Number of Parallel Tasks"));
+        assert!(svg.contains("Throughput [tasks/s]"));
+        assert!(svg.contains("System parallelism @ 28 tasks"));
+        assert!(svg.contains("GPU FLOPS"));
+        assert!(svg.contains("File System"));
+        assert!(svg.contains("target throughput"));
+        assert!(svg.contains("target makespan"));
+        assert!(svg.contains("demo")); // legend entry for the dot
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn no_models_renders_nothing() {
+        assert!(RooflinePlot::new("empty").render_svg().is_none());
+    }
+
+    #[test]
+    fn extra_dots_and_options() {
+        let svg = RooflinePlot::new("multi")
+            .model(&sample_model())
+            .dot(ExtraDot {
+                label: "projected".into(),
+                x: 1.0,
+                tps: TasksPerSec(0.01),
+                color: String::new(),
+                hollow: true,
+            })
+            .dot(ExtraDot {
+                label: "fixed-color".into(),
+                x: 2.0,
+                tps: TasksPerSec(0.02),
+                color: "#123456".into(),
+                hollow: false,
+            })
+            .targets(false)
+            .size(500.0, 400.0)
+            .render_svg()
+            .unwrap();
+        assert!(svg.contains("projected"));
+        assert!(svg.contains("#123456"));
+        assert!(!svg.contains("target throughput"));
+        assert!(svg.contains("width=\"500\""));
+    }
+
+    #[test]
+    fn overlaying_two_models_draws_two_dots() {
+        let m1 = sample_model();
+        let mut wf = m1.workflow.clone();
+        wf.name = "bad day".into();
+        wf.makespan = Some(Seconds::secs(20_000.0));
+        let m2 = RooflineModel::build(&machines::perlmutter_gpu(), &wf).unwrap();
+        let svg = RooflinePlot::new("overlay")
+            .model(&m1)
+            .model(&m2)
+            .render_svg()
+            .unwrap();
+        assert!(svg.contains("demo"));
+        assert!(svg.contains("bad day"));
+    }
+}
+
+#[cfg(test)]
+mod zone_tests {
+    use super::*;
+    use wrm_core::{ids, machines, Seconds, WorkflowCharacterization};
+
+    #[test]
+    fn zone_shading_renders_four_bands() {
+        let wf = WorkflowCharacterization::builder("z")
+            .total_tasks(8.0)
+            .parallel_tasks(8.0)
+            .nodes_per_task(64)
+            .makespan(Seconds::secs(800.0))
+            .node_volume(
+                ids::COMPUTE,
+                wrm_core::Work::Flops(wrm_core::Flops::pflops(20.0)),
+            )
+            .target_makespan(Seconds::secs(1000.0))
+            .target_throughput(TasksPerSec(0.05))
+            .build()
+            .unwrap();
+        let model = RooflineModel::build(&machines::perlmutter_gpu(), &wf).unwrap();
+        let svg = RooflinePlot::new("zones")
+            .model(&model)
+            .zones(true)
+            .render_svg()
+            .unwrap();
+        for color in ["#2e7d32", "#f9a825", "#ef6c00", "#c62828"] {
+            assert!(svg.contains(color), "missing zone color {color}");
+        }
+        // Without both targets, no zone polygons are emitted.
+        let mut no_targets = wf.clone();
+        no_targets.targets = wrm_core::TargetSpec::NONE;
+        let m2 = RooflineModel::build(&machines::perlmutter_gpu(), &no_targets).unwrap();
+        let svg2 = RooflinePlot::new("no-zones")
+            .model(&m2)
+            .zones(true)
+            .render_svg()
+            .unwrap();
+        assert!(!svg2.contains("#f9a825"));
+    }
+}

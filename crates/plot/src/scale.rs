@@ -1,0 +1,166 @@
+//! Axis scales and tick generation for log-log roofline plots.
+
+/// Maps a data range onto a pixel range, logarithmically (base 10).
+#[derive(Debug, Clone, Copy)]
+pub struct LogScale {
+    log_min: f64,
+    log_max: f64,
+    px_min: f64,
+    px_max: f64,
+}
+
+impl LogScale {
+    /// Creates a scale; `min`/`max` must be positive with `min < max`.
+    pub fn new(min: f64, max: f64, px_min: f64, px_max: f64) -> Self {
+        assert!(
+            min > 0.0 && max > min && min.is_finite() && max.is_finite(),
+            "log scale needs 0 < min < max, got {min}..{max}"
+        );
+        LogScale {
+            log_min: min.log10(),
+            log_max: max.log10(),
+            px_min,
+            px_max,
+        }
+    }
+
+    /// Data value -> pixel coordinate (values are clamped to the domain).
+    pub fn px(&self, value: f64) -> f64 {
+        let lv = value.max(1e-300).log10().clamp(self.log_min, self.log_max);
+        let t = (lv - self.log_min) / (self.log_max - self.log_min);
+        self.px_min + t * (self.px_max - self.px_min)
+    }
+
+    /// True when the value lies inside the domain (no clamping needed).
+    pub fn contains(&self, value: f64) -> bool {
+        if value <= 0.0 {
+            return false;
+        }
+        let lv = value.log10();
+        lv >= self.log_min - 1e-12 && lv <= self.log_max + 1e-12
+    }
+
+    /// Domain minimum.
+    pub fn min(&self) -> f64 {
+        10f64.powf(self.log_min)
+    }
+
+    /// Domain maximum.
+    pub fn max(&self) -> f64 {
+        10f64.powf(self.log_max)
+    }
+
+    /// Decade tick values (10^k) inside the domain.
+    pub fn decade_ticks(&self) -> Vec<f64> {
+        let lo = self.log_min.ceil() as i32;
+        let hi = self.log_max.floor() as i32;
+        (lo..=hi).map(|k| 10f64.powi(k)).collect()
+    }
+}
+
+/// Formats a tick value compactly: powers of ten as `10^k` (or plain
+/// numbers between 0.01 and 1000).
+pub fn tick_label(value: f64) -> String {
+    let k = value.log10();
+    if (k - k.round()).abs() < 1e-9 {
+        let k = k.round() as i32;
+        match k {
+            -2 => "0.01".into(),
+            -1 => "0.1".into(),
+            0 => "1".into(),
+            1 => "10".into(),
+            2 => "100".into(),
+            3 => "1000".into(),
+            _ => format!("1e{k}"),
+        }
+    } else if (0.01..1000.0).contains(&value) {
+        format!("{value:.2}")
+    } else {
+        format!("{value:.1e}")
+    }
+}
+
+/// Picks a padded log domain that covers every value in `values`
+/// (ignoring non-positive/non-finite entries), expanded to full decades.
+/// Falls back to `(0.1, 10)` when no usable value exists.
+pub fn log_domain(values: impl IntoIterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        if v.is_finite() && v > 0.0 {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() {
+        return (0.1, 10.0);
+    }
+    let lo = 10f64.powf((lo.log10() - 0.15).floor());
+    let mut hi = 10f64.powf((hi.log10() + 0.15).ceil());
+    if hi <= lo {
+        hi = lo * 10.0;
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_is_logarithmic() {
+        let s = LogScale::new(1.0, 100.0, 0.0, 200.0);
+        assert!((s.px(1.0) - 0.0).abs() < 1e-9);
+        assert!((s.px(10.0) - 100.0).abs() < 1e-9);
+        assert!((s.px(100.0) - 200.0).abs() < 1e-9);
+        // Inverted pixel ranges work (SVG y grows downward).
+        let s = LogScale::new(1.0, 100.0, 200.0, 0.0);
+        assert!((s.px(10.0) - 100.0).abs() < 1e-9);
+        assert!((s.px(100.0) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamping_and_containment() {
+        let s = LogScale::new(1.0, 100.0, 0.0, 200.0);
+        assert_eq!(s.px(0.001), 0.0);
+        assert_eq!(s.px(1e9), 200.0);
+        assert!(s.contains(5.0));
+        assert!(!s.contains(0.5));
+        assert!(!s.contains(-1.0));
+        assert!(!s.contains(500.0));
+        assert!((s.min() - 1.0).abs() < 1e-12);
+        assert!((s.max() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "log scale needs")]
+    fn rejects_bad_domain() {
+        LogScale::new(0.0, 10.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn ticks_and_labels() {
+        let s = LogScale::new(0.5, 2000.0, 0.0, 1.0);
+        assert_eq!(s.decade_ticks(), vec![1.0, 10.0, 100.0, 1000.0]);
+        assert_eq!(tick_label(10.0), "10");
+        assert_eq!(tick_label(0.01), "0.01");
+        assert_eq!(tick_label(1e6), "1e6");
+        assert_eq!(tick_label(1e-4), "1e-4");
+        assert_eq!(tick_label(25.0), "25.00");
+        assert_eq!(tick_label(1.5e4), "1.5e4");
+    }
+
+    #[test]
+    fn domain_padding() {
+        let (lo, hi) = log_domain([0.005, 2.0, 30.0]);
+        assert!(lo <= 0.005);
+        assert!(hi >= 30.0);
+        // Full-decade edges.
+        assert!((lo.log10() - lo.log10().round()).abs() < 1e-9);
+        assert!((hi.log10() - hi.log10().round()).abs() < 1e-9);
+        // Degenerate inputs.
+        assert_eq!(log_domain([f64::NAN, -3.0]), (0.1, 10.0));
+        let (lo, hi) = log_domain([5.0]);
+        assert!(lo < 5.0 && hi > 5.0);
+    }
+}

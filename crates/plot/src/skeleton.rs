@@ -1,0 +1,145 @@
+//! SVG workflow-skeleton diagrams (paper Fig. 4 and Fig. 9): tasks as
+//! boxes arranged by level, dependency edges as arrows.
+
+use crate::svg::{Anchor, Svg};
+use wrm_dag::Dag;
+
+/// Renders the skeleton of `dag`, one column of boxes per level.
+/// Returns `None` when the DAG is cyclic.
+pub fn render_svg(dag: &Dag, width: f64) -> Option<String> {
+    let groups = dag.level_groups().ok()?;
+    let levels = groups.len().max(1);
+    let max_width = groups.iter().map(Vec::len).max().unwrap_or(1).max(1);
+
+    let box_w = 120.0;
+    let box_h = 34.0;
+    let h_gap = 70.0;
+    let v_gap = 16.0;
+    let mt = 46.0;
+    let height = mt + max_width as f64 * (box_h + v_gap) + 30.0;
+    let mut svg = Svg::new(width, height);
+    svg.text(width / 2.0, 24.0, &dag.name, 15.0, "#111111", Anchor::Middle, None);
+
+    // Positions per task.
+    let mut pos = vec![(0.0f64, 0.0f64); dag.len()];
+    let total_w = levels as f64 * box_w + (levels as f64 - 1.0) * h_gap;
+    let x0 = (width - total_w) / 2.0;
+    for (li, group) in groups.iter().enumerate() {
+        let x = x0 + li as f64 * (box_w + h_gap);
+        let group_h = group.len() as f64 * (box_h + v_gap) - v_gap;
+        let y0 = mt + (height - mt - 30.0 - group_h) / 2.0;
+        for (ti, &id) in group.iter().enumerate() {
+            let y = y0 + ti as f64 * (box_h + v_gap);
+            pos[id.0] = (x, y);
+        }
+    }
+
+    // Edges first (under the boxes).
+    for id in dag.task_ids() {
+        let (x1, y1) = pos[id.0];
+        for &s in dag.successors(id) {
+            let (x2, y2) = pos[s.0];
+            svg.line(
+                x1 + box_w,
+                y1 + box_h / 2.0,
+                x2,
+                y2 + box_h / 2.0,
+                "#78909c",
+                1.5,
+                None,
+            );
+            // Arrowhead.
+            svg.polygon(
+                &[
+                    (x2, y2 + box_h / 2.0),
+                    (x2 - 8.0, y2 + box_h / 2.0 - 4.0),
+                    (x2 - 8.0, y2 + box_h / 2.0 + 4.0),
+                ],
+                "#78909c",
+                1.0,
+            );
+        }
+    }
+
+    // Boxes.
+    for id in dag.task_ids() {
+        let (x, y) = pos[id.0];
+        let t = dag.task(id);
+        svg.rect(x, y, box_w, box_h, "#e3f2fd", Some("#1565c0"));
+        svg.text(
+            x + box_w / 2.0,
+            y + box_h / 2.0 + 1.0,
+            &t.name,
+            11.0,
+            "#0d47a1",
+            Anchor::Middle,
+            None,
+        );
+        svg.text(
+            x + box_w / 2.0,
+            y + box_h / 2.0 + 12.0,
+            &format!("{} nodes", t.nodes),
+            8.5,
+            "#546e7a",
+            Anchor::Middle,
+            None,
+        );
+    }
+
+    // Level captions.
+    for li in 0..levels {
+        let x = x0 + li as f64 * (box_w + h_gap) + box_w / 2.0;
+        svg.text(
+            x,
+            height - 10.0,
+            &format!("level {li}"),
+            11.0,
+            "#444444",
+            Anchor::Middle,
+            None,
+        );
+    }
+
+    Some(svg.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcls_skeleton_renders() {
+        let mut d = Dag::new("LCLS");
+        let merge = d.add_task("merge", 1, 20.0).unwrap();
+        for i in 0..5 {
+            let a = d.add_task(format!("analyze[{i}]"), 32, 1000.0).unwrap();
+            d.add_dep(a, merge).unwrap();
+        }
+        let svg = render_svg(&d, 700.0).unwrap();
+        assert!(svg.contains("LCLS"));
+        assert_eq!(svg.matches("analyze[").count(), 5);
+        assert!(svg.contains("merge"));
+        assert!(svg.contains("level 0"));
+        assert!(svg.contains("level 1"));
+        assert!(svg.contains("32 nodes"));
+        // 5 dependency edges -> 5 arrowheads.
+        assert_eq!(svg.matches("<polygon").count(), 5);
+    }
+
+    #[test]
+    fn cyclic_dag_returns_none() {
+        let mut d = Dag::new("c");
+        let a = d.add_task("a", 1, 1.0).unwrap();
+        let b = d.add_task("b", 1, 1.0).unwrap();
+        d.add_dep(a, b).unwrap();
+        d.add_dep(b, a).unwrap();
+        assert!(render_svg(&d, 400.0).is_none());
+    }
+
+    #[test]
+    fn empty_dag_renders_header_only() {
+        let d = Dag::new("empty");
+        let svg = render_svg(&d, 300.0).unwrap();
+        assert!(svg.contains("empty"));
+    }
+}

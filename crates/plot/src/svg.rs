@@ -1,0 +1,284 @@
+//! A minimal, dependency-free SVG document builder.
+//!
+//! Only what the plot renderers need: primitive shapes, text, grouping,
+//! dashed strokes, and correct XML escaping. Coordinates are in user
+//! units (pixels).
+
+use std::fmt::Write as _;
+
+/// Escapes a string for use inside XML text or attribute values.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e9 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.3}");
+        s.trim_end_matches('0').trim_end_matches('.').to_owned()
+    }
+}
+
+/// Text anchor for [`Svg::text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// Left-aligned.
+    Start,
+    /// Centered.
+    Middle,
+    /// Right-aligned.
+    End,
+}
+
+impl Anchor {
+    fn as_str(self) -> &'static str {
+        match self {
+            Anchor::Start => "start",
+            Anchor::Middle => "middle",
+            Anchor::End => "end",
+        }
+    }
+}
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct Svg {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl Svg {
+    /// Creates a document of the given pixel size with a white
+    /// background.
+    pub fn new(width: f64, height: f64) -> Self {
+        let mut svg = Svg {
+            width,
+            height,
+            body: String::new(),
+        };
+        svg.rect(0.0, 0.0, width, height, "#ffffff", None);
+        svg
+    }
+
+    /// Document width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// A filled rectangle with an optional stroke color.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<&str>) {
+        let stroke_attr = match stroke {
+            Some(s) => format!(" stroke=\"{}\" stroke-width=\"1\"", escape(s)),
+            None => String::new(),
+        };
+        writeln!(
+            self.body,
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\"{}/>",
+            fmt_num(x),
+            fmt_num(y),
+            fmt_num(w),
+            fmt_num(h),
+            escape(fill),
+            stroke_attr
+        )
+        .expect("write to string");
+    }
+
+    /// A line with stroke width and optional dash pattern.
+    #[allow(clippy::too_many_arguments)]
+    pub fn line(
+        &mut self,
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+        stroke: &str,
+        width: f64,
+        dash: Option<&str>,
+    ) {
+        let dash_attr = match dash {
+            Some(d) => format!(" stroke-dasharray=\"{}\"", escape(d)),
+            None => String::new(),
+        };
+        writeln!(
+            self.body,
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{}\" stroke-width=\"{}\"{}/>",
+            fmt_num(x1),
+            fmt_num(y1),
+            fmt_num(x2),
+            fmt_num(y2),
+            escape(stroke),
+            fmt_num(width),
+            dash_attr
+        )
+        .expect("write to string");
+    }
+
+    /// A filled circle with optional stroke.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, stroke: Option<&str>) {
+        let stroke_attr = match stroke {
+            Some(s) => format!(" stroke=\"{}\" stroke-width=\"1.5\"", escape(s)),
+            None => String::new(),
+        };
+        writeln!(
+            self.body,
+            "<circle cx=\"{}\" cy=\"{}\" r=\"{}\" fill=\"{}\"{}/>",
+            fmt_num(cx),
+            fmt_num(cy),
+            fmt_num(r),
+            escape(fill),
+            stroke_attr
+        )
+        .expect("write to string");
+    }
+
+    /// A text label; `rotate` (degrees) pivots around the anchor point.
+    #[allow(clippy::too_many_arguments)]
+    pub fn text(
+        &mut self,
+        x: f64,
+        y: f64,
+        content: &str,
+        size: f64,
+        fill: &str,
+        anchor: Anchor,
+        rotate: Option<f64>,
+    ) {
+        let transform = match rotate {
+            Some(deg) => format!(
+                " transform=\"rotate({} {} {})\"",
+                fmt_num(deg),
+                fmt_num(x),
+                fmt_num(y)
+            ),
+            None => String::new(),
+        };
+        writeln!(
+            self.body,
+            "<text x=\"{}\" y=\"{}\" font-size=\"{}\" font-family=\"Helvetica, Arial, sans-serif\" \
+             fill=\"{}\" text-anchor=\"{}\"{}>{}</text>",
+            fmt_num(x),
+            fmt_num(y),
+            fmt_num(size),
+            escape(fill),
+            anchor.as_str(),
+            transform,
+            escape(content)
+        )
+        .expect("write to string");
+    }
+
+    /// A polygon from points, with fill and opacity.
+    pub fn polygon(&mut self, points: &[(f64, f64)], fill: &str, opacity: f64) {
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{},{}", fmt_num(*x), fmt_num(*y)))
+            .collect();
+        writeln!(
+            self.body,
+            "<polygon points=\"{}\" fill=\"{}\" fill-opacity=\"{}\"/>",
+            pts.join(" "),
+            escape(fill),
+            fmt_num(opacity)
+        )
+        .expect("write to string");
+    }
+
+    /// A polyline (open path) with stroke.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{},{}", fmt_num(*x), fmt_num(*y)))
+            .collect();
+        writeln!(
+            self.body,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"{}\"/>",
+            pts.join(" "),
+            escape(stroke),
+            fmt_num(width)
+        )
+        .expect("write to string");
+    }
+
+    /// Finalizes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+             <svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+             viewBox=\"0 0 {} {}\">\n{}</svg>\n",
+            fmt_num(self.width),
+            fmt_num(self.height),
+            fmt_num(self.width),
+            fmt_num(self.height),
+            self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn document_structure() {
+        let mut svg = Svg::new(640.0, 480.0);
+        svg.line(0.0, 0.0, 10.0, 10.0, "#000", 1.0, Some("4 2"));
+        svg.circle(5.0, 5.0, 3.0, "red", Some("black"));
+        svg.text(1.0, 2.0, "x < y", 12.0, "#333", Anchor::Middle, Some(-90.0));
+        svg.polygon(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)], "grey", 0.5);
+        svg.polyline(&[(0.0, 0.0), (2.0, 3.0)], "blue", 2.0);
+        let out = svg.finish();
+        assert!(out.starts_with("<?xml"));
+        assert!(out.contains("<svg xmlns"));
+        assert!(out.contains("stroke-dasharray=\"4 2\""));
+        assert!(out.contains("x &lt; y"));
+        assert!(out.contains("rotate(-90 1 2)"));
+        assert!(out.contains("<polygon"));
+        assert!(out.contains("<polyline"));
+        assert!(out.trim_end().ends_with("</svg>"));
+        assert_eq!(out.matches("<svg").count(), 1);
+    }
+
+    #[test]
+    fn numbers_are_compact() {
+        let mut svg = Svg::new(100.0, 100.0);
+        svg.line(1.0, 2.5, 2.3456, 4.0, "#000", 1.0, None);
+        let out = svg.finish();
+        assert!(out.contains("x1=\"1\""));
+        assert!(out.contains("y1=\"2.5\""));
+        assert!(out.contains("x2=\"2.346\""));
+    }
+
+    #[test]
+    fn dimensions() {
+        let svg = Svg::new(320.0, 200.0);
+        assert_eq!(svg.width(), 320.0);
+        assert_eq!(svg.height(), 200.0);
+        let out = svg.finish();
+        assert!(out.contains("viewBox=\"0 0 320 200\""));
+    }
+}

@@ -1,0 +1,228 @@
+//! Max–min fair bandwidth sharing for shared channels (file system,
+//! external links, interconnect backbones).
+//!
+//! When several tasks move data through one shared resource, the
+//! simulator assigns each flow a rate by *progressive filling*: capacity
+//! is divided equally, flows whose own cap (e.g. a per-stream WAN limit
+//! or the NIC aggregate of the task's nodes) is below the fair share keep
+//! their cap, and the leftover is redistributed among the rest. This is
+//! the classical fluid model of TCP-fair shared links and reproduces the
+//! paper's contention behaviour (LCLS "bad days") without per-packet
+//! simulation.
+
+/// One flow's demand on a channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowDemand {
+    /// Opaque flow identity (index into the caller's table).
+    pub id: usize,
+    /// The flow's own rate limit in bytes/s (`f64::INFINITY` when only
+    /// the channel limits it).
+    pub cap: f64,
+}
+
+/// The rate assigned to one flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowRate {
+    /// Flow identity (copied from the demand).
+    pub id: usize,
+    /// Assigned rate in bytes/s.
+    pub rate: f64,
+}
+
+/// Computes max–min fair rates for `flows` on a channel of `capacity`
+/// bytes/s.
+///
+/// Properties (tested below and in the crate's proptests):
+/// * no flow exceeds its cap;
+/// * the sum of rates never exceeds `capacity`;
+/// * the link saturates whenever the total demand allows it;
+/// * uncapped flows all receive the same rate, and no capped flow
+///   receives more than an uncapped one.
+pub fn max_min_rates(capacity: f64, flows: &[FlowDemand]) -> Vec<FlowRate> {
+    assert!(
+        capacity >= 0.0 && !capacity.is_nan(),
+        "channel capacity must be non-negative"
+    );
+    if flows.is_empty() {
+        return Vec::new();
+    }
+
+    let mut rates: Vec<FlowRate> = flows.iter().map(|f| FlowRate { id: f.id, rate: 0.0 }).collect();
+    // Indices of flows still competing for the remainder.
+    let mut open: Vec<usize> = (0..flows.len()).collect();
+    let mut remaining = capacity;
+
+    loop {
+        if open.is_empty() || remaining <= 0.0 {
+            break;
+        }
+        let share = remaining / open.len() as f64;
+        // Settle every open flow whose cap is at or below the share.
+        let mut settled_any = false;
+        open.retain(|&i| {
+            if flows[i].cap <= share {
+                rates[i].rate = flows[i].cap;
+                remaining -= flows[i].cap;
+                settled_any = true;
+                false
+            } else {
+                true
+            }
+        });
+        if !settled_any {
+            // Everyone left is limited by the channel: equal share.
+            for &i in &open {
+                rates[i].rate = share;
+            }
+            break;
+        }
+    }
+    rates
+}
+
+/// Equal-split sharing: the naive alternative (every flow gets
+/// `capacity / n`, clipped to its cap). Kept as an ablation baseline for
+/// the benchmarks; it under-utilizes the link whenever caps differ.
+pub fn equal_split_rates(capacity: f64, flows: &[FlowDemand]) -> Vec<FlowRate> {
+    assert!(
+        capacity >= 0.0 && !capacity.is_nan(),
+        "channel capacity must be non-negative"
+    );
+    if flows.is_empty() {
+        return Vec::new();
+    }
+    let share = capacity / flows.len() as f64;
+    flows
+        .iter()
+        .map(|f| FlowRate {
+            id: f.id,
+            rate: share.min(f.cap),
+        })
+        .collect()
+}
+
+/// Sharing discipline selector (ablation knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sharing {
+    /// Max–min fairness by progressive filling (default; work-conserving).
+    #[default]
+    MaxMin,
+    /// Naive equal split clipped to per-flow caps (not work-conserving).
+    EqualSplit,
+}
+
+impl Sharing {
+    /// Dispatches to the selected solver.
+    pub fn rates(self, capacity: f64, flows: &[FlowDemand]) -> Vec<FlowRate> {
+        match self {
+            Sharing::MaxMin => max_min_rates(capacity, flows),
+            Sharing::EqualSplit => equal_split_rates(capacity, flows),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(id: usize, cap: f64) -> FlowDemand {
+        FlowDemand { id, cap }
+    }
+
+    #[test]
+    fn symmetric_flows_split_evenly() {
+        let flows = vec![demand(0, f64::INFINITY); 4]
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut f)| {
+                f.id = i;
+                f
+            })
+            .collect::<Vec<_>>();
+        let rates = max_min_rates(100.0, &flows);
+        for r in &rates {
+            assert!((r.rate - 25.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn capped_flow_releases_bandwidth() {
+        // One flow capped at 10; the others share the rest.
+        let flows = vec![demand(0, 10.0), demand(1, f64::INFINITY), demand(2, f64::INFINITY)];
+        let rates = max_min_rates(100.0, &flows);
+        assert!((rates[0].rate - 10.0).abs() < 1e-12);
+        assert!((rates[1].rate - 45.0).abs() < 1e-12);
+        assert!((rates[2].rate - 45.0).abs() < 1e-12);
+        let total: f64 = rates.iter().map(|r| r.rate).sum();
+        assert!((total - 100.0).abs() < 1e-9, "work conserving");
+    }
+
+    #[test]
+    fn all_caps_below_share_leave_slack() {
+        let flows = vec![demand(0, 5.0), demand(1, 7.0)];
+        let rates = max_min_rates(100.0, &flows);
+        assert!((rates[0].rate - 5.0).abs() < 1e-12);
+        assert!((rates[1].rate - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lcls_streams_on_cori() {
+        // Five 1 GB/s-capped streams on a link that is not the bottleneck:
+        // each gets its 1 GB/s (the paper's good day).
+        let flows: Vec<FlowDemand> = (0..5).map(|i| demand(i, 1e9)).collect();
+        let rates = max_min_rates(910e9, &flows);
+        for r in rates {
+            assert!((r.rate - 1e9).abs() < 1e-3);
+        }
+        // Bad day: the effective per-stream cap drops 5x.
+        let flows: Vec<FlowDemand> = (0..5).map(|i| demand(i, 0.2e9)).collect();
+        let rates = max_min_rates(910e9, &flows);
+        for r in rates {
+            assert!((r.rate - 0.2e9).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn equal_split_is_not_work_conserving() {
+        let flows = vec![demand(0, 10.0), demand(1, f64::INFINITY)];
+        let mm = max_min_rates(100.0, &flows);
+        let eq = equal_split_rates(100.0, &flows);
+        let mm_total: f64 = mm.iter().map(|r| r.rate).sum();
+        let eq_total: f64 = eq.iter().map(|r| r.rate).sum();
+        assert!((mm_total - 100.0).abs() < 1e-9);
+        assert!((eq_total - 60.0).abs() < 1e-9); // 10 + 50: wastes 40
+    }
+
+    #[test]
+    fn sharing_dispatch() {
+        let flows = vec![demand(0, f64::INFINITY)];
+        assert_eq!(Sharing::MaxMin.rates(8.0, &flows)[0].rate, 8.0);
+        assert_eq!(Sharing::EqualSplit.rates(8.0, &flows)[0].rate, 8.0);
+        assert_eq!(Sharing::default(), Sharing::MaxMin);
+    }
+
+    #[test]
+    fn empty_and_zero_capacity() {
+        assert!(max_min_rates(10.0, &[]).is_empty());
+        let flows = vec![demand(0, f64::INFINITY)];
+        let rates = max_min_rates(0.0, &flows);
+        assert_eq!(rates[0].rate, 0.0);
+        assert!(equal_split_rates(10.0, &[]).is_empty());
+    }
+
+    #[test]
+    fn zero_cap_flow_gets_zero_and_frees_capacity() {
+        let flows = vec![demand(0, 0.0), demand(1, f64::INFINITY)];
+        let rates = max_min_rates(10.0, &flows);
+        assert_eq!(rates[0].rate, 0.0);
+        assert!((rates[1].rate - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ids_are_preserved() {
+        let flows = vec![demand(42, f64::INFINITY), demand(7, 1.0)];
+        let rates = max_min_rates(10.0, &flows);
+        assert_eq!(rates[0].id, 42);
+        assert_eq!(rates[1].id, 7);
+    }
+}

@@ -1,0 +1,670 @@
+//! The discrete-event workflow simulator.
+//!
+//! Executes a [`WorkflowSpec`] on a [`Machine`] as a fluid-flow
+//! simulation: node-local phases run at (efficiency-scaled) peak rates of
+//! the task's allocation; shared-system phases become flows on shared
+//! channels whose rates are re-solved by max–min fair sharing whenever
+//! the flow set changes; a Slurm-like scheduler allocates nodes. The
+//! output is a `wrm_trace::Trace` — the same format real measurements
+//! would use — so the Workflow Roofline dot of a simulated run is derived
+//! exactly like the paper derives its empirical dots.
+
+use crate::channel::{FlowDemand, Sharing};
+use crate::spec::{Phase, SpecError, TaskSpec, WorkflowSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use wrm_core::{Machine, SystemScaling};
+use wrm_trace::{SpanKind, Trace, TraceSpan};
+
+/// Node-allocation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulerPolicy {
+    /// Strict FIFO: the queue head blocks everything behind it until it
+    /// fits.
+    #[default]
+    Fifo,
+    /// FIFO with backfill: ready tasks behind a blocked head may start
+    /// when they fit (EASY-style, without reservations).
+    Backfill,
+}
+
+/// Multiplicative duration noise, for robustness experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Jitter {
+    /// RNG seed (runs are deterministic per seed).
+    pub seed: u64,
+    /// Relative amplitude in `[0, 1)`: each fixed phase duration is
+    /// scaled by a factor drawn uniformly from `[1-a, 1+a]`.
+    pub amplitude: f64,
+}
+
+/// A persistent competing flow on a shared channel, modelling traffic
+/// from *other* workflows sharing the system (the source of the paper's
+/// LCLS "bad days"). A background flow never completes: it competes for
+/// max-min fair bandwidth up to its rate for the whole run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundFlow {
+    /// The shared resource it loads.
+    pub resource: String,
+    /// Its demand ceiling in bytes/s (`f64::INFINITY` = greedy).
+    pub rate: f64,
+}
+
+/// Simulation options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOptions {
+    /// Usable node count (None = the machine's total; a Some caps it,
+    /// modelling queue limits).
+    pub node_limit: Option<u64>,
+    /// Shared-channel discipline.
+    #[serde(skip)]
+    pub sharing: Sharing,
+    /// Per-resource capacity factors (e.g. `{"ext": 0.2}` for the LCLS
+    /// bad days). Factors apply to the channel capacity *and* to phase
+    /// stream caps on that channel, matching "the achievable rate drops
+    /// 5x" as observed end to end.
+    pub contention: BTreeMap<String, f64>,
+    /// Optional duration noise.
+    pub jitter: Option<Jitter>,
+    /// Scheduler policy.
+    pub scheduler: SchedulerPolicy,
+    /// Persistent competing flows from other workloads.
+    pub background: Vec<BackgroundFlow>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            node_limit: None,
+            sharing: Sharing::MaxMin,
+            contention: BTreeMap::new(),
+            jitter: None,
+            scheduler: SchedulerPolicy::Fifo,
+            background: Vec::new(),
+        }
+    }
+}
+
+impl SimOptions {
+    /// Adds a contention factor for one resource.
+    pub fn with_contention(mut self, resource: impl Into<String>, factor: f64) -> Self {
+        self.contention.insert(resource.into(), factor);
+        self
+    }
+
+    /// Adds a persistent background flow competing on `resource`.
+    pub fn with_background(mut self, resource: impl Into<String>, rate: f64) -> Self {
+        self.background.push(BackgroundFlow {
+            resource: resource.into(),
+            rate,
+        });
+        self
+    }
+}
+
+/// A complete simulation input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The machine model.
+    pub machine: Machine,
+    /// The workflow to execute.
+    pub workflow: WorkflowSpec,
+    /// Options.
+    pub options: SimOptions,
+}
+
+impl Scenario {
+    /// Scenario with default options.
+    pub fn new(machine: Machine, workflow: WorkflowSpec) -> Self {
+        Self {
+            machine,
+            workflow,
+            options: SimOptions::default(),
+        }
+    }
+
+    /// Sets options.
+    pub fn with_options(mut self, options: SimOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Invalid spec.
+    Spec(SpecError),
+    /// A task needs more nodes than the usable pool.
+    TaskTooLarge {
+        /// Task name.
+        task: String,
+        /// Required nodes.
+        needs: u64,
+        /// Usable pool size.
+        pool: u64,
+    },
+    /// A phase referenced a resource the machine does not define.
+    UnknownResource {
+        /// Task name.
+        task: String,
+        /// Resource id.
+        resource: String,
+    },
+    /// Progress stalled (a flow has zero rate forever, e.g. a channel
+    /// with zero effective capacity).
+    Stalled {
+        /// Simulated time at the stall.
+        at: f64,
+    },
+    /// Invalid option value.
+    InvalidOption(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Spec(e) => write!(f, "spec error: {e}"),
+            SimError::TaskTooLarge { task, needs, pool } => {
+                write!(f, "task {task} needs {needs} nodes, pool has {pool}")
+            }
+            SimError::UnknownResource { task, resource } => {
+                write!(f, "task {task} uses unknown resource {resource}")
+            }
+            SimError::Stalled { at } => write!(f, "simulation stalled at t={at}"),
+            SimError::InvalidOption(m) => write!(f, "invalid option: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<SpecError> for SimError {
+    fn from(e: SpecError) -> Self {
+        SimError::Spec(e)
+    }
+}
+
+/// Simulation output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// The execution trace (spans for every phase).
+    pub trace: Trace,
+    /// End-to-end makespan in seconds.
+    pub makespan: f64,
+    /// Wall time per task.
+    pub task_times: BTreeMap<String, f64>,
+    /// Start time per task (after dependencies and node allocation).
+    pub task_starts: BTreeMap<String, f64>,
+    /// Nodes held per task (echoed from the spec, for accounting).
+    pub task_nodes: BTreeMap<String, u64>,
+    /// The usable pool size the run was scheduled against.
+    pub pool_nodes: u64,
+}
+
+impl SimResult {
+    /// Total node-seconds of allocation (`sum of nodes x wall time`):
+    /// what an accounting system would charge.
+    pub fn node_seconds(&self) -> f64 {
+        self.task_times
+            .iter()
+            .map(|(name, t)| *self.task_nodes.get(name).unwrap_or(&1) as f64 * t)
+            .sum()
+    }
+
+    /// Allocation-weighted pool utilization over the makespan, in
+    /// `[0, 1]` for serialized workloads (can be seen as the fraction of
+    /// the pool's node-seconds the workflow held).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 || self.pool_nodes == 0 {
+            return 0.0;
+        }
+        self.node_seconds() / (self.pool_nodes as f64 * self.makespan)
+    }
+}
+
+enum Activity {
+    /// Fixed-duration phase: ends at a known time.
+    Fixed { end: f64 },
+    /// A flow on a shared channel.
+    Flow {
+        channel: usize,
+        remaining: f64,
+        cap: f64,
+        rate: f64,
+    },
+}
+
+struct RunningTask {
+    spec_idx: usize,
+    phase_idx: usize,
+    phase_start: f64,
+    activity: Activity,
+}
+
+struct Channel {
+    capacity: f64,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Relative time tolerance: activities within a (relative) nanosecond of
+/// completion are treated as complete. This guards against float
+/// absorption: when `now` is large, a flow's final sliver can need a
+/// `dt` below `ulp(now)`, so `now + dt == now` and time cannot advance.
+/// Any flow whose true remaining time is under `time_eps(now)` finishes
+/// "now" instead; the timing error is at most a relative nanosecond per
+/// event.
+fn time_eps(now: f64) -> f64 {
+    1e-9 * now.max(1.0)
+}
+
+/// True when a flow with `remaining` bytes at `rate` bytes/s is done for
+/// simulation purposes at time `now`.
+fn flow_finished(remaining: f64, rate: f64, now: f64) -> bool {
+    remaining <= EPS || remaining <= rate * time_eps(now)
+}
+
+/// Runs the simulation.
+pub fn simulate(scenario: &Scenario) -> Result<SimResult, SimError> {
+    scenario.workflow.validate()?;
+    let machine = &scenario.machine;
+    let opts = &scenario.options;
+    for (res, f) in &opts.contention {
+        if !(f.is_finite() && *f > 0.0) {
+            return Err(SimError::InvalidOption(format!(
+                "contention factor for {res} must be positive, got {f}"
+            )));
+        }
+    }
+    if let Some(j) = &opts.jitter {
+        if !(j.amplitude.is_finite() && (0.0..1.0).contains(&j.amplitude)) {
+            return Err(SimError::InvalidOption(format!(
+                "jitter amplitude must be in [0,1), got {}",
+                j.amplitude
+            )));
+        }
+    }
+    for bg in &opts.background {
+        if bg.rate.is_nan() || bg.rate <= 0.0 {
+            return Err(SimError::InvalidOption(format!(
+                "background flow on {} must have a positive rate, got {}",
+                bg.resource, bg.rate
+            )));
+        }
+        if machine.system_resource(&bg.resource).is_none() {
+            return Err(SimError::UnknownResource {
+                task: "<background>".into(),
+                resource: bg.resource.clone(),
+            });
+        }
+    }
+
+    let pool_total = opts
+        .node_limit
+        .unwrap_or(machine.total_nodes)
+        .min(machine.total_nodes);
+    let tasks = &scenario.workflow.tasks;
+    for t in tasks {
+        if t.nodes > pool_total {
+            return Err(SimError::TaskTooLarge {
+                task: t.name.clone(),
+                needs: t.nodes,
+                pool: pool_total,
+            });
+        }
+        // Resolve every referenced resource up front.
+        for p in &t.phases {
+            match p {
+                Phase::Compute { .. } => {
+                    if machine.node_resource(wrm_core::ids::COMPUTE).is_none() {
+                        return Err(SimError::UnknownResource {
+                            task: t.name.clone(),
+                            resource: wrm_core::ids::COMPUTE.into(),
+                        });
+                    }
+                }
+                Phase::NodeData { resource, .. } => {
+                    if machine.node_resource(resource).is_none() {
+                        return Err(SimError::UnknownResource {
+                            task: t.name.clone(),
+                            resource: resource.clone(),
+                        });
+                    }
+                }
+                Phase::SystemData { resource, .. } => {
+                    if machine.system_resource(resource).is_none() {
+                        return Err(SimError::UnknownResource {
+                            task: t.name.clone(),
+                            resource: resource.clone(),
+                        });
+                    }
+                }
+                Phase::Overhead { .. } => {}
+            }
+        }
+    }
+
+    // Channels: one per system resource the machine defines.
+    let mut channels: Vec<Channel> = Vec::new();
+    let mut channel_idx: BTreeMap<String, usize> = BTreeMap::new();
+    for sr in &machine.system_resources {
+        let factor = opts.contention.get(sr.id.as_str()).copied().unwrap_or(1.0);
+        let capacity = match sr.scaling {
+            SystemScaling::Aggregate => sr.peak.get() * factor,
+            // The interconnect's backbone: every node can inject at once.
+            SystemScaling::PerNodeInUse => sr.peak.get() * machine.total_nodes as f64 * factor,
+        };
+        channel_idx.insert(sr.id.to_string(), channels.len());
+        channels.push(Channel { capacity });
+    }
+
+    let mut rng = opts.jitter.map(|j| StdRng::seed_from_u64(j.seed));
+    let amplitude = opts.jitter.map_or(0.0, |j| j.amplitude);
+    let mut jitter_factor = move || -> f64 {
+        match rng.as_mut() {
+            Some(r) => 1.0 + amplitude * r.random_range(-1.0..=1.0),
+            None => 1.0,
+        }
+    };
+
+    // Fixed-phase duration for a task on this machine.
+    let fixed_duration = |task: &TaskSpec, phase: &Phase| -> Option<f64> {
+        match phase {
+            Phase::Compute { flops, efficiency } => {
+                let peak = machine
+                    .node_resource(wrm_core::ids::COMPUTE)
+                    .expect("checked above")
+                    .peak_per_node
+                    .magnitude();
+                Some(flops / (peak * task.nodes as f64 * efficiency))
+            }
+            Phase::NodeData {
+                resource,
+                bytes,
+                efficiency,
+            } => {
+                let peak = machine
+                    .node_resource(resource)
+                    .expect("checked above")
+                    .peak_per_node
+                    .magnitude();
+                Some(bytes / (peak * task.nodes as f64 * efficiency))
+            }
+            Phase::Overhead { seconds, .. } => Some(*seconds),
+            Phase::SystemData { .. } => None,
+        }
+    };
+
+    // Dependency bookkeeping.
+    let name_to_idx: BTreeMap<&str, usize> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.name.as_str(), i))
+        .collect();
+    let mut remaining_deps: Vec<usize> = tasks.iter().map(|t| t.after.len()).collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); tasks.len()];
+    for (i, t) in tasks.iter().enumerate() {
+        for dep in &t.after {
+            dependents[name_to_idx[dep.as_str()]].push(i);
+        }
+    }
+
+    let mut queue: Vec<usize> = (0..tasks.len()).filter(|&i| remaining_deps[i] == 0).collect();
+    let mut running: Vec<RunningTask> = Vec::new();
+    let mut free = pool_total;
+    let mut now = 0.0f64;
+    let mut done = 0usize;
+    let mut trace = Trace::new(scenario.workflow.name.clone(), machine.name.clone());
+    let mut task_starts: BTreeMap<String, f64> = BTreeMap::new();
+    let mut task_ends: BTreeMap<String, f64> = BTreeMap::new();
+
+    // Begins a task's phase `phase_idx` at time `at`, producing the
+    // Activity.
+    let make_activity = |task: &TaskSpec, phase_idx: usize, jf: f64, at: f64| -> Activity {
+        let phase = &task.phases[phase_idx];
+        match phase {
+            Phase::SystemData {
+                resource,
+                bytes,
+                stream_cap,
+            } => {
+                let sr = machine.system_resource(resource).expect("checked");
+                let factor = opts.contention.get(resource.as_str()).copied().unwrap_or(1.0);
+                // The task's own injection limit: for per-node-scaled
+                // resources it is its allocation's aggregate NIC rate.
+                let alloc_cap = match sr.scaling {
+                    SystemScaling::Aggregate => f64::INFINITY,
+                    SystemScaling::PerNodeInUse => {
+                        sr.peak.get() * task.nodes as f64 * factor
+                    }
+                };
+                let stream = stream_cap.unwrap_or(f64::INFINITY) * factor;
+                Activity::Flow {
+                    channel: channel_idx[resource.as_str()],
+                    remaining: *bytes,
+                    cap: alloc_cap.min(stream),
+                    rate: 0.0,
+                }
+            }
+            _ => Activity::Fixed {
+                end: at + fixed_duration(task, phase).expect("fixed phase") * jf,
+            },
+        }
+    };
+
+    // Background demands per channel (persistent pseudo-flows with ids
+    // past the running-task range).
+    let mut background_per_channel: Vec<Vec<f64>> = vec![Vec::new(); channels.len()];
+    for bg in &opts.background {
+        background_per_channel[channel_idx[bg.resource.as_str()]].push(bg.rate);
+    }
+
+    // Recomputes all flow rates per channel.
+    let recompute = |running: &mut [RunningTask], channels: &[Channel], sharing: Sharing| {
+        for (ci, ch) in channels.iter().enumerate() {
+            let mut demands: Vec<FlowDemand> = running
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| match &r.activity {
+                    Activity::Flow { channel, cap, .. } if *channel == ci => Some(FlowDemand {
+                        id: i,
+                        cap: *cap,
+                    }),
+                    _ => None,
+                })
+                .collect();
+            if demands.is_empty() {
+                continue;
+            }
+            let first_bg = demands.len();
+            for (k, &rate) in background_per_channel[ci].iter().enumerate() {
+                demands.push(FlowDemand {
+                    id: usize::MAX - k,
+                    cap: rate,
+                });
+            }
+            let rates = sharing.rates(ch.capacity, &demands);
+            for fr in rates.into_iter().take(first_bg) {
+                if let Activity::Flow { rate, .. } = &mut running[fr.id].activity {
+                    *rate = fr.rate;
+                }
+            }
+        }
+    };
+
+    loop {
+        // Start ready tasks per policy.
+        queue.sort_unstable();
+        let mut qi = 0;
+        while qi < queue.len() {
+            let ti = queue[qi];
+            let need = tasks[ti].nodes;
+            if need <= free {
+                free -= need;
+                queue.remove(qi);
+                task_starts.insert(tasks[ti].name.clone(), now);
+                if tasks[ti].phases.is_empty() {
+                    // Zero-phase task completes instantly.
+                    task_ends.insert(tasks[ti].name.clone(), now);
+                    free += need;
+                    done += 1;
+                    for &d in &dependents[ti] {
+                        remaining_deps[d] -= 1;
+                        if remaining_deps[d] == 0 {
+                            queue.push(d);
+                        }
+                    }
+                    // Restart the scan: new tasks may be ready.
+                    qi = 0;
+                    continue;
+                }
+                let jf = jitter_factor();
+                running.push(RunningTask {
+                    spec_idx: ti,
+                    phase_idx: 0,
+                    phase_start: now,
+                    activity: make_activity(&tasks[ti], 0, jf, now),
+                });
+            } else if opts.scheduler == SchedulerPolicy::Fifo {
+                break; // head blocks
+            } else {
+                qi += 1; // backfill: try the next
+            }
+        }
+        if done == tasks.len() {
+            break;
+        }
+        if running.is_empty() {
+            // Tasks remain but nothing runs and nothing can start.
+            debug_assert!(!queue.is_empty() || done < tasks.len());
+            return Err(SimError::Stalled { at: now });
+        }
+
+        recompute(&mut running, &channels, opts.sharing);
+
+        // Earliest completion among running activities.
+        let mut next = f64::INFINITY;
+        for r in &running {
+            let t = match &r.activity {
+                Activity::Fixed { end } => *end,
+                Activity::Flow {
+                    remaining, rate, ..
+                } => {
+                    if flow_finished(*remaining, *rate, now) {
+                        now
+                    } else if *rate > 0.0 {
+                        now + remaining / rate
+                    } else {
+                        f64::INFINITY
+                    }
+                }
+            };
+            next = next.min(t);
+        }
+        if !next.is_finite() {
+            return Err(SimError::Stalled { at: now });
+        }
+        let dt = (next - now).max(0.0);
+        now = next;
+
+        // Advance flows.
+        for r in &mut running {
+            if let Activity::Flow {
+                remaining, rate, ..
+            } = &mut r.activity
+            {
+                *remaining = (*remaining - *rate * dt).max(0.0);
+            }
+        }
+
+        // Complete activities that finished (within EPS).
+        let mut i = 0;
+        while i < running.len() {
+            let finished = match &running[i].activity {
+                Activity::Fixed { end } => *end <= now + time_eps(now),
+                Activity::Flow {
+                    remaining, rate, ..
+                } => flow_finished(*remaining, *rate, now),
+            };
+            if !finished {
+                i += 1;
+                continue;
+            }
+            let r = running.swap_remove(i);
+            let task = &tasks[r.spec_idx];
+            let phase = &task.phases[r.phase_idx];
+            trace.push(TraceSpan::new(
+                task.name.clone(),
+                span_kind(phase),
+                r.phase_start,
+                now,
+                task.nodes,
+            ));
+            let next_phase = r.phase_idx + 1;
+            if next_phase < task.phases.len() {
+                let jf = jitter_factor();
+                running.push(RunningTask {
+                    spec_idx: r.spec_idx,
+                    phase_idx: next_phase,
+                    phase_start: now,
+                    activity: make_activity(task, next_phase, jf, now),
+                });
+                // The pushed activity lands at the end; do not advance i
+                // past the element swapped into position i.
+            } else {
+                task_ends.insert(task.name.clone(), now);
+                free += task.nodes;
+                done += 1;
+                for &d in &dependents[r.spec_idx] {
+                    remaining_deps[d] -= 1;
+                    if remaining_deps[d] == 0 {
+                        queue.push(d);
+                    }
+                }
+            }
+        }
+    }
+
+    let makespan = trace.makespan();
+    let task_times = task_starts
+        .iter()
+        .filter_map(|(name, start)| task_ends.get(name).map(|end| (name.clone(), end - start)))
+        .collect();
+    let task_nodes = tasks
+        .iter()
+        .map(|t| (t.name.clone(), t.nodes))
+        .collect();
+    Ok(SimResult {
+        trace,
+        makespan,
+        task_times,
+        task_starts,
+        task_nodes,
+        pool_nodes: pool_total,
+    })
+}
+
+fn span_kind(phase: &Phase) -> SpanKind {
+    match phase {
+        Phase::Compute { flops, .. } => SpanKind::Compute { flops: *flops },
+        Phase::NodeData {
+            resource, bytes, ..
+        } => SpanKind::NodeData {
+            resource: resource.clone(),
+            bytes: *bytes,
+        },
+        Phase::SystemData {
+            resource, bytes, ..
+        } => SpanKind::SystemData {
+            resource: resource.clone(),
+            bytes: *bytes,
+        },
+        Phase::Overhead { label, .. } => SpanKind::Overhead {
+            label: label.clone(),
+        },
+    }
+}

@@ -1,0 +1,447 @@
+//! Simulation input: workflow specifications as DAGs of phase-structured
+//! tasks, plus the scenario knobs (contention, jitter, scheduling).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use wrm_core::Machine;
+use wrm_dag::{Dag, DagError};
+
+/// One execution phase of a task. Phases run in order within the task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "phase", rename_all = "snake_case")]
+pub enum Phase {
+    /// Floating-point computation: `flops` total across the task's nodes,
+    /// retired at `efficiency x` the node peak.
+    Compute {
+        /// Total FLOPs for the task.
+        flops: f64,
+        /// Fraction of peak achieved, in `(0, 1]`.
+        efficiency: f64,
+    },
+    /// Node-local data movement (HBM, DRAM, PCIe): `bytes` total across
+    /// the task's nodes at `efficiency x` peak.
+    NodeData {
+        /// Node resource id.
+        resource: String,
+        /// Total bytes for the task.
+        bytes: f64,
+        /// Fraction of peak achieved, in `(0, 1]`.
+        efficiency: f64,
+    },
+    /// Shared-system data movement: a flow of `bytes` on the shared
+    /// channel `resource`, rate-limited by max-min fair sharing and an
+    /// optional per-flow cap (e.g. a WAN stream limit).
+    SystemData {
+        /// System resource id.
+        resource: String,
+        /// Total bytes for the task.
+        bytes: f64,
+        /// Per-flow rate cap in bytes/s (None = only the channel limits).
+        stream_cap: Option<f64>,
+    },
+    /// Fixed control-flow overhead (bash, python, srun, metadata).
+    Overhead {
+        /// Label for breakdown charts.
+        label: String,
+        /// Duration in seconds.
+        seconds: f64,
+    },
+}
+
+impl Phase {
+    /// Convenience: compute at full efficiency.
+    pub fn compute(flops: f64) -> Self {
+        Phase::Compute {
+            flops,
+            efficiency: 1.0,
+        }
+    }
+
+    /// Convenience: node data at full efficiency.
+    pub fn node_data(resource: impl Into<String>, bytes: f64) -> Self {
+        Phase::NodeData {
+            resource: resource.into(),
+            bytes,
+            efficiency: 1.0,
+        }
+    }
+
+    /// Convenience: uncapped system data flow.
+    pub fn system_data(resource: impl Into<String>, bytes: f64) -> Self {
+        Phase::SystemData {
+            resource: resource.into(),
+            bytes,
+            stream_cap: None,
+        }
+    }
+
+    /// Convenience: fixed overhead.
+    pub fn overhead(label: impl Into<String>, seconds: f64) -> Self {
+        Phase::Overhead {
+            label: label.into(),
+            seconds,
+        }
+    }
+
+    /// Validates numeric fields.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let ok = |v: f64| v.is_finite() && v >= 0.0;
+        match self {
+            Phase::Compute { flops, efficiency } => {
+                if !ok(*flops) {
+                    return Err(SpecError::Invalid(format!("bad flops {flops}")));
+                }
+                if !(efficiency.is_finite() && *efficiency > 0.0 && *efficiency <= 1.0) {
+                    return Err(SpecError::Invalid(format!(
+                        "compute efficiency must be in (0,1], got {efficiency}"
+                    )));
+                }
+            }
+            Phase::NodeData {
+                bytes, efficiency, ..
+            } => {
+                if !ok(*bytes) {
+                    return Err(SpecError::Invalid(format!("bad bytes {bytes}")));
+                }
+                if !(efficiency.is_finite() && *efficiency > 0.0 && *efficiency <= 1.0) {
+                    return Err(SpecError::Invalid(format!(
+                        "node-data efficiency must be in (0,1], got {efficiency}"
+                    )));
+                }
+            }
+            Phase::SystemData {
+                bytes, stream_cap, ..
+            } => {
+                if !ok(*bytes) {
+                    return Err(SpecError::Invalid(format!("bad bytes {bytes}")));
+                }
+                if let Some(cap) = stream_cap {
+                    if !(cap.is_finite() && *cap > 0.0) {
+                        return Err(SpecError::Invalid(format!("bad stream cap {cap}")));
+                    }
+                }
+            }
+            Phase::Overhead { seconds, .. } => {
+                if !ok(*seconds) {
+                    return Err(SpecError::Invalid(format!("bad overhead {seconds}")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One task: a named phase sequence on a node allocation, gated on the
+/// completion of other tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Unique task name.
+    pub name: String,
+    /// Nodes the task occupies from ready to completion.
+    pub nodes: u64,
+    /// Ordered phases.
+    pub phases: Vec<Phase>,
+    /// Names of tasks that must finish first.
+    pub after: Vec<String>,
+}
+
+impl TaskSpec {
+    /// Creates a task with no dependencies.
+    pub fn new(name: impl Into<String>, nodes: u64) -> Self {
+        Self {
+            name: name.into(),
+            nodes,
+            phases: Vec::new(),
+            after: Vec::new(),
+        }
+    }
+
+    /// Appends a phase.
+    pub fn phase(mut self, p: Phase) -> Self {
+        self.phases.push(p);
+        self
+    }
+
+    /// Adds a dependency by task name.
+    pub fn after(mut self, name: impl Into<String>) -> Self {
+        self.after.push(name.into());
+        self
+    }
+}
+
+/// A workflow to simulate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowSpec {
+    /// Workflow name.
+    pub name: String,
+    /// All tasks.
+    pub tasks: Vec<TaskSpec>,
+}
+
+/// Errors from spec validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// A numeric or structural field was invalid.
+    Invalid(String),
+    /// A dependency referenced an unknown task name.
+    UnknownDependency {
+        /// The depending task.
+        task: String,
+        /// The missing dependency name.
+        dependency: String,
+    },
+    /// DAG-level error (duplicate names, cycles).
+    Dag(DagError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Invalid(m) => write!(f, "invalid spec: {m}"),
+            SpecError::UnknownDependency { task, dependency } => {
+                write!(f, "task {task} depends on unknown task {dependency}")
+            }
+            SpecError::Dag(e) => write!(f, "workflow graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<DagError> for SpecError {
+    fn from(e: DagError) -> Self {
+        SpecError::Dag(e)
+    }
+}
+
+impl WorkflowSpec {
+    /// Creates an empty workflow.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Adds a task.
+    pub fn task(mut self, t: TaskSpec) -> Self {
+        self.tasks.push(t);
+        self
+    }
+
+    /// Validates phases, dependency names, and acyclicity.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let names: std::collections::BTreeSet<&str> =
+            self.tasks.iter().map(|t| t.name.as_str()).collect();
+        if names.len() != self.tasks.len() {
+            // Let the DAG construction name the duplicate.
+            self.to_dag_with(|_| 0.0)?;
+        }
+        for t in &self.tasks {
+            if t.nodes == 0 {
+                return Err(SpecError::Invalid(format!("task {} has zero nodes", t.name)));
+            }
+            for p in &t.phases {
+                p.validate()?;
+            }
+            for dep in &t.after {
+                if !names.contains(dep.as_str()) {
+                    return Err(SpecError::UnknownDependency {
+                        task: t.name.clone(),
+                        dependency: dep.clone(),
+                    });
+                }
+            }
+        }
+        self.to_dag_with(|_| 0.0)?;
+        Ok(())
+    }
+
+    /// Builds the dependency [`Dag`], estimating each task's duration via
+    /// `duration_of`.
+    pub fn to_dag_with<F: Fn(&TaskSpec) -> f64>(&self, duration_of: F) -> Result<Dag, SpecError> {
+        let mut dag = Dag::new(self.name.clone());
+        let mut ids = BTreeMap::new();
+        for t in &self.tasks {
+            let id = dag.add_task(t.name.clone(), t.nodes.max(1), duration_of(t))?;
+            ids.insert(t.name.as_str(), id);
+        }
+        for t in &self.tasks {
+            for dep in &t.after {
+                let Some(&from) = ids.get(dep.as_str()) else {
+                    return Err(SpecError::UnknownDependency {
+                        task: t.name.clone(),
+                        dependency: dep.clone(),
+                    });
+                };
+                dag.add_dep(from, ids[t.name.as_str()])?;
+            }
+        }
+        dag.validate()?;
+        Ok(dag)
+    }
+
+    /// Ideal (contention-free, full-peak-channel) duration of a task on
+    /// `machine`: the sum of its phase lower bounds. Used for duration
+    /// estimates in planning DAGs.
+    pub fn ideal_task_duration(task: &TaskSpec, machine: &Machine) -> f64 {
+        task.phases
+            .iter()
+            .map(|p| match p {
+                Phase::Compute { flops, efficiency } => {
+                    match machine.node_resource(wrm_core::ids::COMPUTE) {
+                        Some(r) => {
+                            flops / (r.peak_per_node.magnitude()
+                                * task.nodes as f64
+                                * efficiency)
+                        }
+                        None => 0.0,
+                    }
+                }
+                Phase::NodeData {
+                    resource,
+                    bytes,
+                    efficiency,
+                } => match machine.node_resource(resource) {
+                    Some(r) => {
+                        bytes / (r.peak_per_node.magnitude() * task.nodes as f64 * efficiency)
+                    }
+                    None => 0.0,
+                },
+                Phase::SystemData {
+                    resource,
+                    bytes,
+                    stream_cap,
+                } => match machine.system_resource(resource) {
+                    Some(r) => {
+                        let agg = r.aggregate_for(task.nodes as f64).get();
+                        let rate = stream_cap.unwrap_or(f64::INFINITY).min(agg);
+                        if rate > 0.0 {
+                            bytes / rate
+                        } else {
+                            f64::INFINITY
+                        }
+                    }
+                    None => 0.0,
+                },
+                Phase::Overhead { seconds, .. } => *seconds,
+            })
+            .sum()
+    }
+
+    /// The dependency DAG with ideal durations on `machine`.
+    pub fn to_dag(&self, machine: &Machine) -> Result<Dag, SpecError> {
+        self.to_dag_with(|t| Self::ideal_task_duration(t, machine))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrm_core::{ids, machines};
+
+    fn lcls_spec() -> WorkflowSpec {
+        let mut wf = WorkflowSpec::new("LCLS");
+        for i in 0..5 {
+            wf = wf.task(
+                TaskSpec::new(format!("analyze[{i}]"), 32)
+                    .phase(Phase::SystemData {
+                        resource: ids::EXTERNAL.into(),
+                        bytes: 1e12,
+                        stream_cap: Some(1e9),
+                    })
+                    .phase(Phase::node_data(ids::DRAM, 32e9 * 32.0)),
+            );
+        }
+        let mut merge = TaskSpec::new("merge", 1).phase(Phase::system_data(ids::BURST_BUFFER, 5e9));
+        for i in 0..5 {
+            merge = merge.after(format!("analyze[{i}]"));
+        }
+        wf.task(merge)
+    }
+
+    #[test]
+    fn spec_validates_and_builds_dag() {
+        let wf = lcls_spec();
+        wf.validate().unwrap();
+        let dag = wf.to_dag(&machines::cori_haswell()).unwrap();
+        assert_eq!(dag.len(), 6);
+        assert_eq!(dag.max_width().unwrap(), 5);
+        assert_eq!(dag.critical_path_length().unwrap(), 2);
+    }
+
+    #[test]
+    fn ideal_duration_accounts_for_stream_caps() {
+        let wf = lcls_spec();
+        let m = machines::cori_haswell();
+        // 1 TB at a 1 GB/s stream cap -> 1000 s, plus 32 GB/node DRAM at
+        // 129 GB/s -> ~0.25 s.
+        let d = WorkflowSpec::ideal_task_duration(&wf.tasks[0], &m);
+        assert!((d - 1000.25).abs() < 0.01, "duration {d}");
+    }
+
+    #[test]
+    fn unknown_dependency_is_reported() {
+        let wf = WorkflowSpec::new("w").task(TaskSpec::new("a", 1).after("ghost"));
+        assert!(matches!(
+            wf.validate(),
+            Err(SpecError::UnknownDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn cycles_and_duplicates_are_reported() {
+        let wf = WorkflowSpec::new("w")
+            .task(TaskSpec::new("a", 1).after("b"))
+            .task(TaskSpec::new("b", 1).after("a"));
+        assert!(matches!(wf.validate(), Err(SpecError::Dag(_))));
+
+        let wf = WorkflowSpec::new("w")
+            .task(TaskSpec::new("a", 1))
+            .task(TaskSpec::new("a", 1));
+        assert!(wf.validate().is_err());
+    }
+
+    #[test]
+    fn phase_validation() {
+        assert!(Phase::compute(1e15).validate().is_ok());
+        assert!(Phase::Compute {
+            flops: 1.0,
+            efficiency: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(Phase::Compute {
+            flops: f64::NAN,
+            efficiency: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Phase::NodeData {
+            resource: "hbm".into(),
+            bytes: -1.0,
+            efficiency: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Phase::SystemData {
+            resource: "fs".into(),
+            bytes: 1.0,
+            stream_cap: Some(0.0)
+        }
+        .validate()
+        .is_err());
+        assert!(Phase::overhead("x", -2.0).validate().is_err());
+        let wf = WorkflowSpec::new("w").task(TaskSpec::new("a", 0));
+        assert!(wf.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let wf = lcls_spec();
+        let json = serde_json::to_string(&wf).unwrap();
+        let back: WorkflowSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(wf, back);
+    }
+}

@@ -1,0 +1,116 @@
+//! Parallel scenario sweeps: run many simulations across OS threads.
+//!
+//! Parameter sweeps (CosmoFlow's instance scaling, contention sweeps,
+//! scheduler ablations) are embarrassingly parallel; this driver fans
+//! scenarios out over a crossbeam scope with a work-stealing index and
+//! collects results in order.
+
+use crate::engine::{simulate, Scenario, SimError, SimResult};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs every scenario, using up to `threads` worker threads, and
+/// returns the results in input order.
+///
+/// `threads == 0` or `1` runs inline. Panics in worker closures are
+/// propagated by the scope.
+pub fn run_all(scenarios: &[Scenario], threads: usize) -> Vec<Result<SimResult, SimError>> {
+    if scenarios.is_empty() {
+        return Vec::new();
+    }
+    let workers = threads.max(1).min(scenarios.len());
+    if workers == 1 {
+        return scenarios.iter().map(simulate).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Result<SimResult, SimError>>>> =
+        Mutex::new((0..scenarios.len()).map(|_| None).collect());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= scenarios.len() {
+                    break;
+                }
+                let r = simulate(&scenarios[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep workers do not panic");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index was simulated"))
+        .collect()
+}
+
+/// Sweeps one scenario over a parameter, building each variant with
+/// `make`, in parallel.
+pub fn sweep<P: Sync, F>(params: &[P], threads: usize, make: F) -> Vec<Result<SimResult, SimError>>
+where
+    F: Fn(&P) -> Scenario + Sync,
+{
+    let scenarios: Vec<Scenario> = params.iter().map(&make).collect();
+    run_all(&scenarios, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Phase, TaskSpec, WorkflowSpec};
+    use wrm_core::machines;
+
+    fn scenario(n_tasks: usize) -> Scenario {
+        let mut wf = WorkflowSpec::new(format!("bag{n_tasks}"));
+        for i in 0..n_tasks {
+            wf = wf.task(
+                TaskSpec::new(format!("t{i}"), 1).phase(Phase::overhead("work", 5.0)),
+            );
+        }
+        Scenario::new(machines::perlmutter_cpu(), wf)
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let scenarios: Vec<Scenario> = (1..10).map(scenario).collect();
+        let serial = run_all(&scenarios, 1);
+        let parallel = run_all(&scenarios, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            let s = s.as_ref().unwrap();
+            let p = p.as_ref().unwrap();
+            assert_eq!(s.makespan, p.makespan);
+            assert_eq!(s.trace, p.trace);
+        }
+    }
+
+    #[test]
+    fn sweep_builds_variants() {
+        let params: Vec<usize> = vec![1, 2, 3, 4];
+        let results = sweep(&params, 2, |&n| scenario(n));
+        for (i, r) in results.iter().enumerate() {
+            let r = r.as_ref().unwrap();
+            assert_eq!(r.task_times.len(), params[i]);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(run_all(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn errors_are_returned_in_place() {
+        let mut bad = scenario(1);
+        bad.workflow.tasks[0].nodes = 10_000_000;
+        let scenarios = vec![scenario(1), bad, scenario(2)];
+        let results = run_all(&scenarios, 3);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+    }
+}

@@ -1,0 +1,266 @@
+//! Generic workflow archetypes (the patterns the paper's introduction
+//! surveys: bags of tasks, MapReduce chains, simulation+analysis
+//! pipelines, AI training/inference, cross-facility analysis). Each
+//! builder produces a ready-to-simulate `WorkflowSpec` parameterized by
+//! volumes, so new workflows can be sketched onto the roofline in a few
+//! lines.
+
+use wrm_core::ids;
+use wrm_sim::{Phase, TaskSpec, WorkflowSpec};
+
+/// Parameters shared by the archetype builders.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskShape {
+    /// Nodes per task.
+    pub nodes: u64,
+    /// FLOPs per task.
+    pub flops: f64,
+    /// Achieved fraction of peak compute.
+    pub efficiency: f64,
+    /// File-system bytes read per task.
+    pub fs_in: f64,
+    /// File-system bytes written per task.
+    pub fs_out: f64,
+}
+
+impl Default for TaskShape {
+    fn default() -> Self {
+        TaskShape {
+            nodes: 1,
+            flops: 0.0,
+            efficiency: 0.5,
+            fs_in: 0.0,
+            fs_out: 0.0,
+        }
+    }
+}
+
+fn shaped_task(name: String, shape: &TaskShape) -> TaskSpec {
+    let mut t = TaskSpec::new(name, shape.nodes);
+    if shape.fs_in > 0.0 {
+        t = t.phase(Phase::system_data(ids::FILE_SYSTEM, shape.fs_in));
+    }
+    if shape.flops > 0.0 {
+        t = t.phase(Phase::Compute {
+            flops: shape.flops,
+            efficiency: shape.efficiency,
+        });
+    }
+    if shape.fs_out > 0.0 {
+        t = t.phase(Phase::system_data(ids::FILE_SYSTEM, shape.fs_out));
+    }
+    t
+}
+
+/// An ensemble (bag of tasks): `width` independent members.
+pub fn ensemble(width: usize, shape: TaskShape) -> WorkflowSpec {
+    let mut wf = WorkflowSpec::new(format!("ensemble[{width}]"));
+    for i in 0..width {
+        wf = wf.task(shaped_task(format!("member[{i}]"), &shape));
+    }
+    wf
+}
+
+/// A simulation + in-situ-style analysis pipeline: `stages` serial steps
+/// where each stage's output feeds the next stage's input.
+pub fn pipeline(stages: usize, shape: TaskShape) -> WorkflowSpec {
+    let mut wf = WorkflowSpec::new(format!("pipeline[{stages}]"));
+    let mut prev: Option<String> = None;
+    for i in 0..stages {
+        let name = format!("stage[{i}]");
+        let mut t = shaped_task(name.clone(), &shape);
+        if let Some(p) = prev {
+            t = t.after(p);
+        }
+        prev = Some(name);
+        wf = wf.task(t);
+    }
+    wf
+}
+
+/// An iterative MapReduce: `iters` rounds of `width` mappers feeding one
+/// reducer, each round gated on the previous reducer (Pregel-style).
+pub fn map_reduce(
+    iters: usize,
+    width: usize,
+    map_shape: TaskShape,
+    reduce_shape: TaskShape,
+) -> WorkflowSpec {
+    let mut wf = WorkflowSpec::new(format!("mapreduce[{iters}x{width}]"));
+    let mut prev_reduce: Option<String> = None;
+    for round in 0..iters {
+        let mut mappers = Vec::with_capacity(width);
+        for i in 0..width {
+            let name = format!("map[{round}.{i}]");
+            let mut t = shaped_task(name.clone(), &map_shape);
+            if let Some(p) = &prev_reduce {
+                t = t.after(p.clone());
+            }
+            mappers.push(name);
+            wf = wf.task(t);
+        }
+        let rname = format!("reduce[{round}]");
+        let mut r = shaped_task(rname.clone(), &reduce_shape);
+        for m in mappers {
+            r = r.after(m);
+        }
+        prev_reduce = Some(rname);
+        wf = wf.task(r);
+    }
+    wf
+}
+
+/// A cross-facility analysis (the LCLS pattern): `streams` parallel
+/// tasks that each pull `external_in` bytes over a capped WAN stream,
+/// process, and write, followed by one merge.
+pub fn cross_facility(
+    streams: usize,
+    external_in: f64,
+    stream_cap: f64,
+    shape: TaskShape,
+) -> WorkflowSpec {
+    let mut wf = WorkflowSpec::new(format!("cross-facility[{streams}]"));
+    for i in 0..streams {
+        let mut t = TaskSpec::new(format!("analyze[{i}]"), shape.nodes).phase(
+            Phase::SystemData {
+                resource: ids::EXTERNAL.into(),
+                bytes: external_in,
+                stream_cap: Some(stream_cap),
+            },
+        );
+        if shape.flops > 0.0 {
+            t = t.phase(Phase::Compute {
+                flops: shape.flops,
+                efficiency: shape.efficiency,
+            });
+        }
+        if shape.fs_out > 0.0 {
+            t = t.phase(Phase::system_data(ids::FILE_SYSTEM, shape.fs_out));
+        }
+        wf = wf.task(t);
+    }
+    let mut merge = TaskSpec::new("merge", 1);
+    if shape.fs_out > 0.0 {
+        merge = merge.phase(Phase::system_data(ids::FILE_SYSTEM, shape.fs_out));
+    }
+    for i in 0..streams {
+        merge = merge.after(format!("analyze[{i}]"));
+    }
+    wf.task(merge)
+}
+
+/// An AI training throughput run (the CosmoFlow pattern): `instances`
+/// concurrent chains of `epochs` epoch-tasks, each reading the shared
+/// dataset and moving `node_bytes` through a node-local resource.
+pub fn training_throughput(
+    instances: usize,
+    epochs: usize,
+    nodes: u64,
+    dataset: f64,
+    node_resource: &str,
+    node_bytes: f64,
+    node_efficiency: f64,
+) -> WorkflowSpec {
+    let mut wf = WorkflowSpec::new(format!("training[{instances}x{epochs}]"));
+    for inst in 0..instances {
+        let mut prev: Option<String> = None;
+        for ep in 0..epochs {
+            let name = format!("epoch[{inst}.{ep}]");
+            let mut t = TaskSpec::new(name.clone(), nodes)
+                .phase(Phase::system_data(ids::FILE_SYSTEM, dataset))
+                .phase(Phase::NodeData {
+                    resource: node_resource.into(),
+                    bytes: node_bytes,
+                    efficiency: node_efficiency,
+                });
+            if let Some(p) = prev {
+                t = t.after(p);
+            }
+            prev = Some(name);
+            wf = wf.task(t);
+        }
+    }
+    wf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrm_core::machines;
+    use wrm_sim::{simulate, Scenario};
+
+    fn compute_shape(nodes: u64, flops: f64) -> TaskShape {
+        TaskShape {
+            nodes,
+            flops,
+            efficiency: 0.5,
+            fs_in: 1e9,
+            fs_out: 1e9,
+        }
+    }
+
+    #[test]
+    fn ensemble_is_flat() {
+        let wf = ensemble(8, compute_shape(4, 1e15));
+        let dag = wf.to_dag(&machines::perlmutter_gpu()).unwrap();
+        assert_eq!(dag.max_width().unwrap(), 8);
+        assert_eq!(dag.critical_path_length().unwrap(), 1);
+        simulate(&Scenario::new(machines::perlmutter_gpu(), wf)).unwrap();
+    }
+
+    #[test]
+    fn pipeline_is_serial() {
+        let wf = pipeline(6, compute_shape(4, 1e15));
+        let dag = wf.to_dag(&machines::perlmutter_gpu()).unwrap();
+        assert_eq!(dag.max_width().unwrap(), 1);
+        assert_eq!(dag.critical_path_length().unwrap(), 6);
+    }
+
+    #[test]
+    fn map_reduce_rounds_are_gated() {
+        let wf = map_reduce(
+            3,
+            4,
+            compute_shape(2, 1e14),
+            compute_shape(1, 1e12),
+        );
+        let dag = wf.to_dag(&machines::perlmutter_gpu()).unwrap();
+        assert_eq!(dag.len(), 15);
+        assert_eq!(dag.critical_path_length().unwrap(), 6);
+        let r = simulate(&Scenario::new(machines::perlmutter_gpu(), wf)).unwrap();
+        assert_eq!(r.task_times.len(), 15);
+    }
+
+    #[test]
+    fn cross_facility_matches_lcls_shape() {
+        // Cori has no parallel file system in our model (burst buffer
+        // instead), so the shape moves no FS bytes.
+        let shape = TaskShape {
+            nodes: 32,
+            ..TaskShape::default()
+        };
+        let wf = cross_facility(5, 1e12, 1e9, shape);
+        let dag = wf.to_dag(&machines::cori_haswell()).unwrap();
+        assert_eq!(dag.max_width().unwrap(), 5);
+        assert_eq!(dag.critical_path_length().unwrap(), 2);
+        let r = simulate(&Scenario::new(machines::cori_haswell(), wf)).unwrap();
+        assert!((r.makespan - 1000.0).abs() < 5.0, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn training_chains_per_instance() {
+        let wf = training_throughput(3, 4, 2, 1e9, wrm_core::ids::HBM, 1e12, 0.5);
+        let dag = wf.to_dag(&machines::perlmutter_gpu()).unwrap();
+        assert_eq!(dag.len(), 12);
+        assert_eq!(dag.max_width().unwrap(), 3);
+        assert_eq!(dag.critical_path_length().unwrap(), 4);
+    }
+
+    #[test]
+    fn empty_shapes_make_zero_phase_tasks() {
+        let wf = ensemble(2, TaskShape::default());
+        assert!(wf.tasks.iter().all(|t| t.phases.is_empty()));
+        let r = simulate(&Scenario::new(machines::perlmutter_gpu(), wf)).unwrap();
+        assert_eq!(r.makespan, 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! The illustrative workflow of the paper's Fig. 1: a synthetic 64-node
+//! task on PM-GPU with one ceiling of every kind, used to draw the model
+//! itself (artifact script `example.py`).
+
+use wrm_core::{ids, Bytes, Flops, Work, WorkflowCharacterization};
+
+/// The Fig. 1 inputs: 1 TB loaded via the file system at 5.6 TB/s, 1 TB
+/// per node via the NICs at 100 GB/s, 4 GB over PCIe, 100 GFLOPs of
+/// compute, 64 nodes per task (parallelism wall at 28).
+pub fn fig1_characterization() -> WorkflowCharacterization {
+    WorkflowCharacterization::builder("example")
+        .total_tasks(1.0)
+        .parallel_tasks(1.0)
+        .nodes_per_task(64)
+        .node_volume(ids::PCIE, Work::Bytes(Bytes::gb(4.0)))
+        .node_volume(ids::COMPUTE, Work::Flops(Flops::gflops(100.0)))
+        .system_volume(ids::FILE_SYSTEM, Bytes::tb(1.0))
+        .system_volume(ids::NETWORK, Bytes::tb(1.0) * 64.0)
+        .build()
+        .expect("fig1 example is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrm_core::{machines, CeilingKind, RooflineModel};
+
+    #[test]
+    fn fig1_model_shape() {
+        let model =
+            RooflineModel::build(&machines::perlmutter_gpu(), &fig1_characterization()).unwrap();
+        assert_eq!(model.parallelism_wall, 28);
+        assert!(model.dot.is_none()); // no measured makespan in Fig. 1
+
+        // File system ceiling: 1 TB @ 5.6 TB/s.
+        let fs = model
+            .ceilings
+            .iter()
+            .find(|c| c.resource.as_str() == ids::FILE_SYSTEM)
+            .unwrap();
+        assert!((fs.time.get() - 1.0 / 5.6).abs() < 1e-9);
+
+        // Network: 1 TB/node over the allocation's 100 GB/s/node = 10 s.
+        let net = model
+            .ceilings
+            .iter()
+            .find(|c| c.resource.as_str() == ids::NETWORK)
+            .unwrap();
+        assert!((net.time.get() - 10.0).abs() < 1e-9);
+        assert_eq!(net.kind, CeilingKind::System);
+        // The network ceiling sits below the file-system ceiling, as in
+        // the figure (lower horizontal).
+        assert!(net.tps_at_one.get() < fs.tps_at_one.get());
+
+        // PCIe: 4 GB @ 100 GB/s = 0.04 s; compute: 100 GFLOPs @ 38.8
+        // TFLOPS = ~2.58 ms.
+        let pcie = model
+            .ceilings
+            .iter()
+            .find(|c| c.resource.as_str() == ids::PCIE)
+            .unwrap();
+        assert!((pcie.time.get() - 0.04).abs() < 1e-12);
+        let comp = model
+            .ceilings
+            .iter()
+            .find(|c| c.resource.as_str() == ids::COMPUTE)
+            .unwrap();
+        assert!((comp.time.get() - 100.0 / 38800.0).abs() < 1e-9);
+        assert_eq!(model.ceilings.len(), 4);
+    }
+}

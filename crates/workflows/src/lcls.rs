@@ -1,0 +1,276 @@
+//! LCLS: the time-sensitive XFEL data-analysis workflow (paper §IV-C1,
+//! Figs. 4–6).
+//!
+//! Five parallel analysis tasks (A–E), each a large MPI application that
+//! loads 1 TB from *external* storage, followed by a merge task (F). The
+//! workflow is bound by the system-external bandwidth: on Cori "good
+//! days" each stream sustains 1 GB/s (17-minute end-to-end), on "bad
+//! days" contention cuts that 5x (85 minutes). Even the good-day ceiling
+//! misses the 2020 target of 6 tasks in 10 minutes.
+
+use serde::{Deserialize, Serialize};
+use wrm_core::{
+    ids, Bytes, Machine, Seconds, TargetSpec, TasksPerSec, Work, WorkflowCharacterization,
+};
+use wrm_dag::Dag;
+use wrm_sim::{Phase, Scenario, SimOptions, TaskSpec, WorkflowSpec};
+
+/// Which external-bandwidth regime to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Day {
+    /// 1 GB/s per stream (the paper's average).
+    Good,
+    /// 0.2 GB/s per stream: 5x contention.
+    Bad,
+}
+
+impl Day {
+    /// The contention factor applied to the external channel.
+    pub fn contention_factor(self) -> f64 {
+        match self {
+            Day::Good => 1.0,
+            Day::Bad => 0.2,
+        }
+    }
+}
+
+/// LCLS model inputs (defaults = the artifact appendix).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lcls {
+    /// Parallel analysis tasks (level 0 of the skeleton).
+    pub analysis_tasks: usize,
+    /// Bytes loaded from external storage per analysis task.
+    pub input_per_task: Bytes,
+    /// Good-day per-stream external bandwidth (bytes/s).
+    pub stream_rate: f64,
+    /// Nodes per analysis task.
+    pub nodes_per_task: u64,
+    /// DRAM bytes per node per analysis task.
+    pub cpu_bytes_per_node: Bytes,
+    /// Output bytes per analysis task (merged by task F).
+    pub output_per_task: Bytes,
+    /// Target makespan.
+    pub target_makespan: Seconds,
+}
+
+impl Default for Lcls {
+    fn default() -> Self {
+        Self::year_2020_on_cori()
+    }
+}
+
+impl Lcls {
+    /// The 2020 configuration on Cori: 32-node tasks (1024 ranks), a
+    /// 10-minute target.
+    pub fn year_2020_on_cori() -> Self {
+        Lcls {
+            analysis_tasks: 5,
+            input_per_task: Bytes::tb(1.0),
+            stream_rate: 1e9,
+            nodes_per_task: 32,
+            cpu_bytes_per_node: Bytes::gb(32.0),
+            output_per_task: Bytes::gb(1.0),
+            target_makespan: Seconds::secs(600.0),
+        }
+    }
+
+    /// The 2024 configuration on PM-CPU: 8-node tasks (1024 ranks at 128
+    /// ranks/node), a 5-minute target, 25 GB/s DTN external bandwidth
+    /// shared by the streams.
+    pub fn year_2024_on_pm() -> Self {
+        Lcls {
+            analysis_tasks: 5,
+            input_per_task: Bytes::tb(1.0),
+            stream_rate: 5e9, // five streams share the 25 GB/s DTN
+            nodes_per_task: 8,
+            cpu_bytes_per_node: Bytes::gb(32.0),
+            output_per_task: Bytes::gb(1.0),
+            target_makespan: Seconds::secs(300.0),
+        }
+    }
+
+    /// Total tasks including the merge.
+    pub fn total_tasks(&self) -> f64 {
+        self.analysis_tasks as f64 + 1.0
+    }
+
+    /// The target throughput: all tasks inside the target makespan.
+    pub fn target_throughput(&self) -> TasksPerSec {
+        TasksPerSec(self.total_tasks() / self.target_makespan.get())
+    }
+
+    /// Targets as a [`TargetSpec`].
+    pub fn targets(&self) -> TargetSpec {
+        TargetSpec::new(self.target_makespan, self.target_throughput())
+    }
+
+    /// The workflow skeleton of Fig. 4 (durations = good-day estimates).
+    pub fn dag(&self) -> Dag {
+        let mut d = Dag::new("LCLS");
+        let load = self.input_per_task.get() / self.stream_rate;
+        let merge = d
+            .add_task("merge", 1, 20.0)
+            .expect("merge task is valid");
+        for i in 0..self.analysis_tasks {
+            let a = d
+                .add_task(format!("analyze[{i}]"), self.nodes_per_task, load)
+                .expect("analysis task is valid");
+            d.add_dep(a, merge).expect("edge is valid");
+        }
+        d
+    }
+
+    /// The simulation spec: per analysis task an external load (capped
+    /// per stream), node-local processing, and an output write; the merge
+    /// reads the five outputs from the internal storage tier.
+    pub fn spec(&self, internal_storage: &str) -> WorkflowSpec {
+        let mut wf = WorkflowSpec::new("LCLS");
+        for i in 0..self.analysis_tasks {
+            wf = wf.task(
+                TaskSpec::new(format!("analyze[{i}]"), self.nodes_per_task)
+                    .phase(Phase::SystemData {
+                        resource: ids::EXTERNAL.into(),
+                        bytes: self.input_per_task.get(),
+                        stream_cap: Some(self.stream_rate),
+                    })
+                    .phase(Phase::node_data(
+                        ids::DRAM,
+                        self.cpu_bytes_per_node.get() * self.nodes_per_task as f64,
+                    ))
+                    .phase(Phase::system_data(
+                        internal_storage,
+                        self.output_per_task.get(),
+                    )),
+            );
+        }
+        let mut merge = TaskSpec::new("merge", 1).phase(Phase::system_data(
+            internal_storage,
+            self.output_per_task.get() * self.analysis_tasks as f64,
+        ));
+        for i in 0..self.analysis_tasks {
+            merge = merge.after(format!("analyze[{i}]"));
+        }
+        wf.task(merge)
+    }
+
+    /// A ready-to-run scenario on `machine` for the given day. The
+    /// internal tier is the burst buffer when the machine defines one,
+    /// otherwise the file system.
+    pub fn scenario(&self, machine: Machine, day: Day) -> Scenario {
+        let internal = if machine.system_resource(ids::BURST_BUFFER).is_some() {
+            ids::BURST_BUFFER
+        } else {
+            ids::FILE_SYSTEM
+        };
+        let opts =
+            SimOptions::default().with_contention(ids::EXTERNAL, day.contention_factor());
+        Scenario::new(machine, self.spec(internal)).with_options(opts)
+    }
+
+    /// The analytical characterization (appendix inputs) with an optional
+    /// measured makespan. `internal_storage` is `ids::BURST_BUFFER` on
+    /// Cori and `ids::FILE_SYSTEM` on Perlmutter.
+    pub fn characterization(
+        &self,
+        internal_storage: &str,
+        makespan: Option<Seconds>,
+    ) -> WorkflowCharacterization {
+        let total_input = self.input_per_task * self.analysis_tasks as f64;
+        let mut b = WorkflowCharacterization::builder("LCLS")
+            .total_tasks(self.total_tasks())
+            .parallel_tasks(self.analysis_tasks as f64)
+            .nodes_per_task(self.nodes_per_task)
+            .node_volume(ids::DRAM, Work::Bytes(self.cpu_bytes_per_node))
+            .system_volume(ids::EXTERNAL, total_input)
+            .system_volume(internal_storage, total_input)
+            .targets(self.targets());
+        if let Some(m) = makespan {
+            b = b.makespan(m);
+        }
+        b.build().expect("LCLS characterization is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrm_core::{machines, RooflineModel};
+    use wrm_sim::simulate;
+
+    #[test]
+    fn skeleton_matches_fig4() {
+        let d = Lcls::default().dag();
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.max_width().unwrap(), 5);
+        assert_eq!(d.critical_path_length().unwrap(), 2);
+    }
+
+    #[test]
+    fn good_day_simulates_to_about_17_minutes() {
+        let lcls = Lcls::year_2020_on_cori();
+        let r = simulate(&lcls.scenario(machines::cori_haswell(), Day::Good)).unwrap();
+        // 1 TB at 1 GB/s plus processing/write tails: ~1000-1030 s
+        // (the paper reports 17 min = 1020 s).
+        assert!(
+            (1000.0..1040.0).contains(&r.makespan),
+            "makespan {}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn bad_day_is_5x_worse() {
+        let lcls = Lcls::year_2020_on_cori();
+        let good = simulate(&lcls.scenario(machines::cori_haswell(), Day::Good))
+            .unwrap()
+            .makespan;
+        let bad = simulate(&lcls.scenario(machines::cori_haswell(), Day::Bad))
+            .unwrap()
+            .makespan;
+        let ratio = bad / good;
+        assert!((ratio - 5.0).abs() < 0.2, "ratio {ratio}");
+        // The paper's 85 minutes = 5100 s.
+        assert!((bad - 5100.0).abs() < 150.0, "bad {bad}");
+    }
+
+    #[test]
+    fn roofline_dot_sits_on_external_ceiling() {
+        let lcls = Lcls::year_2020_on_cori();
+        let wf = lcls.characterization(ids::BURST_BUFFER, Some(Seconds::minutes(17.0)));
+        let model = RooflineModel::build(&machines::cori_haswell(), &wf).unwrap();
+        let binding = model.binding_ceiling().unwrap();
+        assert_eq!(binding.resource.as_str(), ids::EXTERNAL);
+        assert!(model.efficiency().unwrap() > 0.95);
+        // Wall at 74 tasks: floor(2388/32).
+        assert_eq!(model.parallelism_wall, 74);
+        // Even at the ceiling the 2020 target is unreachable.
+        let target = wf.targets.throughput.unwrap();
+        assert!(model.envelope_at(5.0).unwrap().get() < target.get());
+    }
+
+    #[test]
+    fn pm_wall_is_384_and_ceiling_slightly_above_target() {
+        let lcls = Lcls::year_2024_on_pm();
+        let wf = lcls.characterization(ids::FILE_SYSTEM, None);
+        let model = RooflineModel::build(&machines::perlmutter_cpu(), &wf).unwrap();
+        assert_eq!(model.parallelism_wall, 384);
+        // External ceiling: 6 tasks / (5 TB / 25 GB/s) = 0.03, slightly
+        // above the 2024 target of 6/300 = 0.02 (Fig. 6).
+        let ext = model
+            .ceilings
+            .iter()
+            .find(|c| c.resource.as_str() == ids::EXTERNAL)
+            .unwrap();
+        assert!((ext.tps_at_one.get() - 0.03).abs() < 1e-9);
+        let target = wf.targets.throughput.unwrap().get();
+        assert!(ext.tps_at_one.get() > target && ext.tps_at_one.get() < 2.0 * target);
+    }
+
+    #[test]
+    fn targets_match_appendix() {
+        let l2020 = Lcls::year_2020_on_cori();
+        assert!((l2020.target_throughput().get() - 0.01).abs() < 1e-12);
+        let l2024 = Lcls::year_2024_on_pm();
+        assert!((l2024.target_throughput().get() - 0.02).abs() < 1e-12);
+    }
+}

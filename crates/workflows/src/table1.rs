@@ -1,0 +1,180 @@
+//! Table I of the paper: how each node- and system-performance metric was
+//! obtained for each workflow (measured, reported, or an analytical
+//! model) — machine-readable, so reports and the benches can print the
+//! same matrix.
+
+use serde::{Deserialize, Serialize};
+
+/// How a metric was characterized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Source {
+    /// Measured directly in this work.
+    Measured,
+    /// Taken from a published report.
+    Reported,
+    /// Derived from an analytical model with domain knowledge.
+    AnalyticalModel,
+    /// Not applicable / not needed for this workflow.
+    NotApplicable,
+}
+
+impl Source {
+    /// Short display form, as in the paper's table.
+    pub fn short(self) -> &'static str {
+        match self {
+            Source::Measured => "Measured",
+            Source::Reported => "Reported",
+            Source::AnalyticalModel => "Analytical model",
+            Source::NotApplicable => "NA",
+        }
+    }
+}
+
+/// The metrics of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// End-to-end wall clock time.
+    WallClockTime,
+    /// FLOPs at node level.
+    NodeFlops,
+    /// CPU/GPU memory bytes.
+    CpuGpuBytes,
+    /// Host-device PCIe bytes.
+    NodePcieBytes,
+    /// MPI traffic through the system network.
+    SystemNetworkBytes,
+    /// File-system bytes.
+    FileSystemBytes,
+}
+
+impl Metric {
+    /// All metrics in the table's row order.
+    pub const ALL: [Metric; 6] = [
+        Metric::WallClockTime,
+        Metric::NodeFlops,
+        Metric::CpuGpuBytes,
+        Metric::NodePcieBytes,
+        Metric::SystemNetworkBytes,
+        Metric::FileSystemBytes,
+    ];
+
+    /// Row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::WallClockTime => "Wall clock time",
+            Metric::NodeFlops => "Node FLOPs",
+            Metric::CpuGpuBytes => "CPU/GPU Bytes",
+            Metric::NodePcieBytes => "Node PCIe Bytes",
+            Metric::SystemNetworkBytes => "System Network Bytes",
+            Metric::FileSystemBytes => "File System Bytes",
+        }
+    }
+}
+
+/// One workflow column of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowSources {
+    /// Workflow name.
+    pub workflow: &'static str,
+    /// Sources in [`Metric::ALL`] order.
+    pub sources: [Source; 6],
+}
+
+impl WorkflowSources {
+    /// The source for one metric.
+    pub fn get(&self, metric: Metric) -> Source {
+        let idx = Metric::ALL.iter().position(|&m| m == metric).expect("known metric");
+        self.sources[idx]
+    }
+}
+
+/// The full Table I.
+pub fn table1() -> Vec<WorkflowSources> {
+    use Source::*;
+    vec![
+        WorkflowSources {
+            workflow: "LCLS",
+            sources: [
+                Reported,        // wall clock (from the XFEL trial-run report)
+                NotApplicable,   // node FLOPs
+                AnalyticalModel, // CPU/GPU bytes
+                NotApplicable,   // PCIe
+                NotApplicable,   // network
+                AnalyticalModel, // file system
+            ],
+        },
+        WorkflowSources {
+            workflow: "BerkeleyGW",
+            sources: [Measured, Reported, Reported, NotApplicable, Reported, Reported],
+        },
+        WorkflowSources {
+            workflow: "CosmoFlow",
+            sources: [
+                Measured,
+                NotApplicable,
+                Measured,
+                AnalyticalModel,
+                NotApplicable,
+                AnalyticalModel,
+            ],
+        },
+        WorkflowSources {
+            workflow: "GPTune",
+            sources: [Measured, NotApplicable, Measured, NotApplicable, NotApplicable, Measured],
+        },
+    ]
+}
+
+/// Renders the table as aligned plain text (the benches print this).
+pub fn render_table1() -> String {
+    let cols = table1();
+    let mut out = String::new();
+    out.push_str(&format!("{:<22}", "Metric"));
+    for c in &cols {
+        out.push_str(&format!("{:<18}", c.workflow));
+    }
+    out.push('\n');
+    for metric in Metric::ALL {
+        out.push_str(&format!("{:<22}", metric.label()));
+        for c in &cols {
+            out.push_str(&format!("{:<18}", c.get(metric).short()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_the_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 4);
+        let lcls = &t[0];
+        assert_eq!(lcls.get(Metric::WallClockTime), Source::Reported);
+        assert_eq!(lcls.get(Metric::CpuGpuBytes), Source::AnalyticalModel);
+        assert_eq!(lcls.get(Metric::NodeFlops), Source::NotApplicable);
+        let bgw = &t[1];
+        assert_eq!(bgw.get(Metric::WallClockTime), Source::Measured);
+        assert_eq!(bgw.get(Metric::SystemNetworkBytes), Source::Reported);
+        let cosmo = &t[2];
+        assert_eq!(cosmo.get(Metric::NodePcieBytes), Source::AnalyticalModel);
+        assert_eq!(cosmo.get(Metric::CpuGpuBytes), Source::Measured);
+        let gptune = &t[3];
+        assert_eq!(gptune.get(Metric::FileSystemBytes), Source::Measured);
+    }
+
+    #[test]
+    fn rendered_table_contains_all_rows_and_columns() {
+        let text = render_table1();
+        for m in Metric::ALL {
+            assert!(text.contains(m.label()), "missing {}", m.label());
+        }
+        for w in ["LCLS", "BerkeleyGW", "CosmoFlow", "GPTune"] {
+            assert!(text.contains(w), "missing {w}");
+        }
+        assert_eq!(text.lines().count(), 7);
+    }
+}

@@ -1,0 +1,102 @@
+//! Control-flow-bound analysis: GPTune's RCI vs Spawn modes (paper
+//! §IV-C4, Figs. 9–10).
+//!
+//! ```text
+//! cargo run --example autotuner_modes
+//! ```
+//!
+//! The same 40 tuning iterations, three control flows: per-iteration
+//! bash+srun+metadata-I/O (RCI), in-memory metadata via MPI_Comm_spawn
+//! (Spawn), and the projected Python-free upper bound. The roofline
+//! shows the dots far below every ceiling — the signature of a workflow
+//! whose bottleneck is control flow, not hardware.
+
+use workflow_roofline::core::analysis::{advise, remove_overhead, Direction};
+use workflow_roofline::prelude::*;
+use workflow_roofline::workflows::{GpTune, Mode};
+
+fn main() {
+    let g = GpTune::default();
+    let machine = machines::perlmutter_cpu();
+
+    println!("== GPTune: 40 SuperLU_DIST tuning iterations on one PM-CPU node ==\n");
+    let mut breakdowns = Vec::new();
+    let mut makespans = Vec::new();
+    for mode in [Mode::Rci, Mode::Spawn, Mode::Projected] {
+        let run = simulate(&g.scenario(mode)).expect("simulates");
+        println!("{:<10} {:>8.1} s end-to-end", mode.name(), run.makespan);
+        makespans.push(run.makespan);
+        breakdowns.push(g.breakdown(mode));
+    }
+    println!(
+        "\nRCI -> Spawn: {:.1}x (paper 2.4x); Spawn -> projected: {:.1}x (paper ~12x)",
+        makespans[0] / makespans[1],
+        makespans[1] / makespans[2]
+    );
+
+    println!("\n{}", workflow_roofline::plot::ascii::breakdown(&breakdowns, 64));
+
+    // The roofline tells the same story from volumes alone: the two FS
+    // ceilings almost coincide (45 vs 40 MB), but the dots differ 2.4x.
+    let rci = g.characterization(Mode::Rci, Some(Seconds(makespans[0])));
+    let spawn = g.characterization(Mode::Spawn, Some(Seconds(makespans[1])));
+    let rci_model = RooflineModel::build(&machine, &rci).expect("valid");
+    let spawn_model = RooflineModel::build(&machine, &spawn).expect("valid");
+    println!(
+        "file-system ceilings: RCI {:.3e} vs Spawn {:.3e} tasks/s (nearly identical: \
+         I/O pattern, not volume, is what differs)",
+        rci_model
+            .system_ceilings()
+            .first()
+            .expect("has ceilings")
+            .tps_at_one
+            .get(),
+        spawn_model
+            .system_ceilings()
+            .first()
+            .expect("has ceilings")
+            .tps_at_one
+            .get(),
+    );
+    println!(
+        "RCI reaches {:.3}% of its envelope: control-flow bound",
+        rci_model.efficiency().expect("has dot") * 100.0
+    );
+
+    // The advisor spots the overhead pattern.
+    let advice = advise(&rci_model);
+    let overhead_rec = advice
+        .recommendations
+        .iter()
+        .find(|r| r.direction == Direction::ReduceControlFlowOverhead)
+        .expect("control-flow advice");
+    println!("\nadvisor: {}", overhead_rec.rationale);
+
+    // Project the Python-free mode with the model's own transform.
+    let projected = remove_overhead(
+        &spawn,
+        Seconds(g.python_per_iter.get() * g.samples as f64),
+    )
+    .expect("python overhead below makespan");
+    println!(
+        "\nmodel projection without Python: {:.0} s ({:.1}x over Spawn) -- consider \
+         containers to amortize library loading (paper's conclusion #2)",
+        projected.makespan.expect("set").get(),
+        makespans[1] / projected.makespan.expect("set").get()
+    );
+
+    let svg = RooflinePlot::new("GPTune on PM-CPU: RCI vs Spawn vs projected")
+        .model(&rci_model)
+        .model(&spawn_model)
+        .dot(ExtraDot {
+            label: "projected (no python)".into(),
+            x: 1.0,
+            tps: TasksPerSec(1.0 / projected.makespan.expect("set").get()),
+            color: "#2e7d32".into(),
+            hollow: true,
+        })
+        .render_svg()
+        .expect("has models");
+    std::fs::write("gptune_roofline.svg", svg).expect("writable cwd");
+    println!("wrote gptune_roofline.svg");
+}

@@ -1,0 +1,128 @@
+//! Facility planning with the model: project one workflow across
+//! machines, ask what bandwidth upgrades its targets require, and sweep
+//! the intra-task-parallelism trade-off analytically.
+//!
+//! ```text
+//! cargo run --example facility_planning
+//! ```
+//!
+//! This is the system-architect view the paper's conclusion addresses:
+//! for an external-bandwidth-bound workflow, the answer to "would a 10x
+//! faster machine help?" is a provable *no* — the required compute peak
+//! is infinite, while a modest WAN upgrade is finite and cheap.
+
+use workflow_roofline::core::projection::render_table;
+use workflow_roofline::core::scaling::{smallest_k_meeting_deadline, strong_scaling_trajectory};
+use workflow_roofline::prelude::*;
+use workflow_roofline::workflows::Lcls;
+
+fn main() {
+    // The 2020 LCLS characterization with its 10-minute target.
+    let lcls = Lcls::year_2020_on_cori();
+    let wf = lcls.characterization(ids::BURST_BUFFER, Some(Seconds::minutes(17.0)));
+
+    println!("== Projection across facilities ==\n");
+    let machines_all = machines::all();
+    let projections = across_machines(&wf, &machines_all).expect("projects");
+    print!("{}", render_table(&projections));
+
+    println!("\n== What would each upgrade cost? ==\n");
+    for machine in &machines_all {
+        for resource in [ids::EXTERNAL, ids::COMPUTE] {
+            match required_peak(machine, &wf, resource) {
+                Ok(None) => println!(
+                    "{:<18} {resource:<8} already sufficient",
+                    machine.name
+                ),
+                Ok(Some(peak)) if peak.is_finite() => {
+                    let current = machine
+                        .system_resource(resource)
+                        .map(|r| r.peak.get())
+                        .or_else(|| {
+                            machine
+                                .node_resource(resource)
+                                .map(|r| r.peak_per_node.magnitude())
+                        })
+                        .expect("resource exists");
+                    println!(
+                        "{:<18} {resource:<8} needs {:.2e} ({}x today's {:.2e})",
+                        machine.name,
+                        peak,
+                        (peak / current).ceil(),
+                        current
+                    );
+                }
+                Ok(Some(_)) => println!(
+                    "{:<18} {resource:<8} NO finite peak suffices (not the binding path)",
+                    machine.name
+                ),
+                Err(_) => println!("{:<18} {resource:<8} not on this machine", machine.name),
+            }
+        }
+    }
+
+    // The paper's conclusion #1, verified: compute upgrades are useless
+    // for LCLS, external bandwidth is the whole story.
+    let cori = machines::cori_haswell();
+    let mut with_compute = wf.clone();
+    with_compute.node_volumes.insert(
+        ids::COMPUTE.into(),
+        Work::Flops(Flops::pflops(1.0)),
+    );
+    let compute_peak = required_peak(&cori, &with_compute, ids::COMPUTE)
+        .expect("resource exists")
+        .expect("target declared");
+    assert!(compute_peak.is_infinite());
+    println!(
+        "\nverified: no finite compute peak meets the LCLS target on Cori -- \
+         invest in the network, not the nodes"
+    );
+
+    // Intra-task-parallelism sweep for a compute-heavy ensemble (the
+    // workflow-user view): where does the deadline become reachable,
+    // and what does it cost in throughput headroom?
+    println!("\n== Intra-task parallelism sweep (compute-heavy ensemble) ==\n");
+    let ensemble = WorkflowCharacterization::builder("ensemble")
+        .total_tasks(24.0)
+        .parallel_tasks(24.0)
+        .nodes_per_task(16)
+        .makespan(Seconds::secs(3000.0))
+        .node_volume(ids::COMPUTE, Work::Flops(Flops::pflops(40.0)))
+        .target_makespan(Seconds::secs(3600.0))
+        .target_throughput(TasksPerSec(0.01))
+        .build()
+        .expect("valid");
+    let ks = [1.0, 2.0, 4.0, 8.0];
+    let trajectory = strong_scaling_trajectory(
+        &machines::perlmutter_gpu(),
+        &ensemble,
+        &ks,
+        0.08, // 8% serial fraction
+    )
+    .expect("sweeps");
+    println!(
+        "{:>4} {:>8} {:>10} {:>8} {:>16} {:>14}",
+        "k", "nodes", "parallel", "wall", "pred. makespan", "envelope"
+    );
+    for p in &trajectory {
+        println!(
+            "{:>4} {:>8} {:>10} {:>8} {:>14.0} s {:>14.4e}",
+            p.k,
+            p.nodes_per_task,
+            p.parallel_tasks,
+            p.parallelism_wall,
+            p.predicted_makespan.expect("base had makespan").get(),
+            p.envelope.get(),
+        );
+    }
+    match smallest_k_meeting_deadline(&trajectory) {
+        Some(k) => println!("\nsmallest k meeting the deadline: {k}"),
+        None => println!("\nno k in the sweep meets the deadline"),
+    }
+    println!(
+        "(the wall shrinks {}x across the sweep: makespan targets get easier, \
+         throughput targets harder -- Fig. 2c)",
+        trajectory.first().expect("non-empty").parallelism_wall
+            / trajectory.last().expect("non-empty").parallelism_wall.max(1)
+    );
+}

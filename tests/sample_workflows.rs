@@ -1,0 +1,47 @@
+//! Every sample `.wrm` file in `workflows/` compiles, simulates, and
+//! models cleanly — the repository's own dogfood.
+
+use workflow_roofline::prelude::*;
+
+fn run_sample(name: &str) -> (wrm_lang::Compiled, f64) {
+    let path = format!("{}/workflows/{name}", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(&path).expect("sample exists");
+    let compiled = compile_source(&source).expect("sample compiles");
+    let machine = compiled.machine.clone().expect("samples name machines");
+    let run = simulate(&Scenario::new(machine.clone(), compiled.spec.clone()))
+        .expect("sample simulates");
+    let mut wf = compiled.characterization().expect("characterizes");
+    wf.makespan = Some(Seconds(run.makespan));
+    RooflineModel::build_lenient(&machine, &wf).expect("models");
+    (compiled, run.makespan)
+}
+
+#[test]
+fn lcls_cori_sample() {
+    let (compiled, makespan) = run_sample("lcls_cori.wrm");
+    assert_eq!(compiled.total_tasks, 6.0);
+    assert!((makespan - 1000.0).abs() < 25.0, "makespan {makespan}");
+}
+
+#[test]
+fn bgw_sample_matches_measured_total() {
+    let (_, makespan) = run_sample("bgw_si998.wrm");
+    // Paper total 4184.86 s; the .wrm efficiencies are calibrated to it.
+    assert!((makespan - 4184.86).abs() / 4184.86 < 0.03, "makespan {makespan}");
+}
+
+#[test]
+fn gptune_sample_serializes_to_553s() {
+    let (compiled, makespan) = run_sample("gptune_rci.wrm");
+    assert_eq!(compiled.parallel_tasks, 1.0, "chain must serialize");
+    assert!((makespan - 553.0).abs() < 5.0, "makespan {makespan}");
+}
+
+#[test]
+fn custom_machine_sample() {
+    let (compiled, makespan) = run_sample("custom_machine.wrm");
+    assert_eq!(compiled.machine.as_ref().unwrap().name, "dept-cluster");
+    // fetch alone: 4 TB over 2 GB/s = 2000 s; the rest adds compute and
+    // FS stages. Meets the 8 h target comfortably.
+    assert!(makespan > 2000.0 && makespan < 8.0 * 3600.0, "makespan {makespan}");
+}
