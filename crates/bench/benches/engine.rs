@@ -13,7 +13,7 @@ fn sim_scaling(c: &mut Criterion) {
         let scenario = bag_scenario(n);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &scenario, |b, s| {
-            b.iter(|| black_box(simulate(s).unwrap().makespan))
+            b.iter(|| black_box(simulate(s).unwrap().makespan));
         });
     }
     group.finish();
@@ -48,7 +48,7 @@ fn fair_share_solver(c: &mut Criterion) {
             .collect();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &flows, |b, f| {
-            b.iter(|| black_box(max_min_rates(1e12, f)))
+            b.iter(|| black_box(max_min_rates(1e12, f)));
         });
     }
     group.finish();
@@ -68,7 +68,7 @@ fn scheduler_ablation(c: &mut Criterion) {
             ..SimOptions::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &scenario, |b, s| {
-            b.iter(|| black_box(simulate(s).unwrap().makespan))
+            b.iter(|| black_box(simulate(s).unwrap().makespan));
         });
     }
     group.finish();

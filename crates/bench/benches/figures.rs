@@ -22,9 +22,11 @@ fn banner() {
 
 fn f1_example(c: &mut Criterion) {
     banner();
-    let model =
-        RooflineModel::build(&machines::perlmutter_gpu(), &example::fig1_characterization())
-            .unwrap();
+    let model = RooflineModel::build(
+        &machines::perlmutter_gpu(),
+        &example::fig1_characterization(),
+    )
+    .unwrap();
     println!(
         "[F1] example model: wall {} (paper 28), {} ceilings",
         model.parallelism_wall,
@@ -34,7 +36,7 @@ fn f1_example(c: &mut Criterion) {
         b.iter(|| {
             let wf = example::fig1_characterization();
             black_box(RooflineModel::build(&machines::perlmutter_gpu(), &wf).unwrap())
-        })
+        });
     });
 }
 
@@ -71,7 +73,7 @@ fn f2_zones(c: &mut Criterion) {
             let z = wrm_core::analysis::classify_zone(black_box(&wf)).unwrap();
             let s = wrm_core::analysis::scale_intra_task_parallelism(&wf, 2.0, 1.0).unwrap();
             black_box((z, s))
-        })
+        });
     });
 }
 
@@ -108,13 +110,13 @@ fn f5_f6_lcls(c: &mut Criterion) {
             let g = simulate(&lcls.scenario(cori.clone(), Day::Good)).unwrap();
             let w = simulate(&lcls.scenario(cori.clone(), Day::Bad)).unwrap();
             black_box((g.makespan, w.makespan))
-        })
+        });
     });
     c.bench_function("figures/f6_lcls_pm_model", |b| {
         b.iter(|| {
             let wf = pm.characterization(ids::FILE_SYSTEM, None);
             black_box(RooflineModel::build(&machines::perlmutter_cpu(), &wf).unwrap())
-        })
+        });
     });
 }
 
@@ -123,8 +125,7 @@ fn f7_bgw(c: &mut Criterion) {
     for bgw in [Bgw::si998_64(), Bgw::si998_1024()] {
         let run = simulate(&bgw.scenario()).unwrap();
         let model =
-            RooflineModel::build(&machines::perlmutter_gpu(), &bgw.characterization(true))
-                .unwrap();
+            RooflineModel::build(&machines::perlmutter_gpu(), &bgw.characterization(true)).unwrap();
         println!(
             "[F7] BGW {} nodes: wall {}, simulated {:.1} s vs measured {:.1} s, \
              {:.0}% of node peak (paper {}%)",
@@ -155,18 +156,15 @@ fn f7_bgw(c: &mut Criterion) {
     );
     let bgw = Bgw::si998_64();
     c.bench_function("figures/f7_bgw_simulate", |b| {
-        b.iter(|| black_box(simulate(&bgw.scenario()).unwrap().makespan))
+        b.iter(|| black_box(simulate(&bgw.scenario()).unwrap().makespan));
     });
     c.bench_function("figures/f7_bgw_model", |b| {
         b.iter(|| {
             black_box(
-                RooflineModel::build(
-                    &machines::perlmutter_gpu(),
-                    &bgw.characterization(true),
-                )
-                .unwrap(),
+                RooflineModel::build(&machines::perlmutter_gpu(), &bgw.characterization(true))
+                    .unwrap(),
             )
-        })
+        });
     });
 }
 
@@ -183,12 +181,15 @@ fn f8_cosmoflow(c: &mut Criterion) {
     println!(
         "[F8] CosmoFlow epochs/s at 1/6/12 instances: {:.3}/{:.3}/{:.3}; linearity {:.0}% \
          (paper: linear to the 12-instance wall, HBM binding)",
-        rates[0].1, rates[1].1, rates[2].1, linearity * 100.0
+        rates[0].1,
+        rates[1].1,
+        rates[2].1,
+        linearity * 100.0
     );
     let mut cf = CosmoFlow::throughput_benchmark(4);
     cf.epochs_per_instance = 3;
     c.bench_function("figures/f8_cosmoflow_4x3epochs", |b| {
-        b.iter(|| black_box(simulate(&cf.scenario()).unwrap().makespan))
+        b.iter(|| black_box(simulate(&cf.scenario()).unwrap().makespan));
     });
 }
 
@@ -211,7 +212,7 @@ fn f10_gptune(c: &mut Criterion) {
             let r = simulate(&g.scenario(Mode::Rci)).unwrap().makespan;
             let s = simulate(&g.scenario(Mode::Spawn)).unwrap().makespan;
             black_box((r, s))
-        })
+        });
     });
 }
 

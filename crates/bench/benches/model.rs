@@ -4,8 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use wrm_core::{ids, machines, Bytes, Flops, RooflineModel, Seconds, Work,
-    WorkflowCharacterization};
+use wrm_core::{
+    ids, machines, Bytes, Flops, RooflineModel, Seconds, Work, WorkflowCharacterization,
+};
 use wrm_sim::{simulate, Sharing, SimOptions};
 
 fn characterization(n_resources: usize) -> WorkflowCharacterization {
@@ -29,11 +30,9 @@ fn model_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("model/build");
     for n in [0usize, 1, 2] {
         let wf = characterization(n);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(3 + n),
-            &wf,
-            |b, wf| b.iter(|| black_box(RooflineModel::build(&machine, wf).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(3 + n), &wf, |b, wf| {
+            b.iter(|| black_box(RooflineModel::build(&machine, wf).unwrap()));
+        });
     }
     group.finish();
 }
@@ -54,7 +53,7 @@ fn envelope_sweep(c: &mut Criterion) {
                     }
                 }
                 black_box(acc)
-            })
+            });
         });
     }
     group.finish();
@@ -64,7 +63,7 @@ fn advisor(c: &mut Criterion) {
     let machine = machines::perlmutter_gpu();
     let model = RooflineModel::build(&machine, &characterization(2)).unwrap();
     c.bench_function("model/advise", |b| {
-        b.iter(|| black_box(wrm_core::analysis::advise(&model)))
+        b.iter(|| black_box(wrm_core::analysis::advise(&model)));
     });
 }
 
@@ -86,16 +85,17 @@ fn sharing_ablation(c: &mut Criterion) {
     // and 8 uncapped 200 GB bulk transfers.
     let mut wf = WorkflowSpec::new("mixed");
     for i in 0..56 {
-        wf = wf.task(TaskSpec::new(format!("capped{i}"), 1).phase(Phase::SystemData {
-            resource: ids::FILE_SYSTEM.into(),
-            bytes: 10e9,
-            stream_cap: Some(0.05e9),
-        }));
+        wf = wf.task(
+            TaskSpec::new(format!("capped{i}"), 1).phase(Phase::SystemData {
+                resource: ids::FILE_SYSTEM.into(),
+                bytes: 10e9,
+                stream_cap: Some(0.05e9),
+            }),
+        );
     }
     for i in 0..8 {
         wf = wf.task(
-            TaskSpec::new(format!("bulk{i}"), 1)
-                .phase(Phase::system_data(ids::FILE_SYSTEM, 200e9)),
+            TaskSpec::new(format!("bulk{i}"), 1).phase(Phase::system_data(ids::FILE_SYSTEM, 200e9)),
         );
     }
     let scenario = Scenario::new(machine, wf);
@@ -124,14 +124,17 @@ fn sharing_ablation(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("model/sharing_ablation");
-    for (name, sharing) in [("max_min", Sharing::MaxMin), ("equal_split", Sharing::EqualSplit)] {
+    for (name, sharing) in [
+        ("max_min", Sharing::MaxMin),
+        ("equal_split", Sharing::EqualSplit),
+    ] {
         let mut sc = scenario.clone();
         sc.options = SimOptions {
             sharing,
             ..SimOptions::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &sc, |b, s| {
-            b.iter(|| black_box(simulate(s).unwrap().makespan))
+            b.iter(|| black_box(simulate(s).unwrap().makespan));
         });
     }
     group.finish();

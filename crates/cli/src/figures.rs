@@ -287,11 +287,8 @@ fn f6() -> Figure {
     let contended = pm
         .with_scaled_resource(ids::EXTERNAL, 0.2)
         .expect("resource exists");
-    let contended_model = RooflineModel::build(
-        &contended,
-        &wf.with_name("LCLS (5x contention)"),
-    )
-    .expect("valid");
+    let contended_model =
+        RooflineModel::build(&contended, &wf.with_name("LCLS (5x contention)")).expect("valid");
     let ext = model
         .ceilings
         .iter()
@@ -333,12 +330,12 @@ fn f7(nodes: u64) -> Figure {
         Bgw::si998_1024()
     };
     let run = simulate(&bgw.scenario()).expect("simulates");
-    let model = RooflineModel::build(
-        &machines::perlmutter_gpu(),
-        &bgw.characterization(true),
-    )
-    .expect("valid");
-    let title = format!("Fig. 7{} — BGW on PM-GPU ({nodes} nodes/task)", if nodes == 64 { 'a' } else { 'b' });
+    let model = RooflineModel::build(&machines::perlmutter_gpu(), &bgw.characterization(true))
+        .expect("valid");
+    let title = format!(
+        "Fig. 7{} — BGW on PM-GPU ({nodes} nodes/task)",
+        if nodes == 64 { 'a' } else { 'b' }
+    );
     let svg = RooflinePlot::new(title)
         .model(&model)
         .render_svg()
@@ -364,7 +361,13 @@ fn f7(nodes: u64) -> Figure {
     );
     Figure {
         id,
-        files: vec![(format!("fig7{}_bgw_{nodes}.svg", if nodes == 64 { 'a' } else { 'b' }), svg)],
+        files: vec![(
+            format!(
+                "fig7{}_bgw_{nodes}.svg",
+                if nodes == 64 { 'a' } else { 'b' }
+            ),
+            svg,
+        )],
         summary,
     }
 }
@@ -377,14 +380,16 @@ fn f7c() -> Figure {
     let view1024 = TaskView::build(&m, &b1024.task_characterizations()).expect("valid");
 
     let mut plot = RooflinePlot::new("Fig. 7c — BGW task view (E/S at 64 and 1024 nodes)")
-        .model(
-            &RooflineModel::build(&m, &b64.characterization(true)).expect("valid"),
-        )
+        .model(&RooflineModel::build(&m, &b64.characterization(true)).expect("valid"))
         .targets(false);
     for (view, suffix) in [(&view64, "64"), (&view1024, "1024")] {
         for p in &view.points {
             plot = plot.dot(ExtraDot {
-                label: format!("{} ({suffix} nodes, {:.0} s)", p.name, p.measured.expect("measured").get()),
+                label: format!(
+                    "{} ({suffix} nodes, {:.0} s)",
+                    p.name,
+                    p.measured.expect("measured").get()
+                ),
                 x: 1.0,
                 tps: TasksPerSec(p.tps.expect("measured").get()),
                 color: String::new(),
@@ -410,7 +415,10 @@ fn f7c() -> Figure {
          (paper: Epsilon farther from its ceiling); E/S efficiency at 1024 = {:.0}%/{:.0}% \
          (paper ~16%/36%)",
         view64.dominant_task().expect("measured").name,
-        view1024.best_optimization_candidate().expect("measured").name,
+        view1024
+            .best_optimization_candidate()
+            .expect("measured")
+            .name,
         view1024.points[0].node_efficiency.expect("measured") * 100.0,
         view1024.points[1].node_efficiency.expect("measured") * 100.0,
     );
@@ -451,9 +459,8 @@ fn f7d() -> Figure {
 
 fn f8() -> Figure {
     let cosmo12 = CosmoFlow::throughput_benchmark(12);
-    let model =
-        RooflineModel::build(&machines::perlmutter_gpu(), &cosmo12.characterization())
-            .expect("valid");
+    let model = RooflineModel::build(&machines::perlmutter_gpu(), &cosmo12.characterization())
+        .expect("valid");
     let mut plot = RooflinePlot::new("Fig. 8 — CosmoFlow throughput on PM-GPU").model(&model);
     // Measured series: 1..12 instances (simulated, 5 epochs each for
     // speed; throughput is epoch-time invariant).
@@ -507,10 +514,7 @@ fn f9() -> Figure {
     let m = machines::perlmutter_cpu();
     let mut files = Vec::new();
     for mode in [Mode::Rci, Mode::Spawn] {
-        let dag = g
-            .spec(mode)
-            .to_dag(&m)
-            .expect("valid spec");
+        let dag = g.spec(mode).to_dag(&m).expect("valid spec");
         let svg = skeleton::render_svg(&dag, 860.0).expect("acyclic");
         files.push((
             format!("fig9_{}_skeleton.svg", mode.name().to_lowercase()),
@@ -534,11 +538,8 @@ fn f10() -> Figure {
 
     let rci = g.characterization(Mode::Rci, Some(Seconds(rci_run.makespan)));
     let spawn = g.characterization(Mode::Spawn, Some(Seconds(spawn_run.makespan)));
-    let projected = remove_overhead(
-        &spawn,
-        Seconds(g.python_per_iter.get() * g.samples as f64),
-    )
-    .expect("python overhead < makespan");
+    let projected = remove_overhead(&spawn, Seconds(g.python_per_iter.get() * g.samples as f64))
+        .expect("python overhead < makespan");
 
     let rci_model = RooflineModel::build(&m, &rci).expect("valid");
     let spawn_model = RooflineModel::build(&m, &spawn).expect("valid");
@@ -560,8 +561,7 @@ fn f10() -> Figure {
         g.breakdown(Mode::Spawn),
         g.breakdown(Mode::Projected),
     ];
-    let svg_b =
-        breakdown_plot::render_svg("Fig. 10b — GPTune time breakdown", &bars, 680.0, 440.0);
+    let svg_b = breakdown_plot::render_svg("Fig. 10b — GPTune time breakdown", &bars, 680.0, 440.0);
 
     let speedup = rci_run.makespan / spawn_run.makespan;
     let projection = spawn_run.makespan / projected.makespan.expect("set").get();
@@ -618,8 +618,11 @@ mod tests {
     #[test]
     fn f5a_headline_shape() {
         let f = build("f5a").unwrap();
-        assert!(f.summary.contains("ratio 5.0x") || f.summary.contains("ratio 4.9x"),
-            "{}", f.summary);
+        assert!(
+            f.summary.contains("ratio 5.0x") || f.summary.contains("ratio 4.9x"),
+            "{}",
+            f.summary
+        );
     }
 
     #[test]

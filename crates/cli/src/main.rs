@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! wrm machines                          list built-in machine models
+//! wrm lint <file.wrm> [options]         static analysis of a workflow spec
+//!     --format text|json                diagnostic output format
+//!     --deny-warnings                   non-zero exit on warnings too
 //! wrm analyze <file.wrm> [options]      compile, (optionally) simulate,
 //!                                       classify, advise, render
 //!     --machine <name>                  override the file's machine
@@ -15,6 +18,12 @@
 //!     --jsonl <out.jsonl>               write the trace as JSON lines
 //! wrm figures [all|<id>] [--out <dir>]  regenerate paper figures
 //! ```
+//!
+//! `lint` exits 0 when clean, 2 when any error-severity diagnostic
+//! fired, and 1 when only warnings fired under `--deny-warnings`.
+//! `analyze`/`simulate` run the error-severity lint subset before
+//! compiling, so a broken spec fails with spanned diagnostics instead
+//! of a mid-compile error.
 
 mod figures;
 mod report;
@@ -29,7 +38,7 @@ use wrm_trace::{characterize, Structure};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("wrm: {msg}");
             ExitCode::FAILURE
@@ -37,18 +46,20 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let ok = |r: Result<(), String>| r.map(|()| ExitCode::SUCCESS);
     match args.first().map(String::as_str) {
-        Some("machines") => cmd_machines(),
-        Some("analyze") => cmd_analyze(&args[1..]),
-        Some("simulate") => cmd_simulate(&args[1..]),
-        Some("figures") => cmd_figures(&args[1..]),
-        Some("compare") => cmd_compare(&args[1..]),
-        Some("profile") => cmd_profile(&args[1..]),
-        Some("import") => cmd_import(&args[1..]),
+        Some("machines") => ok(cmd_machines()),
+        Some("lint") => cmd_lint(&args[1..]).map(ExitCode::from),
+        Some("analyze") => ok(cmd_analyze(&args[1..])),
+        Some("simulate") => ok(cmd_simulate(&args[1..])),
+        Some("figures") => ok(cmd_figures(&args[1..])),
+        Some("compare") => ok(cmd_compare(&args[1..])),
+        Some("profile") => ok(cmd_profile(&args[1..])),
+        Some("import") => ok(cmd_import(&args[1..])),
         Some("help") | None => {
             print!("{}", usage());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some(other) => Err(format!("unknown command `{other}`\n{}", usage())),
     }
@@ -59,6 +70,10 @@ fn usage() -> &'static str {
      \n\
      commands:\n\
      \x20 machines                         list built-in machine models\n\
+     \x20 lint <file.wrm> [--format text|json] [--deny-warnings]\n\
+     \x20                                    static analysis: undefined\n\
+     \x20                                    references, cycles, dead\n\
+     \x20                                    ceilings, infeasible targets\n\
      \x20 analyze <file.wrm> [--machine M] [--simulate] [--contention r=f]\n\
      \x20         [--svg out.svg] [--html out.html] [--ascii]\n\
      \x20                                    analyze a workflow file\n\
@@ -103,6 +118,8 @@ struct Flags {
     id: String,
     structure: Option<(f64, f64, u64)>,
     html: Option<String>,
+    format: String,
+    deny_warnings: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -119,6 +136,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         id: "all".into(),
         structure: None,
         html: None,
+        format: "text".into(),
+        deny_warnings: false,
     };
     let mut i = 0;
     let mut positional = 0;
@@ -132,6 +151,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         };
         match a.as_str() {
             "--machine" => f.machine = Some(value(&mut i)?),
+            "--format" => f.format = value(&mut i)?,
+            "--deny-warnings" => f.deny_warnings = true,
             "--simulate" => f.simulate = true,
             "--ascii" => f.ascii = true,
             "--gantt" => f.gantt = true,
@@ -184,21 +205,39 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     Ok(f)
 }
 
+/// Parses and compiles a workflow file, running the error-severity lint
+/// subset first so a broken spec fails with spanned diagnostics instead
+/// of whatever the compiler trips over first.
+fn compile_checked(path: &str, source: &str) -> Result<wrm_lang::Compiled, String> {
+    let ast = wrm_lang::parse(source).map_err(|e| format!("{path}:{e}"))?;
+    let errors = wrm_lint::lint_errors(&ast);
+    if !errors.is_empty() {
+        let mut msg = String::new();
+        for d in &errors {
+            msg.push_str(&format!("{path}: {}\n", d.render(source)));
+        }
+        msg.push_str(&format!(
+            "{} error(s); see `wrm lint {path}` for the full report",
+            errors.len()
+        ));
+        return Err(msg);
+    }
+    wrm_lang::compile(&ast).map_err(|e| format!("{path}:{e}"))
+}
+
 fn load(flags: &Flags) -> Result<(wrm_lang::Compiled, wrm_core::Machine), String> {
     let path = flags
         .file
         .as_ref()
         .ok_or_else(|| "missing workflow file argument".to_owned())?;
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let compiled = wrm_lang::compile_source(&source).map_err(|e| format!("{path}:{e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let compiled = compile_checked(path, &source)?;
     let machine = match &flags.machine {
         Some(name) => machines::by_name(name)
             .ok_or_else(|| format!("unknown machine `{name}` (try: pm-gpu, pm-cpu, cori-hsw)"))?,
-        None => compiled
-            .machine
-            .clone()
-            .ok_or_else(|| "no machine: add `on <machine>` to the file or pass --machine".to_owned())?,
+        None => compiled.machine.clone().ok_or_else(|| {
+            "no machine: add `on <machine>` to the file or pass --machine".to_owned()
+        })?,
     };
     Ok((compiled, machine))
 }
@@ -211,16 +250,57 @@ fn sim_options(flags: &Flags) -> SimOptions {
     opts
 }
 
+fn cmd_lint(args: &[String]) -> Result<u8, String> {
+    let flags = parse_flags(args)?;
+    let path = flags
+        .file
+        .as_ref()
+        .ok_or_else(|| "missing workflow file argument".to_owned())?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let diags = wrm_lint::lint_source(&source);
+
+    match flags.format.as_str() {
+        "json" => {
+            let json = serde_json::to_string_pretty(&diags).map_err(|e| e.to_string())?;
+            println!("{json}");
+        }
+        "text" => {
+            for d in &diags {
+                println!("{}\n", d.render(&source));
+            }
+            let errors = diags
+                .iter()
+                .filter(|d| d.severity == wrm_lint::Severity::Error)
+                .count();
+            let warnings = diags.len() - errors;
+            if diags.is_empty() {
+                println!("{path}: clean");
+            } else {
+                println!("{path}: {errors} error(s), {warnings} warning(s)");
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown --format `{other}` (expected text or json)"
+            ))
+        }
+    }
+
+    Ok(match wrm_lint::max_severity(&diags) {
+        Some(wrm_lint::Severity::Error) => 2,
+        Some(wrm_lint::Severity::Warning) if flags.deny_warnings => 1,
+        _ => 0,
+    })
+}
+
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let (compiled, machine) = load(&flags)?;
-    let mut wf = compiled
-        .characterization()
-        .map_err(|e| e.to_string())?;
+    let mut wf = compiled.characterization().map_err(|e| e.to_string())?;
 
     if flags.simulate {
-        let scenario = Scenario::new(machine.clone(), compiled.spec.clone())
-            .with_options(sim_options(&flags));
+        let scenario =
+            Scenario::new(machine.clone(), compiled.spec.clone()).with_options(sim_options(&flags));
         let result = simulate(&scenario).map_err(|e| e.to_string())?;
         wf.makespan = Some(Seconds(result.makespan));
         println!("simulated makespan: {:.2} s", result.makespan);
@@ -263,12 +343,10 @@ fn build_html_report(
         Section::Pre(report::render(model)),
         Section::Heading("Workflow Roofline".into()),
     ];
-    if let Some(svg) = wrm_plot::RooflinePlot::new(format!(
-        "{} on {}",
-        model.workflow.name, machine.name
-    ))
-    .model(model)
-    .render_svg()
+    if let Some(svg) =
+        wrm_plot::RooflinePlot::new(format!("{} on {}", model.workflow.name, machine.name))
+            .model(model)
+            .render_svg()
     {
         sections.push(Section::Svg(svg));
     }
@@ -279,8 +357,8 @@ fn build_html_report(
         }
     }
     if flags.simulate {
-        let scenario = Scenario::new(machine.clone(), compiled.spec.clone())
-            .with_options(sim_options(flags));
+        let scenario =
+            Scenario::new(machine.clone(), compiled.spec.clone()).with_options(sim_options(flags));
         let result = simulate(&scenario).map_err(|e| e.to_string())?;
         let mut dag = compiled.dag(machine).map_err(|e| e.to_string())?;
         for id in dag.task_ids().collect::<Vec<_>>() {
@@ -289,8 +367,8 @@ fn build_html_report(
                 dag.task_mut(id).duration = t;
             }
         }
-        let sched = list_schedule(&dag, machine.total_nodes, Policy::Fifo)
-            .map_err(|e| e.to_string())?;
+        let sched =
+            list_schedule(&dag, machine.total_nodes, Policy::Fifo).map_err(|e| e.to_string())?;
         if let Ok(chart) = GanttChart::build(&dag, &sched) {
             sections.push(Section::Heading("Gantt chart".into()));
             sections.push(Section::Svg(wrm_plot::gantt_plot::render_svg(
@@ -359,8 +437,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                 dag.task_mut(id).duration = t;
             }
         }
-        let sched = list_schedule(&dag, machine.total_nodes, Policy::Fifo)
-            .map_err(|e| e.to_string())?;
+        let sched =
+            list_schedule(&dag, machine.total_nodes, Policy::Fifo).map_err(|e| e.to_string())?;
         let chart = GanttChart::build(&dag, &sched).map_err(|e| e.to_string())?;
         println!("\n{}", wrm_plot::ascii::gantt(&chart, 72));
     }
@@ -407,9 +485,8 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         .file
         .as_ref()
         .ok_or_else(|| "missing workflow file argument".to_owned())?;
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let compiled = wrm_lang::compile_source(&source).map_err(|e| format!("{path}:{e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let compiled = compile_checked(path, &source)?;
     let mut wf = compiled.characterization().map_err(|e| e.to_string())?;
 
     // Simulate on each machine to give every projection a measured dot.
@@ -422,8 +499,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         wf.nodes_per_task,
         all.len()
     );
-    let projections =
-        wrm_core::across_machines(&wf, &all).map_err(|e| e.to_string())?;
+    let projections = wrm_core::across_machines(&wf, &all).map_err(|e| e.to_string())?;
     print!("{}", wrm_core::projection::render_table(&projections));
 
     // If a throughput target exists, answer the architect's question per
@@ -433,18 +509,14 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         for machine in &all {
             for res in [wrm_core::ids::EXTERNAL, wrm_core::ids::FILE_SYSTEM] {
                 match wrm_core::required_peak(machine, &wf, res) {
-                    Ok(Some(peak)) if peak.is_finite() => println!(
-                        "  {:<18} {res:<4} -> {:.3e} B/s",
-                        machine.name, peak
-                    ),
+                    Ok(Some(peak)) if peak.is_finite() => {
+                        println!("  {:<18} {res:<4} -> {:.3e} B/s", machine.name, peak);
+                    }
                     Ok(Some(_)) => println!(
                         "  {:<18} {res:<4} -> unattainable by scaling this resource",
                         machine.name
                     ),
-                    Ok(None) => println!(
-                        "  {:<18} {res:<4} -> already attainable",
-                        machine.name
-                    ),
+                    Ok(None) => println!("  {:<18} {res:<4} -> already attainable", machine.name),
                     Err(_) => {}
                 }
             }
@@ -510,10 +582,12 @@ fn cmd_import(args: &[String]) -> Result<(), String> {
         .ok_or_else(|| "import needs --machine".to_owned())?;
     let machine = machines::by_name(machine_name)
         .ok_or_else(|| format!("unknown machine `{machine_name}`"))?;
-    let csv =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let csv = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let trace = wrm_trace::trace_from_csv(
-        path.rsplit('/').next().unwrap_or(path).trim_end_matches(".csv"),
+        path.rsplit('/')
+            .next()
+            .unwrap_or(path)
+            .trim_end_matches(".csv"),
         machine.name.clone(),
         &csv,
     )

@@ -26,12 +26,7 @@ pub fn render(model: &RooflineModel) -> String {
     out.push_str("\nCeilings (most binding first at the workflow's parallelism):\n");
     let x = wf.parallel_tasks;
     let mut ceilings: Vec<_> = model.ceilings.iter().collect();
-    ceilings.sort_by(|a, b| {
-        a.tps_at(x)
-            .get()
-            .partial_cmp(&b.tps_at(x).get())
-            .expect("finite")
-    });
+    ceilings.sort_by(|a, b| a.tps_at(x).get().total_cmp(&b.tps_at(x).get()));
     for c in ceilings {
         let kind = match c.kind {
             CeilingKind::Node => "node  ",
@@ -54,7 +49,10 @@ pub fn render(model: &RooflineModel) -> String {
     };
     out.push_str(&format!("  {bound_text}\n"));
     if let Some(e) = bounds.efficiency {
-        out.push_str(&format!("  achieved {:.1}% of the attainable envelope\n", e * 100.0));
+        out.push_str(&format!(
+            "  achieved {:.1}% of the attainable envelope\n",
+            e * 100.0
+        ));
     }
 
     if let Ok(zone) = classify_zone(wf) {

@@ -59,7 +59,11 @@ fn analyze_simulate_figures_pipeline() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("simulated makespan: 10"), "{text}");
     assert!(text.contains("system-bound on `ext`"), "{text}");
@@ -81,7 +85,11 @@ fn analyze_simulate_figures_pipeline() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("makespan 50"), "bad-day makespan: {text}");
     assert!(text.contains("time breakdown"), "{text}");
@@ -95,7 +103,11 @@ fn analyze_simulate_figures_pipeline() {
         .args(["figures", "f4", "--out", figdir.to_str().expect("utf8")])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(figdir.join("fig4_lcls_skeleton.svg").exists());
 
     std::fs::remove_dir_all(&dir).ok();
@@ -109,7 +121,10 @@ fn error_paths_are_reported() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
     // Missing file.
-    let out = wrm().args(["analyze", "/nonexistent.wrm"]).output().expect("runs");
+    let out = wrm()
+        .args(["analyze", "/nonexistent.wrm"])
+        .output()
+        .expect("runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 
@@ -118,7 +133,12 @@ fn error_paths_are_reported() {
     let bad = dir.join("bad.wrm");
     std::fs::write(&bad, "workflow w { task a { nodes } }").expect("write");
     let out = wrm()
-        .args(["analyze", bad.to_str().expect("utf8"), "--machine", "pm-gpu"])
+        .args([
+            "analyze",
+            bad.to_str().expect("utf8"),
+            "--machine",
+            "pm-gpu",
+        ])
         .output()
         .expect("runs");
     assert!(!out.status.success());
@@ -128,7 +148,12 @@ fn error_paths_are_reported() {
     // Unknown machine.
     std::fs::write(&bad, "workflow w { task a { } }").expect("write");
     let out = wrm()
-        .args(["analyze", bad.to_str().expect("utf8"), "--machine", "summit"])
+        .args([
+            "analyze",
+            bad.to_str().expect("utf8"),
+            "--machine",
+            "summit",
+        ])
         .output()
         .expect("runs");
     assert!(!out.status.success());
@@ -174,7 +199,11 @@ workflow demo on minicluster {
         .args(["simulate", path.to_str().expect("utf8")])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("demo on minicluster"), "{text}");
     std::fs::remove_dir_all(&dir).ok();
@@ -191,7 +220,11 @@ fn compare_profile_and_import() {
         .args(["compare", wf_path.to_str().expect("utf8")])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Perlmutter GPU"), "{text}");
     assert!(text.contains("Cori Haswell"), "{text}");
@@ -208,7 +241,11 @@ fn compare_profile_and_import() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("peak concurrency: 5 tasks"), "{text}");
     assert!(text.contains("serial fraction"), "{text}");
@@ -233,7 +270,11 @@ fn compare_profile_and_import() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("system-bound on `ext`"), "{text}");
 
@@ -279,7 +320,11 @@ fn html_report_contains_every_section() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let html = std::fs::read_to_string(&html_path).expect("html written");
     assert!(html.starts_with("<!DOCTYPE html>"));
     for section in [

@@ -216,10 +216,9 @@ pub fn advise(model: &RooflineModel) -> Advice {
     });
 
     let headline = match &report.bound {
-        BoundKind::System { resource } => format!(
-            "{}: system-bound on `{resource}`",
-            model.workflow.name
-        ),
+        BoundKind::System { resource } => {
+            format!("{}: system-bound on `{resource}`", model.workflow.name)
+        }
         BoundKind::Node { resource } => {
             format!("{}: node-bound on `{resource}`", model.workflow.name)
         }

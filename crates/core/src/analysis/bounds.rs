@@ -51,14 +51,8 @@ pub fn classify(model: &RooflineModel) -> BoundReport {
     let x = model.workflow.parallel_tasks;
     let efficiency = model.efficiency();
 
-    let node_min = model
-        .node_ceilings()
-        .first()
-        .map(|c| c.tps_at(x).get());
-    let system_min = model
-        .system_ceilings()
-        .first()
-        .map(|c| c.tps_at(x).get());
+    let node_min = model.node_ceilings().first().map(|c| c.tps_at(x).get());
+    let system_min = model.system_ceilings().first().map(|c| c.tps_at(x).get());
     let node_over_system = match (node_min, system_min) {
         (Some(n), Some(s)) if s > 0.0 => Some(n / s),
         _ => None,
@@ -98,12 +92,7 @@ mod tests {
     use crate::roofline::RooflineModel;
     use crate::units::{Bytes, Flops, Seconds, Work};
 
-    fn model_with(
-        nodes: u64,
-        parallel: f64,
-        flops_per_node: Flops,
-        ext: Bytes,
-    ) -> RooflineModel {
+    fn model_with(nodes: u64, parallel: f64, flops_per_node: Flops, ext: Bytes) -> RooflineModel {
         let wf = WorkflowCharacterization::builder("t")
             .total_tasks(parallel)
             .parallel_tasks(parallel)

@@ -38,8 +38,7 @@ pub fn scale_intra_task_parallelism(
     let new_nodes = (wf.nodes_per_task as f64 * k).round();
     if new_nodes < 1.0 {
         return Err(CoreError::InvalidInput(format!(
-            "scaling {}x leaves a task with no nodes",
-            k
+            "scaling {k}x leaves a task with no nodes"
         )));
     }
     out.nodes_per_task = new_nodes as u64;
@@ -91,8 +90,7 @@ pub fn remove_overhead(
         .ok_or_else(|| CoreError::MissingMakespan(wf.name.clone()))?;
     if !(overhead.get() >= 0.0 && overhead.get() < m.get()) {
         return Err(CoreError::InvalidInput(format!(
-            "overhead {} must be non-negative and below the makespan {}",
-            overhead, m
+            "overhead {overhead} must be non-negative and below the makespan {m}"
         )));
     }
     let mut out = wf.clone();
@@ -207,7 +205,10 @@ mod tests {
         assert!((wf.parallel_tasks - 24.0).abs() < 1e-12);
         assert!((wf.total_tasks - 24.0).abs() < 1e-12);
         // System volume scales with the batch.
-        assert_eq!(wf.system_volumes.get(ids::FILE_SYSTEM), Some(&Bytes::tb(3.0)));
+        assert_eq!(
+            wf.system_volumes.get(ids::FILE_SYSTEM),
+            Some(&Bytes::tb(3.0))
+        );
         // TPS triples at the same makespan.
         let t0 = base().throughput().unwrap().get();
         let t1 = wf.throughput().unwrap().get();

@@ -290,10 +290,7 @@ mod tests {
     #[test]
     fn missing_makespan_is_an_error() {
         let c = WorkflowCharacterization::builder("x").build().unwrap();
-        assert!(matches!(
-            c.throughput(),
-            Err(CoreError::MissingMakespan(_))
-        ));
+        assert!(matches!(c.throughput(), Err(CoreError::MissingMakespan(_))));
         let c2 = c.with_makespan(Seconds::secs(10.0));
         assert!((c2.throughput().unwrap().get() - 0.1).abs() < 1e-12);
     }
@@ -309,7 +306,10 @@ mod tests {
             .unwrap();
         let w = c.node_volumes.get(ids::COMPUTE).unwrap();
         assert!((w.magnitude() - (1164.0 + 3226.0) / 64.0 * 1e15).abs() < 1e3);
-        assert_eq!(c.system_volumes.get(ids::FILE_SYSTEM), Some(&Bytes::gb(70.0)));
+        assert_eq!(
+            c.system_volumes.get(ids::FILE_SYSTEM),
+            Some(&Bytes::gb(70.0))
+        );
     }
 
     #[test]

@@ -52,17 +52,17 @@ pub mod machine;
 pub mod machines;
 pub mod projection;
 pub mod resource;
-pub mod scaling;
 pub mod roofline;
+pub mod scaling;
 pub mod taskview;
 pub mod units;
 
 pub use charz::{CharacterizationBuilder, TargetSpec, WorkflowCharacterization};
 pub use error::CoreError;
 pub use machine::{Machine, MachineBuilder, NodeResource, SystemResource};
+pub use projection::{across_machines, required_peak, MachineProjection};
 pub use resource::{ids, ResourceId, SystemScaling};
 pub use roofline::{Ceiling, CeilingKind, RooflineModel, RooflinePoint};
-pub use projection::{across_machines, required_peak, MachineProjection};
 pub use scaling::{amdahl_scalability, strong_scaling_trajectory, TrajectoryPoint};
 pub use taskview::{TaskCharacterization, TaskPoint, TaskView};
 pub use units::{

@@ -250,7 +250,11 @@ mod tests {
                 "FLOPS",
                 Rate::FlopsPerSec(FlopsPerSec::tflops(10.0)),
             )
-            .node(ids::DRAM, "DRAM", Rate::BytesPerSec(BytesPerSec::gbps(200.0)))
+            .node(
+                ids::DRAM,
+                "DRAM",
+                Rate::BytesPerSec(BytesPerSec::gbps(200.0)),
+            )
             .system(ids::FILE_SYSTEM, "FS", BytesPerSec::tbps(1.0))
             .system_per_node(ids::NETWORK, "NIC", BytesPerSec::gbps(25.0))
             .build()

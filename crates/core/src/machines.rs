@@ -124,11 +124,7 @@ pub fn cori_haswell() -> Machine {
             // Aries NIC injection bandwidth.
             BytesPerSec::gbps(16.0),
         )
-        .system(
-            ids::EXTERNAL,
-            "System External",
-            BytesPerSec::gbps(5.0),
-        )
+        .system(ids::EXTERNAL, "System External", BytesPerSec::gbps(5.0))
         .build()
         .expect("preset is valid")
 }
@@ -136,6 +132,12 @@ pub fn cori_haswell() -> Machine {
 /// All built-in machines, for enumeration in CLIs and tests.
 pub fn all() -> Vec<Machine> {
     vec![perlmutter_gpu(), perlmutter_cpu(), cori_haswell()]
+}
+
+/// The canonical short names accepted by [`by_name`], for help and
+/// diagnostic text.
+pub fn short_names() -> &'static [&'static str] {
+    &["pm-gpu", "pm-cpu", "cori-hsw"]
 }
 
 /// Looks up a built-in machine by a case-insensitive short name:
@@ -175,11 +177,21 @@ mod tests {
         let m = perlmutter_cpu();
         assert_eq!(m.total_nodes, 3072);
         assert!(
-            (m.node_resource(ids::COMPUTE).unwrap().peak_per_node.magnitude() - 5e12).abs()
+            (m.node_resource(ids::COMPUTE)
+                .unwrap()
+                .peak_per_node
+                .magnitude()
+                - 5e12)
+                .abs()
                 < 1e-3
         );
         assert!(
-            (m.node_resource(ids::DRAM).unwrap().peak_per_node.magnitude() - 409.6e9).abs()
+            (m.node_resource(ids::DRAM)
+                .unwrap()
+                .peak_per_node
+                .magnitude()
+                - 409.6e9)
+                .abs()
                 < 1e-3
         );
         assert!((m.system_resource(ids::FILE_SYSTEM).unwrap().peak.get() - 4.8e12).abs() < 1e-3);
@@ -193,7 +205,13 @@ mod tests {
         assert_eq!(m.total_nodes, 2388);
         assert!((m.system_resource(ids::BURST_BUFFER).unwrap().peak.get() - 910e9).abs() < 1e-3);
         assert!(
-            (m.node_resource(ids::DRAM).unwrap().peak_per_node.magnitude() - 129e9).abs() < 1e-3
+            (m.node_resource(ids::DRAM)
+                .unwrap()
+                .peak_per_node
+                .magnitude()
+                - 129e9)
+                .abs()
+                < 1e-3
         );
         assert!((m.system_resource(ids::EXTERNAL).unwrap().peak.get() - 5e9).abs() < 1e-3);
     }

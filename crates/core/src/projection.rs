@@ -43,12 +43,11 @@ pub fn across_machines(
     for machine in machines {
         let model = RooflineModel::build_lenient(machine, workflow)?;
         let x = workflow.parallel_tasks;
-        let envelope = model
-            .envelope_at(x)
-            .unwrap_or(TasksPerSec(0.0));
-        let target_attainable = workflow.targets.throughput.map(|t| {
-            envelope.get().is_finite() && envelope.get() >= t.get()
-        });
+        let envelope = model.envelope_at(x).unwrap_or(TasksPerSec(0.0));
+        let target_attainable = workflow
+            .targets
+            .throughput
+            .map(|t| envelope.get().is_finite() && envelope.get() >= t.get());
         out.push(MachineProjection {
             machine: machine.name.clone(),
             parallelism_wall: model.parallelism_wall,
@@ -81,9 +80,8 @@ pub fn required_peak(
     workflow: &WorkflowCharacterization,
     resource: &str,
 ) -> Result<Option<f64>, CoreError> {
-    let target = match workflow.targets.throughput {
-        Some(t) => t,
-        None => return Ok(None),
+    let Some(target) = workflow.targets.throughput else {
+        return Ok(None);
     };
     let model = RooflineModel::build_lenient(machine, workflow)?;
     let x = workflow.parallel_tasks;
@@ -103,8 +101,7 @@ pub fn required_peak(
         .find(|c| c.resource.as_str() == resource)
     else {
         // Distinguish "machine lacks it" from "workflow doesn't use it".
-        if machine.node_resource(resource).is_none()
-            && machine.system_resource(resource).is_none()
+        if machine.node_resource(resource).is_none() && machine.system_resource(resource).is_none()
         {
             return Err(CoreError::UnknownResource(resource.to_owned()));
         }
@@ -155,8 +152,7 @@ pub fn render_table(projections: &[MachineProjection]) -> String {
             p.parallelism_wall,
             p.envelope.get(),
             p.makespan_lower_bound
-                .map(|m| format!("{:.1} s", m.get()))
-                .unwrap_or_else(|| "-".into()),
+                .map_or_else(|| "-".into(), |m| format!("{:.1} s", m.get())),
             p.binding_resource.as_deref().unwrap_or("-"),
             match p.target_attainable {
                 Some(true) => "yes",
@@ -201,8 +197,14 @@ mod tests {
             assert!(matches!(p.bound.bound, BoundKind::System { .. }));
         }
         // PM's 25 GB/s DTN clears the target; Cori's 5 GB/s does not.
-        let pm = projections.iter().find(|p| p.machine.contains("CPU")).unwrap();
-        let cori = projections.iter().find(|p| p.machine.contains("Cori")).unwrap();
+        let pm = projections
+            .iter()
+            .find(|p| p.machine.contains("CPU"))
+            .unwrap();
+        let cori = projections
+            .iter()
+            .find(|p| p.machine.contains("Cori"))
+            .unwrap();
         assert_eq!(pm.target_attainable, Some(true));
         assert_eq!(cori.target_attainable, Some(false));
         // Table renders every machine row.

@@ -134,13 +134,13 @@ impl RooflineModel {
             if work.magnitude() == 0.0 {
                 continue; // no volume => no ceiling
             }
-            let time = work.time_at(res.peak_per_node).ok_or_else(|| {
-                CoreError::UnitMismatch {
+            let time = work
+                .time_at(res.peak_per_node)
+                .ok_or_else(|| CoreError::UnitMismatch {
                     resource: id.to_string(),
                     volume_unit: work.unit().to_string(),
                     peak_unit: res.peak_per_node.unit().to_string(),
-                }
-            })?;
+                })?;
             ceilings.push(Ceiling {
                 resource: id.clone(),
                 label: format!("{} = {} @ {}", res.label, work, res.peak_per_node),
@@ -383,7 +383,10 @@ mod tests {
         assert!((eff - 0.42).abs() < 0.01, "efficiency {eff}");
 
         // Binding ceiling at x=1 is compute, not network or FS.
-        assert_eq!(model.binding_ceiling().unwrap().resource.as_str(), ids::COMPUTE);
+        assert_eq!(
+            model.binding_ceiling().unwrap().resource.as_str(),
+            ids::COMPUTE
+        );
 
         // Network ceiling: 171264 GB / (64 x 100 GB/s) = ~26.8 s.
         let net = model
@@ -415,7 +418,7 @@ mod tests {
             .unwrap();
         assert!((net1024.tps_at_one.get() / net64.tps_at_one.get() - 16.0).abs() < 1e-9);
         assert_eq!(n64.resource.as_str(), ids::NETWORK); // NIC below FS
-        // ~30% of node peak at 1024 nodes (27.3% exactly).
+                                                         // ~30% of node peak at 1024 nodes (27.3% exactly).
         let eff = m1024.efficiency().unwrap();
         assert!((eff - 0.273).abs() < 0.01, "efficiency {eff}");
     }

@@ -94,12 +94,7 @@ pub fn strong_scaling_trajectory(
 pub fn smallest_k_meeting_deadline(trajectory: &[TrajectoryPoint]) -> Option<f64> {
     trajectory
         .iter()
-        .filter(|p| {
-            p.zone
-                .as_ref()
-                .map(|z| z.zone.good_makespan())
-                .unwrap_or(false)
-        })
+        .filter(|p| p.zone.as_ref().is_some_and(|z| z.zone.good_makespan()))
         .map(|p| p.k)
         .fold(None, |acc: Option<f64>, k| {
             Some(acc.map_or(k, |a| a.min(k)))
@@ -145,16 +140,14 @@ mod tests {
     fn trajectory_trades_wall_for_makespan() {
         let ks = [1.0, 2.0, 4.0, 8.0];
         let traj =
-            strong_scaling_trajectory(&machines::perlmutter_gpu(), &base(), &ks, 0.05)
-                .unwrap();
+            strong_scaling_trajectory(&machines::perlmutter_gpu(), &base(), &ks, 0.05).unwrap();
         assert_eq!(traj.len(), 4);
         // Walls shrink monotonically; predicted makespans grow with the
         // accumulated inefficiency (makespan / scalability).
         for w in traj.windows(2) {
             assert!(w[1].parallelism_wall <= w[0].parallelism_wall);
             assert!(
-                w[1].predicted_makespan.unwrap().get()
-                    >= w[0].predicted_makespan.unwrap().get()
+                w[1].predicted_makespan.unwrap().get() >= w[0].predicted_makespan.unwrap().get()
             );
         }
         // k=1 is the identity.
@@ -166,8 +159,7 @@ mod tests {
     fn perfect_scaling_keeps_makespan_constant() {
         let ks = [1.0, 2.0, 4.0];
         let traj =
-            strong_scaling_trajectory(&machines::perlmutter_gpu(), &base(), &ks, 0.0)
-                .unwrap();
+            strong_scaling_trajectory(&machines::perlmutter_gpu(), &base(), &ks, 0.0).unwrap();
         for p in &traj {
             assert!((p.predicted_makespan.unwrap().get() - 2000.0).abs() < 1e-9);
         }
@@ -184,33 +176,21 @@ mod tests {
         // so the finder returns None with sigma > 0.
         let ks = [1.0, 2.0, 4.0, 8.0];
         let traj =
-            strong_scaling_trajectory(&machines::perlmutter_gpu(), &base(), &ks, 0.1)
-                .unwrap();
+            strong_scaling_trajectory(&machines::perlmutter_gpu(), &base(), &ks, 0.1).unwrap();
         assert_eq!(smallest_k_meeting_deadline(&traj), None);
 
         // A workflow already meeting its deadline reports k = 1.
         let mut ok = base();
         ok.targets.makespan = Some(Seconds::secs(2500.0));
-        let traj =
-            strong_scaling_trajectory(&machines::perlmutter_gpu(), &ok, &ks, 0.0).unwrap();
+        let traj = strong_scaling_trajectory(&machines::perlmutter_gpu(), &ok, &ks, 0.0).unwrap();
         assert_eq!(smallest_k_meeting_deadline(&traj), Some(1.0));
     }
 
     #[test]
     fn invalid_factors_are_rejected() {
-        let err = strong_scaling_trajectory(
-            &machines::perlmutter_gpu(),
-            &base(),
-            &[0.5],
-            0.0,
-        );
+        let err = strong_scaling_trajectory(&machines::perlmutter_gpu(), &base(), &[0.5], 0.0);
         assert!(err.is_err());
-        let err = strong_scaling_trajectory(
-            &machines::perlmutter_gpu(),
-            &base(),
-            &[f64::NAN],
-            0.0,
-        );
+        let err = strong_scaling_trajectory(&machines::perlmutter_gpu(), &base(), &[f64::NAN], 0.0);
         assert!(err.is_err());
     }
 }

@@ -108,13 +108,13 @@ impl TaskView {
                 if work.magnitude() == 0.0 {
                     continue;
                 }
-                let t = work.time_at(res.peak_per_node).ok_or_else(|| {
-                    CoreError::UnitMismatch {
+                let t = work
+                    .time_at(res.peak_per_node)
+                    .ok_or_else(|| CoreError::UnitMismatch {
                         resource: id.to_string(),
                         volume_unit: work.unit().to_string(),
                         peak_unit: res.peak_per_node.unit().to_string(),
-                    }
-                })?;
+                    })?;
                 ceiling_times.insert(id.clone(), t);
             }
             let tps = task.measured.map(|m| TasksPerSec(1.0 / m.get()));
@@ -213,8 +213,16 @@ mod tests {
 
         // At 1024 nodes: ~28 s and ~79 s.
         let view = TaskView::build(&m, &bgw_tasks(1024, 180.0, 225.0)).unwrap();
-        let te = view.points[0].ceiling_times.get(ids::COMPUTE).unwrap().get();
-        let ts = view.points[1].ceiling_times.get(ids::COMPUTE).unwrap().get();
+        let te = view.points[0]
+            .ceiling_times
+            .get(ids::COMPUTE)
+            .unwrap()
+            .get();
+        let ts = view.points[1]
+            .ceiling_times
+            .get(ids::COMPUTE)
+            .unwrap()
+            .get();
         assert!((te - 29.3).abs() < 0.5, "epsilon {te}");
         assert!((ts - 81.2).abs() < 0.5, "sigma {ts}");
     }
@@ -243,7 +251,10 @@ mod tests {
         let m = machines::perlmutter_gpu();
         let task = TaskCharacterization::new("t", 1)
             .with_node_volume(ids::COMPUTE, Work::Flops(Flops::tflops(38.8)))
-            .with_node_volume(ids::HBM, Work::Bytes(crate::units::Bytes::gb(6220.0 * 10.0)));
+            .with_node_volume(
+                ids::HBM,
+                Work::Bytes(crate::units::Bytes::gb(6220.0 * 10.0)),
+            );
         let view = TaskView::build(&m, &[task]).unwrap();
         // HBM: 10 s vs compute: 1 s -- HBM binds.
         let (id, t) = view.points[0].binding().unwrap();

@@ -11,9 +11,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Index of a task inside its [`Dag`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct TaskId(pub usize);
 
@@ -158,10 +156,7 @@ impl Dag {
 
     /// Looks a task up by name.
     pub fn task_by_name(&self, name: &str) -> Option<TaskId> {
-        self.tasks
-            .iter()
-            .position(|t| t.name == name)
-            .map(TaskId)
+        self.tasks.iter().position(|t| t.name == name).map(TaskId)
     }
 
     /// All task ids in insertion order.
@@ -202,10 +197,7 @@ impl Dag {
     /// has one.
     pub fn topo_order(&self) -> Result<Vec<TaskId>, DagError> {
         let mut indegree: Vec<usize> = self.preds.iter().map(Vec::len).collect();
-        let mut queue: Vec<TaskId> = self
-            .task_ids()
-            .filter(|id| indegree[id.0] == 0)
-            .collect();
+        let mut queue: Vec<TaskId> = self.task_ids().filter(|id| indegree[id.0] == 0).collect();
         let mut order = Vec::with_capacity(self.len());
         let mut head = 0;
         while head < queue.len() {
@@ -268,12 +260,7 @@ impl Dag {
     /// Maximum number of tasks at any level: the structural "number of
     /// parallel tasks" the model uses as its x coordinate.
     pub fn max_width(&self) -> Result<usize, DagError> {
-        Ok(self
-            .level_groups()?
-            .iter()
-            .map(Vec::len)
-            .max()
-            .unwrap_or(0))
+        Ok(self.level_groups()?.iter().map(Vec::len).max().unwrap_or(0))
     }
 
     /// The critical path by *duration*: the dependency chain with the
@@ -291,14 +278,11 @@ impl Dag {
                 }
             }
         }
-        let Some(end) = self
-            .task_ids()
-            .max_by(|a, b| {
-                let fa = dist[a.0] + self.tasks[a.0].duration;
-                let fb = dist[b.0] + self.tasks[b.0].duration;
-                fa.partial_cmp(&fb).expect("durations are finite")
-            })
-        else {
+        let Some(end) = self.task_ids().max_by(|a, b| {
+            let fa = dist[a.0] + self.tasks[a.0].duration;
+            let fb = dist[b.0] + self.tasks[b.0].duration;
+            fa.partial_cmp(&fb).expect("durations are finite")
+        }) else {
             return Ok((Vec::new(), 0.0));
         };
         let total = dist[end.0] + self.tasks[end.0].duration;
@@ -320,10 +304,7 @@ impl Dag {
     /// Sum of `nodes x duration` over all tasks (node-seconds of
     /// allocation).
     pub fn total_node_seconds(&self) -> f64 {
-        self.tasks
-            .iter()
-            .map(|t| t.nodes as f64 * t.duration)
-            .sum()
+        self.tasks.iter().map(|t| t.nodes as f64 * t.duration).sum()
     }
 
     /// The largest node requirement of any single task.
@@ -424,10 +405,7 @@ mod tests {
         assert!(d.add_task("z", 0, 1.0).is_err());
         assert!(d.add_task("n", 1, f64::NAN).is_err());
         assert!(d.add_task("neg", 1, -1.0).is_err());
-        assert!(matches!(
-            d.add_dep(a, a),
-            Err(DagError::SelfDependency(_))
-        ));
+        assert!(matches!(d.add_dep(a, a), Err(DagError::SelfDependency(_))));
         assert!(matches!(
             d.add_dep(a, TaskId(99)),
             Err(DagError::UnknownTask(_))

@@ -1,13 +1,46 @@
 //! Abstract syntax for the workflow description language.
 
+/// A 1-based source position (line and column), matching the lexer's
+/// numbering. `0:0` means "no recorded position" (e.g. synthesized
+/// nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// 1-based line number (0 = unknown).
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+impl Span {
+    /// A span at `line:col`.
+    pub fn new(line: usize, col: usize) -> Self {
+        Self { line, col }
+    }
+
+    /// True when the span carries a real position.
+    pub fn is_known(&self) -> bool {
+        self.line > 0
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// A parsed workflow file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkflowAst {
     /// Workflow name.
     pub name: String,
+    /// Position of the workflow name.
+    pub name_span: Span,
     /// Optional machine short-name (`on pm-gpu` or a custom machine
     /// declared in the same file).
     pub machine: Option<String>,
+    /// Position of the `on <machine>` reference (unknown when absent).
+    pub machine_span: Span,
     /// Optional targets.
     pub targets: TargetsAst,
     /// Task declarations in source order.
@@ -31,6 +64,8 @@ pub struct WorkflowAst {
 pub struct MachineAst {
     /// Machine name (referenced by `on <name>`).
     pub name: String,
+    /// Position of the machine name.
+    pub span: Span,
     /// Total node count.
     pub nodes: u64,
     /// Node-local peaks: `(id, peak, is_flops)` where peak is in
@@ -45,8 +80,12 @@ pub struct MachineAst {
 pub struct TargetsAst {
     /// Target makespan in seconds.
     pub makespan: Option<f64>,
+    /// Position of the makespan value.
+    pub makespan_span: Span,
     /// Target throughput in tasks/s.
     pub throughput: Option<f64>,
+    /// Position of the throughput value.
+    pub throughput_span: Span,
 }
 
 /// One task declaration (possibly replicated: `task analyze[5]`).
@@ -54,13 +93,20 @@ pub struct TargetsAst {
 pub struct TaskAst {
     /// Base name.
     pub name: String,
-    /// Replica count (1 when no bracket was given).
+    /// Position of the task name.
+    pub span: Span,
+    /// Replica count (1 when no bracket was given). The parser accepts
+    /// 0 so the linter can flag it; the compiler rejects it.
     pub count: usize,
+    /// Position of the replica count (the task name when no bracket).
+    pub count_span: Span,
     /// Serialize the replicas (`task iter[40] chain { ... }`): replica
     /// `i` depends on replica `i-1`.
     pub chain: bool,
     /// Node requirement (defaults to 1).
     pub nodes: u64,
+    /// Position of the `nodes` value (the task name when defaulted).
+    pub nodes_span: Span,
     /// Phase statements in order.
     pub phases: Vec<PhaseAst>,
     /// Dependencies.
@@ -74,8 +120,13 @@ pub enum PhaseAst {
     Compute {
         /// Total FLOPs.
         flops: f64,
-        /// Efficiency in (0,1].
+        /// Efficiency; the parser accepts any value, the linter and
+        /// compiler require (0,1].
         eff: f64,
+        /// Position of the phase keyword.
+        span: Span,
+        /// Position of the `eff` value (unknown when defaulted).
+        eff_span: Span,
     },
     /// `node_bytes hbm 80GB [eff 0.9]`
     NodeBytes {
@@ -83,8 +134,12 @@ pub enum PhaseAst {
         resource: String,
         /// Total bytes.
         bytes: f64,
-        /// Efficiency in (0,1].
+        /// Efficiency; see [`PhaseAst::Compute::eff`].
         eff: f64,
+        /// Position of the phase keyword.
+        span: Span,
+        /// Position of the `eff` value (unknown when defaulted).
+        eff_span: Span,
     },
     /// `system_bytes ext 1TB [cap 1GB/s]`
     SystemBytes {
@@ -94,6 +149,8 @@ pub enum PhaseAst {
         bytes: f64,
         /// Optional per-flow cap (bytes/s).
         cap: Option<f64>,
+        /// Position of the phase keyword.
+        span: Span,
     },
     /// `overhead python 5.2s`
     Overhead {
@@ -101,7 +158,21 @@ pub enum PhaseAst {
         label: String,
         /// Seconds.
         seconds: f64,
+        /// Position of the phase keyword.
+        span: Span,
     },
+}
+
+impl PhaseAst {
+    /// Position of the phase keyword.
+    pub fn span(&self) -> Span {
+        match self {
+            PhaseAst::Compute { span, .. }
+            | PhaseAst::NodeBytes { span, .. }
+            | PhaseAst::SystemBytes { span, .. }
+            | PhaseAst::Overhead { span, .. } => *span,
+        }
+    }
 }
 
 /// A dependency reference: a base name, optionally one replica index.
@@ -111,4 +182,6 @@ pub struct AfterRef {
     pub name: String,
     /// Specific replica (None = all replicas of that name).
     pub index: Option<usize>,
+    /// Position of the referenced name.
+    pub span: Span,
 }

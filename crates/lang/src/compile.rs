@@ -93,7 +93,7 @@ fn phases_of(ast: &TaskAst) -> Vec<Phase> {
     ast.phases
         .iter()
         .map(|p| match p {
-            PhaseAst::Compute { flops, eff } => Phase::Compute {
+            PhaseAst::Compute { flops, eff, .. } => Phase::Compute {
                 flops: *flops,
                 efficiency: *eff,
             },
@@ -101,6 +101,7 @@ fn phases_of(ast: &TaskAst) -> Vec<Phase> {
                 resource,
                 bytes,
                 eff,
+                ..
             } => Phase::NodeData {
                 resource: resource.clone(),
                 bytes: *bytes,
@@ -110,17 +111,47 @@ fn phases_of(ast: &TaskAst) -> Vec<Phase> {
                 resource,
                 bytes,
                 cap,
+                ..
             } => Phase::SystemData {
                 resource: resource.clone(),
                 bytes: *bytes,
                 stream_cap: *cap,
             },
-            PhaseAst::Overhead { label, seconds } => Phase::Overhead {
+            PhaseAst::Overhead { label, seconds, .. } => Phase::Overhead {
                 label: label.clone(),
                 seconds: *seconds,
             },
         })
         .collect()
+}
+
+/// The parser accepts out-of-range efficiencies and zero replica counts
+/// so the linter can report them with proper codes; reject them here so
+/// `compile()` never builds a nonsensical model.
+fn check_values(ast: &WorkflowAst) -> Result<(), LangError> {
+    for t in &ast.tasks {
+        if t.count == 0 {
+            return Err(LangError::new(
+                "replica count must be at least 1",
+                t.count_span.line,
+                t.count_span.col,
+            ));
+        }
+        for p in &t.phases {
+            if let PhaseAst::Compute { eff, eff_span, .. }
+            | PhaseAst::NodeBytes { eff, eff_span, .. } = p
+            {
+                if !(*eff > 0.0 && *eff <= 1.0) {
+                    return Err(LangError::new(
+                        format!("eff must be in (0, 1], got {eff}"),
+                        eff_span.line,
+                        eff_span.col,
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 fn build_machine(ast: &MachineAst) -> Result<Machine, LangError> {
@@ -146,14 +177,16 @@ fn build_machine(ast: &MachineAst) -> Result<Machine, LangError> {
 
 /// Compiles a parsed AST.
 pub fn compile(ast: &WorkflowAst) -> Result<Compiled, LangError> {
+    check_values(ast)?;
+
     // Map base name -> replica count for dependency expansion.
     let mut counts = std::collections::BTreeMap::new();
     for t in &ast.tasks {
         if counts.insert(t.name.clone(), t.count).is_some() {
             return Err(LangError::new(
                 format!("task `{}` is declared twice", t.name),
-                0,
-                0,
+                t.span.line,
+                t.span.col,
             ));
         }
     }
@@ -170,8 +203,8 @@ pub fn compile(ast: &WorkflowAst) -> Result<Compiled, LangError> {
                 let Some(&dep_count) = counts.get(&dep.name) else {
                     return Err(LangError::new(
                         format!("task `{}` depends on unknown task `{}`", t.name, dep.name),
-                        0,
-                        0,
+                        dep.span.line,
+                        dep.span.col,
                     ));
                 };
                 match dep.index {
@@ -183,8 +216,8 @@ pub fn compile(ast: &WorkflowAst) -> Result<Compiled, LangError> {
                                      replicas exist",
                                     t.name, dep.name
                                 ),
-                                0,
-                                0,
+                                dep.span.line,
+                                dep.span.col,
                             ));
                         }
                         task = task.after(replica_name(&dep.name, idx, dep_count));
@@ -207,9 +240,9 @@ pub fn compile(ast: &WorkflowAst) -> Result<Compiled, LangError> {
     let dag = spec
         .to_dag_with(|_| 0.0)
         .map_err(|e| LangError::new(format!("workflow graph: {e}"), 0, 0))?;
-    let parallel = dag
-        .max_width()
-        .map_err(|e| LangError::new(format!("workflow graph: {e}"), 0, 0))? as f64;
+    let parallel =
+        dag.max_width()
+            .map_err(|e| LangError::new(format!("workflow graph: {e}"), 0, 0))? as f64;
 
     // Custom machines declared in the file shadow the presets.
     let machine = match &ast.machine {
@@ -222,8 +255,8 @@ pub fn compile(ast: &WorkflowAst) -> Result<Compiled, LangError> {
                         format!(
                             "unknown machine `{name}` (known presets: pm-gpu, pm-cpu,                              cori-hsw; or declare `machine {name} {{ ... }}`)"
                         ),
-                        0,
-                        0,
+                        ast.machine_span.line,
+                        ast.machine_span.col,
                     )
                 })?,
             })
@@ -282,7 +315,11 @@ workflow lcls on cori-hsw {
         let machine = c.machine.clone().unwrap();
         assert_eq!(machine.name, "Cori Haswell");
         let r = simulate(&Scenario::new(machine, c.spec.clone())).unwrap();
-        assert!((r.makespan - 1000.0).abs() < 20.0, "makespan {}", r.makespan);
+        assert!(
+            (r.makespan - 1000.0).abs() < 20.0,
+            "makespan {}",
+            r.makespan
+        );
     }
 
     #[test]
@@ -304,8 +341,7 @@ workflow lcls on cori-hsw {
         assert!((wf.node_volumes[ids::DRAM].magnitude() - 32e9).abs() < 1.0);
         assert_eq!(wf.targets.makespan, Some(Seconds(600.0)));
         // Model builds against the named machine.
-        let model =
-            wrm_core::RooflineModel::build(&c.machine.unwrap(), &wf).unwrap();
+        let model = wrm_core::RooflineModel::build(&c.machine.unwrap(), &wf).unwrap();
         assert_eq!(model.parallelism_wall, 74);
     }
 
@@ -317,10 +353,7 @@ workflow lcls on cori-hsw {
 
     #[test]
     fn indexed_dependency() {
-        let c = compile_source(
-            "workflow w { task a[3] { } task b { after a[2] } }",
-        )
-        .unwrap();
+        let c = compile_source("workflow w { task a[3] { } task b { after a[2] } }").unwrap();
         let b = c.spec.tasks.iter().find(|t| t.name == "b").unwrap();
         assert_eq!(b.after, vec!["a[2]".to_owned()]);
     }
@@ -329,18 +362,28 @@ workflow lcls on cori-hsw {
     fn compile_errors() {
         let e = compile_source("workflow w { task b { after ghost } }").unwrap_err();
         assert!(e.message.contains("unknown task `ghost`"), "{e}");
-        let e = compile_source("workflow w { task a[2] { } task b { after a[5] } }")
-            .unwrap_err();
+        let e = compile_source("workflow w { task a[2] { } task b { after a[5] } }").unwrap_err();
         assert!(e.message.contains("only 2 replicas"), "{e}");
         let e = compile_source("workflow w { task a { } task a { } }").unwrap_err();
         assert!(e.message.contains("declared twice"), "{e}");
         let e = compile_source("workflow w on summit { task a { } }").unwrap_err();
         assert!(e.message.contains("unknown machine"), "{e}");
-        let e = compile_source(
-            "workflow w { task a { after b } task b { after a } }",
-        )
-        .unwrap_err();
+        let e = compile_source("workflow w { task a { after b } task b { after a } }").unwrap_err();
         assert!(e.message.contains("invalid workflow"), "{e}");
+        // Backstop guards for values the parser lets through for the
+        // linter's benefit.
+        let e = compile_source("workflow w { task a[0] { } }").unwrap_err();
+        assert!(e.message.contains("at least 1"), "{e}");
+        let e = compile_source("workflow w { task a { compute 1GFLOP eff 2 } }").unwrap_err();
+        assert!(e.message.contains("eff must be"), "{e}");
+    }
+
+    #[test]
+    fn compile_errors_carry_spans() {
+        let e = compile_source("workflow w {\n  task b {\n    after ghost\n  }\n}").unwrap_err();
+        assert_eq!((e.line, e.col), (3, 11));
+        let e = compile_source("workflow w on summit {\n  task a { }\n}").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 15));
     }
 
     #[test]
@@ -385,7 +428,13 @@ workflow w on frontier-lite {
         assert_eq!(m.name, "frontier-lite");
         assert_eq!(m.total_nodes, 96);
         assert!(
-            (m.node_resource("compute").unwrap().peak_per_node.magnitude() - 2e13).abs() < 1.0
+            (m.node_resource("compute")
+                .unwrap()
+                .peak_per_node
+                .magnitude()
+                - 2e13)
+                .abs()
+                < 1.0
         );
         assert!((m.system_resource("fs").unwrap().peak.get() - 5e11).abs() < 1.0);
         assert_eq!(
@@ -397,8 +446,7 @@ workflow w on frontier-lite {
         // compute: 1 PF / (8 x 20 TF x 0.5) = 12.5 s; fs: 4 TB shared at
         // 500 GB/s = 8 s overlapped across the four tasks.
         assert!((r.makespan - 20.5).abs() < 0.1, "makespan {}", r.makespan);
-        let model =
-            wrm_core::RooflineModel::build(&m, &c.characterization().unwrap()).unwrap();
+        let model = wrm_core::RooflineModel::build(&m, &c.characterization().unwrap()).unwrap();
         assert_eq!(model.parallelism_wall, 12);
     }
 
@@ -448,10 +496,9 @@ mod chain_tests {
         let r = simulate(&Scenario::new(c.machine.clone().unwrap(), c.spec.clone())).unwrap();
         assert!((r.makespan - 50.0).abs() < 1e-9, "makespan {}", r.makespan);
         // Without `chain`, the bag runs in parallel.
-        let c = compile_source(
-            "workflow w on pm-cpu { task iter[5] { nodes 1 overhead step 10s } }",
-        )
-        .unwrap();
+        let c =
+            compile_source("workflow w on pm-cpu { task iter[5] { nodes 1 overhead step 10s } }")
+                .unwrap();
         assert_eq!(c.parallel_tasks, 5.0);
         let r = simulate(&Scenario::new(c.machine.clone().unwrap(), c.spec.clone())).unwrap();
         assert!((r.makespan - 10.0).abs() < 1e-9);

@@ -121,7 +121,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
             '0'..='9' | '.' => {
                 let mut num = String::new();
                 while let Some(&c2) = chars.peek() {
-                    if c2.is_ascii_digit() || c2 == '.' || c2 == 'e' || c2 == 'E'
+                    if c2.is_ascii_digit()
+                        || c2 == '.'
+                        || c2 == 'e'
+                        || c2 == 'E'
                         || ((c2 == '+' || c2 == '-')
                             && matches!(num.chars().last(), Some('e') | Some('E')))
                     {
@@ -134,9 +137,9 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                 }
                 // An exponent-less trailing 'e' actually starts a suffix
                 // (e.g. "5e" is invalid anyway; "5" + "GB" is typical).
-                let value: f64 = num.parse().map_err(|_| {
-                    LangError::new(format!("invalid number `{num}`"), tline, tcol)
-                })?;
+                let value: f64 = num
+                    .parse()
+                    .map_err(|_| LangError::new(format!("invalid number `{num}`"), tline, tcol))?;
                 // Optional unit suffix, directly attached.
                 let mut suffix = String::new();
                 while let Some(&c2) = chars.peek() {
@@ -149,10 +152,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                     }
                 }
                 let kind = if suffix.is_empty() {
-                    TokenKind::Number {
-                        value,
-                        unit: None,
-                    }
+                    TokenKind::Number { value, unit: None }
                 } else {
                     match unit_of(&suffix) {
                         Some((scale, unit)) => TokenKind::Number {

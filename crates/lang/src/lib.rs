@@ -37,6 +37,7 @@ pub mod lexer;
 pub mod parser;
 pub mod token;
 
+pub use ast::{Span, WorkflowAst};
 pub use compile::{compile, compile_source, Compiled};
 pub use parser::parse;
 pub use token::LangError;

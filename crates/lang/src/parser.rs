@@ -21,8 +21,14 @@
 //!            | "overhead" IDENT TIME
 //!            | "after" IDENT ["[" INT "]"]
 //! ```
+//!
+//! The parser records a [`Span`] on every AST node so downstream
+//! consumers (the linter, the compiler) can anchor diagnostics. It is
+//! deliberately permissive about *values* — a replica count of 0 or an
+//! efficiency of 2.0 parses fine; the linter flags them (E007/E006) and
+//! the compiler rejects them as a backstop.
 
-use crate::ast::{AfterRef, MachineAst, PhaseAst, TargetsAst, TaskAst, WorkflowAst};
+use crate::ast::{AfterRef, MachineAst, PhaseAst, Span, TargetsAst, TaskAst, WorkflowAst};
 use crate::lexer::lex;
 use crate::token::{LangError, Token, TokenKind, Unit};
 
@@ -34,6 +40,12 @@ struct Parser {
 impl Parser {
     fn peek(&self) -> &Token {
         &self.tokens[self.pos]
+    }
+
+    /// Source position of the next token.
+    fn pos_span(&self) -> Span {
+        let t = self.peek();
+        Span::new(t.line, t.col)
     }
 
     fn next(&mut self) -> Token {
@@ -61,6 +73,12 @@ impl Parser {
                 t.col,
             )),
         }
+    }
+
+    /// An identifier plus its source position.
+    fn expect_ident_spanned(&mut self) -> Result<(String, Span), LangError> {
+        let span = self.pos_span();
+        Ok((self.expect_ident()?, span))
     }
 
     fn expect_keyword(&mut self, kw: &str) -> Result<(), LangError> {
@@ -127,36 +145,30 @@ impl Parser {
         matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
     }
 
-    fn parse_optional_eff(&mut self) -> Result<f64, LangError> {
+    /// `eff <number>` if present. Any value parses; the linter enforces
+    /// the (0, 1] range (E006). Returns the value and its span (unknown
+    /// when defaulted).
+    fn parse_optional_eff(&mut self) -> Result<(f64, Span), LangError> {
         if self.peek_keyword("eff") {
             self.next();
-            let t = self.peek().clone();
+            let span = self.pos_span();
             let v = self.expect_number(None, "eff")?;
-            if !(v > 0.0 && v <= 1.0) {
-                return Err(LangError::new(
-                    format!("eff must be in (0, 1], got {v}"),
-                    t.line,
-                    t.col,
-                ));
-            }
-            Ok(v)
+            Ok((v, span))
         } else {
-            Ok(1.0)
+            Ok((1.0, Span::default()))
         }
     }
 
     fn parse_task(&mut self) -> Result<TaskAst, LangError> {
-        let name = self.expect_ident()?;
-        let count = if self.peek().kind == TokenKind::LBracket {
+        let (name, name_span) = self.expect_ident_spanned()?;
+        let (count, count_span) = if self.peek().kind == TokenKind::LBracket {
             self.next();
+            let span = self.pos_span();
             let n = self.expect_uint("replica count")? as usize;
             self.expect_token(TokenKind::RBracket)?;
-            if n == 0 {
-                return Err(self.err("replica count must be at least 1"));
-            }
-            n
+            (n, span)
         } else {
-            1
+            (1, name_span)
         };
         let chain = if self.peek_keyword("chain") {
             self.next();
@@ -167,9 +179,12 @@ impl Parser {
         self.expect_token(TokenKind::LBrace)?;
         let mut task = TaskAst {
             name,
+            span: name_span,
             count,
+            count_span,
             chain,
             nodes: 1,
+            nodes_span: name_span,
             phases: Vec::new(),
             after: Vec::new(),
         };
@@ -181,24 +196,33 @@ impl Parser {
                 }
                 TokenKind::Ident(kw) => {
                     let kw = kw.clone();
+                    let kw_span = self.pos_span();
                     self.next();
                     match kw.as_str() {
                         "nodes" => {
+                            task.nodes_span = self.pos_span();
                             task.nodes = self.expect_uint("nodes")?;
                         }
                         "compute" => {
                             let flops = self.expect_number(Some(Unit::Flops), "compute")?;
-                            let eff = self.parse_optional_eff()?;
-                            task.phases.push(PhaseAst::Compute { flops, eff });
+                            let (eff, eff_span) = self.parse_optional_eff()?;
+                            task.phases.push(PhaseAst::Compute {
+                                flops,
+                                eff,
+                                span: kw_span,
+                                eff_span,
+                            });
                         }
                         "node_bytes" => {
                             let resource = self.expect_ident()?;
                             let bytes = self.expect_number(Some(Unit::Bytes), "node_bytes")?;
-                            let eff = self.parse_optional_eff()?;
+                            let (eff, eff_span) = self.parse_optional_eff()?;
                             task.phases.push(PhaseAst::NodeBytes {
                                 resource,
                                 bytes,
                                 eff,
+                                span: kw_span,
+                                eff_span,
                             });
                         }
                         "system_bytes" => {
@@ -214,15 +238,20 @@ impl Parser {
                                 resource,
                                 bytes,
                                 cap,
+                                span: kw_span,
                             });
                         }
                         "overhead" => {
                             let label = self.expect_ident()?;
                             let seconds = self.expect_number(Some(Unit::Seconds), "overhead")?;
-                            task.phases.push(PhaseAst::Overhead { label, seconds });
+                            task.phases.push(PhaseAst::Overhead {
+                                label,
+                                seconds,
+                                span: kw_span,
+                            });
                         }
                         "after" => {
-                            let name = self.expect_ident()?;
+                            let (name, span) = self.expect_ident_spanned()?;
                             let index = if self.peek().kind == TokenKind::LBracket {
                                 self.next();
                                 let i = self.expect_uint("replica index")? as usize;
@@ -231,7 +260,7 @@ impl Parser {
                             } else {
                                 None
                             };
-                            task.after.push(AfterRef { name, index });
+                            task.after.push(AfterRef { name, index, span });
                         }
                         other => {
                             return Err(self.err(format!(
@@ -273,10 +302,11 @@ impl Parser {
     }
 
     fn parse_machine(&mut self) -> Result<MachineAst, LangError> {
-        let name = self.expect_ident()?;
+        let (name, span) = self.expect_ident_spanned()?;
         self.expect_token(TokenKind::LBrace)?;
         let mut m = MachineAst {
             name,
+            span,
             nodes: 1,
             node_resources: Vec::new(),
             system_resources: Vec::new(),
@@ -321,9 +351,7 @@ impl Parser {
                     }
                 }
                 other => {
-                    return Err(self.err(format!(
-                        "expected a machine statement, found {other}"
-                    )));
+                    return Err(self.err(format!("expected a machine statement, found {other}")));
                 }
             }
         }
@@ -341,10 +369,12 @@ impl Parser {
                 }
                 TokenKind::Ident(kw) if kw == "makespan" => {
                     self.next();
+                    t.makespan_span = self.pos_span();
                     t.makespan = Some(self.expect_number(Some(Unit::Seconds), "makespan")?);
                 }
                 TokenKind::Ident(kw) if kw == "throughput" => {
                     self.next();
+                    t.throughput_span = self.pos_span();
                     let n = self.expect_number(None, "throughput")?;
                     if self.peek_keyword("per") {
                         self.next();
@@ -378,17 +408,20 @@ pub fn parse(source: &str) -> Result<WorkflowAst, LangError> {
         machines.push(p.parse_machine()?);
     }
     p.expect_keyword("workflow")?;
-    let name = p.expect_ident()?;
-    let machine = if p.peek_keyword("on") {
+    let (name, name_span) = p.expect_ident_spanned()?;
+    let (machine, machine_span) = if p.peek_keyword("on") {
         p.next();
-        Some(p.expect_ident()?)
+        let (m, span) = p.expect_ident_spanned()?;
+        (Some(m), span)
     } else {
-        None
+        (None, Span::default())
     };
     p.expect_token(TokenKind::LBrace)?;
     let mut ast = WorkflowAst {
         name,
+        name_span,
         machine,
+        machine_span,
         targets: TargetsAst::default(),
         tasks: Vec::new(),
         machines,
@@ -413,10 +446,7 @@ pub fn parse(source: &str) -> Result<WorkflowAst, LangError> {
         }
     }
     if p.peek().kind != TokenKind::Eof {
-        return Err(p.err(format!(
-            "unexpected trailing input: {}",
-            p.peek().kind
-        )));
+        return Err(p.err(format!("unexpected trailing input: {}", p.peek().kind)));
     }
     Ok(ast)
 }
@@ -455,22 +485,23 @@ workflow lcls on cori-hsw {
         assert_eq!(analyze.count, 5);
         assert_eq!(analyze.nodes, 32);
         assert_eq!(analyze.phases.len(), 3);
-        assert_eq!(
-            analyze.phases[0],
+        match &analyze.phases[0] {
             PhaseAst::SystemBytes {
-                resource: "ext".into(),
-                bytes: 1e12,
-                cap: Some(1e9)
+                resource,
+                bytes,
+                cap,
+                ..
+            } => {
+                assert_eq!(resource, "ext");
+                assert_eq!(*bytes, 1e12);
+                assert_eq!(*cap, Some(1e9));
             }
-        );
+            other => panic!("expected system_bytes, got {other:?}"),
+        }
         let merge = &ast.tasks[1];
-        assert_eq!(
-            merge.after,
-            vec![AfterRef {
-                name: "analyze".into(),
-                index: None
-            }]
-        );
+        assert_eq!(merge.after.len(), 1);
+        assert_eq!(merge.after[0].name, "analyze");
+        assert_eq!(merge.after[0].index, None);
     }
 
     #[test]
@@ -480,21 +511,68 @@ workflow lcls on cori-hsw {
              overhead setup 5s } task s { nodes 64 compute 3226PFLOPS after e } }",
         )
         .unwrap();
-        assert_eq!(
-            ast.tasks[0].phases[0],
-            PhaseAst::Compute {
-                flops: 1.164e18,
-                eff: 0.39
+        match &ast.tasks[0].phases[0] {
+            PhaseAst::Compute { flops, eff, .. } => {
+                assert_eq!(*flops, 1.164e18);
+                assert_eq!(*eff, 0.39);
             }
-        );
-        assert_eq!(
-            ast.tasks[0].phases[1],
-            PhaseAst::Overhead {
-                label: "setup".into(),
-                seconds: 5.0
+            other => panic!("expected compute, got {other:?}"),
+        }
+        match &ast.tasks[0].phases[1] {
+            PhaseAst::Overhead { label, seconds, .. } => {
+                assert_eq!(label, "setup");
+                assert_eq!(*seconds, 5.0);
             }
-        );
+            other => panic!("expected overhead, got {other:?}"),
+        }
         assert_eq!(ast.tasks[1].after[0].name, "e");
+    }
+
+    #[test]
+    fn spans_point_at_the_declaration_sites() {
+        let ast = parse(LCLS).unwrap();
+        // Line/col are 1-based; `workflow lcls on cori-hsw` is line 3.
+        assert_eq!(ast.name_span, Span::new(3, 10));
+        assert_eq!(ast.machine_span, Span::new(3, 18));
+        assert_eq!(ast.targets.makespan_span.line, 4);
+        let analyze = &ast.tasks[0];
+        assert_eq!(analyze.span, Span::new(5, 8));
+        assert_eq!(analyze.count_span, Span::new(5, 16));
+        assert_eq!(analyze.nodes_span.line, 6);
+        assert_eq!(analyze.phases[0].span(), Span::new(7, 5));
+        let merge = &ast.tasks[1];
+        assert_eq!(merge.after[0].span, Span::new(14, 11));
+    }
+
+    #[test]
+    fn default_spans_are_unknown() {
+        let ast = parse("workflow w { task a { compute 1GFLOPS } }").unwrap();
+        assert_eq!(ast.machine_span, Span::default());
+        assert!(!ast.machine_span.is_known());
+        match &ast.tasks[0].phases[0] {
+            PhaseAst::Compute { eff, eff_span, .. } => {
+                assert_eq!(*eff, 1.0);
+                assert!(!eff_span.is_known());
+            }
+            other => panic!("expected compute, got {other:?}"),
+        }
+        // A bracket-less task anchors count/nodes spans on its name.
+        assert_eq!(ast.tasks[0].count_span, ast.tasks[0].span);
+    }
+
+    #[test]
+    fn suspicious_values_parse_for_the_linter() {
+        // Replica count 0 and out-of-range eff are lint errors (E007,
+        // E006), not parse errors.
+        let ast = parse("workflow w { task a[0] { compute 1GFLOPS eff 2 } }").unwrap();
+        assert_eq!(ast.tasks[0].count, 0);
+        match &ast.tasks[0].phases[0] {
+            PhaseAst::Compute { eff, eff_span, .. } => {
+                assert_eq!(*eff, 2.0);
+                assert!(eff_span.is_known());
+            }
+            other => panic!("expected compute, got {other:?}"),
+        }
     }
 
     #[test]
@@ -521,10 +599,6 @@ workflow lcls on cori-hsw {
         assert!(e.message.contains("unknown task statement"), "{e}");
         let e = parse("workflow w { task a { eff } }").unwrap_err();
         assert!(e.message.contains("unknown task statement"), "{e}");
-        let e = parse("workflow w { task a[0] { } }").unwrap_err();
-        assert!(e.message.contains("at least 1"), "{e}");
-        let e = parse("workflow w { task a { compute 1GFLOP eff 2 } }").unwrap_err();
-        assert!(e.message.contains("eff must be"), "{e}");
         let e = parse("workflow w { targets { makespan } }").unwrap_err();
         assert!(e.message.contains("expected a number"), "{e}");
         let e = parse("workflow w { targets { throughput 6 per 0s } }").unwrap_err();

@@ -1,0 +1,186 @@
+//! Diagnostic data model: severities, stable rule codes, source spans,
+//! and rendered caret snippets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// Ordered so `max()` picks the worst severity in a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Severity {
+    /// The spec is suspicious or wasteful but still analyzable.
+    Warning,
+    /// The spec cannot be compiled into a meaningful model.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// A 1-based source position, matching the lexer's line/column scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+impl Span {
+    /// A span at `line:col`.
+    pub fn new(line: usize, col: usize) -> Self {
+        Self { line, col }
+    }
+
+    /// The "unknown location" sentinel used when a construct has no
+    /// recorded position.
+    pub fn unknown() -> Self {
+        Self { line: 0, col: 0 }
+    }
+
+    /// True when the span carries a real position.
+    pub fn is_known(&self) -> bool {
+        self.line > 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One finding from the linter: a stable rule code, a severity, a source
+/// span, and a human-readable message (plus an optional help line).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable rule code (`E001`, `W003`, ...). `E000` is reserved for
+    /// syntax errors surfaced through the linter.
+    pub code: String,
+    /// Whether this is an error or a warning.
+    pub severity: Severity,
+    /// Where in the source the problem is anchored.
+    pub span: Span,
+    /// What is wrong.
+    pub message: String,
+    /// Optional guidance on how to fix it.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// An error diagnostic.
+    pub fn error(code: &str, span: Span, message: impl Into<String>) -> Self {
+        Self {
+            code: code.to_owned(),
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// A warning diagnostic.
+    pub fn warning(code: &str, span: Span, message: impl Into<String>) -> Self {
+        Self {
+            code: code.to_owned(),
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attaches a help line.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// One-line rendering: `error[E001] 3:9: message`.
+    pub fn one_line(&self) -> String {
+        if self.span.is_known() {
+            format!(
+                "{}[{}] {}: {}",
+                self.severity, self.code, self.span, self.message
+            )
+        } else {
+            format!("{}[{}]: {}", self.severity, self.code, self.message)
+        }
+    }
+
+    /// Multi-line rendering with a caret snippet pointing into `source`:
+    ///
+    /// ```text
+    /// error[E001] 3:9: unknown machine `pm-gpuu`
+    ///   |
+    /// 3 | machine pm-gpuu
+    ///   |         ^
+    ///   = help: did you mean `pm-gpu`?
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let mut out = self.one_line();
+        if self.span.is_known() {
+            if let Some(line_text) = source.lines().nth(self.span.line - 1) {
+                let number = self.span.line.to_string();
+                let gutter = " ".repeat(number.len());
+                out.push_str(&format!("\n{gutter} |\n{number} | {line_text}"));
+                let caret_pad = " ".repeat(self.span.col.saturating_sub(1));
+                out.push_str(&format!("\n{gutter} | {caret_pad}^"));
+            }
+        }
+        if let Some(help) = &self.help {
+            out.push_str(&format!("\n  = help: {help}"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_line_includes_code_span_and_message() {
+        let d = Diagnostic::error("E001", Span::new(3, 9), "unknown machine `x`");
+        assert_eq!(d.one_line(), "error[E001] 3:9: unknown machine `x`");
+    }
+
+    #[test]
+    fn render_points_a_caret_at_the_column() {
+        let src = "workflow w\nmachine pm-gpuu\n";
+        let d = Diagnostic::error("E001", Span::new(2, 9), "unknown machine `pm-gpuu`")
+            .with_help("did you mean `pm-gpu`?");
+        let r = d.render(src);
+        assert!(r.contains("2 | machine pm-gpuu"), "{r}");
+        assert!(r.contains("  |         ^"), "{r}");
+        assert!(r.contains("= help: did you mean `pm-gpu`?"), "{r}");
+    }
+
+    #[test]
+    fn severity_orders_error_above_warning() {
+        assert!(Severity::Error > Severity::Warning);
+    }
+
+    #[test]
+    fn diagnostic_round_trips_through_json() {
+        let d = Diagnostic::warning("W002", Span::new(7, 1), "unused machine `m`")
+            .with_help("remove it");
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Diagnostic = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn unknown_span_is_omitted_from_text() {
+        let d = Diagnostic::error("E008", Span::unknown(), "duplicate task `a`");
+        assert_eq!(d.one_line(), "error[E008]: duplicate task `a`");
+    }
+}

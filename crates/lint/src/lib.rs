@@ -1,0 +1,11 @@
+//! # wrm-lint — semantic static analysis for `.wrm` workflow specs
+//!
+//! Runs a registry of semantic rules over a parsed [`wrm_lang`]
+//! workflow AST and the resolved machine model, producing stable-coded
+//! [`Diagnostic`]s with source spans.
+
+pub mod diagnostics;
+pub mod rules;
+
+pub use diagnostics::{Diagnostic, Severity, Span};
+pub use rules::{lint_ast, lint_errors, lint_source, max_severity, rule, RuleInfo, RULES};

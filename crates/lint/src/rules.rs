@@ -1,0 +1,946 @@
+//! The rule registry: every semantic pass the linter runs over a parsed
+//! workflow, with stable codes.
+//!
+//! | Code | Severity | What it catches |
+//! |------|----------|-----------------|
+//! | E000 | error    | syntax error (parse failure surfaced as a diagnostic) |
+//! | E001 | error    | `on <machine>` names neither a preset nor a declared machine |
+//! | E002 | error    | `after` references an undeclared task |
+//! | E003 | error    | `after t[i]` replica index out of range |
+//! | E004 | error    | dependency cycle among tasks |
+//! | E005 | error    | task needs more nodes than the machine has (parallelism wall 0) |
+//! | E006 | error    | `eff` outside (0, 1] |
+//! | E007 | error    | `task t[0]` — zero replicas |
+//! | E008 | error    | duplicate task or machine declaration |
+//! | W001 | warning  | phase resource absent on the target machine (dead ceiling) |
+//! | W002 | warning  | custom `machine` declared but never used |
+//! | W003 | warning  | zero/negative phase volume (imposes no ceiling) |
+//! | W004 | warning  | `nodes 0` (compiler treats it as 1) |
+//! | W005 | warning  | target provably unattainable (names the binding ceiling) |
+
+use crate::diagnostics::{Diagnostic, Severity, Span};
+use std::collections::{BTreeMap, BTreeSet};
+use wrm_core::{machines, Machine, RooflineModel, WorkUnit};
+use wrm_lang::ast::{PhaseAst, TaskAst, WorkflowAst};
+
+/// Registry metadata for one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// Stable code (`E001`, `W003`, ...).
+    pub code: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// Severity every diagnostic from this rule carries.
+    pub severity: Severity,
+    /// One-line description for docs and `--explain`-style output.
+    pub summary: &'static str,
+}
+
+/// Every rule the linter knows, in code order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        code: "E000",
+        name: "syntax-error",
+        severity: Severity::Error,
+        summary: "the file does not parse; the lexer/parser error is surfaced as a diagnostic",
+    },
+    RuleInfo {
+        code: "E001",
+        name: "unknown-machine",
+        severity: Severity::Error,
+        summary: "`on <machine>` names neither a built-in preset nor a declared machine",
+    },
+    RuleInfo {
+        code: "E002",
+        name: "undeclared-dependency",
+        severity: Severity::Error,
+        summary: "`after` references a task that is not declared in the workflow",
+    },
+    RuleInfo {
+        code: "E003",
+        name: "replica-index-out-of-range",
+        severity: Severity::Error,
+        summary: "`after t[i]` indexes past the replica count of `t` (indices are 0-based)",
+    },
+    RuleInfo {
+        code: "E004",
+        name: "dependency-cycle",
+        severity: Severity::Error,
+        summary: "the `after` edges form a cycle, so no schedule exists",
+    },
+    RuleInfo {
+        code: "E005",
+        name: "task-larger-than-machine",
+        severity: Severity::Error,
+        summary: "a task needs more nodes than the machine has, making the parallelism wall 0",
+    },
+    RuleInfo {
+        code: "E006",
+        name: "eff-out-of-range",
+        severity: Severity::Error,
+        summary: "`eff` must be in (0, 1]",
+    },
+    RuleInfo {
+        code: "E007",
+        name: "zero-replicas",
+        severity: Severity::Error,
+        summary: "`task t[0]` declares zero replicas",
+    },
+    RuleInfo {
+        code: "E008",
+        name: "duplicate-name",
+        severity: Severity::Error,
+        summary: "a task or machine name is declared more than once",
+    },
+    RuleInfo {
+        code: "W001",
+        name: "dead-ceiling",
+        severity: Severity::Warning,
+        summary: "a phase references a resource the target machine does not provide, so the \
+                  phase imposes no ceiling",
+    },
+    RuleInfo {
+        code: "W002",
+        name: "unused-machine",
+        severity: Severity::Warning,
+        summary: "a custom `machine` is declared but never referenced with `on`",
+    },
+    RuleInfo {
+        code: "W003",
+        name: "zero-volume",
+        severity: Severity::Warning,
+        summary: "a phase has zero or negative volume and imposes no ceiling",
+    },
+    RuleInfo {
+        code: "W004",
+        name: "zero-nodes",
+        severity: Severity::Warning,
+        summary: "`nodes 0` is treated as `nodes 1` by the compiler",
+    },
+    RuleInfo {
+        code: "W005",
+        name: "infeasible-target",
+        severity: Severity::Warning,
+        summary: "a declared target is provably unattainable on this machine; the message \
+                  names the binding ceiling",
+    },
+];
+
+/// Looks up a rule by its code.
+pub fn rule(code: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+fn sp(s: wrm_lang::Span) -> Span {
+    Span::new(s.line, s.col)
+}
+
+/// Lints source text: a parse failure becomes a single `E000`
+/// diagnostic; otherwise all semantic rules run over the AST.
+pub fn lint_source(source: &str) -> Vec<Diagnostic> {
+    match wrm_lang::parse(source) {
+        Ok(ast) => lint_ast(&ast),
+        Err(e) => vec![Diagnostic::error(
+            "E000",
+            Span::new(e.line, e.col),
+            format!("syntax error: {}", e.message),
+        )],
+    }
+}
+
+/// Runs every semantic rule over a parsed workflow. Diagnostics come
+/// back sorted by source position, then code.
+pub fn lint_ast(ast: &WorkflowAst) -> Vec<Diagnostic> {
+    let machine = resolve_machine(ast);
+    let mut out = Vec::new();
+
+    check_machine_reference(ast, &mut out);
+    check_duplicates(ast, &mut out);
+    check_dependencies(ast, &mut out);
+    check_cycles(ast, &mut out);
+    check_values(ast, &mut out);
+    if let Some(m) = &machine {
+        check_machine_fit(ast, m, &mut out);
+        check_dead_ceilings(ast, m, &mut out);
+    }
+    check_unused_machines(ast, &mut out);
+    let has_errors = out.iter().any(|d| d.severity == Severity::Error);
+    check_targets(ast, machine.as_ref(), has_errors, &mut out);
+
+    out.sort_by(|a, b| (a.span, &a.code).cmp(&(b.span, &b.code)));
+    out
+}
+
+/// Only the error-severity findings — what `analyze`/`simulate` gate on
+/// before compiling.
+pub fn lint_errors(ast: &WorkflowAst) -> Vec<Diagnostic> {
+    lint_ast(ast)
+        .into_iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect()
+}
+
+/// The worst severity in a batch, if any.
+pub fn max_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).max()
+}
+
+/// The machine the workflow targets, with in-file declarations
+/// shadowing presets — mirrors the compiler's resolution, but tolerates
+/// invalid machine bodies (those produce their own compile error).
+fn resolve_machine(ast: &WorkflowAst) -> Option<Machine> {
+    let name = ast.machine.as_ref()?;
+    match ast.machines.iter().find(|m| &m.name == name) {
+        Some(m) => {
+            let mut b = Machine::builder(m.name.clone(), m.nodes);
+            for (id, peak, is_flops) in &m.node_resources {
+                let rate = if *is_flops {
+                    wrm_core::Rate::FlopsPerSec(wrm_core::FlopsPerSec(*peak))
+                } else {
+                    wrm_core::Rate::BytesPerSec(wrm_core::BytesPerSec(*peak))
+                };
+                b = b.node(id.as_str(), id.clone(), rate);
+            }
+            for (id, peak, per_node) in &m.system_resources {
+                if *per_node {
+                    b = b.system_per_node(id.as_str(), id.clone(), wrm_core::BytesPerSec(*peak));
+                } else {
+                    b = b.system(id.as_str(), id.clone(), wrm_core::BytesPerSec(*peak));
+                }
+            }
+            b.build().ok()
+        }
+        None => machines::by_name(name),
+    }
+}
+
+/// E001: `on <name>` resolves to nothing.
+fn check_machine_reference(ast: &WorkflowAst, out: &mut Vec<Diagnostic>) {
+    let Some(name) = &ast.machine else { return };
+    let declared = ast.machines.iter().any(|m| &m.name == name);
+    if !declared && machines::by_name(name).is_none() {
+        out.push(
+            Diagnostic::error(
+                "E001",
+                sp(ast.machine_span),
+                format!("unknown machine `{name}`"),
+            )
+            .with_help(format!(
+                "known presets: {}; or declare `machine {name} {{ ... }}` in this file",
+                machines::short_names().join(", ")
+            )),
+        );
+    }
+}
+
+/// E008: duplicate task or machine names.
+fn check_duplicates(ast: &WorkflowAst, out: &mut Vec<Diagnostic>) {
+    let mut tasks = BTreeSet::new();
+    for t in &ast.tasks {
+        if !tasks.insert(&t.name) {
+            out.push(Diagnostic::error(
+                "E008",
+                sp(t.span),
+                format!("task `{}` is declared twice", t.name),
+            ));
+        }
+    }
+    let mut machines_seen = BTreeSet::new();
+    for m in &ast.machines {
+        if !machines_seen.insert(&m.name) {
+            out.push(Diagnostic::error(
+                "E008",
+                sp(m.span),
+                format!("machine `{}` is declared twice", m.name),
+            ));
+        }
+    }
+}
+
+/// E002 + E003: `after` references and replica indices.
+fn check_dependencies(ast: &WorkflowAst, out: &mut Vec<Diagnostic>) {
+    let counts: BTreeMap<&str, usize> = ast
+        .tasks
+        .iter()
+        .map(|t| (t.name.as_str(), t.count))
+        .collect();
+    for t in &ast.tasks {
+        for dep in &t.after {
+            match counts.get(dep.name.as_str()) {
+                None => out.push(
+                    Diagnostic::error(
+                        "E002",
+                        sp(dep.span),
+                        format!(
+                            "task `{}` depends on undeclared task `{}`",
+                            t.name, dep.name
+                        ),
+                    )
+                    .with_help(format!(
+                        "declared tasks: {}",
+                        if counts.is_empty() {
+                            "(none)".to_owned()
+                        } else {
+                            counts
+                                .keys()
+                                .map(|k| format!("`{k}`"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        }
+                    )),
+                ),
+                Some(&count) => {
+                    if let Some(idx) = dep.index {
+                        if idx >= count {
+                            out.push(
+                                Diagnostic::error(
+                                    "E003",
+                                    sp(dep.span),
+                                    format!(
+                                        "task `{}` references `{}[{idx}]` but only {count} \
+                                         replica(s) exist",
+                                        t.name, dep.name
+                                    ),
+                                )
+                                .with_help("replica indices are 0-based".to_owned()),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// E004: cycles in the base-name dependency graph.
+///
+/// `after` edges connect whole replica groups, so any cycle among base
+/// names means a cycle among expanded replicas (including `after self`,
+/// even with an index: every replica would wait on a member of its own
+/// group). Chain edges (`task t[n] chain`) stay inside one group and
+/// are acyclic by construction, so base-name granularity is exact.
+fn check_cycles(ast: &WorkflowAst, out: &mut Vec<Diagnostic>) {
+    let index: BTreeMap<&str, usize> = ast
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.name.as_str(), i))
+        .collect();
+    // settled[i]: fully explored with no cycle, or already reported.
+    let mut settled = vec![false; ast.tasks.len()];
+    for start in 0..ast.tasks.len() {
+        if settled[start] {
+            continue;
+        }
+        // Iterative DFS with an explicit path so fuzzed inputs with very
+        // long chains cannot overflow the stack.
+        let mut path: Vec<usize> = vec![start];
+        let mut edge_pos: Vec<usize> = vec![0];
+        let mut on_path = vec![false; ast.tasks.len()];
+        on_path[start] = true;
+        while let Some(&node) = path.last() {
+            let deps = &ast.tasks[node].after;
+            let cursor = edge_pos[path.len() - 1];
+            let next = deps[cursor..].iter().enumerate().find_map(|(off, dep)| {
+                index
+                    .get(dep.name.as_str())
+                    .map(|&to| (cursor + off + 1, to, dep))
+            });
+            match next {
+                Some((resume, to, dep)) if on_path[to] && !settled[to] => {
+                    // Found a cycle: the path suffix from `to`, closed.
+                    let from = path.iter().position(|&n| n == to).expect("on path");
+                    let mut names: Vec<&str> = path[from..]
+                        .iter()
+                        .map(|&n| ast.tasks[n].name.as_str())
+                        .collect();
+                    names.push(ast.tasks[to].name.as_str());
+                    for &n in &path[from..] {
+                        settled[n] = true;
+                    }
+                    out.push(
+                        Diagnostic::error(
+                            "E004",
+                            sp(dep.span),
+                            format!("dependency cycle: {}", names.join(" -> ")),
+                        )
+                        .with_help("no schedule exists; remove one of these `after` edges"),
+                    );
+                    edge_pos[path.len() - 1] = resume;
+                }
+                Some((resume, to, _)) => {
+                    edge_pos[path.len() - 1] = resume;
+                    if !settled[to] {
+                        path.push(to);
+                        edge_pos.push(0);
+                        on_path[to] = true;
+                    }
+                }
+                None => {
+                    settled[node] = true;
+                    on_path[node] = false;
+                    path.pop();
+                    edge_pos.pop();
+                }
+            }
+        }
+    }
+}
+
+/// E006, E007, W003, W004: per-task value sanity.
+fn check_values(ast: &WorkflowAst, out: &mut Vec<Diagnostic>) {
+    for t in &ast.tasks {
+        if t.count == 0 {
+            out.push(
+                Diagnostic::error(
+                    "E007",
+                    sp(t.count_span),
+                    format!("task `{}` declares 0 replicas", t.name),
+                )
+                .with_help(format!(
+                    "use `task {}[n]` with n >= 1, or drop the bracket for a single task",
+                    t.name
+                )),
+            );
+        }
+        if t.nodes == 0 {
+            out.push(Diagnostic::warning(
+                "W004",
+                sp(t.nodes_span),
+                format!(
+                    "task `{}` declares `nodes 0`; the compiler treats it as 1 node",
+                    t.name
+                ),
+            ));
+        }
+        for p in &t.phases {
+            check_phase_values(t, p, out);
+        }
+    }
+}
+
+fn check_phase_values(t: &TaskAst, p: &PhaseAst, out: &mut Vec<Diagnostic>) {
+    let eff_diag = |eff: f64, eff_span: wrm_lang::Span, out: &mut Vec<Diagnostic>| {
+        if !(eff > 0.0 && eff <= 1.0) {
+            out.push(Diagnostic::error(
+                "E006",
+                sp(eff_span),
+                format!("eff must be in (0, 1], got {eff}"),
+            ));
+        }
+    };
+    let volume_diag =
+        |kw: &str, v: f64, span: wrm_lang::Span, what: &str, out: &mut Vec<Diagnostic>| {
+            // `<= 0.0 || NaN`, i.e. anything that is not a real volume.
+            if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                out.push(Diagnostic::warning(
+                    "W003",
+                    sp(span),
+                    format!(
+                        "`{kw}` in task `{}` has non-positive {what} ({v}); the phase \
+                         imposes no ceiling",
+                        t.name
+                    ),
+                ));
+            }
+        };
+    match p {
+        PhaseAst::Compute {
+            flops,
+            eff,
+            span,
+            eff_span,
+        } => {
+            eff_diag(*eff, *eff_span, out);
+            volume_diag("compute", *flops, *span, "volume", out);
+        }
+        PhaseAst::NodeBytes {
+            bytes,
+            eff,
+            span,
+            eff_span,
+            ..
+        } => {
+            eff_diag(*eff, *eff_span, out);
+            volume_diag("node_bytes", *bytes, *span, "volume", out);
+        }
+        PhaseAst::SystemBytes { bytes, span, .. } => {
+            volume_diag("system_bytes", *bytes, *span, "volume", out);
+        }
+        PhaseAst::Overhead { seconds, span, .. } => {
+            if *seconds < 0.0 {
+                out.push(Diagnostic::warning(
+                    "W003",
+                    sp(*span),
+                    format!(
+                        "`overhead` in task `{}` has negative duration ({seconds}s)",
+                        t.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// E005: a task that cannot fit on the machine at all.
+fn check_machine_fit(ast: &WorkflowAst, machine: &Machine, out: &mut Vec<Diagnostic>) {
+    for t in &ast.tasks {
+        if t.nodes > machine.total_nodes {
+            out.push(
+                Diagnostic::error(
+                    "E005",
+                    sp(t.nodes_span),
+                    format!(
+                        "task `{}` needs {} nodes but machine `{}` has only {}",
+                        t.name, t.nodes, machine.name, machine.total_nodes
+                    ),
+                )
+                .with_help(
+                    "the parallelism wall floor(total_nodes / nodes_per_task) would be 0; \
+                     no schedule exists",
+                ),
+            );
+        }
+    }
+}
+
+/// W001: phases whose resource the machine does not provide.
+fn check_dead_ceilings(ast: &WorkflowAst, machine: &Machine, out: &mut Vec<Diagnostic>) {
+    let has_flops = machine
+        .node_resources
+        .iter()
+        .any(|r| r.peak_per_node.unit() == WorkUnit::Flops);
+    let list = |items: Vec<String>| {
+        if items.is_empty() {
+            "(none)".to_owned()
+        } else {
+            items.join(", ")
+        }
+    };
+    let node_ids = || {
+        list(
+            machine
+                .node_resources
+                .iter()
+                .map(|r| format!("`{}`", r.id))
+                .collect(),
+        )
+    };
+    let system_ids = || {
+        list(
+            machine
+                .system_resources
+                .iter()
+                .map(|r| format!("`{}`", r.id))
+                .collect(),
+        )
+    };
+    for t in &ast.tasks {
+        for p in &t.phases {
+            match p {
+                PhaseAst::Compute { span, .. } if !has_flops => {
+                    out.push(
+                        Diagnostic::warning(
+                            "W001",
+                            sp(*span),
+                            format!(
+                                "machine `{}` has no FLOP/s node resource; this `compute` \
+                                 phase imposes no ceiling",
+                                machine.name
+                            ),
+                        )
+                        .with_help(format!("node resources on this machine: {}", node_ids())),
+                    );
+                }
+                PhaseAst::NodeBytes { resource, span, .. }
+                    if machine.node_resource(resource).is_none() =>
+                {
+                    out.push(
+                        Diagnostic::warning(
+                            "W001",
+                            sp(*span),
+                            format!(
+                                "machine `{}` has no node resource `{resource}`; this \
+                                 `node_bytes` phase imposes no ceiling",
+                                machine.name
+                            ),
+                        )
+                        .with_help(format!("node resources on this machine: {}", node_ids())),
+                    );
+                }
+                PhaseAst::SystemBytes { resource, span, .. }
+                    if machine.system_resource(resource).is_none() =>
+                {
+                    out.push(
+                        Diagnostic::warning(
+                            "W001",
+                            sp(*span),
+                            format!(
+                                "machine `{}` has no system resource `{resource}`; this \
+                                 `system_bytes` phase imposes no ceiling",
+                                machine.name
+                            ),
+                        )
+                        .with_help(format!(
+                            "system resources on this machine: {}",
+                            system_ids()
+                        )),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// W002: declared machines never referenced with `on`.
+fn check_unused_machines(ast: &WorkflowAst, out: &mut Vec<Diagnostic>) {
+    // Only the first declaration of a name is reachable (E008 covers the
+    // rest), and only the one matching `on <name>` is used.
+    let mut seen = BTreeSet::new();
+    for m in &ast.machines {
+        let first = seen.insert(&m.name);
+        if first && ast.machine.as_ref() != Some(&m.name) {
+            out.push(
+                Diagnostic::warning(
+                    "W002",
+                    sp(m.span),
+                    format!("machine `{}` is declared but never used", m.name),
+                )
+                .with_help(format!(
+                    "reference it with `workflow {} on {} {{ ... }}`",
+                    ast.name, m.name
+                )),
+            );
+        }
+    }
+}
+
+/// W005: targets the model can prove unattainable. Needs a clean
+/// compile, so it runs only when no error-severity diagnostic exists.
+fn check_targets(
+    ast: &WorkflowAst,
+    machine: Option<&Machine>,
+    has_errors: bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(machine) = machine else { return };
+    if ast.targets.makespan.is_none() && ast.targets.throughput.is_none() {
+        return;
+    }
+    if has_errors {
+        return;
+    }
+    let Ok(compiled) = wrm_lang::compile(ast) else {
+        return;
+    };
+    let Ok(wf) = compiled.characterization() else {
+        return;
+    };
+    // Lenient: dead-ceiling resources already have their own W001.
+    let Ok(model) = RooflineModel::build_lenient(machine, &wf) else {
+        return;
+    };
+    if model.ceilings.is_empty() {
+        return; // nothing binds; any target is (vacuously) attainable
+    }
+    let wall = model.parallelism_wall as f64;
+
+    if let Some(target) = ast.targets.throughput {
+        // The best the envelope ever allows: node ceilings peak at the
+        // wall, system ceilings are flat.
+        if let Some(best) = model.envelope_at(wall) {
+            let best = best.get();
+            if best.is_finite() && target > best * (1.0 + 1e-9) {
+                let binding = model
+                    .binding_ceiling_at(wall)
+                    .map_or_else(|| "parallelism wall".to_owned(), |c| c.label.clone());
+                out.push(
+                    Diagnostic::warning(
+                        "W005",
+                        sp(ast.targets.throughput_span),
+                        format!(
+                            "throughput target {target} tasks/s is unattainable: the model \
+                             caps at {best:.6} tasks/s even at the parallelism wall \
+                             (x = {wall})",
+                        ),
+                    )
+                    .with_help(format!("binding ceiling: {binding}")),
+                );
+            }
+        }
+    }
+
+    if let Some(target) = ast.targets.makespan {
+        if let Some(lb) = model.makespan_lower_bound() {
+            let lb = lb.get();
+            if lb.is_finite() && target < lb * (1.0 - 1e-9) {
+                let binding = model
+                    .binding_ceiling()
+                    .map_or_else(|| "parallelism wall".to_owned(), |c| c.label.clone());
+                out.push(
+                    Diagnostic::warning(
+                        "W005",
+                        sp(ast.targets.makespan_span),
+                        format!(
+                            "makespan target {target}s is below the theoretical lower bound \
+                             {lb:.3}s at this workflow's parallelism",
+                        ),
+                    )
+                    .with_help(format!("binding ceiling: {binding}")),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        lint_source(src).into_iter().map(|d| d.code).collect()
+    }
+
+    fn find(src: &str, code: &str) -> Diagnostic {
+        lint_source(src)
+            .into_iter()
+            .find(|d| d.code == code)
+            .unwrap_or_else(|| panic!("no {code} diagnostic for {src}"))
+    }
+
+    #[test]
+    fn clean_workflow_produces_no_diagnostics() {
+        let src = "workflow w on pm-gpu {
+  task a[4] { nodes 8 compute 1PFLOPS eff 0.5 system_bytes fs 1TB }
+  task b { nodes 1 system_bytes fs 1GB after a }
+}";
+        assert_eq!(codes(src), Vec::<String>::new());
+    }
+
+    #[test]
+    fn e000_syntax_error() {
+        let d = find("workflow w { task a { nodes } }", "E000");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("syntax error"), "{}", d.message);
+        assert!(d.span.is_known());
+    }
+
+    #[test]
+    fn e001_unknown_machine() {
+        let d = find("workflow w on summit { task a { } }", "E001");
+        assert!(
+            d.message.contains("unknown machine `summit`"),
+            "{}",
+            d.message
+        );
+        assert_eq!(d.span, Span::new(1, 15));
+        assert!(d.help.unwrap().contains("pm-gpu"));
+    }
+
+    #[test]
+    fn e002_undeclared_dependency() {
+        let d = find("workflow w {\n  task b { after ghost }\n}", "E002");
+        assert!(
+            d.message.contains("undeclared task `ghost`"),
+            "{}",
+            d.message
+        );
+        assert_eq!(d.span, Span::new(2, 18));
+        assert!(d.help.unwrap().contains("`b`"));
+    }
+
+    #[test]
+    fn e003_replica_index_out_of_range() {
+        let d = find("workflow w { task a[2] { } task b { after a[5] } }", "E003");
+        assert!(d.message.contains("`a[5]`"), "{}", d.message);
+        assert!(d.message.contains("only 2 replica"), "{}", d.message);
+    }
+
+    #[test]
+    fn e004_dependency_cycle() {
+        let d = find(
+            "workflow w { task a { after b } task b { after c } task c { after a } }",
+            "E004",
+        );
+        assert!(
+            d.message.contains("a -> b -> c -> a") || d.message.contains("cycle"),
+            "{}",
+            d.message
+        );
+        // Self-dependency is a cycle too, even with an index.
+        let d = find("workflow w { task a[3] { after a[0] } }", "E004");
+        assert!(d.message.contains("a -> a"), "{}", d.message);
+    }
+
+    #[test]
+    fn e005_task_larger_than_machine() {
+        let d = find(
+            "machine m { nodes 4 node compute 1TFLOPS }
+workflow w on m { task big { nodes 8 compute 1PFLOPS } }",
+            "E005",
+        );
+        assert!(d.message.contains("needs 8 nodes"), "{}", d.message);
+        assert!(d.message.contains("only 4"), "{}", d.message);
+    }
+
+    #[test]
+    fn e006_eff_out_of_range() {
+        let d = find("workflow w { task a { compute 1PFLOPS eff 2 } }", "E006");
+        assert!(d.message.contains("(0, 1]"), "{}", d.message);
+        let d = find("workflow w { task a { compute 1PFLOPS eff 0 } }", "E006");
+        assert!(d.message.contains("got 0"), "{}", d.message);
+    }
+
+    #[test]
+    fn e007_zero_replicas() {
+        let d = find("workflow w { task a[0] { } }", "E007");
+        assert!(d.message.contains("0 replicas"), "{}", d.message);
+    }
+
+    #[test]
+    fn e008_duplicates() {
+        let d = find("workflow w { task a { } task a { } }", "E008");
+        assert!(d.message.contains("task `a`"), "{}", d.message);
+        let d = find(
+            "machine m { nodes 1 } machine m { nodes 2 } workflow w on m { task a { } }",
+            "E008",
+        );
+        assert!(d.message.contains("machine `m`"), "{}", d.message);
+    }
+
+    #[test]
+    fn w001_dead_ceiling() {
+        // pm-gpu has no `dram` node resource (it has hbm) and no `bb`.
+        let src = "workflow w on pm-gpu { task a { node_bytes dram 1GB system_bytes bb 1GB } }";
+        let diags = lint_source(src);
+        let w: Vec<_> = diags.iter().filter(|d| d.code == "W001").collect();
+        assert_eq!(w.len(), 2, "{diags:?}");
+        assert!(
+            w[0].message.contains("no node resource `dram`"),
+            "{}",
+            w[0].message
+        );
+        assert!(
+            w[1].message.contains("no system resource `bb`"),
+            "{}",
+            w[1].message
+        );
+        // A machine with no FLOP/s resource makes compute dead.
+        let d = find(
+            "machine m { nodes 4 node dram 100GB/s }
+workflow w on m { task a { compute 1PFLOPS } }",
+            "W001",
+        );
+        assert!(
+            d.message.contains("no FLOP/s node resource"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn w002_unused_machine() {
+        let d = find(
+            "machine spare { nodes 4 node compute 1TFLOPS }
+workflow w on pm-gpu { task a { } }",
+            "W002",
+        );
+        assert!(d.message.contains("`spare`"), "{}", d.message);
+        assert!(d.help.unwrap().contains("on spare"));
+    }
+
+    #[test]
+    fn w003_zero_volume() {
+        let d = find("workflow w { task a { compute 0FLOPS } }", "W003");
+        assert!(d.message.contains("non-positive"), "{}", d.message);
+        let d = find("workflow w { task a { system_bytes fs 0B } }", "W003");
+        assert!(d.message.contains("system_bytes"), "{}", d.message);
+    }
+
+    #[test]
+    fn w004_zero_nodes() {
+        let d = find("workflow w { task a { nodes 0 } }", "W004");
+        assert!(d.message.contains("nodes 0"), "{}", d.message);
+    }
+
+    #[test]
+    fn w005_infeasible_throughput_names_binding_ceiling() {
+        // One task at a time (chain), each needing 1000 s of external
+        // transfer: throughput can never exceed ~0.001 tasks/s, let
+        // alone 1 task/s.
+        let src = "machine m { nodes 4 node compute 1TFLOPS system ext 1GB/s }
+workflow w on m {
+  targets { throughput 1 }
+  task pull[4] chain { nodes 1 system_bytes ext 1TB }
+}";
+        let d = find(src, "W005");
+        assert!(d.message.contains("unattainable"), "{}", d.message);
+        assert!(
+            d.help.unwrap().contains("ext"),
+            "should name the binding ceiling"
+        );
+    }
+
+    #[test]
+    fn w005_infeasible_makespan() {
+        let src = "machine m { nodes 4 node compute 1TFLOPS system ext 1GB/s }
+workflow w on m {
+  targets { makespan 10s }
+  task pull[4] chain { nodes 1 system_bytes ext 1TB }
+}";
+        let d = find(src, "W005");
+        assert!(d.message.contains("lower bound"), "{}", d.message);
+    }
+
+    #[test]
+    fn w005_skipped_when_errors_present() {
+        // The same infeasible target, but with an error elsewhere: W005
+        // stays quiet because the model cannot be trusted.
+        let src = "machine m { nodes 4 node compute 1TFLOPS system ext 1GB/s }
+workflow w on m {
+  targets { throughput 1 }
+  task pull[4] chain { nodes 1 system_bytes ext 1TB after ghost }
+}";
+        let diags = lint_source(src);
+        assert!(diags.iter().any(|d| d.code == "E002"));
+        assert!(!diags.iter().any(|d| d.code == "W005"));
+    }
+
+    #[test]
+    fn diagnostics_come_back_sorted_by_position() {
+        let src = "workflow w {\n  task a[0] { }\n  task b { after ghost }\n}";
+        let diags = lint_source(src);
+        let lines: Vec<usize> = diags.iter().map(|d| d.span.line).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn lint_errors_filters_warnings() {
+        let src = "workflow w on pm-gpu { task a[0] { node_bytes dram 1GB } }";
+        let all = lint_source(src);
+        assert!(all.iter().any(|d| d.severity == Severity::Warning));
+        let ast = wrm_lang::parse(src).unwrap();
+        let errs = lint_errors(&ast);
+        assert!(!errs.is_empty());
+        assert!(errs.iter().all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn registry_is_consistent() {
+        // Codes are unique, ordered, and match their severity prefix.
+        let mut seen = std::collections::BTreeSet::new();
+        for r in RULES {
+            assert!(seen.insert(r.code), "duplicate code {}", r.code);
+            let expect = match r.severity {
+                Severity::Error => 'E',
+                Severity::Warning => 'W',
+            };
+            assert!(r.code.starts_with(expect), "{} vs {:?}", r.code, r.severity);
+        }
+        assert!(rule("E001").is_some());
+        assert!(rule("Z999").is_none());
+    }
+}

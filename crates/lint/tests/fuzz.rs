@@ -1,0 +1,80 @@
+//! Property tests: the linter must never panic, whatever the input.
+//!
+//! `lint_source` is the entry point the CLI hands raw files to, so it
+//! has to absorb arbitrary bytes (E000), arbitrary parseable-but-absurd
+//! specs (the parser is deliberately permissive about values), and
+//! hostile dependency graphs without crashing.
+
+use proptest::prelude::*;
+use wrm_lint::{lint_source, max_severity, Severity};
+
+proptest! {
+    #[test]
+    fn never_panics_on_arbitrary_text(src in "[ -~\n]{0,200}") {
+        let _ = lint_source(&src);
+    }
+
+    #[test]
+    fn never_panics_on_keyword_soup(words in proptest::collection::vec(prop_oneof![
+        Just("workflow"), Just("machine"), Just("task"), Just("targets"),
+        Just("nodes"), Just("compute"), Just("node_bytes"), Just("system_bytes"),
+        Just("overhead"), Just("after"), Just("eff"), Just("cap"), Just("on"),
+        Just("{"), Just("}"), Just("["), Just("]"), Just("per"),
+        Just("1TB"), Just("0"), Just("-3"), Just("2.5GB/s"), Just("pm-cpu"),
+        Just("a"), Just("b"), Just("\n"),
+    ], 0..40)) {
+        let _ = lint_source(&words.join(" "));
+    }
+
+    #[test]
+    fn diagnostics_always_have_registered_codes(
+        count in 0usize..6,
+        nodes in 0usize..5000,
+        // The lexer has no unary minus, so stay non-negative; 0.0 and
+        // anything above 1.0 still trip E006.
+        eff in 0.0f64..2.0,
+    ) {
+        // A generated spec that can trip E005/E006/E007/W003/W004
+        // depending on the drawn values; whatever fires must come from
+        // the registry and E000 must not (the spec is syntactically
+        // valid).
+        let src = format!(
+            "workflow w on pm-cpu {{\n  task a[{count}] {{\n    nodes {nodes}\n    \
+             compute 1TFLOPS eff {eff:.3}\n  }}\n}}\n"
+        );
+        for d in lint_source(&src) {
+            prop_assert!(wrm_lint::rule(&d.code).is_some(), "unregistered code {}", d.code);
+            prop_assert!(d.code != "E000", "valid spec produced a syntax error");
+        }
+    }
+
+    #[test]
+    fn random_dependency_graphs_never_hang_or_panic(edges in proptest::collection::vec(
+        (0usize..8, 0usize..8), 0..16,
+    )) {
+        // 8 tasks with random `after` edges: cycles, self-loops, and
+        // duplicate edges are all fair game for E004.
+        let mut src = String::from("workflow w on pm-cpu {\n");
+        for i in 0..8 {
+            src.push_str(&format!("  task t{i} {{\n    nodes 1\n    compute 1TFLOPS\n"));
+            for (from, to) in &edges {
+                if *from == i {
+                    src.push_str(&format!("    after t{to}\n"));
+                }
+            }
+            src.push_str("  }\n");
+        }
+        src.push_str("}\n");
+        let diags = lint_source(&src);
+        // Syntactically valid by construction; cycles surface as E004,
+        // never as a panic or a bogus syntax error.
+        for d in &diags {
+            prop_assert!(d.code != "E000", "valid spec produced a syntax error");
+        }
+        let has_self_loop = edges.iter().any(|(f, t)| f == t);
+        if has_self_loop {
+            prop_assert_eq!(max_severity(&diags), Some(Severity::Error));
+            prop_assert!(diags.iter().any(|d| d.code == "E004"));
+        }
+    }
+}

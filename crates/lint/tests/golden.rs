@@ -1,0 +1,266 @@
+//! Golden-file tests for the linter.
+//!
+//! Every defect fixture in `workflows/bad/` fires its rule with a
+//! stable code, an exact source span, and an exact message; every
+//! shipped workflow in `workflows/` lints without errors; and the
+//! fixture set jointly exercises every rule in the registry.
+
+use wrm_lint::{lint_source, Diagnostic, Severity, RULES};
+
+fn workflows_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../workflows")
+}
+
+fn lint_file(rel: &str) -> (String, Vec<Diagnostic>) {
+    let path = workflows_dir().join(rel);
+    let source =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let diags = lint_source(&source);
+    (source, diags)
+}
+
+/// One expected diagnostic: fixture file, code, 1-based line:col, and
+/// the exact message.
+struct Golden {
+    file: &'static str,
+    code: &'static str,
+    line: usize,
+    col: usize,
+    message: &'static str,
+}
+
+const GOLDENS: &[Golden] = &[
+    Golden {
+        file: "bad/syntax_error.wrm",
+        code: "E000",
+        line: 5,
+        col: 3,
+        message: "syntax error: nodes: expected a number, found `}`",
+    },
+    Golden {
+        file: "bad/unknown_machine.wrm",
+        code: "E001",
+        line: 2,
+        col: 15,
+        message: "unknown machine `summit`",
+    },
+    Golden {
+        file: "bad/undeclared_dep.wrm",
+        code: "E002",
+        line: 6,
+        col: 11,
+        message: "task `a` depends on undeclared task `ghost`",
+    },
+    Golden {
+        file: "bad/replica_index.wrm",
+        code: "E003",
+        line: 10,
+        col: 11,
+        message: "task `b` references `a[2]` but only 2 replica(s) exist",
+    },
+    Golden {
+        file: "bad/cycle.wrm",
+        code: "E004",
+        line: 11,
+        col: 11,
+        message: "dependency cycle: a -> b -> a",
+    },
+    Golden {
+        file: "bad/task_too_large.wrm",
+        code: "E005",
+        line: 5,
+        col: 11,
+        message: "task `huge` needs 4000 nodes but machine `Perlmutter CPU` has only 3072",
+    },
+    Golden {
+        file: "bad/bad_eff.wrm",
+        code: "E006",
+        line: 5,
+        col: 25,
+        message: "eff must be in (0, 1], got 1.5",
+    },
+    Golden {
+        file: "bad/zero_replicas.wrm",
+        code: "E007",
+        line: 3,
+        col: 10,
+        message: "task `a` declares 0 replicas",
+    },
+    Golden {
+        file: "bad/duplicate_task.wrm",
+        code: "E008",
+        line: 7,
+        col: 8,
+        message: "task `a` is declared twice",
+    },
+    Golden {
+        file: "bad/dead_ceiling.wrm",
+        code: "W001",
+        line: 6,
+        col: 5,
+        message: "machine `Perlmutter CPU` has no node resource `hbm`; this `node_bytes` phase \
+                  imposes no ceiling",
+    },
+    Golden {
+        file: "bad/unused_machine.wrm",
+        code: "W002",
+        line: 2,
+        col: 9,
+        message: "machine `spare` is declared but never used",
+    },
+    Golden {
+        file: "bad/zero_volume.wrm",
+        code: "W003",
+        line: 5,
+        col: 5,
+        message: "`compute` in task `a` has non-positive volume (0); the phase imposes no ceiling",
+    },
+    Golden {
+        file: "bad/zero_nodes.wrm",
+        code: "W004",
+        line: 4,
+        col: 11,
+        message: "task `a` declares `nodes 0`; the compiler treats it as 1 node",
+    },
+];
+
+#[test]
+fn every_defect_fixture_fires_its_rule_exactly() {
+    for g in GOLDENS {
+        let (_, diags) = lint_file(g.file);
+        assert_eq!(
+            diags.len(),
+            1,
+            "{}: expected exactly one diagnostic, got {diags:?}",
+            g.file
+        );
+        let d = &diags[0];
+        assert_eq!(d.code, g.code, "{}: wrong code", g.file);
+        assert_eq!(
+            (d.span.line, d.span.col),
+            (g.line, g.col),
+            "{}: wrong span for {}",
+            g.file,
+            g.code
+        );
+        assert_eq!(d.message, g.message, "{}: wrong message", g.file);
+    }
+}
+
+#[test]
+fn infeasible_target_fixture_names_the_binding_ceiling() {
+    let (_, diags) = lint_file("bad/infeasible_target.wrm");
+    assert_eq!(diags.len(), 2, "expected both W005 diagnostics: {diags:?}");
+    for d in &diags {
+        assert_eq!(d.code, "W005");
+        assert_eq!(d.severity, Severity::Warning);
+        let help = d.help.as_deref().expect("W005 carries a help line");
+        assert!(
+            help.contains("binding ceiling: System External"),
+            "help must name the binding ceiling, got: {help}"
+        );
+    }
+    // The makespan diagnostic quotes the theoretical lower bound
+    // (4 tasks x 1 TB over 5 GB/s = 800 s) and the throughput one the
+    // attainable cap (5 GB/s / 1 TB = 0.005 tasks/s).
+    assert_eq!((diags[0].span.line, diags[0].span.col), (5, 22));
+    assert!(diags[0].message.contains("lower bound 800.000s"));
+    assert_eq!((diags[1].span.line, diags[1].span.col), (5, 38));
+    assert!(diags[1].message.contains("caps at 0.005000 tasks/s"));
+}
+
+#[test]
+fn fixture_set_covers_every_rule_in_the_registry() {
+    let mut fired = std::collections::BTreeSet::new();
+    let dir = workflows_dir().join("bad");
+    for entry in std::fs::read_dir(&dir).expect("read workflows/bad") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("wrm") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path).unwrap();
+        for d in lint_source(&source) {
+            assert!(
+                d.span.is_known(),
+                "{}: {} has an unknown span",
+                path.display(),
+                d.code
+            );
+            fired.insert(d.code.clone());
+        }
+    }
+    let registry: std::collections::BTreeSet<String> =
+        RULES.iter().map(|r| r.code.to_owned()).collect();
+    assert_eq!(
+        fired, registry,
+        "workflows/bad/ must exercise exactly the registered rules"
+    );
+}
+
+#[test]
+fn shipped_workflows_lint_without_errors() {
+    let mut seen = 0;
+    for entry in std::fs::read_dir(workflows_dir()).expect("read workflows/") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("wrm") {
+            continue;
+        }
+        seen += 1;
+        let source = std::fs::read_to_string(&path).unwrap();
+        let diags = lint_source(&source);
+        let errors: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "{} has lint errors: {errors:?}",
+            path.display()
+        );
+        let name = path.file_name().unwrap().to_str().unwrap();
+        if name == "lcls_cori.wrm" {
+            // The paper's own finding: even the good-day external link
+            // cannot meet the 2020 LCLS targets. W005 names the link.
+            assert_eq!(diags.len(), 2, "lcls should warn on both targets");
+            for d in &diags {
+                assert_eq!(d.code, "W005");
+                assert!(
+                    d.help.as_deref().unwrap().contains("System External"),
+                    "lcls W005 must name the External binding ceiling"
+                );
+            }
+        } else {
+            assert!(diags.is_empty(), "{name} should be clean: {diags:?}");
+        }
+    }
+    assert!(seen >= 4, "expected the four shipped workflows, saw {seen}");
+}
+
+#[test]
+fn diagnostics_round_trip_through_json() {
+    let (_, diags) = lint_file("bad/unknown_machine.wrm");
+    let json = serde_json::to_string_pretty(&diags).unwrap();
+    let back: Vec<Diagnostic> = serde_json::from_str(&json).unwrap();
+    assert_eq!(diags, back);
+    // And the same for a warning-bearing file with help text.
+    let (_, diags) = lint_file("bad/infeasible_target.wrm");
+    let back: Vec<Diagnostic> =
+        serde_json::from_str(&serde_json::to_string(&diags).unwrap()).unwrap();
+    assert_eq!(diags, back);
+}
+
+#[test]
+fn rendered_snippets_point_at_the_offending_column() {
+    let (source, diags) = lint_file("bad/unknown_machine.wrm");
+    let rendered = diags[0].render(&source);
+    assert!(rendered.contains("error[E001] 2:15: unknown machine `summit`"));
+    assert!(rendered.contains("workflow w on summit {"));
+    // The caret sits under column 15, where `summit` starts. The
+    // snippet gutter is `<line-number> | `, so subtract its width.
+    let caret_line = rendered
+        .lines()
+        .find(|l| l.trim_end().ends_with('^'))
+        .expect("render includes a caret line");
+    let gutter_width = "2".len() + " | ".len();
+    assert_eq!(caret_line.find('^').unwrap() - gutter_width + 1, 15);
+}

@@ -11,7 +11,15 @@ const STACK_COLORS: [&str; 8] = [
 /// axis and a category legend.
 pub fn render_svg(title: &str, breakdowns: &[TimeBreakdown], width: f64, height: f64) -> String {
     let mut svg = Svg::new(width, height);
-    svg.text(width / 2.0, 22.0, title, 15.0, "#111111", Anchor::Middle, None);
+    svg.text(
+        width / 2.0,
+        22.0,
+        title,
+        15.0,
+        "#111111",
+        Anchor::Middle,
+        None,
+    );
 
     if breakdowns.is_empty() {
         svg.text(
@@ -54,7 +62,15 @@ pub fn render_svg(title: &str, breakdowns: &[TimeBreakdown], width: f64, height:
         let v = max_total * i as f64 / 5.0;
         let y = height - mb - plot_h * i as f64 / 5.0;
         svg.line(ml, y, width - legend_w, y, "#e0e0e0", 1.0, None);
-        svg.text(ml - 6.0, y + 4.0, &format!("{v:.0}"), 10.5, "#444444", Anchor::End, None);
+        svg.text(
+            ml - 6.0,
+            y + 4.0,
+            &format!("{v:.0}"),
+            10.5,
+            "#444444",
+            Anchor::End,
+            None,
+        );
     }
     svg.text(
         18.0,
@@ -65,7 +81,15 @@ pub fn render_svg(title: &str, breakdowns: &[TimeBreakdown], width: f64, height:
         Anchor::Middle,
         Some(-90.0),
     );
-    svg.line(ml, height - mb, width - legend_w, height - mb, "#222222", 1.5, None);
+    svg.line(
+        ml,
+        height - mb,
+        width - legend_w,
+        height - mb,
+        "#222222",
+        1.5,
+        None,
+    );
 
     for (bi, b) in breakdowns.iter().enumerate() {
         let cx = ml + plot_w * (bi as f64 + 0.5) / breakdowns.len() as f64;
@@ -110,8 +134,23 @@ pub fn render_svg(title: &str, breakdowns: &[TimeBreakdown], width: f64, height:
     let lx = width - legend_w + 10.0;
     let mut ly = mt + 6.0;
     for (ci, cat) in cats.iter().enumerate() {
-        svg.rect(lx, ly - 9.0, 12.0, 12.0, STACK_COLORS[ci % STACK_COLORS.len()], None);
-        svg.text(lx + 18.0, ly + 1.0, cat, 11.0, "#111111", Anchor::Start, None);
+        svg.rect(
+            lx,
+            ly - 9.0,
+            12.0,
+            12.0,
+            STACK_COLORS[ci % STACK_COLORS.len()],
+            None,
+        );
+        svg.text(
+            lx + 18.0,
+            ly + 1.0,
+            cat,
+            11.0,
+            "#111111",
+            Anchor::Start,
+            None,
+        );
         ly += 18.0;
     }
     svg.finish()

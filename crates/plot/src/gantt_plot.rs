@@ -38,7 +38,14 @@ pub fn render_svg(charts: &[&GanttChart], width: f64) -> String {
             } else {
                 "#90a4ae"
             };
-            svg.rect(x0, y + 3.0, (x1 - x0).max(1.0), row_h - 8.0, fill, Some("#37474f"));
+            svg.rect(
+                x0,
+                y + 3.0,
+                (x1 - x0).max(1.0),
+                row_h - 8.0,
+                fill,
+                Some("#37474f"),
+            );
             svg.text(
                 ml - 6.0,
                 y + row_h / 2.0 + 3.0,
@@ -60,11 +67,8 @@ pub fn render_svg(charts: &[&GanttChart], width: f64) -> String {
             y += row_h;
         }
         // Critical-path connector line across the chart.
-        let cp_rows: Vec<&wrm_dag::GanttRow> = chart
-            .rows
-            .iter()
-            .filter(|r| r.on_critical_path)
-            .collect();
+        let cp_rows: Vec<&wrm_dag::GanttRow> =
+            chart.rows.iter().filter(|r| r.on_critical_path).collect();
         if cp_rows.len() > 1 {
             let base = y - chart.rows.len() as f64 * row_h;
             let pts: Vec<(f64, f64)> = chart

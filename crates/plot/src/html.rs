@@ -39,8 +39,7 @@ pub fn render(title: &str, sections: &[Section]) -> String {
                     .skip_while(|l| l.starts_with("<?xml"))
                     .collect::<Vec<_>>()
                     .join("\n");
-                writeln!(body, "<div class=\"figure\">{inline}</div>")
-                    .expect("write to string");
+                writeln!(body, "<div class=\"figure\">{inline}</div>").expect("write to string");
             }
         }
     }

@@ -9,7 +9,15 @@ use wrm_dag::ParallelismProfile;
 pub fn render_svg(title: &str, profile: &ParallelismProfile, width: f64) -> String {
     let height = 380.0;
     let mut svg = Svg::new(width, height);
-    svg.text(width / 2.0, 22.0, title, 15.0, "#111111", Anchor::Middle, None);
+    svg.text(
+        width / 2.0,
+        22.0,
+        title,
+        15.0,
+        "#111111",
+        Anchor::Middle,
+        None,
+    );
 
     if profile.steps.is_empty() {
         svg.text(
@@ -54,8 +62,24 @@ pub fn render_svg(title: &str, profile: &ParallelismProfile, width: f64) -> Stri
         // Axes.
         svg.line(ml, bottom, width - mr, bottom, "#222222", 1.2, None);
         svg.line(ml, top, ml, bottom, "#222222", 1.2, None);
-        svg.text(ml - 8.0, top + 4.0, &format!("{peak:.0}"), 10.5, "#444444", Anchor::End, None);
-        svg.text(ml - 8.0, bottom + 4.0, "0", 10.5, "#444444", Anchor::End, None);
+        svg.text(
+            ml - 8.0,
+            top + 4.0,
+            &format!("{peak:.0}"),
+            10.5,
+            "#444444",
+            Anchor::End,
+            None,
+        );
+        svg.text(
+            ml - 8.0,
+            bottom + 4.0,
+            "0",
+            10.5,
+            "#444444",
+            Anchor::End,
+            None,
+        );
         svg.text(
             width - mr,
             bottom + 16.0,
@@ -65,7 +89,15 @@ pub fn render_svg(title: &str, profile: &ParallelismProfile, width: f64) -> Stri
             Anchor::End,
             None,
         );
-        svg.text(ml + 6.0, top - 6.0, label, 12.0, "#111111", Anchor::Start, None);
+        svg.text(
+            ml + 6.0,
+            top - 6.0,
+            label,
+            12.0,
+            "#111111",
+            Anchor::Start,
+            None,
+        );
 
         // Step polyline + fill.
         let mut pts: Vec<(f64, f64)> = Vec::with_capacity(profile.steps.len() * 2 + 2);

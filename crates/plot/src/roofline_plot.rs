@@ -160,9 +160,25 @@ impl RooflinePlot {
         for t in sy.decade_ticks() {
             let py = sy.px(t);
             svg.line(ml, py, self.width - mr, py, "#e0e0e0", 1.0, None);
-            svg.text(ml - 6.0, py + 4.0, &tick_label(t), 11.0, "#444444", Anchor::End, None);
+            svg.text(
+                ml - 6.0,
+                py + 4.0,
+                &tick_label(t),
+                11.0,
+                "#444444",
+                Anchor::End,
+                None,
+            );
         }
-        svg.line(ml, self.height - mb, self.width - mr, self.height - mb, "#222222", 1.5, None);
+        svg.line(
+            ml,
+            self.height - mb,
+            self.width - mr,
+            self.height - mb,
+            "#222222",
+            1.5,
+            None,
+        );
         svg.line(ml, mt, ml, self.height - mb, "#222222", 1.5, None);
         svg.text(
             (ml + self.width - mr) / 2.0,
@@ -197,8 +213,8 @@ impl RooflinePlot {
                 let mut xs_px = Vec::with_capacity(samples + 1);
                 let mut iso_px = Vec::with_capacity(samples + 1);
                 for i in 0..=samples {
-                    let lx = x_lo.log10()
-                        + (x_hi.log10() - x_lo.log10()) * i as f64 / samples as f64;
+                    let lx =
+                        x_lo.log10() + (x_hi.log10() - x_lo.log10()) * i as f64 / samples as f64;
                     let x = 10f64.powf(lx);
                     let iso = primary.makespan_isoline_at(tm, x).get();
                     xs_px.push(sx.px(x));
@@ -209,17 +225,18 @@ impl RooflinePlot {
                 let bottom = self.height - mb;
                 // Fills the band between two per-column pixel bounds
                 // (hi above lo; empty columns collapse to a point).
-                let mut band = |color: &str, hi: &dyn Fn(usize) -> f64, lo: &dyn Fn(usize) -> f64| {
-                    let mut poly: Vec<(f64, f64)> = Vec::new();
-                    for (i, &x) in xs_px.iter().enumerate() {
-                        poly.push((x, hi(i).clamp(top, bottom)));
-                    }
-                    for (i, &x) in xs_px.iter().enumerate().rev() {
-                        let l = lo(i).clamp(top, bottom);
-                        poly.push((x, l.max(hi(i).clamp(top, bottom))));
-                    }
-                    svg.polygon(&poly, color, 0.10);
-                };
+                let mut band =
+                    |color: &str, hi: &dyn Fn(usize) -> f64, lo: &dyn Fn(usize) -> f64| {
+                        let mut poly: Vec<(f64, f64)> = Vec::new();
+                        for (i, &x) in xs_px.iter().enumerate() {
+                            poly.push((x, hi(i).clamp(top, bottom)));
+                        }
+                        for (i, &x) in xs_px.iter().enumerate().rev() {
+                            let l = lo(i).clamp(top, bottom);
+                            poly.push((x, l.max(hi(i).clamp(top, bottom))));
+                        }
+                        svg.polygon(&poly, color, 0.10);
+                    };
                 // green: [top, min(iso, y_t)]
                 band("#2e7d32", &|_| top, &|i| iso_px[i].min(y_t_px));
                 // yellow: meets the deadline, misses the rate --
@@ -261,8 +278,8 @@ impl RooflinePlot {
         let mut upper: Vec<(f64, f64)> = Vec::new();
         let samples = 64;
         for i in 0..=samples {
-            let lx = x_lo.log10()
-                + (wall.min(x_hi).log10() - x_lo.log10()) * i as f64 / samples as f64;
+            let lx =
+                x_lo.log10() + (wall.min(x_hi).log10() - x_lo.log10()) * i as f64 / samples as f64;
             let x = 10f64.powf(lx);
             if let Some(env) = primary.envelope_at(x) {
                 if env.get().is_finite() {
@@ -336,7 +353,7 @@ impl RooflinePlot {
                 svg.text(
                     self.width - mr - 4.0,
                     y - 5.0,
-                    &format!("target throughput = {}", tp),
+                    &format!("target throughput = {tp}"),
                     10.5,
                     "#880e4f",
                     Anchor::End,
@@ -371,27 +388,49 @@ impl RooflinePlot {
         let mut legend_y = mt + 16.0;
         let mut color_idx = 0usize;
         let draw_dot = |svg: &mut Svg,
-                            label: &str,
-                            x: f64,
-                            tps: f64,
-                            color: &str,
-                            hollow: bool,
-                            legend_y: &mut f64| {
+                        label: &str,
+                        x: f64,
+                        tps: f64,
+                        color: &str,
+                        hollow: bool,
+                        legend_y: &mut f64| {
             let (px, py) = (sx.px(x), sy.px(tps));
             if hollow {
                 svg.circle(px, py, 6.0, "#ffffff", Some(color));
             } else {
                 svg.circle(px, py, 6.0, color, Some("#00000033"));
             }
-            svg.circle(ml + 10.0, *legend_y - 4.0, 5.0, if hollow { "#ffffff" } else { color }, Some(color));
-            svg.text(ml + 20.0, *legend_y, label, 11.0, "#111111", Anchor::Start, None);
+            svg.circle(
+                ml + 10.0,
+                *legend_y - 4.0,
+                5.0,
+                if hollow { "#ffffff" } else { color },
+                Some(color),
+            );
+            svg.text(
+                ml + 20.0,
+                *legend_y,
+                label,
+                11.0,
+                "#111111",
+                Anchor::Start,
+                None,
+            );
             *legend_y += 16.0;
         };
         for m in &self.models {
             if let Some(d) = &m.dot {
                 let color = DOT_COLORS[color_idx % DOT_COLORS.len()];
                 color_idx += 1;
-                draw_dot(&mut svg, &d.label, d.x, d.tps.get(), color, false, &mut legend_y);
+                draw_dot(
+                    &mut svg,
+                    &d.label,
+                    d.x,
+                    d.tps.get(),
+                    color,
+                    false,
+                    &mut legend_y,
+                );
             }
         }
         for d in &self.extra_dots {
@@ -402,7 +441,15 @@ impl RooflinePlot {
             } else {
                 d.color.clone()
             };
-            draw_dot(&mut svg, &d.label, d.x, d.tps.get(), &color, d.hollow, &mut legend_y);
+            draw_dot(
+                &mut svg,
+                &d.label,
+                d.x,
+                d.tps.get(),
+                &color,
+                d.hollow,
+                &mut legend_y,
+            );
         }
 
         Some(svg.finish())

@@ -18,7 +18,15 @@ pub fn render_svg(dag: &Dag, width: f64) -> Option<String> {
     let mt = 46.0;
     let height = mt + max_width as f64 * (box_h + v_gap) + 30.0;
     let mut svg = Svg::new(width, height);
-    svg.text(width / 2.0, 24.0, &dag.name, 15.0, "#111111", Anchor::Middle, None);
+    svg.text(
+        width / 2.0,
+        24.0,
+        &dag.name,
+        15.0,
+        "#111111",
+        Anchor::Middle,
+        None,
+    );
 
     // Positions per task.
     let mut pos = vec![(0.0f64, 0.0f64); dag.len()];

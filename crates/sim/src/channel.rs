@@ -47,7 +47,13 @@ pub fn max_min_rates(capacity: f64, flows: &[FlowDemand]) -> Vec<FlowRate> {
         return Vec::new();
     }
 
-    let mut rates: Vec<FlowRate> = flows.iter().map(|f| FlowRate { id: f.id, rate: 0.0 }).collect();
+    let mut rates: Vec<FlowRate> = flows
+        .iter()
+        .map(|f| FlowRate {
+            id: f.id,
+            rate: 0.0,
+        })
+        .collect();
     // Indices of flows still competing for the remainder.
     let mut open: Vec<usize> = (0..flows.len()).collect();
     let mut remaining = capacity;
@@ -148,7 +154,11 @@ mod tests {
     #[test]
     fn capped_flow_releases_bandwidth() {
         // One flow capped at 10; the others share the rest.
-        let flows = vec![demand(0, 10.0), demand(1, f64::INFINITY), demand(2, f64::INFINITY)];
+        let flows = vec![
+            demand(0, 10.0),
+            demand(1, f64::INFINITY),
+            demand(2, f64::INFINITY),
+        ];
         let rates = max_min_rates(100.0, &flows);
         assert!((rates[0].rate - 10.0).abs() < 1e-12);
         assert!((rates[1].rate - 45.0).abs() < 1e-12);

@@ -413,7 +413,9 @@ pub fn simulate(scenario: &Scenario) -> Result<SimResult, SimError> {
         }
     }
 
-    let mut queue: Vec<usize> = (0..tasks.len()).filter(|&i| remaining_deps[i] == 0).collect();
+    let mut queue: Vec<usize> = (0..tasks.len())
+        .filter(|&i| remaining_deps[i] == 0)
+        .collect();
     let mut running: Vec<RunningTask> = Vec::new();
     let mut free = pool_total;
     let mut now = 0.0f64;
@@ -433,14 +435,16 @@ pub fn simulate(scenario: &Scenario) -> Result<SimResult, SimError> {
                 stream_cap,
             } => {
                 let sr = machine.system_resource(resource).expect("checked");
-                let factor = opts.contention.get(resource.as_str()).copied().unwrap_or(1.0);
+                let factor = opts
+                    .contention
+                    .get(resource.as_str())
+                    .copied()
+                    .unwrap_or(1.0);
                 // The task's own injection limit: for per-node-scaled
                 // resources it is its allocation's aggregate NIC rate.
                 let alloc_cap = match sr.scaling {
                     SystemScaling::Aggregate => f64::INFINITY,
-                    SystemScaling::PerNodeInUse => {
-                        sr.peak.get() * task.nodes as f64 * factor
-                    }
+                    SystemScaling::PerNodeInUse => sr.peak.get() * task.nodes as f64 * factor,
                 };
                 let stream = stream_cap.unwrap_or(f64::INFINITY) * factor;
                 Activity::Flow {
@@ -470,10 +474,9 @@ pub fn simulate(scenario: &Scenario) -> Result<SimResult, SimError> {
                 .iter()
                 .enumerate()
                 .filter_map(|(i, r)| match &r.activity {
-                    Activity::Flow { channel, cap, .. } if *channel == ci => Some(FlowDemand {
-                        id: i,
-                        cap: *cap,
-                    }),
+                    Activity::Flow { channel, cap, .. } if *channel == ci => {
+                        Some(FlowDemand { id: i, cap: *cap })
+                    }
                     _ => None,
                 })
                 .collect();
@@ -634,10 +637,7 @@ pub fn simulate(scenario: &Scenario) -> Result<SimResult, SimError> {
         .iter()
         .filter_map(|(name, start)| task_ends.get(name).map(|end| (name.clone(), end - start)))
         .collect();
-    let task_nodes = tasks
-        .iter()
-        .map(|t| (t.name.clone(), t.nodes))
-        .collect();
+    let task_nodes = tasks.iter().map(|t| (t.name.clone(), t.nodes)).collect();
     Ok(SimResult {
         trace,
         makespan,

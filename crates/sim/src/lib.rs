@@ -49,8 +49,7 @@ pub mod sweep;
 
 pub use channel::{equal_split_rates, max_min_rates, FlowDemand, FlowRate, Sharing};
 pub use engine::{
-    simulate, BackgroundFlow, Jitter, Scenario, SchedulerPolicy, SimError, SimOptions,
-    SimResult,
+    simulate, BackgroundFlow, Jitter, Scenario, SchedulerPolicy, SimError, SimOptions, SimResult,
 };
 pub use spec::{Phase, SpecError, TaskSpec, WorkflowSpec};
 pub use sweep::{run_all, sweep};

@@ -240,7 +240,10 @@ impl WorkflowSpec {
         }
         for t in &self.tasks {
             if t.nodes == 0 {
-                return Err(SpecError::Invalid(format!("task {} has zero nodes", t.name)));
+                return Err(SpecError::Invalid(format!(
+                    "task {} has zero nodes",
+                    t.name
+                )));
             }
             for p in &t.phases {
                 p.validate()?;
@@ -292,9 +295,7 @@ impl WorkflowSpec {
                 Phase::Compute { flops, efficiency } => {
                     match machine.node_resource(wrm_core::ids::COMPUTE) {
                         Some(r) => {
-                            flops / (r.peak_per_node.magnitude()
-                                * task.nodes as f64
-                                * efficiency)
+                            flops / (r.peak_per_node.magnitude() * task.nodes as f64 * efficiency)
                         }
                         None => 0.0,
                     }

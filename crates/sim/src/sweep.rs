@@ -67,9 +67,7 @@ mod tests {
     fn scenario(n_tasks: usize) -> Scenario {
         let mut wf = WorkflowSpec::new(format!("bag{n_tasks}"));
         for i in 0..n_tasks {
-            wf = wf.task(
-                TaskSpec::new(format!("t{i}"), 1).phase(Phase::overhead("work", 5.0)),
-            );
+            wf = wf.task(TaskSpec::new(format!("t{i}"), 1).phase(Phase::overhead("work", 5.0)));
         }
         Scenario::new(machines::perlmutter_cpu(), wf)
     }

@@ -85,8 +85,16 @@ fn staggered_flows_get_leftover_bandwidth() {
         .task(TaskSpec::new("a", 1).phase(Phase::system_data(ids::FILE_SYSTEM, 10e9)))
         .task(TaskSpec::new("b", 1).phase(Phase::system_data(ids::FILE_SYSTEM, 30e9)));
     let r = simulate(&Scenario::new(m, wf)).unwrap();
-    assert!((r.task_times["a"] - 10.0).abs() < 1e-6, "a {}", r.task_times["a"]);
-    assert!((r.task_times["b"] - 20.0).abs() < 1e-6, "b {}", r.task_times["b"]);
+    assert!(
+        (r.task_times["a"] - 10.0).abs() < 1e-6,
+        "a {}",
+        r.task_times["a"]
+    );
+    assert!(
+        (r.task_times["b"] - 20.0).abs() < 1e-6,
+        "b {}",
+        r.task_times["b"]
+    );
 }
 
 /// BGW: Epsilon then Sigma on the same allocation, with the measured
@@ -116,7 +124,11 @@ fn bgw(nodes: u64, eff_e: f64, eff_s: f64) -> WorkflowSpec {
 
 #[test]
 fn bgw_64_nodes_lands_near_the_paper_makespan() {
-    let r = simulate(&Scenario::new(machines::perlmutter_gpu(), bgw(64, 0.39, 0.4395))).unwrap();
+    let r = simulate(&Scenario::new(
+        machines::perlmutter_gpu(),
+        bgw(64, 0.39, 0.4395),
+    ))
+    .unwrap();
     // Compute times: 1164 PF/(64*38.8 TF*0.39) = 1202 s;
     // 3226 PF/(64*38.8 TF*0.4395) = 2956 s; plus ~27 s of NIC/FS tails.
     assert!(
@@ -130,9 +142,12 @@ fn bgw_64_nodes_lands_near_the_paper_makespan() {
 
 #[test]
 fn bgw_strong_scaling_shortens_makespan() {
-    let m64 = simulate(&Scenario::new(machines::perlmutter_gpu(), bgw(64, 0.39, 0.4395)))
-        .unwrap()
-        .makespan;
+    let m64 = simulate(&Scenario::new(
+        machines::perlmutter_gpu(),
+        bgw(64, 0.39, 0.4395),
+    ))
+    .unwrap()
+    .makespan;
     let m1024 = simulate(&Scenario::new(
         machines::perlmutter_gpu(),
         bgw(1024, 0.16, 0.36),
@@ -192,8 +207,7 @@ fn node_limit_serializes_parallel_tasks() {
 
 #[test]
 fn jitter_is_deterministic_per_seed_and_bounded() {
-    let wf = WorkflowSpec::new("j")
-        .task(TaskSpec::new("a", 1).phase(Phase::overhead("w", 100.0)));
+    let wf = WorkflowSpec::new("j").task(TaskSpec::new("a", 1).phase(Phase::overhead("w", 100.0)));
     let opts = |seed| SimOptions {
         jitter: Some(Jitter {
             seed,
@@ -201,14 +215,10 @@ fn jitter_is_deterministic_per_seed_and_bounded() {
         }),
         ..SimOptions::default()
     };
-    let r1 = simulate(
-        &Scenario::new(machines::perlmutter_cpu(), wf.clone()).with_options(opts(7)),
-    )
-    .unwrap();
-    let r2 = simulate(
-        &Scenario::new(machines::perlmutter_cpu(), wf.clone()).with_options(opts(7)),
-    )
-    .unwrap();
+    let r1 = simulate(&Scenario::new(machines::perlmutter_cpu(), wf.clone()).with_options(opts(7)))
+        .unwrap();
+    let r2 = simulate(&Scenario::new(machines::perlmutter_cpu(), wf.clone()).with_options(opts(7)))
+        .unwrap();
     let r3 =
         simulate(&Scenario::new(machines::perlmutter_cpu(), wf).with_options(opts(8))).unwrap();
     assert_eq!(r1.makespan, r2.makespan);
@@ -231,17 +241,24 @@ fn equal_split_underutilizes_vs_max_min() {
             stream_cap: Some(0.5e9),
         }))
         .task(TaskSpec::new("open", 1).phase(Phase::system_data(ids::FILE_SYSTEM, 30e9)));
-    let mm = simulate(&Scenario::new(m.clone(), wf.clone()).with_options(SimOptions {
-        sharing: Sharing::MaxMin,
-        ..SimOptions::default()
-    }))
+    let mm = simulate(
+        &Scenario::new(m.clone(), wf.clone()).with_options(SimOptions {
+            sharing: Sharing::MaxMin,
+            ..SimOptions::default()
+        }),
+    )
     .unwrap();
     let eq = simulate(&Scenario::new(m, wf).with_options(SimOptions {
         sharing: Sharing::EqualSplit,
         ..SimOptions::default()
     }))
     .unwrap();
-    assert!(mm.makespan < eq.makespan, "mm {} eq {}", mm.makespan, eq.makespan);
+    assert!(
+        mm.makespan < eq.makespan,
+        "mm {} eq {}",
+        mm.makespan,
+        eq.makespan
+    );
 }
 
 #[test]
@@ -385,7 +402,11 @@ fn background_flows_steal_fair_share() {
     // A rate-limited background (0.5 GB/s) leaves 1.5 GB/s -> ~6.67 s.
     let opts = SimOptions::default().with_background(ids::FILE_SYSTEM, 0.5e9);
     let r = simulate(&Scenario::new(m.clone(), wf.clone()).with_options(opts)).unwrap();
-    assert!((r.makespan - 10.0 / 1.5).abs() < 1e-6, "makespan {}", r.makespan);
+    assert!(
+        (r.makespan - 10.0 / 1.5).abs() < 1e-6,
+        "makespan {}",
+        r.makespan
+    );
 
     // No background: full 2 GB/s -> 5 s.
     let r = simulate(&Scenario::new(m, wf)).unwrap();
@@ -435,10 +456,12 @@ fn accounting_metrics() {
     assert_eq!(r.task_nodes["a"], 2);
 
     // Capped to 2 nodes: serialized, 40 node-seconds over 2 x 20 = 100%.
-    let r = simulate(&Scenario::new(m.clone(), wf.clone()).with_options(SimOptions {
-        node_limit: Some(2),
-        ..SimOptions::default()
-    }))
+    let r = simulate(
+        &Scenario::new(m.clone(), wf.clone()).with_options(SimOptions {
+            node_limit: Some(2),
+            ..SimOptions::default()
+        }),
+    )
     .unwrap();
     assert!((r.makespan - 20.0).abs() < 1e-9);
     assert!((r.utilization() - 1.0).abs() < 1e-9);

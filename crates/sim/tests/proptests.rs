@@ -9,7 +9,7 @@ use wrm_sim::{
 prop_compose! {
     fn flows()(caps in prop::collection::vec(
         prop_oneof![
-            (0.1f64..1e12),
+            0.1f64..1e12,
             Just(f64::INFINITY),
         ],
         1..20,

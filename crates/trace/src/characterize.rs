@@ -9,9 +9,7 @@
 use crate::span::SpanKind;
 use crate::trace::Trace;
 use serde::{Deserialize, Serialize};
-use wrm_core::{
-    Bytes, CoreError, Flops, Seconds, TargetSpec, Work, WorkflowCharacterization,
-};
+use wrm_core::{Bytes, CoreError, Flops, Seconds, TargetSpec, Work, WorkflowCharacterization};
 
 /// Structural facts the trace alone cannot know: they come from the
 /// workflow description (sbatch/WDL metadata), exactly as in the paper.

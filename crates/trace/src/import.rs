@@ -45,10 +45,12 @@ fn err(line: usize, message: impl Into<String>) -> ImportError {
 }
 
 fn parse_f64(field: &str, what: &str, line: usize) -> Result<f64, ImportError> {
-    field
-        .trim()
-        .parse::<f64>()
-        .map_err(|_| err(line, format!("{what}: cannot parse number `{}`", field.trim())))
+    field.trim().parse::<f64>().map_err(|_| {
+        err(
+            line,
+            format!("{what}: cannot parse number `{}`", field.trim()),
+        )
+    })
 }
 
 /// Parses the CSV timing format into a [`Trace`].
@@ -131,17 +133,20 @@ pub fn trace_from_csv(
 /// Serializes a trace back to the CSV format (inverse of
 /// [`trace_from_csv`] up to whitespace).
 pub fn trace_to_csv(trace: &Trace) -> String {
-    let mut out =
-        String::from("# task, kind, start_s, end_s, nodes, resource, amount\n");
+    let mut out = String::from("# task, kind, start_s, end_s, nodes, resource, amount\n");
     for s in &trace.spans {
         let (kind, resource, amount) = match &s.kind {
-            SpanKind::Compute { flops } => ("compute".to_owned(), "-".to_owned(), format!("{flops}")),
+            SpanKind::Compute { flops } => {
+                ("compute".to_owned(), "-".to_owned(), format!("{flops}"))
+            }
             SpanKind::NodeData { resource, bytes } => {
                 ("node_data".to_owned(), resource.clone(), format!("{bytes}"))
             }
-            SpanKind::SystemData { resource, bytes } => {
-                ("system_data".to_owned(), resource.clone(), format!("{bytes}"))
-            }
+            SpanKind::SystemData { resource, bytes } => (
+                "system_data".to_owned(),
+                resource.clone(),
+                format!("{bytes}"),
+            ),
             SpanKind::Overhead { label } => {
                 (format!("overhead:{label}"), "-".to_owned(), "-".to_owned())
             }

@@ -35,7 +35,11 @@ impl Trace {
     /// empty). Queue wait before the first span is, by construction, not
     /// included — matching the paper's makespan definition.
     pub fn makespan(&self) -> f64 {
-        let start = self.spans.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+        let start = self
+            .spans
+            .iter()
+            .map(|s| s.start)
+            .fold(f64::INFINITY, f64::min);
         let end = self.spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
         if start.is_finite() {
             end - start

@@ -1,19 +1,17 @@
 //! Property tests for trace serialization and aggregation.
 
 use proptest::prelude::*;
-use wrm_trace::{characterize, trace_from_csv, trace_to_csv, SpanKind, Structure, Trace, TraceSpan};
+use wrm_trace::{
+    characterize, trace_from_csv, trace_to_csv, SpanKind, Structure, Trace, TraceSpan,
+};
 
 fn span_kind() -> impl Strategy<Value = SpanKind> {
     prop_oneof![
         (0.0f64..1e18).prop_map(|flops| SpanKind::Compute { flops }),
-        ("[a-z]{1,8}", 0.0f64..1e15).prop_map(|(resource, bytes)| SpanKind::NodeData {
-            resource,
-            bytes
-        }),
-        ("[a-z]{1,8}", 0.0f64..1e15).prop_map(|(resource, bytes)| SpanKind::SystemData {
-            resource,
-            bytes
-        }),
+        ("[a-z]{1,8}", 0.0f64..1e15)
+            .prop_map(|(resource, bytes)| SpanKind::NodeData { resource, bytes }),
+        ("[a-z]{1,8}", 0.0f64..1e15)
+            .prop_map(|(resource, bytes)| SpanKind::SystemData { resource, bytes }),
         "[a-z_]{1,12}".prop_map(|label| SpanKind::Overhead { label }),
     ]
 }
@@ -58,7 +56,7 @@ proptest! {
 
     #[test]
     fn breakdown_total_equals_sum_of_durations(trace in traces()) {
-        let total: f64 = trace.spans.iter().map(|s| s.duration()).sum();
+        let total: f64 = trace.spans.iter().map(wrm_trace::TraceSpan::duration).sum();
         let b = trace.breakdown();
         prop_assert!((b.total() - total).abs() <= 1e-6 * total.max(1.0));
     }
@@ -103,8 +101,7 @@ proptest! {
         let got = wf
             .node_volumes
             .get("compute")
-            .map(|w| w.magnitude())
-            .unwrap_or(0.0);
+            .map_or(0.0, |w| w.magnitude());
         prop_assert!((got - expected).abs() <= 1e-6 * expected.max(1.0));
     }
 

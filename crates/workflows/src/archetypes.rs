@@ -121,13 +121,11 @@ pub fn cross_facility(
 ) -> WorkflowSpec {
     let mut wf = WorkflowSpec::new(format!("cross-facility[{streams}]"));
     for i in 0..streams {
-        let mut t = TaskSpec::new(format!("analyze[{i}]"), shape.nodes).phase(
-            Phase::SystemData {
-                resource: ids::EXTERNAL.into(),
-                bytes: external_in,
-                stream_cap: Some(stream_cap),
-            },
-        );
+        let mut t = TaskSpec::new(format!("analyze[{i}]"), shape.nodes).phase(Phase::SystemData {
+            resource: ids::EXTERNAL.into(),
+            bytes: external_in,
+            stream_cap: Some(stream_cap),
+        });
         if shape.flops > 0.0 {
             t = t.phase(Phase::Compute {
                 flops: shape.flops,
@@ -218,12 +216,7 @@ mod tests {
 
     #[test]
     fn map_reduce_rounds_are_gated() {
-        let wf = map_reduce(
-            3,
-            4,
-            compute_shape(2, 1e14),
-            compute_shape(1, 1e12),
-        );
+        let wf = map_reduce(3, 4, compute_shape(2, 1e14), compute_shape(1, 1e12));
         let dag = wf.to_dag(&machines::perlmutter_gpu()).unwrap();
         assert_eq!(dag.len(), 15);
         assert_eq!(dag.critical_path_length().unwrap(), 6);

@@ -9,9 +9,7 @@
 //! efficiency drops to ~30 %.
 
 use serde::{Deserialize, Serialize};
-use wrm_core::{
-    ids, Bytes, Flops, Seconds, TaskCharacterization, Work, WorkflowCharacterization,
-};
+use wrm_core::{ids, Bytes, Flops, Seconds, TaskCharacterization, Work, WorkflowCharacterization};
 use wrm_dag::Dag;
 use wrm_sim::{Phase, Scenario, TaskSpec, WorkflowSpec};
 
@@ -111,19 +109,33 @@ impl Bgw {
         WorkflowSpec::new("BerkeleyGW")
             .task(
                 TaskSpec::new("Epsilon", self.nodes)
-                    .phase(Phase::system_data(ids::FILE_SYSTEM, self.fs_bytes.get() * 0.3))
+                    .phase(Phase::system_data(
+                        ids::FILE_SYSTEM,
+                        self.fs_bytes.get() * 0.3,
+                    ))
                     .phase(Phase::Compute {
                         flops: self.flops_epsilon.get(),
-                        efficiency: self.compute_efficiency(self.flops_epsilon, self.measured_epsilon, net_e),
+                        efficiency: self.compute_efficiency(
+                            self.flops_epsilon,
+                            self.measured_epsilon,
+                            net_e,
+                        ),
                     })
                     .phase(Phase::system_data(ids::NETWORK, net_e)),
             )
             .task(
                 TaskSpec::new("Sigma", self.nodes)
-                    .phase(Phase::system_data(ids::FILE_SYSTEM, self.fs_bytes.get() * 0.7))
+                    .phase(Phase::system_data(
+                        ids::FILE_SYSTEM,
+                        self.fs_bytes.get() * 0.7,
+                    ))
                     .phase(Phase::Compute {
                         flops: self.flops_sigma.get(),
-                        efficiency: self.compute_efficiency(self.flops_sigma, self.measured_sigma, net_s),
+                        efficiency: self.compute_efficiency(
+                            self.flops_sigma,
+                            self.measured_sigma,
+                            net_s,
+                        ),
                     })
                     .phase(Phase::system_data(ids::NETWORK, net_s))
                     .after("Epsilon"),

@@ -122,12 +122,10 @@ impl CosmoFlow {
     /// nodes (256 of the 1792 are large-memory), capping concurrency at
     /// 12 instances.
     pub fn scenario(&self) -> Scenario {
-        Scenario::new(wrm_core::machines::perlmutter_gpu(), self.spec()).with_options(
-            SimOptions {
-                node_limit: Some(1536),
-                ..SimOptions::default()
-            },
-        )
+        Scenario::new(wrm_core::machines::perlmutter_gpu(), self.spec()).with_options(SimOptions {
+            node_limit: Some(1536),
+            ..SimOptions::default()
+        })
     }
 
     /// Characterization in epoch units, with the measured throughput
@@ -138,7 +136,9 @@ impl CosmoFlow {
             .total_tasks(self.total_epochs())
             .parallel_tasks(self.instances as f64)
             .nodes_per_task(self.nodes_per_instance)
-            .makespan(Seconds(self.epochs_per_instance as f64 * self.epoch_time.get()))
+            .makespan(Seconds(
+                self.epochs_per_instance as f64 * self.epoch_time.get(),
+            ))
             .node_volume(
                 ids::PCIE,
                 Work::Bytes(self.pcie_per_node() * self.epochs_per_instance as f64),
@@ -150,10 +150,7 @@ impl CosmoFlow {
                         * self.epochs_per_instance as f64,
                 ),
             )
-            .system_volume(
-                ids::FILE_SYSTEM,
-                self.dataset * self.total_epochs(),
-            )
+            .system_volume(ids::FILE_SYSTEM, self.dataset * self.total_epochs())
             .build()
             .expect("CosmoFlow characterization is valid")
     }
@@ -168,16 +165,24 @@ mod tests {
     #[test]
     fn ceiling_times_match_fig8() {
         let c = CosmoFlow::default();
-        assert!((c.pcie_time().get() - 0.78).abs() < 0.03, "pcie {}", c.pcie_time());
-        assert!((c.hbm_time().get() - 4.21).abs() < 0.05, "hbm {}", c.hbm_time());
+        assert!(
+            (c.pcie_time().get() - 0.78).abs() < 0.03,
+            "pcie {}",
+            c.pcie_time()
+        );
+        assert!(
+            (c.hbm_time().get() - 4.21).abs() < 0.05,
+            "hbm {}",
+            c.hbm_time()
+        );
         assert!((c.pcie_per_node().get() - 78.1e9).abs() < 2e9);
     }
 
     #[test]
     fn wall_is_12_instances() {
         let c = CosmoFlow::default();
-        let model = RooflineModel::build(&machines::perlmutter_gpu(), &c.characterization())
-            .unwrap();
+        let model =
+            RooflineModel::build(&machines::perlmutter_gpu(), &c.characterization()).unwrap();
         // With the 1536-node regular pool: floor(1536/128) = 12. The full
         // 1792-node machine would allow 14; the scenario caps the pool.
         let pool_wall = 1536 / c.nodes_per_instance;
@@ -188,13 +193,16 @@ mod tests {
     #[test]
     fn hbm_is_the_binding_node_ceiling() {
         let c = CosmoFlow::default();
-        let model = RooflineModel::build(&machines::perlmutter_gpu(), &c.characterization())
-            .unwrap();
+        let model =
+            RooflineModel::build(&machines::perlmutter_gpu(), &c.characterization()).unwrap();
         let node = model.node_ceilings();
         assert_eq!(node[0].resource.as_str(), ids::HBM);
         assert_eq!(node[0].kind, CeilingKind::Node);
         // HBM ceiling sits below PCIe (4.2 s vs 0.8 s per epoch).
-        let pcie = node.iter().find(|c| c.resource.as_str() == ids::PCIE).unwrap();
+        let pcie = node
+            .iter()
+            .find(|c| c.resource.as_str() == ids::PCIE)
+            .unwrap();
         assert!(node[0].tps_at_one.get() < pcie.tps_at_one.get());
     }
 

@@ -155,7 +155,11 @@ impl GpTune {
     /// The characterization of a mode (Fig. 10a): one serialized task,
     /// per-node DRAM volume of 2 sockets x 3344 MB, and the mode's
     /// metadata volume through the file system.
-    pub fn characterization(&self, mode: Mode, makespan: Option<Seconds>) -> WorkflowCharacterization {
+    pub fn characterization(
+        &self,
+        mode: Mode,
+        makespan: Option<Seconds>,
+    ) -> WorkflowCharacterization {
         let meta = match mode {
             Mode::Rci => self.rci_metadata,
             Mode::Spawn | Mode::Projected => self.spawn_metadata,
@@ -209,11 +213,10 @@ mod tests {
         let g = GpTune::default();
         assert!((g.expected_makespan(Mode::Rci).get() - 553.0).abs() < 1.0);
         assert!((g.expected_makespan(Mode::Spawn).get() - 228.0).abs() < 1.0);
-        let speedup =
-            g.expected_makespan(Mode::Rci).get() / g.expected_makespan(Mode::Spawn).get();
+        let speedup = g.expected_makespan(Mode::Rci).get() / g.expected_makespan(Mode::Spawn).get();
         assert!((speedup - 2.4).abs() < 0.05, "RCI->Spawn {speedup}");
-        let proj = g.expected_makespan(Mode::Spawn).get()
-            / g.expected_makespan(Mode::Projected).get();
+        let proj =
+            g.expected_makespan(Mode::Spawn).get() / g.expected_makespan(Mode::Projected).get();
         assert!((proj - 12.0).abs() < 0.2, "Spawn->Projected {proj}");
     }
 
@@ -254,8 +257,7 @@ mod tests {
         let m = machines::perlmutter_cpu();
         let rci = RooflineModel::build(&m, &g.characterization(Mode::Rci, None)).unwrap();
         let spawn = RooflineModel::build(&m, &g.characterization(Mode::Spawn, None)).unwrap();
-        let proj =
-            RooflineModel::build(&m, &g.characterization(Mode::Projected, None)).unwrap();
+        let proj = RooflineModel::build(&m, &g.characterization(Mode::Projected, None)).unwrap();
         let y_rci = rci.dot.as_ref().unwrap().tps.get();
         let y_spawn = spawn.dot.as_ref().unwrap().tps.get();
         let y_proj = proj.dot.as_ref().unwrap().tps.get();

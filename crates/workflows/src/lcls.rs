@@ -108,9 +108,7 @@ impl Lcls {
     pub fn dag(&self) -> Dag {
         let mut d = Dag::new("LCLS");
         let load = self.input_per_task.get() / self.stream_rate;
-        let merge = d
-            .add_task("merge", 1, 20.0)
-            .expect("merge task is valid");
+        let merge = d.add_task("merge", 1, 20.0).expect("merge task is valid");
         for i in 0..self.analysis_tasks {
             let a = d
                 .add_task(format!("analyze[{i}]"), self.nodes_per_task, load)
@@ -162,8 +160,7 @@ impl Lcls {
         } else {
             ids::FILE_SYSTEM
         };
-        let opts =
-            SimOptions::default().with_contention(ids::EXTERNAL, day.contention_factor());
+        let opts = SimOptions::default().with_contention(ids::EXTERNAL, day.contention_factor());
         Scenario::new(machine, self.spec(internal)).with_options(opts)
     }
 

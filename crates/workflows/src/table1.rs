@@ -83,7 +83,10 @@ pub struct WorkflowSources {
 impl WorkflowSources {
     /// The source for one metric.
     pub fn get(&self, metric: Metric) -> Source {
-        let idx = Metric::ALL.iter().position(|&m| m == metric).expect("known metric");
+        let idx = Metric::ALL
+            .iter()
+            .position(|&m| m == metric)
+            .expect("known metric");
         self.sources[idx]
     }
 }
@@ -105,7 +108,14 @@ pub fn table1() -> Vec<WorkflowSources> {
         },
         WorkflowSources {
             workflow: "BerkeleyGW",
-            sources: [Measured, Reported, Reported, NotApplicable, Reported, Reported],
+            sources: [
+                Measured,
+                Reported,
+                Reported,
+                NotApplicable,
+                Reported,
+                Reported,
+            ],
         },
         WorkflowSources {
             workflow: "CosmoFlow",
@@ -120,7 +130,14 @@ pub fn table1() -> Vec<WorkflowSources> {
         },
         WorkflowSources {
             workflow: "GPTune",
-            sources: [Measured, NotApplicable, Measured, NotApplicable, NotApplicable, Measured],
+            sources: [
+                Measured,
+                NotApplicable,
+                Measured,
+                NotApplicable,
+                NotApplicable,
+                Measured,
+            ],
         },
     ]
 }

@@ -34,7 +34,10 @@ fn main() {
         makespans[1] / makespans[2]
     );
 
-    println!("\n{}", workflow_roofline::plot::ascii::breakdown(&breakdowns, 64));
+    println!(
+        "\n{}",
+        workflow_roofline::plot::ascii::breakdown(&breakdowns, 64)
+    );
 
     // The roofline tells the same story from volumes alone: the two FS
     // ceilings almost coincide (45 vs 40 MB), but the dots differ 2.4x.
@@ -73,11 +76,8 @@ fn main() {
     println!("\nadvisor: {}", overhead_rec.rationale);
 
     // Project the Python-free mode with the model's own transform.
-    let projected = remove_overhead(
-        &spawn,
-        Seconds(g.python_per_iter.get() * g.samples as f64),
-    )
-    .expect("python overhead below makespan");
+    let projected = remove_overhead(&spawn, Seconds(g.python_per_iter.get() * g.samples as f64))
+        .expect("python overhead below makespan");
     println!(
         "\nmodel projection without Python: {:.0} s ({:.1}x over Spawn) -- consider \
          containers to amortize library loading (paper's conclusion #2)",

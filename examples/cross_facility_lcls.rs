@@ -17,16 +17,16 @@ fn main() {
     let cori = machines::cori_haswell();
 
     println!("== LCLS on Cori Haswell: contention sweep ==");
-    println!("{:<12} {:>12} {:>14} {:>8}", "ext factor", "makespan (s)", "tasks/s", "zone");
+    println!(
+        "{:<12} {:>12} {:>14} {:>8}",
+        "ext factor", "makespan (s)", "tasks/s", "zone"
+    );
     let lcls = Lcls::year_2020_on_cori();
     for factor in [1.0, 0.8, 0.6, 0.4, 0.2] {
         let mut scenario = lcls.scenario(cori.clone(), Day::Good);
         scenario.options = SimOptions::default().with_contention(ids::EXTERNAL, factor);
         let run = simulate(&scenario).expect("simulates");
-        let wf = lcls.characterization(
-            ids::BURST_BUFFER,
-            Some(Seconds(run.makespan)),
-        );
+        let wf = lcls.characterization(ids::BURST_BUFFER, Some(Seconds(run.makespan)));
         let zone = classify_zone(&wf).expect("measured");
         println!(
             "{factor:<12} {:>12.0} {:>14.5} {:>8}",
@@ -70,7 +70,10 @@ fn main() {
     println!(
         "10x faster nodes: envelope {:.4} -> {:.4} tasks/s (unchanged; paper's conclusion #1)",
         ceiling,
-        fast_model.envelope_at(wf.parallel_tasks).expect("inside wall").get()
+        fast_model
+            .envelope_at(wf.parallel_tasks)
+            .expect("inside wall")
+            .get()
     );
 
     // Port to Perlmutter with DTN-attached external storage.
@@ -88,7 +91,8 @@ fn main() {
         println!("the DTN's 25 GB/s makes the 2024 target feasible -- with QOS guarantees");
     }
     let contended = RooflineModel::build(
-        &pm.with_scaled_resource(ids::EXTERNAL, 0.2).expect("resource exists"),
+        &pm.with_scaled_resource(ids::EXTERNAL, 0.2)
+            .expect("resource exists"),
         &wf,
     )
     .expect("valid");
@@ -106,15 +110,26 @@ fn main() {
 
     // Write the Fig. 5a-style SVG next to the binary run.
     let svg = RooflinePlot::new("LCLS on Cori Haswell (good vs bad days)")
-        .model(&RooflineModel::build(&cori, &lcls.characterization(
-            ids::BURST_BUFFER,
-            Some(Seconds(good.makespan)),
-        ).with_name("Good days")).expect("valid"))
-        .model(&RooflineModel::build(
-            &cori.with_scaled_resource(ids::EXTERNAL, 0.2).expect("resource exists"),
-            &lcls.characterization(ids::BURST_BUFFER, Some(Seconds(bad.makespan)))
-                .with_name("Bad days"),
-        ).expect("valid"))
+        .model(
+            &RooflineModel::build(
+                &cori,
+                &lcls
+                    .characterization(ids::BURST_BUFFER, Some(Seconds(good.makespan)))
+                    .with_name("Good days"),
+            )
+            .expect("valid"),
+        )
+        .model(
+            &RooflineModel::build(
+                &cori
+                    .with_scaled_resource(ids::EXTERNAL, 0.2)
+                    .expect("resource exists"),
+                &lcls
+                    .characterization(ids::BURST_BUFFER, Some(Seconds(bad.makespan)))
+                    .with_name("Bad days"),
+            )
+            .expect("valid"),
+        )
         .render_svg()
         .expect("has models");
     std::fs::write("lcls_roofline.svg", svg).expect("writable cwd");

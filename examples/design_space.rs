@@ -48,8 +48,8 @@ fn main() {
     for nodes in [16u64, 32, 64, 128, 256] {
         let compiled = compile_source(&source(nodes)).expect("valid program");
         let machine = compiled.machine.clone().expect("names a machine");
-        let run = simulate(&Scenario::new(machine.clone(), compiled.spec.clone()))
-            .expect("simulates");
+        let run =
+            simulate(&Scenario::new(machine.clone(), compiled.spec.clone())).expect("simulates");
 
         let mut wf = compiled.characterization().expect("valid");
         wf.makespan = Some(Seconds(run.makespan));
@@ -86,11 +86,10 @@ fn main() {
     }
 
     // Zoom into the chosen configuration: full report + figure.
-    let nodes = best.map(|(n, _)| n).unwrap_or(64);
+    let nodes = best.map_or(64, |(n, _)| n);
     let compiled = compile_source(&source(nodes)).expect("valid program");
     let machine = compiled.machine.clone().expect("names a machine");
-    let run = simulate(&Scenario::new(machine.clone(), compiled.spec.clone()))
-        .expect("simulates");
+    let run = simulate(&Scenario::new(machine.clone(), compiled.spec.clone())).expect("simulates");
     let mut wf = compiled.characterization().expect("valid");
     wf.makespan = Some(Seconds(run.makespan));
     let model = RooflineModel::build(&machine, &wf).expect("valid");
@@ -99,7 +98,10 @@ fn main() {
     for (cat, secs) in &run.trace.breakdown().categories {
         println!("  {cat:<16} {secs:>10.1} s");
     }
-    println!("\n{}", workflow_roofline::plot::ascii::roofline(&model, 84, 22));
+    println!(
+        "\n{}",
+        workflow_roofline::plot::ascii::roofline(&model, 84, 22)
+    );
 
     let svg = RooflinePlot::new(format!("assembly ensemble @ {nodes} nodes/task"))
         .model(&model)

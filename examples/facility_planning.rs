@@ -30,10 +30,7 @@ fn main() {
     for machine in &machines_all {
         for resource in [ids::EXTERNAL, ids::COMPUTE] {
             match required_peak(machine, &wf, resource) {
-                Ok(None) => println!(
-                    "{:<18} {resource:<8} already sufficient",
-                    machine.name
-                ),
+                Ok(None) => println!("{:<18} {resource:<8} already sufficient", machine.name),
                 Ok(Some(peak)) if peak.is_finite() => {
                     let current = machine
                         .system_resource(resource)
@@ -65,10 +62,9 @@ fn main() {
     // for LCLS, external bandwidth is the whole story.
     let cori = machines::cori_haswell();
     let mut with_compute = wf.clone();
-    with_compute.node_volumes.insert(
-        ids::COMPUTE.into(),
-        Work::Flops(Flops::pflops(1.0)),
-    );
+    with_compute
+        .node_volumes
+        .insert(ids::COMPUTE.into(), Work::Flops(Flops::pflops(1.0)));
     let compute_peak = required_peak(&cori, &with_compute, ids::COMPUTE)
         .expect("resource exists")
         .expect("target declared");
@@ -123,6 +119,10 @@ fn main() {
         "(the wall shrinks {}x across the sweep: makespan targets get easier, \
          throughput targets harder -- Fig. 2c)",
         trajectory.first().expect("non-empty").parallelism_wall
-            / trajectory.last().expect("non-empty").parallelism_wall.max(1)
+            / trajectory
+                .last()
+                .expect("non-empty")
+                .parallelism_wall
+                .max(1)
     );
 }

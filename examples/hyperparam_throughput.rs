@@ -43,8 +43,8 @@ fn main() {
 
     // The model view at full width: which ceiling binds?
     let cf = CosmoFlow::throughput_benchmark(12);
-    let model = RooflineModel::build(&machines::perlmutter_gpu(), &cf.characterization())
-        .expect("valid");
+    let model =
+        RooflineModel::build(&machines::perlmutter_gpu(), &cf.characterization()).expect("valid");
     println!(
         "\nper-epoch ceilings: PCIe {:.2} s, HBM {:.2} s (paper: 0.8 s / 4.2 s)",
         cf.pcie_time().get(),
@@ -54,13 +54,11 @@ fn main() {
         "binding node ceiling: {} (paper: HBM is ultimately the limitation)",
         model.node_ceilings()[0].resource
     );
-    println!(
-        "regular GPU pool 1536 nodes / 128 per instance = 12-instance wall"
-    );
+    println!("regular GPU pool 1536 nodes / 128 per instance = 12-instance wall");
 
     // Fig. 2c: what if each instance used 256 nodes instead?
-    let wider = scale_intra_task_parallelism(&cf.characterization(), 2.0, 0.85)
-        .expect("valid transform");
+    let wider =
+        scale_intra_task_parallelism(&cf.characterization(), 2.0, 0.85).expect("valid transform");
     let wide_model = RooflineModel::build(&machines::perlmutter_gpu(), &wider).expect("valid");
     println!(
         "\n2x intra-task parallelism at 85% scalability: wall {} -> {}, HBM ceiling at x=6: \

@@ -49,5 +49,8 @@ fn main() {
     }
 
     // Draw the roofline in the terminal.
-    println!("\n{}", workflow_roofline::plot::ascii::roofline(&model, 84, 22));
+    println!(
+        "\n{}",
+        workflow_roofline::plot::ascii::roofline(&model, 84, 22)
+    );
 }

@@ -26,9 +26,12 @@ workflow lcls on cori-hsw {
     let machine = compiled.machine.clone().expect("names cori");
 
     // Simulate.
-    let run = simulate(&Scenario::new(machine.clone(), compiled.spec.clone()))
-        .expect("simulates");
-    assert!((run.makespan - 1000.0).abs() < 25.0, "makespan {}", run.makespan);
+    let run = simulate(&Scenario::new(machine.clone(), compiled.spec.clone())).expect("simulates");
+    assert!(
+        (run.makespan - 1000.0).abs() < 25.0,
+        "makespan {}",
+        run.makespan
+    );
 
     // Characterize from the *trace* (measurement path).
     let structure = Structure::new(
@@ -97,7 +100,10 @@ workflow pipeline on pm-gpu {
     assert!((a - b).abs() < 1.0, "fs: plan {a} vs measured {b}");
     let a = plan.node_volumes[ids::COMPUTE].magnitude();
     let b = measured.node_volumes[ids::COMPUTE].magnitude();
-    assert!((a - b).abs() / a < 1e-9, "compute: plan {a} vs measured {b}");
+    assert!(
+        (a - b).abs() / a < 1e-9,
+        "compute: plan {a} vs measured {b}"
+    );
     let a = plan.node_volumes[ids::HBM].magnitude();
     let b = measured.node_volumes[ids::HBM].magnitude();
     assert!((a - b).abs() / a < 1e-9, "hbm: plan {a} vs measured {b}");
@@ -119,11 +125,8 @@ fn paper_headline_numbers() {
     for (bgw, eff_expect) in [(Bgw::si998_64(), 0.42), (Bgw::si998_1024(), 0.273)] {
         let run = simulate(&bgw.scenario()).expect("simulates");
         assert!((run.makespan - bgw.makespan().get()).abs() / run.makespan < 0.02);
-        let model = RooflineModel::build(
-            &machines::perlmutter_gpu(),
-            &bgw.characterization(true),
-        )
-        .expect("builds");
+        let model = RooflineModel::build(&machines::perlmutter_gpu(), &bgw.characterization(true))
+            .expect("builds");
         assert!((model.efficiency().expect("dot") - eff_expect).abs() < 0.02);
     }
 
@@ -134,9 +137,15 @@ fn paper_headline_numbers() {
 
     // GPTune: 553 vs 228 s, 2.4x; projection 12x.
     let g = GpTune::default();
-    let rci = simulate(&g.scenario(Mode::Rci)).expect("simulates").makespan;
-    let spawn = simulate(&g.scenario(Mode::Spawn)).expect("simulates").makespan;
-    let proj = simulate(&g.scenario(Mode::Projected)).expect("simulates").makespan;
+    let rci = simulate(&g.scenario(Mode::Rci))
+        .expect("simulates")
+        .makespan;
+    let spawn = simulate(&g.scenario(Mode::Spawn))
+        .expect("simulates")
+        .makespan;
+    let proj = simulate(&g.scenario(Mode::Projected))
+        .expect("simulates")
+        .makespan;
     assert!((rci - 553.0).abs() < 5.0);
     assert!((spawn - 228.0).abs() < 5.0);
     assert!((rci / spawn - 2.4).abs() < 0.1);
@@ -163,25 +172,24 @@ fn whatif_prediction_matches_simulation() {
         wf
     };
     let machine = machines::perlmutter_gpu();
-    let base_run = simulate(&Scenario::new(machine.clone(), build_spec(64, 8, 1e18)))
-        .expect("simulates");
+    let base_run =
+        simulate(&Scenario::new(machine.clone(), build_spec(64, 8, 1e18))).expect("simulates");
     // Double intra-task parallelism, halve the member count per wave:
     // simulate 4 members at 128 nodes each (same total work per slot x2
     // members -> one wave of 4, each member 2x faster, 2x fewer slots
     // but each slot now runs 2 members... the ensemble of 8 on 4 slots).
-    let rebalanced_run = simulate(&Scenario::new(
-        machine.clone(),
-        {
+    let rebalanced_run = simulate(
+        &Scenario::new(machine.clone(), {
             // 8 members at 128 nodes, but only 512 usable nodes -> 4 at a
             // time, two waves: same makespan as 8 parallel at 64 nodes
             // under perfect scaling.
             build_spec(128, 8, 1e18)
-        },
+        })
+        .with_options(SimOptions {
+            node_limit: Some(512),
+            ..SimOptions::default()
+        }),
     )
-    .with_options(SimOptions {
-        node_limit: Some(512),
-        ..SimOptions::default()
-    }))
     .expect("simulates");
     assert!(
         (rebalanced_run.makespan - base_run.makespan).abs() / base_run.makespan < 1e-6,
@@ -196,10 +204,7 @@ fn whatif_prediction_matches_simulation() {
         .parallel_tasks(8.0)
         .nodes_per_task(64)
         .makespan(Seconds(base_run.makespan))
-        .node_volume(
-            ids::COMPUTE,
-            Work::Flops(Flops(1e18 / 64.0)),
-        )
+        .node_volume(ids::COMPUTE, Work::Flops(Flops(1e18 / 64.0)))
         .build()
         .expect("valid");
     let shifted = scale_intra_task_parallelism(&wf, 2.0, 1.0).expect("valid");

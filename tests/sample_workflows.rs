@@ -8,8 +8,8 @@ fn run_sample(name: &str) -> (wrm_lang::Compiled, f64) {
     let source = std::fs::read_to_string(&path).expect("sample exists");
     let compiled = compile_source(&source).expect("sample compiles");
     let machine = compiled.machine.clone().expect("samples name machines");
-    let run = simulate(&Scenario::new(machine.clone(), compiled.spec.clone()))
-        .expect("sample simulates");
+    let run =
+        simulate(&Scenario::new(machine.clone(), compiled.spec.clone())).expect("sample simulates");
     let mut wf = compiled.characterization().expect("characterizes");
     wf.makespan = Some(Seconds(run.makespan));
     RooflineModel::build_lenient(&machine, &wf).expect("models");
@@ -27,7 +27,10 @@ fn lcls_cori_sample() {
 fn bgw_sample_matches_measured_total() {
     let (_, makespan) = run_sample("bgw_si998.wrm");
     // Paper total 4184.86 s; the .wrm efficiencies are calibrated to it.
-    assert!((makespan - 4184.86).abs() / 4184.86 < 0.03, "makespan {makespan}");
+    assert!(
+        (makespan - 4184.86).abs() / 4184.86 < 0.03,
+        "makespan {makespan}"
+    );
 }
 
 #[test]
@@ -43,5 +46,8 @@ fn custom_machine_sample() {
     assert_eq!(compiled.machine.as_ref().unwrap().name, "dept-cluster");
     // fetch alone: 4 TB over 2 GB/s = 2000 s; the rest adds compute and
     // FS stages. Meets the 8 h target comfortably.
-    assert!(makespan > 2000.0 && makespan < 8.0 * 3600.0, "makespan {makespan}");
+    assert!(
+        makespan > 2000.0 && makespan < 8.0 * 3600.0,
+        "makespan {makespan}"
+    );
 }

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps criterion's bench-authoring API (`criterion_group!`,
+//! `criterion_main!`, [`Criterion::benchmark_group`],
+//! `bench_with_input`, [`BenchmarkId`], [`Throughput`]) over a simple
+//! wall-clock sampler that prints per-benchmark mean times. Under
+//! `cargo test` (cargo passes `--test` to `harness = false` targets)
+//! each benchmark body runs exactly once as a smoke test.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark's parameter value.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self {
+            name: param.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", function.into(), param),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs and times the
+/// measured routine.
+pub struct Bencher {
+    samples: u64,
+    smoke_test: bool,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.smoke_test {
+            std::hint::black_box(routine());
+            self.mean_ns = 0.0;
+            return;
+        }
+        // One warmup call, then timed samples.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 32,
+            smoke_test: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            smoke_test: self.smoke_test,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        self.report(name, b.mean_ns, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn report(&self, name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+        if self.smoke_test {
+            println!("bench {name}: ok (smoke test)");
+            return;
+        }
+        let mut line = format!("bench {name}: {}", human_time(mean_ns));
+        if let Some(t) = throughput {
+            let per_sec = match t {
+                Throughput::Elements(n) => format!("{:.3e} elem/s", n as f64 / (mean_ns / 1e9)),
+                Throughput::Bytes(n) => format!("{:.3e} B/s", n as f64 / (mean_ns / 1e9)),
+            };
+            let _ = write!(line, " ({per_sec})");
+        }
+        println!("{line}");
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used for the next benchmarks' reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            smoke_test: self.criterion.smoke_test,
+            mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        let full = format!("{}/{}", self.name, id.name);
+        self.criterion.report(&full, b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark without an input parameter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            smoke_test: self.criterion.smoke_test,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.report(&full, b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function from a config and target list.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

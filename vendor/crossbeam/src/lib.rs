@@ -1,0 +1,64 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides [`scope`] with crossbeam's signature (spawn closures take a
+//! scope argument; the scope call returns `Err` with the panic payload
+//! if any worker panicked), implemented on `std::thread::scope`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle passed to [`scope`]'s closure for spawning workers.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped worker thread.
+    ///
+    /// Crossbeam hands the closure a nested scope handle; this stand-in
+    /// passes `()` — the workspace's workers ignore the argument.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(()))
+    }
+}
+
+/// Runs `f` with a scope handle, joining all spawned threads before
+/// returning. A panic in any worker surfaces as `Err(payload)`.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_run_and_join() {
+        let count = AtomicUsize::new(0);
+        let r = super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert!(r.is_ok());
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn worker_panic_is_reported() {
+        let r = super::scope(|scope| {
+            scope.spawn(|_| panic!("worker failure"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the subset this workspace uses — `rngs::StdRng`,
+//! [`SeedableRng::seed_from_u64`], and [`RngExt::random_range`] — on a
+//! deterministic xoshiro256++ generator seeded via SplitMix64. Not
+//! cryptographic; statistical quality is fine for jitter and test-data
+//! generation.
+
+/// Core random source: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+/// Uniform `f64` in `[0, 1)` built from the top 53 bits.
+fn unit_f64(rng: &mut impl RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, rng: &mut impl RngCore) -> f64 {
+        self.start + (self.end - self.start) * unit_f64(rng)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample(self, rng: &mut impl RngCore) -> f64 {
+        let (lo, hi) = self.into_inner();
+        lo + (hi - lo) * unit_f64(rng)
+    }
+}
+
+impl SampleRange<usize> for std::ops::Range<usize> {
+    fn sample(self, rng: &mut impl RngCore) -> usize {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        let width = (self.end - self.start) as u64;
+        self.start + (rng.next_u64() % width) as usize
+    }
+}
+
+impl SampleRange<u64> for std::ops::Range<u64> {
+    fn sample(self, rng: &mut impl RngCore) -> u64 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        let width = self.end - self.start;
+        self.start + rng.next_u64() % width
+    }
+}
+
+/// Convenience sampling methods (the `rand::Rng` extension surface).
+pub trait RngExt: RngCore {
+    /// A uniform draw from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s2 = s2 ^ s0;
+            let mut s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.s = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(-1.0..=1.0).to_bits(),
+                b.random_range(-1.0..=1.0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn range_is_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.random_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Deserialization: rebuild `Deserialize` types from a [`Value`] tree.
+
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The standard "missing field" error.
+    pub fn missing_field(name: &str) -> Self {
+        Self::custom(format!("missing field `{name}`"))
+    }
+
+    /// The standard type-mismatch error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        };
+        Self::custom(format!("expected {what}, found {kind}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can rebuild themselves from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `value` into `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Called for a field absent from its object. `Option` fields decode
+    /// as `None`; everything else reports a missing field.
+    #[doc(hidden)]
+    fn absent(field: &str) -> Result<Self, Error> {
+        Err(Error::missing_field(field))
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| Error::expected(stringify!($t), value))
+            }
+        }
+    )*};
+}
+
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|v| <$t>::try_from(v).ok())
+                        .ok_or_else(|| Error::expected(stringify!($t), value)),
+                    other => Err(Error::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(n) => Ok(n.as_f64()),
+            // serde_json writes non-finite floats as null; accept the
+            // round-trip back as NaN.
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::expected("f64", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::expected("bool", value))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", value))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::expected("char", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+/// Deserializing into a `'static` borrow has no owner to hand the data
+/// to, so the string is leaked. Fine for small config/test data, which
+/// is the only place `&'static str` fields appear.
+impl Deserialize for &'static str {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = String::from_value(value)?;
+        Ok(Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected {N}-element array, found {len}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_array() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(Error::expected("2-element array", value)),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_array() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(Error::expected("3-element array", value)),
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value))?;
+        let mut map = BTreeMap::new();
+        for (k, v) in entries {
+            let key = K::from_value(&Value::String(k.clone()))?;
+            map.insert(key, V::from_value(v)?);
+        }
+        Ok(map)
+    }
+}
+
+impl<K, V> Deserialize for HashMap<K, V>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value))?;
+        let mut map = HashMap::with_capacity(entries.len());
+        for (k, v) in entries {
+            let key = K::from_value(&Value::String(k.clone()))?;
+            map.insert(key, V::from_value(v)?);
+        }
+        Ok(map)
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+/// Looks up `key` in an object's entry list (derive-macro helper).
+#[doc(hidden)]
+pub fn field<'v>(entries: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real `serde` is unavailable in this build environment, so this
+//! crate provides the subset the workspace uses: `Serialize` /
+//! `Deserialize` traits (via a tree-walking [`value::Value`] data model
+//! rather than serde's visitor machinery) and derive macros supporting
+//! the container attributes used in-tree: `transparent`, `skip`,
+//! `tag = "..."`, and `rename_all = "snake_case"`.
+//!
+//! The public surface mirrors `serde` closely enough that switching back
+//! to the real crate is a `Cargo.toml` change.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+pub use value::{Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,308 @@
+//! The JSON data model shared by `serde` and `serde_json`.
+
+use std::fmt;
+
+/// A JSON number: integers are kept exact, everything else is an `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// An unsigned integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float (always finite; non-finite values serialize as `null`).
+    F64(f64),
+}
+
+impl Number {
+    /// The value as an `f64` (lossy for huge integers).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U64(n) => n as f64,
+            Number::I64(n) => n as f64,
+            Number::F64(n) => n,
+        }
+    }
+
+    /// The value as a `u64` when it is a non-negative integer.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::U64(n) => Some(n),
+            Number::I64(n) => u64::try_from(n).ok(),
+            Number::F64(n) if n.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(&n) => {
+                Some(n as u64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The value as an `i64` when it is an integer in range.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::U64(n) => i64::try_from(n).ok(),
+            Number::I64(n) => Some(n),
+            Number::F64(n)
+                if n.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&n) =>
+            {
+                Some(n as i64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U64(n) => write!(f, "{n}"),
+            Number::I64(n) => write!(f, "{n}"),
+            Number::F64(n) if n.is_finite() => {
+                // Rust's shortest round-trip formatting; force a fractional
+                // or exponent marker so the token re-parses as a float.
+                let s = format!("{n}");
+                if s.contains('.') || s.contains('e') || s.contains('E') {
+                    f.write_str(&s)
+                } else {
+                    write!(f, "{s}.0")
+                }
+            }
+            Number::F64(_) => f.write_str("null"),
+        }
+    }
+}
+
+/// A parsed or constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// The shared `null` returned by [`Value::index`] lookups that miss.
+pub const NULL: Value = Value::Null;
+
+impl Value {
+    /// Borrows the string content when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the object entries when this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements when this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` when this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The boolean when this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True when this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+/// Writes `s` as a JSON string literal (with escapes) into `out`.
+pub fn write_escaped(out: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+fn write_compact(out: &mut impl fmt::Write, v: &Value) -> fmt::Result {
+    match v {
+        Value::Null => out.write_str("null"),
+        Value::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write!(out, "{n}"),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.write_char('[')?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.write_char(',')?;
+                }
+                write_compact(out, item)?;
+            }
+            out.write_char(']')
+        }
+        Value::Object(entries) => {
+            out.write_char('{')?;
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.write_char(',')?;
+                }
+                write_escaped(out, k)?;
+                out.write_char(':')?;
+                write_compact(out, item)?;
+            }
+            out.write_char('}')
+        }
+    }
+}
+
+fn write_pretty(out: &mut impl fmt::Write, v: &Value, indent: usize) -> fmt::Result {
+    const STEP: usize = 2;
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.write_str("[\n")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.write_str(",\n")?;
+                }
+                write!(out, "{:width$}", "", width = indent + STEP)?;
+                write_pretty(out, item, indent + STEP)?;
+            }
+            write!(out, "\n{:width$}]", "", width = indent)
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.write_str("{\n")?;
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.write_str(",\n")?;
+                }
+                write!(out, "{:width$}", "", width = indent + STEP)?;
+                write_escaped(out, k)?;
+                out.write_str(": ")?;
+                write_pretty(out, item, indent + STEP)?;
+            }
+            write!(out, "\n{:width$}}}", "", width = indent)
+        }
+        other => write_compact(out, other),
+    }
+}
+
+impl Value {
+    /// Renders with two-space indentation (the `to_string_pretty` format).
+    pub fn to_string_pretty(&self) -> String {
+        let mut s = String::new();
+        let _ = write_pretty(&mut s, self, 0);
+        s
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_compact(f, self)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(Number::F64(n))
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Number(Number::U64(n))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Number(Number::U64(n as u64))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        if n >= 0 {
+            Value::Number(Number::U64(n as u64))
+        } else {
+            Value::Number(Number::I64(n))
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the build
+//! environment has no `syn`/`quote`). Supports the shapes this workspace
+//! uses:
+//!
+//! * structs with named fields (field attr `#[serde(skip)]`),
+//! * newtype/tuple structs with one field (incl. `#[serde(transparent)]`),
+//! * enums with unit, newtype, and struct variants, externally tagged by
+//!   default or internally tagged via `#[serde(tag = "...")]`,
+//! * `#[serde(rename_all = "snake_case")]` on containers.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Container- or field-level `#[serde(...)]` configuration.
+#[derive(Default, Clone)]
+struct Attrs {
+    transparent: bool,
+    skip: bool,
+    tag: Option<String>,
+    rename_all_snake: bool,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    NewtypeStruct {
+        name: String,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Parsed {
+    attrs: Attrs,
+    item: Item,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+/// Strips the surrounding quotes from a string-literal token.
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_owned()
+}
+
+/// Parses one `#[serde(...)]` bracket group body into `attrs`.
+fn apply_serde_attr(group: &proc_macro::Group, attrs: &mut Attrs) {
+    let mut tokens = group.stream().into_iter();
+    // Expect: Ident("serde") Group(Paren, ...)
+    let Some(TokenTree::Ident(head)) = tokens.next() else {
+        return;
+    };
+    if head.to_string() != "serde" {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = tokens.next() else {
+        return;
+    };
+    let mut inner = args.stream().into_iter().peekable();
+    while let Some(tt) = inner.next() {
+        let TokenTree::Ident(key) = tt else { continue };
+        let key = key.to_string();
+        let mut value = None;
+        if matches!(inner.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            inner.next();
+            if let Some(TokenTree::Literal(lit)) = inner.next() {
+                value = Some(unquote(&lit.to_string()));
+            }
+        }
+        match (key.as_str(), value) {
+            ("transparent", _) => attrs.transparent = true,
+            ("skip", _) => attrs.skip = true,
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("rename_all", Some(v)) => attrs.rename_all_snake = v == "snake_case",
+            _ => {}
+        }
+    }
+}
+
+/// Consumes leading attributes, folding `#[serde(...)]` into `attrs`.
+fn take_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> Attrs {
+    let mut attrs = Attrs::default();
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    apply_serde_attr(&g, &mut attrs);
+                }
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+/// Consumes an optional `pub` / `pub(crate)` visibility.
+fn skip_vis(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+/// Parses `name: Type` named fields from a brace-group body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        if tokens.peek().is_none() {
+            return Ok(fields);
+        }
+        let attrs = take_attrs(&mut tokens);
+        skip_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => return Ok(fields),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Consume the type: everything up to a comma at angle-depth 0.
+        let mut depth = 0i32;
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+        });
+    }
+}
+
+/// Counts top-level comma-separated entries of a paren-group body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut arity = 0usize;
+    let mut saw_any = false;
+    for tt in body {
+        saw_any = true;
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    if saw_any {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        if tokens.peek().is_none() {
+            return Ok(variants);
+        }
+        let _attrs = take_attrs(&mut tokens); // skips #[doc], #[default], ...
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => return Ok(variants),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                tokens.next();
+                VariantShape::Struct(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                tokens.next();
+                if arity != 1 {
+                    return Err(format!(
+                        "variant `{name}`: only 1-field tuple variants are supported"
+                    ));
+                }
+                VariantShape::Newtype
+            }
+            _ => VariantShape::Unit,
+        };
+        // Optional discriminant (`= expr`) is not supported; skip to comma.
+        while let Some(tt) = tokens.peek() {
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                tokens.next();
+                break;
+            }
+            tokens.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Parsed, String> {
+    let mut tokens = input.into_iter().peekable();
+    let attrs = take_attrs(&mut tokens);
+    skip_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, found `{other:?}`")),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("`{name}`: generic types are not supported"));
+    }
+    let item = match (kind.as_str(), tokens.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            match tuple_arity(g.stream()) {
+                1 => Item::NewtypeStruct { name },
+                n => {
+                    return Err(format!(
+                        "`{name}`: {n}-field tuple structs are not supported"
+                    ))
+                }
+            }
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Item::UnitStruct { name },
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Item::Enum {
+            name,
+            variants: parse_variants(g.stream())?,
+        },
+        _ => return Err(format!("unsupported item shape for `{name}`")),
+    };
+    Ok(Parsed { attrs, item })
+}
+
+/// CamelCase -> snake_case (the `rename_all = "snake_case"` rule).
+fn snake(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn variant_key(attrs: &Attrs, name: &str) -> String {
+    if attrs.rename_all_snake {
+        snake(name)
+    } else {
+        name.to_owned()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------
+
+fn gen_serialize(p: &Parsed) -> String {
+    let body = match &p.item {
+        Item::NewtypeStruct { .. } => "::serde::ser::Serialize::to_value(&self.0)".to_owned(),
+        Item::UnitStruct { .. } => "::serde::value::Value::Null".to_owned(),
+        Item::NamedStruct { fields, .. } => {
+            let mut s = String::from("let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "obj.push((\"{n}\".to_string(), ::serde::ser::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::value::Value::Object(obj)");
+            s
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let key = variant_key(&p.attrs, &v.name);
+                match (&v.shape, &p.attrs.tag) {
+                    (VariantShape::Unit, None) => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => ::serde::value::Value::String(\"{key}\".to_string()),\n",
+                            v = v.name
+                        ));
+                    }
+                    (VariantShape::Unit, Some(tag)) => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => ::serde::value::Value::Object(vec![(\"{tag}\".to_string(), ::serde::value::Value::String(\"{key}\".to_string()))]),\n",
+                            v = v.name
+                        ));
+                    }
+                    (VariantShape::Newtype, None) => {
+                        arms.push_str(&format!(
+                            "{name}::{v}(x0) => ::serde::value::Value::Object(vec![(\"{key}\".to_string(), ::serde::ser::Serialize::to_value(x0))]),\n",
+                            v = v.name
+                        ));
+                    }
+                    (VariantShape::Newtype, Some(_)) => {
+                        // Internally tagged newtype variants are not used
+                        // in this workspace.
+                        arms.push_str(&format!(
+                            "{name}::{v}(_) => ::serde::value::Value::Null,\n",
+                            v = v.name
+                        ));
+                    }
+                    (VariantShape::Struct(fields), tag) => {
+                        let pat: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut arm = format!(
+                            "{name}::{v} {{ {pat} }} => {{\nlet mut obj: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+                            v = v.name,
+                            pat = pat.join(", ")
+                        );
+                        if let Some(tag) = tag {
+                            arm.push_str(&format!(
+                                "obj.push((\"{tag}\".to_string(), ::serde::value::Value::String(\"{key}\".to_string())));\n"
+                            ));
+                        }
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            arm.push_str(&format!(
+                                "obj.push((\"{n}\".to_string(), ::serde::ser::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        if tag.is_some() {
+                            arm.push_str("::serde::value::Value::Object(obj)\n}\n");
+                        } else {
+                            arm.push_str(&format!(
+                                "::serde::value::Value::Object(vec![(\"{key}\".to_string(), ::serde::value::Value::Object(obj))])\n}}\n"
+                            ));
+                        }
+                        arms.push_str(&arm);
+                        arms.push(',');
+                        arms.push('\n');
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let name = match &p.item {
+        Item::NamedStruct { name, .. }
+        | Item::NewtypeStruct { name }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::ser::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------
+
+fn gen_named_fields_init(fields: &[Field], entries_expr: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        if f.skip {
+            s.push_str(&format!(
+                "{n}: ::std::default::Default::default(),\n",
+                n = f.name
+            ));
+        } else {
+            s.push_str(&format!(
+                "{n}: match ::serde::de::field({e}, \"{n}\") {{\n\
+                 ::std::option::Option::Some(v) => ::serde::de::Deserialize::from_value(v)?,\n\
+                 ::std::option::Option::None => ::serde::de::Deserialize::absent(\"{n}\")?,\n\
+                 }},\n",
+                n = f.name,
+                e = entries_expr
+            ));
+        }
+    }
+    s
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = match &p.item {
+        Item::NamedStruct { name, .. }
+        | Item::NewtypeStruct { name }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name.clone(),
+    };
+    let body = match &p.item {
+        Item::NewtypeStruct { .. } => {
+            format!(
+                "::std::result::Result::Ok({name}(::serde::de::Deserialize::from_value(value)?))"
+            )
+        }
+        Item::UnitStruct { .. } => format!("::std::result::Result::Ok({name})"),
+        Item::NamedStruct { fields, .. } => {
+            format!(
+                "let entries = value.as_object().ok_or_else(|| ::serde::de::Error::expected(\"struct {name}\", value))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{init}}})",
+                init = gen_named_fields_init(fields, "entries")
+            )
+        }
+        Item::Enum { variants, .. } => match &p.attrs.tag {
+            Some(tag) => {
+                // Internally tagged: read the tag field, then the other
+                // fields from the same object.
+                let mut arms = String::new();
+                for v in variants {
+                    let key = variant_key(&p.attrs, &v.name);
+                    match &v.shape {
+                        VariantShape::Unit => arms.push_str(&format!(
+                            "\"{key}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        )),
+                        VariantShape::Struct(fields) => arms.push_str(&format!(
+                            "\"{key}\" => ::std::result::Result::Ok({name}::{v} {{\n{init}}}),\n",
+                            v = v.name,
+                            init = gen_named_fields_init(fields, "entries")
+                        )),
+                        VariantShape::Newtype => arms.push_str(&format!(
+                            "\"{key}\" => ::std::result::Result::Err(::serde::de::Error::custom(\"internally tagged newtype variants are unsupported\")),\n"
+                        )),
+                    }
+                }
+                format!(
+                    "let entries = value.as_object().ok_or_else(|| ::serde::de::Error::expected(\"enum {name}\", value))?;\n\
+                     let tag = ::serde::de::field(entries, \"{tag}\")\
+                         .and_then(::serde::value::Value::as_str)\
+                         .ok_or_else(|| ::serde::de::Error::custom(\"missing `{tag}` tag for enum {name}\"))?;\n\
+                     match tag {{\n{arms}\
+                     other => ::std::result::Result::Err(::serde::de::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n}}"
+                )
+            }
+            None => {
+                let mut unit_arms = String::new();
+                let mut keyed_arms = String::new();
+                for v in variants {
+                    let key = variant_key(&p.attrs, &v.name);
+                    match &v.shape {
+                        VariantShape::Unit => unit_arms.push_str(&format!(
+                            "\"{key}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        )),
+                        VariantShape::Newtype => keyed_arms.push_str(&format!(
+                            "\"{key}\" => ::std::result::Result::Ok({name}::{v}(::serde::de::Deserialize::from_value(inner)?)),\n",
+                            v = v.name
+                        )),
+                        VariantShape::Struct(fields) => keyed_arms.push_str(&format!(
+                            "\"{key}\" => {{\nlet entries = inner.as_object().ok_or_else(|| ::serde::de::Error::expected(\"variant {name}::{v}\", inner))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{\n{init}}})\n}},\n",
+                            v = v.name,
+                            init = gen_named_fields_init(fields, "entries")
+                        )),
+                    }
+                }
+                format!(
+                    "match value {{\n\
+                     ::serde::value::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                     other => ::std::result::Result::Err(::serde::de::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                     ::serde::value::Value::Object(entries) if entries.len() == 1 => {{\n\
+                     let (k, inner) = &entries[0];\n\
+                     match k.as_str() {{\n{keyed_arms}\
+                     other => ::std::result::Result::Err(::serde::de::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n}}\n}},\n\
+                     other => ::std::result::Result::Err(::serde::de::Error::expected(\"enum {name}\", other)),\n}}"
+                )
+            }
+        },
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::de::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(p) => gen_serialize(&p).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(p) => gen_deserialize(&p).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}

@@ -1,0 +1,88 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Provides the subset of the real API this workspace uses: the
+//! [`json!`] macro, [`to_string`] / [`to_string_pretty`], [`from_str`],
+//! [`Value`], and an [`Error`] type. Text is parsed into / printed from
+//! the [`Value`] tree shared with the vendored `serde`.
+
+mod parse;
+
+pub use serde::value::{Number, Value};
+
+/// A JSON error (parse failure or data-model mismatch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Self::new(e.to_string())
+    }
+}
+
+/// Serializes `value` as compact JSON text.
+///
+/// The `Result` mirrors the real crate's signature; the vendored
+/// data model cannot fail to serialize.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serializes `value` as two-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string_pretty())
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Rebuilds a deserializable type from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+/// Builds a [`Value`] from JSON-like syntax.
+///
+/// Supports `null`, arrays of expressions, one level of object literal
+/// with expression values, and bare serializable expressions. Nest
+/// objects by building the inner value first.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $item:expr ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ({ $( $key:literal : $val:expr ),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::json!($val)) ),*
+        ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
