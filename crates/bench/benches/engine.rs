@@ -2,10 +2,13 @@
 //! count and dependency depth, the fair-share solver, and the scheduler
 //! ablation (FIFO vs. backfill).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use wrm_bench::{bag_scenario, layered_scenario};
-use wrm_sim::{max_min_rates, simulate, FlowDemand, SchedulerPolicy, SimOptions};
+use wrm_bench::{bag_scenario, generated_scenario, layered_scenario};
+use wrm_sim::reference::simulate_reference;
+use wrm_sim::{
+    max_min_rates, run_all, simulate, FlowDemand, Scenario, SchedulerPolicy, SimOptions,
+};
 
 fn sim_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/bag_scaling");
@@ -74,9 +77,108 @@ fn scheduler_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+fn generated_dags(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/generated");
+    for n in [1_000usize, 10_000] {
+        let scenario = generated_scenario(n, 32, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("optimized", n), &scenario, |b, s| {
+            b.iter(|| black_box(simulate(s).unwrap().makespan));
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &scenario, |b, s| {
+            b.iter(|| black_box(simulate_reference(s).unwrap().makespan));
+        });
+    }
+    group.finish();
+}
+
+fn sweep_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/sweep_threads");
+    let scenarios: Vec<Scenario> = (0..32).map(|i| generated_scenario(500, 8, i)).collect();
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &scenarios, |b, s| {
+            b.iter(|| {
+                for r in run_all(black_box(s), threads) {
+                    black_box(r.unwrap().makespan);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = engine;
     config = Criterion::default().sample_size(10);
-    targets = sim_scaling, sim_layers, fair_share_solver, scheduler_ablation
+    targets = sim_scaling, sim_layers, fair_share_solver, scheduler_ablation,
+        generated_dags, sweep_threads
 }
-criterion_main!(engine);
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Headline numbers for the PR acceptance criteria, written to
+/// `BENCH_engine.json` at the workspace root: optimized-vs-reference
+/// speedup on the 10k-task / 32-channel DAG, and `run_all` thread
+/// scaling. Skipped in smoke mode (`--test`), where criterion already
+/// exercised every bench body once.
+fn write_baseline() {
+    let scenario = generated_scenario(10_000, 32, 42);
+    let opt = simulate(&scenario).unwrap();
+    let reference = simulate_reference(&scenario).unwrap();
+    assert_eq!(opt, reference, "engines must agree before we time them");
+
+    let opt_ms = time_ms(3, || {
+        black_box(simulate(&scenario).unwrap().makespan);
+    });
+    let ref_ms = time_ms(3, || {
+        black_box(simulate_reference(&scenario).unwrap().makespan);
+    });
+    let speedup = ref_ms / opt_ms;
+
+    let scenarios: Vec<Scenario> = (0..64).map(|i| generated_scenario(1_000, 8, i)).collect();
+    let mut sweep_ms = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let ms = time_ms(3, || {
+            for r in run_all(black_box(&scenarios), threads) {
+                black_box(r.unwrap().makespan);
+            }
+        });
+        sweep_ms.push((threads, ms));
+    }
+    let serial_ms = sweep_ms[0].1;
+
+    let sweep_json: Vec<String> = sweep_ms
+        .iter()
+        .map(|(t, ms)| {
+            format!(
+                "    {{ \"threads\": {t}, \"ms\": {ms:.2}, \"speedup_vs_serial\": {:.2} }}",
+                serial_ms / ms
+            )
+        })
+        .collect();
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let json = format!(
+        "{{\n  \"bench\": \"engine/generated\",\n  \"workload\": \"10000 tasks, 32 shared channels, seed 42 (wrm_bench::generated_scenario)\",\n  \"host_cpus\": {cpus},\n  \"makespan_s\": {:.6},\n  \"reference_ms\": {ref_ms:.2},\n  \"optimized_ms\": {opt_ms:.2},\n  \"speedup\": {speedup:.2},\n  \"sweep\": {{\n    \"workload\": \"64 scenarios x 1000 tasks, 8 channels (wrm_sim::run_all)\",\n    \"threads\": [\n{}\n    ]\n  }},\n  \"methodology\": \"cargo bench -p wrm-bench --bench engine; best of 3 runs; see docs/CLI.md\"\n}}\n",
+        opt.makespan,
+        sweep_json.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    println!("engine baseline: {speedup:.1}x vs reference ({ref_ms:.1} ms -> {opt_ms:.1} ms); wrote {path}");
+}
+
+fn main() {
+    engine();
+    if !std::env::args().any(|a| a == "--test") {
+        write_baseline();
+    }
+}

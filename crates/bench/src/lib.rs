@@ -57,6 +57,44 @@ pub fn layered_scenario(depth: usize, width: usize) -> Scenario {
     Scenario::new(machine, wf)
 }
 
+/// A generated large-scale layered workload: `n_tasks` tasks (from
+/// [`wrm_dag::generate::random_layered_tasks`]) on an 8192-node machine
+/// with `n_channels` shared 50 GB/s channels. Every task has a fixed
+/// overhead phase; every fourth task also moves data over one of the
+/// channels (round-robin, some with stream caps), so the event loop
+/// exercises both the fixed-phase calendar and the incremental
+/// fair-share path. Deterministic per `(n_tasks, n_channels, seed)`.
+pub fn generated_scenario(n_tasks: usize, n_channels: usize, seed: u64) -> Scenario {
+    assert!(n_channels >= 1, "need at least one channel");
+    let mut builder = Machine::builder("bench-gen", 8192);
+    for c in 0..n_channels {
+        builder = builder.system(
+            format!("ch{c}"),
+            format!("Channel {c}"),
+            BytesPerSec::gbps(50.0),
+        );
+    }
+    let machine = builder.build().expect("valid machine");
+    let tasks = wrm_dag::generate::random_layered_tasks(seed, n_tasks, 4096, 2, 20.0);
+    let mut wf = WorkflowSpec::new(format!("gen[{n_tasks}x{n_channels}]"));
+    for (i, gt) in tasks.iter().enumerate() {
+        let mut t = TaskSpec::new(&gt.name, gt.nodes).phase(Phase::overhead("work", gt.duration));
+        if i % 4 == 0 {
+            let ch = i % n_channels;
+            t = t.phase(Phase::SystemData {
+                resource: format!("ch{ch}"),
+                bytes: (1.0 + gt.duration) * 2e9,
+                stream_cap: if i % 8 == 0 { Some(5e9) } else { None },
+            });
+        }
+        for &d in &gt.deps {
+            t = t.after(&tasks[d].name);
+        }
+        wf = wf.task(t);
+    }
+    Scenario::new(machine, wf)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,6 +107,16 @@ mod tests {
         // 32 x 10 GB through 100 GB/s (all fit in the 256-node pool):
         // 3.2 s of I/O after the 1 s overhead.
         assert!((r.makespan - 4.2).abs() < 0.1, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn generated_scenario_simulates_and_matches_reference() {
+        let s = generated_scenario(400, 8, 7);
+        let r = simulate(&s).unwrap();
+        assert_eq!(r.task_times.len(), 400);
+        assert!(r.makespan > 0.0);
+        let reference = wrm_sim::reference::simulate_reference(&s).unwrap();
+        assert_eq!(r, reference);
     }
 
     #[test]

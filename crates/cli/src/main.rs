@@ -16,6 +16,12 @@
 //! wrm simulate <file.wrm> [options]     simulate and print the trace
 //!     --gantt                           print a Gantt chart
 //!     --jsonl <out.jsonl>               write the trace as JSON lines
+//! wrm sweep <file.wrm|builtin>          simulate a parameter grid in parallel
+//!     --resource R --factors 1.0,0.5    contention factors on a resource
+//!     --nodes 64,128                    scheduler node-pool limits
+//!     --policies fifo,backfill          scheduler policies
+//!     --threads N --format json|csv     workers and output format
+//!     --out <file>                      write rows to a file
 //! wrm figures [all|<id>] [--out <dir>]  regenerate paper figures
 //! ```
 //!
@@ -27,6 +33,7 @@
 
 mod figures;
 mod report;
+mod sweep;
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -53,6 +60,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("lint") => cmd_lint(&args[1..]).map(ExitCode::from),
         Some("analyze") => ok(cmd_analyze(&args[1..])),
         Some("simulate") => ok(cmd_simulate(&args[1..])),
+        Some("sweep") => ok(sweep::cmd_sweep(&args[1..])),
         Some("figures") => ok(cmd_figures(&args[1..])),
         Some("compare") => ok(cmd_compare(&args[1..])),
         Some("profile") => ok(cmd_profile(&args[1..])),
@@ -78,6 +86,12 @@ fn usage() -> &'static str {
      \x20         [--svg out.svg] [--html out.html] [--ascii]\n\
      \x20                                    analyze a workflow file\n\
      \x20 simulate <file.wrm> [--gantt] [--jsonl out.jsonl] [--contention r=f]\n\
+     \x20 sweep <file.wrm|builtin> [--resource R --factors 1.0,0.5]\n\
+     \x20       [--nodes 64,128] [--policies fifo,backfill] [--threads N]\n\
+     \x20       [--format json|csv] [--out file]\n\
+     \x20                                    simulate a parameter grid in\n\
+     \x20                                    parallel (builtins: lcls, bgw,\n\
+     \x20                                    cosmoflow, gptune-rci, gptune-spawn)\n\
      \x20 figures [all|f1|f2|f3|f4|f5a|f5b|f6|f7a|f7b|f7c|f7d|f8|f9|f10|t1]\n\
      \x20         [--out dir]                 regenerate the paper's figures\n\
      \x20 compare <file.wrm>                 project the workflow onto every\n\
@@ -120,6 +134,12 @@ struct Flags {
     html: Option<String>,
     format: String,
     deny_warnings: bool,
+    out: Option<String>,
+    resource: Option<String>,
+    factors: Vec<f64>,
+    nodes: Vec<u64>,
+    policies: Vec<wrm_sim::SchedulerPolicy>,
+    threads: usize,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -138,6 +158,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         html: None,
         format: "text".into(),
         deny_warnings: false,
+        out: None,
+        resource: None,
+        factors: Vec::new(),
+        nodes: Vec::new(),
+        policies: Vec::new(),
+        threads: 1,
     };
     let mut i = 0;
     let mut positional = 0;
@@ -159,7 +185,51 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--svg" => f.svg = Some(value(&mut i)?),
             "--html" => f.html = Some(value(&mut i)?),
             "--jsonl" => f.jsonl = Some(value(&mut i)?),
-            "--out" => f.out_dir = value(&mut i)?,
+            "--out" => {
+                let v = value(&mut i)?;
+                f.out_dir.clone_from(&v);
+                f.out = Some(v);
+            }
+            "--resource" => f.resource = Some(value(&mut i)?),
+            "--factors" => {
+                let v = value(&mut i)?;
+                f.factors = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad contention factor `{s}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--nodes" => {
+                let v = value(&mut i)?;
+                f.nodes = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad node count `{s}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--policies" => {
+                let v = value(&mut i)?;
+                f.policies = v
+                    .split(',')
+                    .map(|s| match s.trim() {
+                        "fifo" => Ok(wrm_sim::SchedulerPolicy::Fifo),
+                        "backfill" => Ok(wrm_sim::SchedulerPolicy::Backfill),
+                        other => Err(format!(
+                            "unknown policy `{other}` (expected fifo or backfill)"
+                        )),
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--threads" => {
+                let v = value(&mut i)?;
+                f.threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+            }
             "--structure" => {
                 let v = value(&mut i)?;
                 let parts: Vec<&str> = v.split(',').collect();

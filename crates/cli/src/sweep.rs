@@ -1,0 +1,212 @@
+//! `wrm sweep` — parameter sweeps over a workflow scenario.
+//!
+//! Builds the cartesian grid of contention factor x node limit x
+//! scheduler policy, simulates every cell with the parallel sweep
+//! runner (`wrm_sim::run_all`), and prints one row per cell as JSON or
+//! CSV. Scenario errors land in the row's `error` column instead of
+//! aborting the whole sweep.
+
+use wrm_core::machines;
+use wrm_sim::{run_all, Scenario, SchedulerPolicy};
+use wrm_workflows::{Bgw, CosmoFlow, Day, GpTune, Lcls, Mode};
+
+use crate::{compile_checked, Flags};
+
+/// One cell of the sweep grid.
+struct Cell {
+    factor: f64,
+    node_limit: Option<u64>,
+    policy: SchedulerPolicy,
+}
+
+fn policy_name(p: SchedulerPolicy) -> &'static str {
+    match p {
+        SchedulerPolicy::Fifo => "fifo",
+        SchedulerPolicy::Backfill => "backfill",
+    }
+}
+
+/// Resolves the positional argument to a base scenario: a `.wrm` file
+/// (compiled like `wrm simulate`) or one of the builtin paper
+/// workflows.
+fn base_scenario(flags: &Flags) -> Result<Scenario, String> {
+    let target = flags
+        .file
+        .as_ref()
+        .ok_or_else(|| "missing workflow argument (a .wrm file or a builtin name)".to_owned())?;
+    match target.as_str() {
+        "lcls" => Ok(Lcls::year_2020_on_cori().scenario(machines::cori_haswell(), Day::Good)),
+        "bgw" => Ok(Bgw::si998_64().scenario()),
+        "cosmoflow" => Ok(CosmoFlow::default().scenario()),
+        "gptune-rci" => Ok(GpTune::default().scenario(Mode::Rci)),
+        "gptune-spawn" => Ok(GpTune::default().scenario(Mode::Spawn)),
+        path if path.ends_with(".wrm") => {
+            let source =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let compiled = compile_checked(path, &source)?;
+            let machine = match &flags.machine {
+                Some(name) => {
+                    machines::by_name(name).ok_or_else(|| format!("unknown machine `{name}`"))?
+                }
+                None => compiled.machine.clone().ok_or_else(|| {
+                    "no machine: add `on <machine>` to the file or pass --machine".to_owned()
+                })?,
+            };
+            Ok(Scenario::new(machine, compiled.spec))
+        }
+        other => Err(format!(
+            "unknown workflow `{other}` (expected a .wrm file or one of: \
+             lcls, bgw, cosmoflow, gptune-rci, gptune-spawn)"
+        )),
+    }
+}
+
+pub fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let flags = crate::parse_flags(args)?;
+    let base = base_scenario(&flags)?;
+
+    if !flags.factors.is_empty() && flags.resource.is_none() {
+        return Err("--factors needs --resource <shared resource id>".to_owned());
+    }
+    let factors = if flags.factors.is_empty() {
+        vec![1.0]
+    } else {
+        flags.factors.clone()
+    };
+    let node_limits: Vec<Option<u64>> = if flags.nodes.is_empty() {
+        vec![base.options.node_limit]
+    } else {
+        flags.nodes.iter().map(|&n| Some(n)).collect()
+    };
+    let policies = if flags.policies.is_empty() {
+        vec![base.options.scheduler]
+    } else {
+        flags.policies.clone()
+    };
+    if let Some(res) = &flags.resource {
+        if base.machine.system_resource(res).is_none() {
+            return Err(format!(
+                "machine `{}` has no shared resource `{res}`",
+                base.machine.name
+            ));
+        }
+    }
+
+    let mut cells = Vec::new();
+    let mut scenarios = Vec::new();
+    for &factor in &factors {
+        for &node_limit in &node_limits {
+            for &policy in &policies {
+                let mut opts = base.options.clone();
+                if let Some(res) = &flags.resource {
+                    opts = opts.with_contention(res.clone(), factor);
+                }
+                opts.node_limit = node_limit;
+                opts.scheduler = policy;
+                cells.push(Cell {
+                    factor,
+                    node_limit,
+                    policy,
+                });
+                scenarios.push(base.clone().with_options(opts));
+            }
+        }
+    }
+
+    let results = run_all(&scenarios, flags.threads);
+
+    let resource = flags.resource.clone().unwrap_or_default();
+    let output = match flags.format.as_str() {
+        "json" => {
+            let rows: Vec<serde_json::Value> = cells
+                .iter()
+                .zip(&results)
+                .map(|(cell, result)| {
+                    let (makespan, node_seconds, utilization, error) = match result {
+                        Ok(r) => (
+                            serde_json::json!(r.makespan),
+                            serde_json::json!(r.node_seconds()),
+                            serde_json::json!(r.utilization()),
+                            serde_json::Value::Null,
+                        ),
+                        Err(e) => (
+                            serde_json::Value::Null,
+                            serde_json::Value::Null,
+                            serde_json::Value::Null,
+                            serde_json::json!(e.to_string()),
+                        ),
+                    };
+                    serde_json::json!({
+                        "workflow": base.workflow.name.clone(),
+                        "machine": base.machine.name.clone(),
+                        "resource": resource.clone(),
+                        "factor": cell.factor,
+                        "node_limit": cell.node_limit,
+                        "policy": policy_name(cell.policy),
+                        "makespan_s": makespan,
+                        "node_seconds": node_seconds,
+                        "utilization": utilization,
+                        "error": error
+                    })
+                })
+                .collect();
+            let mut text = serde_json::to_string_pretty(&serde_json::Value::Array(rows))
+                .map_err(|e| e.to_string())?;
+            text.push('\n');
+            text
+        }
+        // "text" is parse_flags' untouched default: sweep output is
+        // tabular, so plain invocations get CSV.
+        "csv" | "text" => {
+            let mut text = String::from(
+                "workflow,machine,resource,factor,node_limit,policy,\
+                 makespan_s,node_seconds,utilization,error\n",
+            );
+            for (cell, result) in cells.iter().zip(&results) {
+                let node_limit = cell.node_limit.map(|n| n.to_string()).unwrap_or_default();
+                let (makespan, node_seconds, utilization, error) = match result {
+                    Ok(r) => (
+                        format!("{:.6}", r.makespan),
+                        format!("{:.3}", r.node_seconds()),
+                        format!("{:.6}", r.utilization()),
+                        String::new(),
+                    ),
+                    Err(e) => (
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        e.to_string().replace(',', ";"),
+                    ),
+                };
+                text.push_str(&format!(
+                    "{},{},{},{},{},{},{},{},{},{}\n",
+                    base.workflow.name,
+                    base.machine.name,
+                    resource,
+                    cell.factor,
+                    node_limit,
+                    policy_name(cell.policy),
+                    makespan,
+                    node_seconds,
+                    utilization,
+                    error
+                ));
+            }
+            text
+        }
+        other => return Err(format!("unknown --format `{other}` (expected json or csv)")),
+    };
+
+    match &flags.out {
+        Some(path) => {
+            std::fs::write(path, &output).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "wrote {} sweep row(s) to {path} ({} thread(s))",
+                cells.len(),
+                flags.threads.max(1)
+            );
+        }
+        None => print!("{output}"),
+    }
+    Ok(())
+}

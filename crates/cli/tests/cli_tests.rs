@@ -178,6 +178,100 @@ fn error_paths_are_reported() {
 }
 
 #[test]
+fn sweep_grid_json_and_csv() {
+    let dir = tmpdir("sweep");
+    let wf_path = dir.join("lcls.wrm");
+    std::fs::write(&wf_path, LCLS_WRM).expect("write");
+
+    // CSV to stdout: 2 factors x 2 policies = 4 rows + header, and the
+    // halved external bandwidth doubles the makespan.
+    let out = wrm()
+        .args([
+            "sweep",
+            wf_path.to_str().expect("utf8"),
+            "--resource",
+            "ext",
+            "--factors",
+            "1.0,0.5",
+            "--policies",
+            "fifo,backfill",
+            "--threads",
+            "2",
+            "--format",
+            "csv",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.lines().count(), 5, "{text}");
+    assert!(
+        text.starts_with("workflow,machine,resource,factor,node_limit,policy"),
+        "{text}"
+    );
+    assert!(text.contains(",ext,1,,fifo,1000."), "{text}");
+    assert!(text.contains(",ext,0.5,,backfill,2000."), "{text}");
+
+    // JSON to a file, sweeping node limits.
+    let json_path = dir.join("sweep.json");
+    let out = wrm()
+        .args([
+            "sweep",
+            wf_path.to_str().expect("utf8"),
+            "--nodes",
+            "64,161",
+            "--format",
+            "json",
+            "--out",
+            json_path.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&json_path).expect("json written");
+    assert!(json.trim_start().starts_with('['), "{json}");
+    assert_eq!(json.matches("\"makespan_s\"").count(), 2, "{json}");
+    assert!(json.contains("\"node_limit\": 64"), "{json}");
+    assert!(json.contains("\"error\": null"), "{json}");
+
+    // Builtin workflows resolve by name.
+    let out = wrm()
+        .args(["sweep", "bgw", "--format", "csv"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("BerkeleyGW"),
+        "builtin sweep output"
+    );
+
+    // Error paths: unknown workflow name, --factors without --resource.
+    let out = wrm().args(["sweep", "nope"]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workflow"));
+    let out = wrm()
+        .args(["sweep", wf_path.to_str().expect("utf8"), "--factors", "0.5"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--resource"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn custom_machine_file_end_to_end() {
     let dir = tmpdir("custom");
     let path = dir.join("custom.wrm");

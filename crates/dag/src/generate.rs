@@ -121,6 +121,80 @@ pub fn random_layered(
     Ok(d)
 }
 
+/// One task of a generated workload, as plain data: consumers (e.g. the
+/// benchmark crate) attach their own phase structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedTask {
+    /// Unique task name (`t[layer.slot]`).
+    pub name: String,
+    /// Node allocation.
+    pub nodes: u64,
+    /// Nominal duration in seconds (uniform in `(0, max_duration)`).
+    pub duration: f64,
+    /// Indices (into the returned vector) of tasks this one depends on;
+    /// always earlier indices, so the list is topologically ordered.
+    pub deps: Vec<usize>,
+}
+
+/// A deterministic pseudo-random layered workload with exactly
+/// `n_tasks` tasks, as plain task records rather than a [`Dag`] — the
+/// form large-scale benchmark workloads are built from. Layer widths are
+/// drawn in `1..=max_width` until the task budget is exhausted; each
+/// non-root task depends on 1..=3 tasks of the previous layer. Uses its
+/// own splitmix64 stream from `seed` (independent of
+/// [`random_layered`]), so identical seeds give identical workloads.
+pub fn random_layered_tasks(
+    seed: u64,
+    n_tasks: usize,
+    max_width: usize,
+    max_nodes: u64,
+    max_duration: f64,
+) -> Vec<GeneratedTask> {
+    assert!(max_width >= 1, "max_width must be at least 1");
+    assert!(max_nodes >= 1, "max_nodes must be at least 1");
+    let mut state = seed ^ 0xA076_1D64_78BD_642F;
+    let mut next = move || -> u64 {
+        // splitmix64
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut tasks = Vec::with_capacity(n_tasks);
+    let mut prev_layer: Vec<usize> = Vec::new();
+    let mut layer = 0usize;
+    while tasks.len() < n_tasks {
+        let width = (1 + (next() as usize) % max_width).min(n_tasks - tasks.len());
+        let mut cur = Vec::with_capacity(width);
+        for i in 0..width {
+            let nodes = 1 + next() % max_nodes;
+            let duration = (next() % 1_000_000) as f64 / 1_000_000.0 * max_duration;
+            let mut deps = Vec::new();
+            if !prev_layer.is_empty() {
+                let n_deps = 1 + (next() as usize) % 3.min(prev_layer.len());
+                for k in 0..n_deps {
+                    let p = prev_layer[(next() as usize + k) % prev_layer.len()];
+                    if !deps.contains(&p) {
+                        deps.push(p);
+                    }
+                }
+            }
+            let id = tasks.len();
+            tasks.push(GeneratedTask {
+                name: format!("t[{layer}.{i}]"),
+                nodes,
+                duration,
+                deps,
+            });
+            cur.push(id);
+        }
+        prev_layer = cur;
+        layer += 1;
+    }
+    tasks
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +242,30 @@ mod tests {
         assert_eq!(a.critical_path_length().unwrap(), 8);
         let c = random_layered(43, 8, 6, 16, 100.0).unwrap();
         assert!(a != c);
+    }
+
+    #[test]
+    fn layered_tasks_hit_the_budget_exactly() {
+        for n in [1, 2, 17, 1000] {
+            let tasks = random_layered_tasks(9, n, 8, 4, 50.0);
+            assert_eq!(tasks.len(), n);
+            // Deterministic per seed, topologically ordered deps.
+            assert_eq!(tasks, random_layered_tasks(9, n, 8, 4, 50.0));
+            for (i, t) in tasks.iter().enumerate() {
+                assert!(t.deps.iter().all(|&d| d < i));
+                assert!(t.nodes >= 1 && t.nodes <= 4);
+                assert!(t.duration >= 0.0 && t.duration < 50.0);
+            }
+        }
+        // Names are unique.
+        let tasks = random_layered_tasks(3, 500, 8, 4, 50.0);
+        let names: std::collections::BTreeSet<&str> =
+            tasks.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names.len(), tasks.len());
+        // Different seeds differ.
+        assert!(
+            random_layered_tasks(3, 100, 8, 4, 50.0) != random_layered_tasks(4, 100, 8, 4, 50.0)
+        );
     }
 
     #[test]

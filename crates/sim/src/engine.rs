@@ -10,13 +10,15 @@
 //! exactly like the paper derives its empirical dots.
 
 use crate::channel::{FlowDemand, Sharing};
-use crate::spec::{Phase, SpecError, TaskSpec, WorkflowSpec};
+use crate::index::{PhaseIx, ScenarioIndex};
+use crate::spec::{Phase, SpecError, WorkflowSpec};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::fmt;
-use wrm_core::{Machine, SystemScaling};
+use wrm_core::Machine;
 use wrm_trace::{SpanKind, Trace, TraceSpan};
 
 /// Node-allocation policy.
@@ -226,30 +228,7 @@ impl SimResult {
     }
 }
 
-enum Activity {
-    /// Fixed-duration phase: ends at a known time.
-    Fixed { end: f64 },
-    /// A flow on a shared channel.
-    Flow {
-        channel: usize,
-        remaining: f64,
-        cap: f64,
-        rate: f64,
-    },
-}
-
-struct RunningTask {
-    spec_idx: usize,
-    phase_idx: usize,
-    phase_start: f64,
-    activity: Activity,
-}
-
-struct Channel {
-    capacity: f64,
-}
-
-const EPS: f64 = 1e-9;
+pub(crate) const EPS: f64 = 1e-9;
 
 /// Relative time tolerance: activities within a (relative) nanosecond of
 /// completion are treated as complete. This guards against float
@@ -258,397 +237,552 @@ const EPS: f64 = 1e-9;
 /// Any flow whose true remaining time is under `time_eps(now)` finishes
 /// "now" instead; the timing error is at most a relative nanosecond per
 /// event.
-fn time_eps(now: f64) -> f64 {
+pub(crate) fn time_eps(now: f64) -> f64 {
     1e-9 * now.max(1.0)
 }
 
 /// True when a flow with `remaining` bytes at `rate` bytes/s is done for
 /// simulation purposes at time `now`.
-fn flow_finished(remaining: f64, rate: f64, now: f64) -> bool {
+pub(crate) fn flow_finished(remaining: f64, rate: f64, now: f64) -> bool {
     remaining <= EPS || remaining <= rate * time_eps(now)
+}
+
+/// Position/slot sentinel: not present.
+const DEAD: u32 = u32::MAX;
+
+/// How a running phase progresses.
+#[derive(Debug, Clone, Copy)]
+enum EntryKind {
+    /// Fixed-duration phase; its end sits in the completion calendar.
+    Fixed,
+    /// A flow on a shared channel.
+    Flow {
+        channel: u32,
+        remaining: f64,
+        cap: f64,
+        rate: f64,
+        /// Index into `members[channel]`, or [`DEAD`] when the flow was
+        /// born finished and never joined the channel.
+        member_slot: u32,
+    },
+}
+
+/// One running phase. Its *position* in the running vector reproduces
+/// the reference engine's `Vec<RunningTask>` layout (positions shift
+/// only via `swap_remove`, mirrored exactly); its *token* is a stable
+/// handle used by the calendar and channel member lists.
+#[derive(Debug, Clone, Copy)]
+struct RunEntry {
+    token: u32,
+    task: u32,
+    phase: u32,
+    phase_start: f64,
+    kind: EntryKind,
+}
+
+/// A calendar entry: a fixed activity's known completion time. Ordered
+/// as a min-heap on `end` (ties broken by token for a total order).
+#[derive(Debug, Clone, Copy)]
+struct FixedEv {
+    end: f64,
+    token: u32,
+}
+
+impl PartialEq for FixedEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.token == other.token && self.end.total_cmp(&other.end).is_eq()
+    }
+}
+impl Eq for FixedEv {}
+impl PartialOrd for FixedEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FixedEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest end.
+        other
+            .end
+            .total_cmp(&self.end)
+            .then_with(|| other.token.cmp(&self.token))
+    }
 }
 
 /// Runs the simulation.
 pub fn simulate(scenario: &Scenario) -> Result<SimResult, SimError> {
-    scenario.workflow.validate()?;
-    let machine = &scenario.machine;
-    let opts = &scenario.options;
-    for (res, f) in &opts.contention {
-        if !(f.is_finite() && *f > 0.0) {
-            return Err(SimError::InvalidOption(format!(
-                "contention factor for {res} must be positive, got {f}"
-            )));
-        }
-    }
-    if let Some(j) = &opts.jitter {
-        if !(j.amplitude.is_finite() && (0.0..1.0).contains(&j.amplitude)) {
-            return Err(SimError::InvalidOption(format!(
-                "jitter amplitude must be in [0,1), got {}",
-                j.amplitude
-            )));
-        }
-    }
-    for bg in &opts.background {
-        if bg.rate.is_nan() || bg.rate <= 0.0 {
-            return Err(SimError::InvalidOption(format!(
-                "background flow on {} must have a positive rate, got {}",
-                bg.resource, bg.rate
-            )));
-        }
-        if machine.system_resource(&bg.resource).is_none() {
-            return Err(SimError::UnknownResource {
-                task: "<background>".into(),
-                resource: bg.resource.clone(),
-            });
-        }
-    }
+    let idx = ScenarioIndex::build(scenario)?;
+    Engine::new(scenario, &idx).run()
+}
 
-    let pool_total = opts
-        .node_limit
-        .unwrap_or(machine.total_nodes)
-        .min(machine.total_nodes);
-    let tasks = &scenario.workflow.tasks;
-    for t in tasks {
-        if t.nodes > pool_total {
-            return Err(SimError::TaskTooLarge {
-                task: t.name.clone(),
-                needs: t.nodes,
-                pool: pool_total,
-            });
-        }
-        // Resolve every referenced resource up front.
-        for p in &t.phases {
-            match p {
-                Phase::Compute { .. } => {
-                    if machine.node_resource(wrm_core::ids::COMPUTE).is_none() {
-                        return Err(SimError::UnknownResource {
-                            task: t.name.clone(),
-                            resource: wrm_core::ids::COMPUTE.into(),
-                        });
-                    }
-                }
-                Phase::NodeData { resource, .. } => {
-                    if machine.node_resource(resource).is_none() {
-                        return Err(SimError::UnknownResource {
-                            task: t.name.clone(),
-                            resource: resource.clone(),
-                        });
-                    }
-                }
-                Phase::SystemData { resource, .. } => {
-                    if machine.system_resource(resource).is_none() {
-                        return Err(SimError::UnknownResource {
-                            task: t.name.clone(),
-                            resource: resource.clone(),
-                        });
-                    }
-                }
-                Phase::Overhead { .. } => {}
+/// The optimized event loop.
+///
+/// The behavior contract is *bit-identical* output to
+/// [`crate::reference::simulate_reference`]: same makespan, same trace
+/// spans in the same order, same task times, down to the last ulp. That
+/// pins several design points:
+///
+/// * fair-share rates depend on demand *order* (progressive filling
+///   accumulates `remaining -= cap` in order), and the reference orders
+///   demands by running-vector position — so channel member lists are
+///   re-sorted by position before solving, and a channel is marked dirty
+///   not only when its membership changes but also when a `swap_remove`
+///   relocates one of its members (relocation can reorder demands);
+/// * flow completion times are recomputed per event with the reference's
+///   exact expression (`now + remaining / rate`) rather than cached,
+///   because a cached ETA differs from the recomputed one in the last
+///   ulp; only fixed activities, whose ends are spawn-time constants, go
+///   into the calendar heap;
+/// * the reference's completion scan processes finished entries in
+///   position order under `swap_remove` reshuffling — emulated with an
+///   ordered pending set and a position-relocation rule;
+/// * the reference's start scan examines the sorted ready queue first
+///   and zero-phase dependents in append order afterwards — emulated
+///   with an index-ordered heap (phase A) plus an append-order deque
+///   (phase B). Completing a zero-phase task leaves `free` unchanged, so
+///   entries skipped by backfill cannot newly fit and the reference's
+///   quadratic `qi = 0` rescan is equivalent to continuing the scan —
+///   which is what this engine does.
+struct Engine<'a> {
+    scenario: &'a Scenario,
+    idx: &'a ScenarioIndex,
+    rng: Option<StdRng>,
+    amplitude: f64,
+    /// Running phases; positions mirror the reference engine exactly.
+    running: Vec<RunEntry>,
+    /// Token -> current position in `running` ([`DEAD`] once removed).
+    pos_of: Vec<u32>,
+    /// Min-heap of fixed-activity completion times.
+    calendar: BinaryHeap<FixedEv>,
+    /// Tokens of the flows on each channel (unordered).
+    members: Vec<Vec<u32>>,
+    /// Channels whose demand set or demand order changed since the last
+    /// fair-share solve.
+    dirty: Vec<bool>,
+    dirty_list: Vec<u32>,
+    /// Ready tasks, popped in task-index order (= the reference's sorted
+    /// queue).
+    ready: BinaryHeap<Reverse<u32>>,
+    /// Tasks unblocked by zero-phase completions mid-scan; examined
+    /// after the heap in append order, like the reference's queue tail.
+    deferred: VecDeque<u32>,
+    /// Backfill scratch: ready tasks that did not fit this scan.
+    skipped: Vec<u32>,
+    /// Positions of finished-but-unprocessed entries during an event's
+    /// completion scan.
+    pending: BTreeSet<u32>,
+    dep_count: Vec<u32>,
+    free: u64,
+    now: f64,
+    done: usize,
+    trace: Trace,
+    starts: Vec<f64>,
+    ends: Vec<f64>,
+    demand_scratch: Vec<FlowDemand>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(scenario: &'a Scenario, idx: &'a ScenarioIndex) -> Self {
+        let opts = &scenario.options;
+        let n = idx.n_tasks();
+        let mut ready = BinaryHeap::with_capacity(n);
+        for (t, &d) in idx.dep_count.iter().enumerate() {
+            if d == 0 {
+                ready.push(Reverse(t as u32));
             }
         }
+        Engine {
+            scenario,
+            idx,
+            rng: opts.jitter.map(|j| StdRng::seed_from_u64(j.seed)),
+            amplitude: opts.jitter.map_or(0.0, |j| j.amplitude),
+            running: Vec::new(),
+            pos_of: Vec::new(),
+            calendar: BinaryHeap::new(),
+            members: vec![Vec::new(); idx.channel_capacity.len()],
+            dirty: vec![false; idx.channel_capacity.len()],
+            dirty_list: Vec::new(),
+            ready,
+            deferred: VecDeque::new(),
+            skipped: Vec::new(),
+            pending: BTreeSet::new(),
+            dep_count: idx.dep_count.clone(),
+            free: idx.pool_total,
+            now: 0.0,
+            done: 0,
+            trace: Trace::new(
+                scenario.workflow.name.clone(),
+                scenario.machine.name.clone(),
+            ),
+            starts: vec![f64::NAN; n],
+            ends: vec![f64::NAN; n],
+            demand_scratch: Vec::new(),
+        }
     }
 
-    // Channels: one per system resource the machine defines.
-    let mut channels: Vec<Channel> = Vec::new();
-    let mut channel_idx: BTreeMap<String, usize> = BTreeMap::new();
-    for sr in &machine.system_resources {
-        let factor = opts.contention.get(sr.id.as_str()).copied().unwrap_or(1.0);
-        let capacity = match sr.scaling {
-            SystemScaling::Aggregate => sr.peak.get() * factor,
-            // The interconnect's backbone: every node can inject at once.
-            SystemScaling::PerNodeInUse => sr.peak.get() * machine.total_nodes as f64 * factor,
-        };
-        channel_idx.insert(sr.id.to_string(), channels.len());
-        channels.push(Channel { capacity });
-    }
-
-    let mut rng = opts.jitter.map(|j| StdRng::seed_from_u64(j.seed));
-    let amplitude = opts.jitter.map_or(0.0, |j| j.amplitude);
-    let mut jitter_factor = move || -> f64 {
-        match rng.as_mut() {
-            Some(r) => 1.0 + amplitude * r.random_range(-1.0..=1.0),
+    /// One multiplicative jitter factor; the draw sequence matches the
+    /// reference (one draw per non-zero-phase phase spawn).
+    fn jitter(&mut self) -> f64 {
+        match self.rng.as_mut() {
+            Some(r) => 1.0 + self.amplitude * r.random_range(-1.0..=1.0),
             None => 1.0,
         }
-    };
+    }
 
-    // Fixed-phase duration for a task on this machine.
-    let fixed_duration = |task: &TaskSpec, phase: &Phase| -> Option<f64> {
-        match phase {
-            Phase::Compute { flops, efficiency } => {
-                let peak = machine
-                    .node_resource(wrm_core::ids::COMPUTE)
-                    .expect("checked above")
-                    .peak_per_node
-                    .magnitude();
-                Some(flops / (peak * task.nodes as f64 * efficiency))
-            }
-            Phase::NodeData {
-                resource,
-                bytes,
-                efficiency,
-            } => {
-                let peak = machine
-                    .node_resource(resource)
-                    .expect("checked above")
-                    .peak_per_node
-                    .magnitude();
-                Some(bytes / (peak * task.nodes as f64 * efficiency))
-            }
-            Phase::Overhead { seconds, .. } => Some(*seconds),
-            Phase::SystemData { .. } => None,
-        }
-    };
-
-    // Dependency bookkeeping.
-    let name_to_idx: BTreeMap<&str, usize> = tasks
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (t.name.as_str(), i))
-        .collect();
-    let mut remaining_deps: Vec<usize> = tasks.iter().map(|t| t.after.len()).collect();
-    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); tasks.len()];
-    for (i, t) in tasks.iter().enumerate() {
-        for dep in &t.after {
-            dependents[name_to_idx[dep.as_str()]].push(i);
+    fn mark_dirty(&mut self, channel: u32) {
+        let ch = channel as usize;
+        if !self.dirty[ch] {
+            self.dirty[ch] = true;
+            self.dirty_list.push(channel);
         }
     }
 
-    let mut queue: Vec<usize> = (0..tasks.len())
-        .filter(|&i| remaining_deps[i] == 0)
-        .collect();
-    let mut running: Vec<RunningTask> = Vec::new();
-    let mut free = pool_total;
-    let mut now = 0.0f64;
-    let mut done = 0usize;
-    let mut trace = Trace::new(scenario.workflow.name.clone(), machine.name.clone());
-    let mut task_starts: BTreeMap<String, f64> = BTreeMap::new();
-    let mut task_ends: BTreeMap<String, f64> = BTreeMap::new();
-
-    // Begins a task's phase `phase_idx` at time `at`, producing the
-    // Activity.
-    let make_activity = |task: &TaskSpec, phase_idx: usize, jf: f64, at: f64| -> Activity {
-        let phase = &task.phases[phase_idx];
-        match phase {
-            Phase::SystemData {
-                resource,
+    /// Spawns phase `pi` of task `ti` at the current time. Inside the
+    /// completion scan (`in_scan`), a phase that is already finished at
+    /// birth (zero duration within tolerance, or a zero-byte flow) goes
+    /// straight onto the pending set so it is processed by the same scan,
+    /// exactly where the reference's forward sweep would reach it.
+    fn spawn(&mut self, ti: u32, pi: u32, jf: f64, in_scan: bool) {
+        let slot = (self.idx.phase_off[ti as usize] + pi) as usize;
+        let token = self.pos_of.len() as u32;
+        let pos = self.running.len() as u32;
+        self.pos_of.push(pos);
+        let kind = match self.idx.phases[slot] {
+            PhaseIx::Fixed { duration } => {
+                let end = self.now + duration * jf;
+                if in_scan && end <= self.now + time_eps(self.now) {
+                    self.pending.insert(pos);
+                } else {
+                    self.calendar.push(FixedEv { end, token });
+                }
+                EntryKind::Fixed
+            }
+            PhaseIx::Flow {
+                channel,
                 bytes,
-                stream_cap,
+                cap,
             } => {
-                let sr = machine.system_resource(resource).expect("checked");
-                let factor = opts
-                    .contention
-                    .get(resource.as_str())
-                    .copied()
-                    .unwrap_or(1.0);
-                // The task's own injection limit: for per-node-scaled
-                // resources it is its allocation's aggregate NIC rate.
-                let alloc_cap = match sr.scaling {
-                    SystemScaling::Aggregate => f64::INFINITY,
-                    SystemScaling::PerNodeInUse => sr.peak.get() * task.nodes as f64 * factor,
+                let member_slot = if in_scan && flow_finished(bytes, 0.0, self.now) {
+                    self.pending.insert(pos);
+                    DEAD
+                } else {
+                    let ms = self.members[channel as usize].len() as u32;
+                    self.members[channel as usize].push(token);
+                    self.mark_dirty(channel);
+                    ms
                 };
-                let stream = stream_cap.unwrap_or(f64::INFINITY) * factor;
-                Activity::Flow {
-                    channel: channel_idx[resource.as_str()],
-                    remaining: *bytes,
-                    cap: alloc_cap.min(stream),
+                EntryKind::Flow {
+                    channel,
+                    remaining: bytes,
+                    cap,
                     rate: 0.0,
+                    member_slot,
                 }
             }
-            _ => Activity::Fixed {
-                end: at + fixed_duration(task, phase).expect("fixed phase") * jf,
-            },
-        }
-    };
-
-    // Background demands per channel (persistent pseudo-flows with ids
-    // past the running-task range).
-    let mut background_per_channel: Vec<Vec<f64>> = vec![Vec::new(); channels.len()];
-    for bg in &opts.background {
-        background_per_channel[channel_idx[bg.resource.as_str()]].push(bg.rate);
+        };
+        self.running.push(RunEntry {
+            token,
+            task: ti,
+            phase: pi,
+            phase_start: self.now,
+            kind,
+        });
     }
 
-    // Recomputes all flow rates per channel.
-    let recompute = |running: &mut [RunningTask], channels: &[Channel], sharing: Sharing| {
-        for (ci, ch) in channels.iter().enumerate() {
-            let mut demands: Vec<FlowDemand> = running
-                .iter()
-                .enumerate()
-                .filter_map(|(i, r)| match &r.activity {
-                    Activity::Flow { channel, cap, .. } if *channel == ci => {
-                        Some(FlowDemand { id: i, cap: *cap })
-                    }
-                    _ => None,
-                })
-                .collect();
-            if demands.is_empty() {
+    /// Allocates nodes to `ti` and starts it (or completes it instantly
+    /// when it has no phases, unblocking dependents into `deferred`).
+    fn start_task(&mut self, ti: u32) {
+        let t = ti as usize;
+        let need = self.idx.nodes[t];
+        self.free -= need;
+        self.starts[t] = self.now;
+        if self.idx.n_phases(t) == 0 {
+            // Zero-phase task completes instantly.
+            self.ends[t] = self.now;
+            self.free += need;
+            self.done += 1;
+            let lo = self.idx.dependents_off[t] as usize;
+            let hi = self.idx.dependents_off[t + 1] as usize;
+            for k in lo..hi {
+                let d = self.idx.dependents[k];
+                self.dep_count[d as usize] -= 1;
+                if self.dep_count[d as usize] == 0 {
+                    self.deferred.push_back(d);
+                }
+            }
+        } else {
+            let jf = self.jitter();
+            self.spawn(ti, 0, jf, false);
+        }
+    }
+
+    /// Starts ready tasks per policy. Examination order matches the
+    /// reference: the sorted ready set first, then tasks unblocked by
+    /// zero-phase completions in append order.
+    fn start_scan(&mut self) {
+        let fifo = self.scenario.options.scheduler == SchedulerPolicy::Fifo;
+        let mut blocked = false;
+        while let Some(Reverse(ti)) = self.ready.pop() {
+            if self.idx.nodes[ti as usize] <= self.free {
+                self.start_task(ti);
+            } else if fifo {
+                self.ready.push(Reverse(ti));
+                blocked = true;
+                break; // head blocks
+            } else {
+                self.skipped.push(ti); // backfill: try the next
+            }
+        }
+        if !blocked {
+            while let Some(ti) = self.deferred.pop_front() {
+                if self.idx.nodes[ti as usize] <= self.free {
+                    self.start_task(ti);
+                } else if fifo {
+                    self.deferred.push_front(ti);
+                    break;
+                } else {
+                    self.skipped.push(ti);
+                }
+            }
+        }
+        // Leftovers wait for the next scan (re-sorted by the heap, as
+        // the reference re-sorts its queue).
+        while let Some(ti) = self.skipped.pop() {
+            self.ready.push(Reverse(ti));
+        }
+        while let Some(ti) = self.deferred.pop_front() {
+            self.ready.push(Reverse(ti));
+        }
+    }
+
+    /// Re-solves fair sharing on channels whose demands changed. Demands
+    /// are ordered by running-vector position — the reference's order.
+    fn recompute(&mut self) {
+        let sharing = self.scenario.options.sharing;
+        for di in 0..self.dirty_list.len() {
+            let ch = self.dirty_list[di] as usize;
+            self.dirty[ch] = false;
+            if self.members[ch].is_empty() {
                 continue;
             }
-            let first_bg = demands.len();
-            for (k, &rate) in background_per_channel[ci].iter().enumerate() {
-                demands.push(FlowDemand {
+            self.demand_scratch.clear();
+            for &tok in &self.members[ch] {
+                let p = self.pos_of[tok as usize] as usize;
+                if let EntryKind::Flow { cap, .. } = self.running[p].kind {
+                    self.demand_scratch.push(FlowDemand { id: p, cap });
+                }
+            }
+            self.demand_scratch.sort_unstable_by_key(|d| d.id);
+            let first_bg = self.demand_scratch.len();
+            for (k, &rate) in self.idx.background[ch].iter().enumerate() {
+                self.demand_scratch.push(FlowDemand {
                     id: usize::MAX - k,
                     cap: rate,
                 });
             }
-            let rates = sharing.rates(ch.capacity, &demands);
+            let rates = sharing.rates(self.idx.channel_capacity[ch], &self.demand_scratch);
             for fr in rates.into_iter().take(first_bg) {
-                if let Activity::Flow { rate, .. } = &mut running[fr.id].activity {
+                if let EntryKind::Flow { rate, .. } = &mut self.running[fr.id].kind {
                     *rate = fr.rate;
                 }
             }
         }
-    };
+        self.dirty_list.clear();
+    }
 
-    loop {
-        // Start ready tasks per policy.
-        queue.sort_unstable();
-        let mut qi = 0;
-        while qi < queue.len() {
-            let ti = queue[qi];
-            let need = tasks[ti].nodes;
-            if need <= free {
-                free -= need;
-                queue.remove(qi);
-                task_starts.insert(tasks[ti].name.clone(), now);
-                if tasks[ti].phases.is_empty() {
-                    // Zero-phase task completes instantly.
-                    task_ends.insert(tasks[ti].name.clone(), now);
-                    free += need;
-                    done += 1;
-                    for &d in &dependents[ti] {
-                        remaining_deps[d] -= 1;
-                        if remaining_deps[d] == 0 {
-                            queue.push(d);
-                        }
-                    }
-                    // Restart the scan: new tasks may be ready.
-                    qi = 0;
-                    continue;
-                }
-                let jf = jitter_factor();
-                running.push(RunningTask {
-                    spec_idx: ti,
-                    phase_idx: 0,
-                    phase_start: now,
-                    activity: make_activity(&tasks[ti], 0, jf, now),
-                });
-            } else if opts.scheduler == SchedulerPolicy::Fifo {
-                break; // head blocks
-            } else {
-                qi += 1; // backfill: try the next
-            }
-        }
-        if done == tasks.len() {
-            break;
-        }
-        if running.is_empty() {
-            // Tasks remain but nothing runs and nothing can start.
-            debug_assert!(!queue.is_empty() || done < tasks.len());
-            return Err(SimError::Stalled { at: now });
-        }
-
-        recompute(&mut running, &channels, opts.sharing);
-
-        // Earliest completion among running activities.
+    /// Earliest completion among running activities: the calendar top
+    /// for fixed phases, the reference's exact per-flow expression for
+    /// flows (`f64::min` over the same value set as the reference's
+    /// whole-vector fold).
+    fn next_event(&self) -> f64 {
         let mut next = f64::INFINITY;
-        for r in &running {
-            let t = match &r.activity {
-                Activity::Fixed { end } => *end,
-                Activity::Flow {
+        if let Some(top) = self.calendar.peek() {
+            next = next.min(top.end);
+        }
+        for ms in &self.members {
+            for &tok in ms {
+                let p = self.pos_of[tok as usize] as usize;
+                if let EntryKind::Flow {
                     remaining, rate, ..
-                } => {
-                    if flow_finished(*remaining, *rate, now) {
-                        now
-                    } else if *rate > 0.0 {
-                        now + remaining / rate
+                } = self.running[p].kind
+                {
+                    let t = if flow_finished(remaining, rate, self.now) {
+                        self.now
+                    } else if rate > 0.0 {
+                        self.now + remaining / rate
                     } else {
                         f64::INFINITY
-                    }
+                    };
+                    next = next.min(t);
                 }
-            };
-            next = next.min(t);
-        }
-        if !next.is_finite() {
-            return Err(SimError::Stalled { at: now });
-        }
-        let dt = (next - now).max(0.0);
-        now = next;
-
-        // Advance flows.
-        for r in &mut running {
-            if let Activity::Flow {
-                remaining, rate, ..
-            } = &mut r.activity
-            {
-                *remaining = (*remaining - *rate * dt).max(0.0);
             }
         }
+        next
+    }
 
-        // Complete activities that finished (within EPS).
-        let mut i = 0;
-        while i < running.len() {
-            let finished = match &running[i].activity {
-                Activity::Fixed { end } => *end <= now + time_eps(now),
-                Activity::Flow {
+    /// Advances every flow by `dt` and queues the finished ones.
+    fn advance_flows(&mut self, dt: f64) {
+        for ci in 0..self.members.len() {
+            for mi in 0..self.members[ci].len() {
+                let tok = self.members[ci][mi];
+                let p = self.pos_of[tok as usize];
+                if let EntryKind::Flow {
                     remaining, rate, ..
-                } => flow_finished(*remaining, *rate, now),
-            };
-            if !finished {
-                i += 1;
-                continue;
-            }
-            let r = running.swap_remove(i);
-            let task = &tasks[r.spec_idx];
-            let phase = &task.phases[r.phase_idx];
-            trace.push(TraceSpan::new(
-                task.name.clone(),
-                span_kind(phase),
-                r.phase_start,
-                now,
-                task.nodes,
-            ));
-            let next_phase = r.phase_idx + 1;
-            if next_phase < task.phases.len() {
-                let jf = jitter_factor();
-                running.push(RunningTask {
-                    spec_idx: r.spec_idx,
-                    phase_idx: next_phase,
-                    phase_start: now,
-                    activity: make_activity(task, next_phase, jf, now),
-                });
-                // The pushed activity lands at the end; do not advance i
-                // past the element swapped into position i.
-            } else {
-                task_ends.insert(task.name.clone(), now);
-                free += task.nodes;
-                done += 1;
-                for &d in &dependents[r.spec_idx] {
-                    remaining_deps[d] -= 1;
-                    if remaining_deps[d] == 0 {
-                        queue.push(d);
+                } = &mut self.running[p as usize].kind
+                {
+                    *remaining = (*remaining - *rate * dt).max(0.0);
+                    if flow_finished(*remaining, *rate, self.now) {
+                        self.pending.insert(p);
                     }
                 }
             }
         }
     }
 
-    let makespan = trace.makespan();
-    let task_times = task_starts
-        .iter()
-        .filter_map(|(name, start)| task_ends.get(name).map(|end| (name.clone(), end - start)))
-        .collect();
-    let task_nodes = tasks.iter().map(|t| (t.name.clone(), t.nodes)).collect();
-    Ok(SimResult {
-        trace,
-        makespan,
-        task_times,
-        task_starts,
-        task_nodes,
-        pool_nodes: pool_total,
-    })
+    /// Pops every fixed activity due at the current time into `pending`.
+    fn collect_due_fixed(&mut self) {
+        let threshold = self.now + time_eps(self.now);
+        while let Some(top) = self.calendar.peek() {
+            // `!(<=)` rather than `>` so a NaN end stops the scan instead
+            // of being popped as complete, matching the reference loop.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            let not_due = !(top.end <= threshold);
+            if not_due {
+                break;
+            }
+            let ev = self.calendar.pop().expect("peeked");
+            self.pending.insert(self.pos_of[ev.token as usize]);
+        }
+    }
+
+    /// Processes the pending set in ascending position order, which is
+    /// provably the order the reference's forward scan visits finished
+    /// entries (`swap_remove` only moves entries from the tail down, so
+    /// the scan always reaches the smallest finished position next).
+    fn complete_pending(&mut self) {
+        while let Some(p) = self.pending.pop_first() {
+            let i = p as usize;
+            let entry = self.running.swap_remove(i);
+            self.pos_of[entry.token as usize] = DEAD;
+            if i < self.running.len() {
+                // The old tail entry moved into position i.
+                let old_last = self.running.len() as u32;
+                let moved = self.running[i];
+                self.pos_of[moved.token as usize] = p;
+                if let EntryKind::Flow { channel, .. } = moved.kind {
+                    // Relocation reorders this channel's demand list.
+                    self.mark_dirty(channel);
+                }
+                if self.pending.remove(&old_last) {
+                    self.pending.insert(p);
+                }
+            }
+            if let EntryKind::Flow {
+                channel,
+                member_slot,
+                ..
+            } = entry.kind
+            {
+                if member_slot != DEAD {
+                    let ch = channel as usize;
+                    let ms = member_slot as usize;
+                    self.members[ch].swap_remove(ms);
+                    if ms < self.members[ch].len() {
+                        let tok = self.members[ch][ms] as usize;
+                        let q = self.pos_of[tok] as usize;
+                        if let EntryKind::Flow { member_slot, .. } = &mut self.running[q].kind {
+                            *member_slot = ms as u32;
+                        }
+                    }
+                    self.mark_dirty(channel);
+                }
+            }
+
+            let t = entry.task as usize;
+            let task = &self.scenario.workflow.tasks[t];
+            let phase = &task.phases[entry.phase as usize];
+            self.trace.push(TraceSpan::new(
+                task.name.clone(),
+                span_kind(phase),
+                entry.phase_start,
+                self.now,
+                task.nodes,
+            ));
+            let next_phase = entry.phase + 1;
+            if (next_phase as usize) < task.phases.len() {
+                let jf = self.jitter();
+                self.spawn(entry.task, next_phase, jf, true);
+            } else {
+                self.ends[t] = self.now;
+                self.free += task.nodes;
+                self.done += 1;
+                let lo = self.idx.dependents_off[t] as usize;
+                let hi = self.idx.dependents_off[t + 1] as usize;
+                for k in lo..hi {
+                    let d = self.idx.dependents[k];
+                    self.dep_count[d as usize] -= 1;
+                    if self.dep_count[d as usize] == 0 {
+                        self.ready.push(Reverse(d));
+                    }
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<SimResult, SimError> {
+        let n_tasks = self.idx.n_tasks();
+        loop {
+            self.start_scan();
+            if self.done == n_tasks {
+                break;
+            }
+            if self.running.is_empty() {
+                // Tasks remain but nothing runs and nothing can start.
+                debug_assert!(!self.ready.is_empty() || self.done < n_tasks);
+                return Err(SimError::Stalled { at: self.now });
+            }
+
+            self.recompute();
+
+            let next = self.next_event();
+            if !next.is_finite() {
+                return Err(SimError::Stalled { at: self.now });
+            }
+            let dt = (next - self.now).max(0.0);
+            self.now = next;
+
+            self.advance_flows(dt);
+            self.collect_due_fixed();
+            self.complete_pending();
+        }
+
+        let makespan = self.trace.makespan();
+        let tasks = &self.scenario.workflow.tasks;
+        let mut task_starts = BTreeMap::new();
+        let mut task_ends = BTreeMap::new();
+        for (i, t) in tasks.iter().enumerate() {
+            task_starts.insert(t.name.clone(), self.starts[i]);
+            task_ends.insert(t.name.clone(), self.ends[i]);
+        }
+        let task_times = task_starts
+            .iter()
+            .filter_map(|(name, start): (&String, &f64)| {
+                task_ends.get(name).map(|end| (name.clone(), end - start))
+            })
+            .collect();
+        let task_nodes = tasks.iter().map(|t| (t.name.clone(), t.nodes)).collect();
+        Ok(SimResult {
+            trace: self.trace,
+            makespan,
+            task_times,
+            task_starts,
+            task_nodes,
+            pool_nodes: self.idx.pool_total,
+        })
+    }
 }
 
-fn span_kind(phase: &Phase) -> SpanKind {
+pub(crate) fn span_kind(phase: &Phase) -> SpanKind {
     match phase {
         Phase::Compute { flops, .. } => SpanKind::Compute { flops: *flops },
         Phase::NodeData {

@@ -1,0 +1,282 @@
+//! Dense-integer indexing of a [`Scenario`] for the simulator hot path.
+//!
+//! [`ScenarioIndex::build`] validates a scenario once (in exactly the
+//! same order as the reference engine, so both engines report the same
+//! first error) and lowers it to flat arrays keyed by `u32` ids: CSR
+//! phase tables with precomputed fixed-phase durations and flow caps,
+//! CSR dependency lists, and per-channel capacities with contention
+//! factors applied. The event loop in [`crate::engine`] then never
+//! touches a string or a map: names reappear only when the final
+//! [`crate::SimResult`] is materialized.
+//!
+//! Every floating-point expression here is kept verbatim from the
+//! reference engine — the precomputed values must be bit-identical to
+//! what the reference computes per event, because the behavior contract
+//! between the two engines is exact equality of makespans and traces.
+
+use crate::engine::{Scenario, SimError};
+use crate::spec::Phase;
+use std::collections::BTreeMap;
+use wrm_core::SystemScaling;
+
+/// One phase, lowered to the quantities the event loop needs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PhaseIx {
+    /// A fixed-duration phase (compute, node-local data, overhead); the
+    /// duration is pre-divided by the allocation's peak rate.
+    Fixed {
+        /// Unjittered duration in seconds.
+        duration: f64,
+    },
+    /// A flow on a shared channel.
+    Flow {
+        /// Channel id (index into [`ScenarioIndex::channel_capacity`]).
+        channel: u32,
+        /// Bytes to move.
+        bytes: f64,
+        /// The flow's own rate limit (allocation NIC aggregate and/or
+        /// stream cap, contention-scaled), `f64::INFINITY` if none.
+        cap: f64,
+    },
+}
+
+/// A scenario lowered to dense integer ids and flat arrays.
+pub(crate) struct ScenarioIndex {
+    /// Usable node pool (node_limit-capped machine total).
+    pub pool_total: u64,
+    /// Nodes required per task.
+    pub nodes: Vec<u64>,
+    /// CSR offsets into [`Self::phases`], one entry per task plus one.
+    pub phase_off: Vec<u32>,
+    /// All phases of all tasks, in task order.
+    pub phases: Vec<PhaseIx>,
+    /// Unresolved-dependency count per task.
+    pub dep_count: Vec<u32>,
+    /// CSR offsets into [`Self::dependents`], one entry per task plus one.
+    pub dependents_off: Vec<u32>,
+    /// Task ids unblocked by each task's completion.
+    pub dependents: Vec<u32>,
+    /// Effective capacity per channel (contention-scaled).
+    pub channel_capacity: Vec<f64>,
+    /// Background demand rates per channel.
+    pub background: Vec<Vec<f64>>,
+}
+
+impl ScenarioIndex {
+    /// Validates `scenario` and lowers it. Error kinds and ordering
+    /// mirror the reference engine exactly.
+    pub(crate) fn build(scenario: &Scenario) -> Result<Self, SimError> {
+        scenario.workflow.validate()?;
+        let machine = &scenario.machine;
+        let opts = &scenario.options;
+        for (res, f) in &opts.contention {
+            if !(f.is_finite() && *f > 0.0) {
+                return Err(SimError::InvalidOption(format!(
+                    "contention factor for {res} must be positive, got {f}"
+                )));
+            }
+        }
+        if let Some(j) = &opts.jitter {
+            if !(j.amplitude.is_finite() && (0.0..1.0).contains(&j.amplitude)) {
+                return Err(SimError::InvalidOption(format!(
+                    "jitter amplitude must be in [0,1), got {}",
+                    j.amplitude
+                )));
+            }
+        }
+        for bg in &opts.background {
+            if bg.rate.is_nan() || bg.rate <= 0.0 {
+                return Err(SimError::InvalidOption(format!(
+                    "background flow on {} must have a positive rate, got {}",
+                    bg.resource, bg.rate
+                )));
+            }
+            if machine.system_resource(&bg.resource).is_none() {
+                return Err(SimError::UnknownResource {
+                    task: "<background>".into(),
+                    resource: bg.resource.clone(),
+                });
+            }
+        }
+
+        let pool_total = opts
+            .node_limit
+            .unwrap_or(machine.total_nodes)
+            .min(machine.total_nodes);
+        let tasks = &scenario.workflow.tasks;
+        for t in tasks {
+            if t.nodes > pool_total {
+                return Err(SimError::TaskTooLarge {
+                    task: t.name.clone(),
+                    needs: t.nodes,
+                    pool: pool_total,
+                });
+            }
+            // Resolve every referenced resource up front.
+            for p in &t.phases {
+                match p {
+                    Phase::Compute { .. } => {
+                        if machine.node_resource(wrm_core::ids::COMPUTE).is_none() {
+                            return Err(SimError::UnknownResource {
+                                task: t.name.clone(),
+                                resource: wrm_core::ids::COMPUTE.into(),
+                            });
+                        }
+                    }
+                    Phase::NodeData { resource, .. } => {
+                        if machine.node_resource(resource).is_none() {
+                            return Err(SimError::UnknownResource {
+                                task: t.name.clone(),
+                                resource: resource.clone(),
+                            });
+                        }
+                    }
+                    Phase::SystemData { resource, .. } => {
+                        if machine.system_resource(resource).is_none() {
+                            return Err(SimError::UnknownResource {
+                                task: t.name.clone(),
+                                resource: resource.clone(),
+                            });
+                        }
+                    }
+                    Phase::Overhead { .. } => {}
+                }
+            }
+        }
+
+        // Channels: one per system resource the machine defines.
+        let mut channel_capacity = Vec::with_capacity(machine.system_resources.len());
+        let mut channel_idx: BTreeMap<&str, u32> = BTreeMap::new();
+        for sr in &machine.system_resources {
+            let factor = opts.contention.get(sr.id.as_str()).copied().unwrap_or(1.0);
+            let capacity = match sr.scaling {
+                SystemScaling::Aggregate => sr.peak.get() * factor,
+                // The interconnect's backbone: every node can inject at
+                // once.
+                SystemScaling::PerNodeInUse => sr.peak.get() * machine.total_nodes as f64 * factor,
+            };
+            channel_idx.insert(sr.id.as_str(), channel_capacity.len() as u32);
+            channel_capacity.push(capacity);
+        }
+
+        // Phases, lowered. The duration and cap expressions replicate
+        // the reference's `fixed_duration` / `make_activity` bit for
+        // bit.
+        let mut phase_off = Vec::with_capacity(tasks.len() + 1);
+        let mut phases = Vec::new();
+        phase_off.push(0u32);
+        for t in tasks {
+            for p in &t.phases {
+                let lowered = match p {
+                    Phase::Compute { flops, efficiency } => {
+                        let peak = machine
+                            .node_resource(wrm_core::ids::COMPUTE)
+                            .expect("checked above")
+                            .peak_per_node
+                            .magnitude();
+                        PhaseIx::Fixed {
+                            duration: flops / (peak * t.nodes as f64 * efficiency),
+                        }
+                    }
+                    Phase::NodeData {
+                        resource,
+                        bytes,
+                        efficiency,
+                    } => {
+                        let peak = machine
+                            .node_resource(resource)
+                            .expect("checked above")
+                            .peak_per_node
+                            .magnitude();
+                        PhaseIx::Fixed {
+                            duration: bytes / (peak * t.nodes as f64 * efficiency),
+                        }
+                    }
+                    Phase::Overhead { seconds, .. } => PhaseIx::Fixed { duration: *seconds },
+                    Phase::SystemData {
+                        resource,
+                        bytes,
+                        stream_cap,
+                    } => {
+                        let sr = machine.system_resource(resource).expect("checked above");
+                        let factor = opts
+                            .contention
+                            .get(resource.as_str())
+                            .copied()
+                            .unwrap_or(1.0);
+                        // The task's own injection limit: for
+                        // per-node-scaled resources it is its
+                        // allocation's aggregate NIC rate.
+                        let alloc_cap = match sr.scaling {
+                            SystemScaling::Aggregate => f64::INFINITY,
+                            SystemScaling::PerNodeInUse => sr.peak.get() * t.nodes as f64 * factor,
+                        };
+                        let stream = stream_cap.unwrap_or(f64::INFINITY) * factor;
+                        PhaseIx::Flow {
+                            channel: channel_idx[resource.as_str()],
+                            bytes: *bytes,
+                            cap: alloc_cap.min(stream),
+                        }
+                    }
+                };
+                phases.push(lowered);
+            }
+            phase_off.push(phases.len() as u32);
+        }
+
+        // Dependency CSR.
+        let name_to_idx: BTreeMap<&str, u32> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name.as_str(), i as u32))
+            .collect();
+        let dep_count: Vec<u32> = tasks.iter().map(|t| t.after.len() as u32).collect();
+        let mut out_degree = vec![0u32; tasks.len()];
+        for t in tasks {
+            for dep in &t.after {
+                out_degree[name_to_idx[dep.as_str()] as usize] += 1;
+            }
+        }
+        let mut dependents_off = Vec::with_capacity(tasks.len() + 1);
+        dependents_off.push(0u32);
+        for &d in &out_degree {
+            dependents_off.push(dependents_off.last().unwrap() + d);
+        }
+        let mut cursor: Vec<u32> = dependents_off[..tasks.len()].to_vec();
+        let mut dependents = vec![0u32; dependents_off[tasks.len()] as usize];
+        for (i, t) in tasks.iter().enumerate() {
+            for dep in &t.after {
+                let d = name_to_idx[dep.as_str()] as usize;
+                dependents[cursor[d] as usize] = i as u32;
+                cursor[d] += 1;
+            }
+        }
+
+        let mut background = vec![Vec::new(); channel_capacity.len()];
+        for bg in &opts.background {
+            background[channel_idx[bg.resource.as_str()] as usize].push(bg.rate);
+        }
+
+        Ok(ScenarioIndex {
+            pool_total,
+            nodes: tasks.iter().map(|t| t.nodes).collect(),
+            phase_off,
+            phases,
+            dep_count,
+            dependents_off,
+            dependents,
+            channel_capacity,
+            background,
+        })
+    }
+
+    /// Number of tasks.
+    pub(crate) fn n_tasks(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of phases of task `t`.
+    pub(crate) fn n_phases(&self, t: usize) -> u32 {
+        self.phase_off[t + 1] - self.phase_off[t]
+    }
+}

@@ -44,6 +44,9 @@
 
 pub mod channel;
 pub mod engine;
+mod index;
+#[cfg(any(test, feature = "reference-engine"))]
+pub mod reference;
 pub mod spec;
 pub mod sweep;
 
@@ -52,4 +55,4 @@ pub use engine::{
     simulate, BackgroundFlow, Jitter, Scenario, SchedulerPolicy, SimError, SimOptions, SimResult,
 };
 pub use spec::{Phase, SpecError, TaskSpec, WorkflowSpec};
-pub use sweep::{run_all, sweep};
+pub use sweep::{run_all, run_all_chunked, sweep};

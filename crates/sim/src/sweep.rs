@@ -1,20 +1,40 @@
 //! Parallel scenario sweeps: run many simulations across OS threads.
 //!
 //! Parameter sweeps (CosmoFlow's instance scaling, contention sweeps,
-//! scheduler ablations) are embarrassingly parallel; this driver fans
-//! scenarios out over a crossbeam scope with a work-stealing index and
-//! collects results in order.
+//! scheduler ablations, the `wrm sweep` grids) are embarrassingly
+//! parallel; this driver fans scenarios out over a crossbeam scope with
+//! a work-stealing chunk index. Each worker accumulates `(index,
+//! result)` pairs in its own vector — there is no shared results lock —
+//! and the driver merges them once at join time. A panic in any worker
+//! (including one raised by a user closure in [`sweep`]) is re-raised on
+//! the caller thread with its original payload.
 
 use crate::engine::{simulate, Scenario, SimError, SimResult};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default number of scenarios a worker claims per counter increment.
+/// Small enough to balance uneven scenario costs, large enough that the
+/// atomic counter is not contended for sub-millisecond simulations.
+const DEFAULT_CHUNK: usize = 4;
 
 /// Runs every scenario, using up to `threads` worker threads, and
 /// returns the results in input order.
 ///
-/// `threads == 0` or `1` runs inline. Panics in worker closures are
-/// propagated by the scope.
+/// `threads == 0` or `1` runs inline. If a worker panics, the panic is
+/// propagated to the caller with its original payload.
 pub fn run_all(scenarios: &[Scenario], threads: usize) -> Vec<Result<SimResult, SimError>> {
+    run_all_chunked(scenarios, threads, DEFAULT_CHUNK)
+}
+
+/// [`run_all`] with an explicit work-stealing chunk size: each worker
+/// claims `chunk` consecutive scenarios per atomic increment. `chunk ==
+/// 1` maximizes balance; larger chunks amortize counter traffic when
+/// individual simulations are very cheap. `chunk == 0` is treated as 1.
+pub fn run_all_chunked(
+    scenarios: &[Scenario],
+    threads: usize,
+    chunk: usize,
+) -> Vec<Result<SimResult, SimError>> {
     if scenarios.is_empty() {
         return Vec::new();
     }
@@ -22,34 +42,52 @@ pub fn run_all(scenarios: &[Scenario], threads: usize) -> Vec<Result<SimResult, 
     if workers == 1 {
         return scenarios.iter().map(simulate).collect();
     }
+    let chunk = chunk.max(1);
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<SimResult, SimError>>>> =
-        Mutex::new((0..scenarios.len()).map(|_| None).collect());
-
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= scenarios.len() {
-                    break;
-                }
-                let r = simulate(&scenarios[i]);
-                results.lock()[i] = Some(r);
-            });
-        }
+    let worker_outputs = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut out: Vec<(usize, Result<SimResult, SimError>)> = Vec::new();
+                    loop {
+                        let lo = next.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= scenarios.len() {
+                            break;
+                        }
+                        let hi = (lo + chunk).min(scenarios.len());
+                        for (off, scenario) in scenarios[lo..hi].iter().enumerate() {
+                            out.push((lo + off, simulate(scenario)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(std::thread::ScopedJoinHandle::join)
+            .collect::<Vec<_>>()
     })
-    .expect("sweep workers do not panic");
+    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
 
+    let mut results: Vec<Option<Result<SimResult, SimError>>> =
+        (0..scenarios.len()).map(|_| None).collect();
+    for joined in worker_outputs {
+        let out = joined.unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        for (i, r) in out {
+            results[i] = Some(r);
+        }
+    }
     results
-        .into_inner()
         .into_iter()
         .map(|r| r.expect("every index was simulated"))
         .collect()
 }
 
 /// Sweeps one scenario over a parameter, building each variant with
-/// `make`, in parallel.
+/// `make`, in parallel. A panicking `make` closure unwinds on the caller
+/// thread before any worker starts, so it cannot poison the driver.
 pub fn sweep<P: Sync, F>(params: &[P], threads: usize, make: F) -> Vec<Result<SimResult, SimError>>
 where
     F: Fn(&P) -> Scenario + Sync,
@@ -87,6 +125,19 @@ mod tests {
     }
 
     #[test]
+    fn chunk_sizes_do_not_change_results() {
+        let scenarios: Vec<Scenario> = (1..20).map(scenario).collect();
+        let baseline = run_all_chunked(&scenarios, 1, 1);
+        for chunk in [0, 1, 3, 64] {
+            let chunked = run_all_chunked(&scenarios, 4, chunk);
+            assert_eq!(chunked.len(), baseline.len());
+            for (a, b) in baseline.iter().zip(chunked.iter()) {
+                assert_eq!(a.as_ref().unwrap().makespan, b.as_ref().unwrap().makespan);
+            }
+        }
+    }
+
+    #[test]
     fn sweep_builds_variants() {
         let params: Vec<usize> = vec![1, 2, 3, 4];
         let results = sweep(&params, 2, |&n| scenario(n));
@@ -110,5 +161,27 @@ mod tests {
         assert!(results[0].is_ok());
         assert!(results[1].is_err());
         assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn panicking_make_does_not_poison_or_deadlock() {
+        // A panicking `make` closure must unwind cleanly out of sweep()…
+        let params: Vec<usize> = vec![1, 2, 3];
+        let caught = std::panic::catch_unwind(|| {
+            sweep(&params, 2, |&n| {
+                assert!(n != 2, "boom at {n}");
+                scenario(n)
+            })
+        });
+        let payload = caught.expect_err("sweep must propagate the panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 2"), "payload: {msg}");
+        // …and the driver must still work afterwards.
+        let results = sweep(&params, 2, |&n| scenario(n));
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(Result::is_ok));
     }
 }

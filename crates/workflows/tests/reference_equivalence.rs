@@ -1,0 +1,79 @@
+//! Exact-match tests: the optimized engine reproduces the reference
+//! engine bit for bit on the four paper workflows (LCLS, BerkeleyGW,
+//! CosmoFlow, GPTune), including jittered and scheduler-ablated runs.
+
+use wrm_core::machines;
+use wrm_sim::reference::simulate_reference;
+use wrm_sim::{simulate, Jitter, Scenario, SchedulerPolicy, SimOptions};
+use wrm_workflows::{Bgw, CosmoFlow, Day, GpTune, Lcls, Mode};
+
+/// Both engines must agree on the entire result: trace spans in order,
+/// makespan, task times/starts/nodes, pool size.
+fn assert_bit_identical(scenario: &Scenario, label: &str) {
+    let optimized = simulate(scenario);
+    let reference = simulate_reference(scenario);
+    assert_eq!(optimized, reference, "engines diverge on {label}");
+    let r = optimized.expect("paper workflows simulate cleanly");
+    assert!(r.makespan > 0.0, "{label} has a non-trivial makespan");
+}
+
+#[test]
+fn lcls_good_and_bad_day_match() {
+    let lcls = Lcls::year_2020_on_cori();
+    for day in [Day::Good, Day::Bad] {
+        let scenario = lcls.scenario(machines::cori_haswell(), day);
+        assert_bit_identical(&scenario, "LCLS on Cori");
+    }
+    let scenario = Lcls::year_2024_on_pm().scenario(machines::perlmutter_cpu(), Day::Good);
+    assert_bit_identical(&scenario, "LCLS on PM-CPU");
+}
+
+#[test]
+fn bgw_matches() {
+    assert_bit_identical(&Bgw::si998_64().scenario(), "BerkeleyGW");
+}
+
+#[test]
+fn cosmoflow_matches() {
+    assert_bit_identical(&CosmoFlow::default().scenario(), "CosmoFlow");
+}
+
+#[test]
+fn gptune_both_modes_match() {
+    for mode in [Mode::Rci, Mode::Spawn] {
+        assert_bit_identical(&GpTune::default().scenario(mode), "GPTune");
+    }
+}
+
+#[test]
+fn paper_workflows_match_under_jitter_and_backfill() {
+    // The equivalence must also hold with the RNG engaged and under the
+    // backfill scheduler, where start order is policy-dependent.
+    let base = Lcls::year_2020_on_cori().scenario(machines::cori_haswell(), Day::Good);
+    for seed in 0..8u64 {
+        let mut opts = base.options.clone();
+        opts.jitter = Some(Jitter {
+            seed,
+            amplitude: 0.3,
+        });
+        opts.scheduler = if seed % 2 == 0 {
+            SchedulerPolicy::Fifo
+        } else {
+            SchedulerPolicy::Backfill
+        };
+        let scenario = base.clone().with_options(opts);
+        assert_bit_identical(&scenario, "LCLS with jitter");
+    }
+
+    let bgw = Bgw::si998_64().scenario();
+    let opts = SimOptions {
+        jitter: Some(Jitter {
+            seed: 7,
+            amplitude: 0.25,
+        }),
+        scheduler: SchedulerPolicy::Backfill,
+        ..bgw.options.clone()
+    };
+    let scenario = bgw.with_options(opts);
+    assert_bit_identical(&scenario, "BGW with jitter + backfill");
+}
