@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! wrm machines                          list built-in machine models
-//! wrm lint <file.wrm> [options]         static analysis of a workflow spec
-//!     --format text|json                diagnostic output format
+//! wrm lint <file.wrm|dir>... [options]  static analysis of workflow specs
+//!     --format text|json|sarif          diagnostic output format
 //!     --deny-warnings                   non-zero exit on warnings too
+//!     --fix [--dry-run]                 apply machine-applicable fixes
+//!                                       (--dry-run prints diffs instead)
 //! wrm analyze <file.wrm> [options]      compile, (optionally) simulate,
 //!                                       classify, advise, render
 //!     --machine <name>                  override the file's machine
@@ -26,7 +28,8 @@
 //! ```
 //!
 //! `lint` exits 0 when clean, 2 when any error-severity diagnostic
-//! fired, and 1 when only warnings fired under `--deny-warnings`.
+//! fired, and 1 when only warnings fired under `--deny-warnings`; with
+//! several files the exit code is the worst across all of them.
 //! `analyze`/`simulate` run the error-severity lint subset before
 //! compiling, so a broken spec fails with spanned diagnostics instead
 //! of a mid-compile error.
@@ -78,10 +81,14 @@ fn usage() -> &'static str {
      \n\
      commands:\n\
      \x20 machines                         list built-in machine models\n\
-     \x20 lint <file.wrm> [--format text|json] [--deny-warnings]\n\
+     \x20 lint <file.wrm|dir>... [--format text|json|sarif]\n\
+     \x20      [--deny-warnings] [--fix [--dry-run]]\n\
      \x20                                    static analysis: undefined\n\
      \x20                                    references, cycles, dead\n\
-     \x20                                    ceilings, infeasible targets\n\
+     \x20                                    ceilings, infeasible targets,\n\
+     \x20                                    redundant edges, starved\n\
+     \x20                                    channels, critical-path bounds;\n\
+     \x20                                    directories lint every .wrm\n\
      \x20 analyze <file.wrm> [--machine M] [--simulate] [--contention r=f]\n\
      \x20         [--svg out.svg] [--html out.html] [--ascii]\n\
      \x20                                    analyze a workflow file\n\
@@ -121,6 +128,9 @@ fn cmd_machines() -> Result<(), String> {
 
 struct Flags {
     file: Option<String>,
+    files: Vec<String>,
+    fix: bool,
+    dry_run: bool,
     machine: Option<String>,
     simulate: bool,
     contention: Vec<(String, f64)>,
@@ -145,6 +155,9 @@ struct Flags {
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut f = Flags {
         file: None,
+        files: Vec::new(),
+        fix: false,
+        dry_run: false,
         machine: None,
         simulate: false,
         contention: Vec::new(),
@@ -179,6 +192,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--machine" => f.machine = Some(value(&mut i)?),
             "--format" => f.format = value(&mut i)?,
             "--deny-warnings" => f.deny_warnings = true,
+            "--fix" => f.fix = true,
+            "--dry-run" => f.dry_run = true,
             "--simulate" => f.simulate = true,
             "--ascii" => f.ascii = true,
             "--gantt" => f.gantt = true,
@@ -267,6 +282,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     f.file = Some(other.to_owned());
                     f.id = other.to_owned();
                 }
+                f.files.push(other.to_owned());
                 positional += 1;
             }
         }
@@ -320,47 +336,152 @@ fn sim_options(flags: &Flags) -> SimOptions {
     opts
 }
 
+/// Expands lint arguments: a directory becomes every `.wrm` file
+/// directly inside it (sorted), a file passes through untouched.
+fn expand_wrm_paths(args: &[String]) -> Result<Vec<String>, String> {
+    let mut paths = Vec::new();
+    for arg in args {
+        let meta = std::fs::metadata(arg).map_err(|e| format!("cannot read {arg}: {e}"))?;
+        if meta.is_dir() {
+            let mut found = Vec::new();
+            let entries = std::fs::read_dir(arg).map_err(|e| format!("cannot read {arg}: {e}"))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("cannot read {arg}: {e}"))?;
+                let path = entry.path();
+                if path.is_file() && path.extension().is_some_and(|e| e == "wrm") {
+                    found.push(path.to_string_lossy().into_owned());
+                }
+            }
+            found.sort();
+            if found.is_empty() {
+                return Err(format!("no .wrm files in directory {arg}"));
+            }
+            paths.extend(found);
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    Ok(paths)
+}
+
 fn cmd_lint(args: &[String]) -> Result<u8, String> {
     let flags = parse_flags(args)?;
-    let path = flags
-        .file
-        .as_ref()
-        .ok_or_else(|| "missing workflow file argument".to_owned())?;
-    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let diags = wrm_lint::lint_source(&source);
+    if flags.files.is_empty() {
+        return Err("missing workflow file argument".to_owned());
+    }
+    let paths = expand_wrm_paths(&flags.files)?;
+    // (path, source, diagnostics) per file; sources are kept so fixes
+    // and renders can slice them.
+    let mut batch: Vec<(String, String, Vec<wrm_lint::Diagnostic>)> = Vec::new();
+    for path in paths {
+        let source =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let diags = wrm_lint::lint_source(&source);
+        batch.push((path, source, diags));
+    }
+
+    if flags.fix {
+        apply_lint_fixes(&mut batch, flags.dry_run)?;
+    }
 
     match flags.format.as_str() {
         "json" => {
-            let json = serde_json::to_string_pretty(&diags).map_err(|e| e.to_string())?;
+            let files: Vec<serde_json::Value> = batch
+                .iter()
+                .map(|(path, _, diags)| serde_json::json!({ "file": path, "diagnostics": diags }))
+                .collect();
+            let json = serde_json::to_string_pretty(&files).map_err(|e| e.to_string())?;
             println!("{json}");
         }
-        "text" => {
-            for d in &diags {
-                println!("{}\n", d.render(&source));
-            }
-            let errors = diags
+        "sarif" => {
+            let files: Vec<(String, Vec<wrm_lint::Diagnostic>)> = batch
                 .iter()
-                .filter(|d| d.severity == wrm_lint::Severity::Error)
-                .count();
-            let warnings = diags.len() - errors;
-            if diags.is_empty() {
-                println!("{path}: clean");
-            } else {
-                println!("{path}: {errors} error(s), {warnings} warning(s)");
+                .map(|(path, _, diags)| (path.clone(), diags.clone()))
+                .collect();
+            let log = wrm_lint::to_sarif(&files);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&log).map_err(|e| e.to_string())?
+            );
+        }
+        "text" => {
+            let mut total_errors = 0;
+            let mut total_warnings = 0;
+            for (path, source, diags) in &batch {
+                for d in diags {
+                    println!("{}\n", d.render(source));
+                }
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.severity == wrm_lint::Severity::Error)
+                    .count();
+                let warnings = diags.len() - errors;
+                total_errors += errors;
+                total_warnings += warnings;
+                if diags.is_empty() {
+                    println!("{path}: clean");
+                } else {
+                    println!("{path}: {errors} error(s), {warnings} warning(s)");
+                }
+            }
+            if batch.len() > 1 {
+                println!(
+                    "{} file(s): {total_errors} error(s), {total_warnings} warning(s)",
+                    batch.len()
+                );
             }
         }
         other => {
             return Err(format!(
-                "unknown --format `{other}` (expected text or json)"
+                "unknown --format `{other}` (expected text, json, or sarif)"
             ))
         }
     }
 
-    Ok(match wrm_lint::max_severity(&diags) {
+    // The exit code aggregates the worst severity across every file.
+    let worst = batch
+        .iter()
+        .filter_map(|(_, _, diags)| wrm_lint::max_severity(diags))
+        .max();
+    Ok(match worst {
         Some(wrm_lint::Severity::Error) => 2,
         Some(wrm_lint::Severity::Warning) if flags.deny_warnings => 1,
         _ => 0,
     })
+}
+
+/// `--fix`: applies every machine-applicable edit. With `--dry-run` the
+/// would-be changes are printed as diffs and nothing is written;
+/// otherwise files are rewritten in place and re-linted so the report
+/// and exit code reflect the fixed sources.
+fn apply_lint_fixes(
+    batch: &mut [(String, String, Vec<wrm_lint::Diagnostic>)],
+    dry_run: bool,
+) -> Result<(), String> {
+    for (path, source, diags) in batch.iter_mut() {
+        let edits = wrm_lint::collect_edits(diags);
+        if edits.is_empty() {
+            continue;
+        }
+        let outcome = wrm_lint::apply_fixes(source, &edits);
+        if dry_run {
+            print!("{}", wrm_lint::fixit::diff(path, source, &outcome.fixed));
+            continue;
+        }
+        std::fs::write(&*path, &outcome.fixed).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let skipped = if outcome.skipped.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " ({} overlapping edit(s) skipped; rerun --fix to apply)",
+                outcome.skipped.len()
+            )
+        };
+        println!("{path}: applied {} fix(es){skipped}", outcome.applied.len());
+        *source = outcome.fixed;
+        *diags = wrm_lint::lint_source(source);
+    }
+    Ok(())
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {

@@ -296,6 +296,50 @@ impl Dag {
         Ok((path, total))
     }
 
+    /// Edges implied by transitivity: `(u, v)` such that removing the
+    /// direct edge `u -> v` leaves `v` still reachable from `u`. These
+    /// are exactly the edges a transitive reduction would drop; a spec
+    /// declaring them is over-constrained but not wrong.
+    ///
+    /// Runs in O(V·E/64) via reverse-topological bitset reachability.
+    pub fn redundant_edges(&self) -> Result<Vec<(TaskId, TaskId)>, DagError> {
+        let order = self.topo_order()?;
+        let n = self.len();
+        let words = n.div_ceil(64);
+        // reach[v] = v itself plus everything reachable from v.
+        let mut reach = vec![vec![0u64; words]; n];
+        for &v in order.iter().rev() {
+            reach[v.0][v.0 / 64] |= 1 << (v.0 % 64);
+            for &s in &self.succs[v.0] {
+                let (head, tail) = if v.0 < s.0 {
+                    let (a, b) = reach.split_at_mut(s.0);
+                    (&mut a[v.0], &b[0])
+                } else {
+                    let (a, b) = reach.split_at_mut(v.0);
+                    (&mut b[0], &a[s.0])
+                };
+                for (h, t) in head.iter_mut().zip(tail) {
+                    *h |= t;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for u in self.task_ids() {
+            for &v in &self.succs[u.0] {
+                // u -> v is redundant iff some *other* successor of u
+                // already reaches v (no path revisits v in a DAG).
+                let implied = self.succs[u.0]
+                    .iter()
+                    .any(|&w| w != v && reach[w.0][v.0 / 64] & (1 << (v.0 % 64)) != 0);
+                if implied {
+                    out.push((u, v));
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
     /// Sum of all task durations (serial work).
     pub fn total_duration(&self) -> f64 {
         self.tasks.iter().map(|t| t.duration).sum()
@@ -459,6 +503,49 @@ mod tests {
         let h = d.name_histogram();
         assert_eq!(h.get("analyze"), Some(&5));
         assert_eq!(h.get("merge"), Some(&1));
+    }
+
+    #[test]
+    fn redundant_edges_match_the_transitive_reduction() {
+        // a -> b -> c with a direct a -> c shortcut: only the shortcut
+        // is redundant.
+        let mut d = Dag::new("r");
+        let a = d.add_task("a", 1, 1.0).unwrap();
+        let b = d.add_task("b", 1, 1.0).unwrap();
+        let c = d.add_task("c", 1, 1.0).unwrap();
+        d.add_dep(a, b).unwrap();
+        d.add_dep(b, c).unwrap();
+        d.add_dep(a, c).unwrap();
+        assert_eq!(d.redundant_edges().unwrap(), vec![(a, c)]);
+        // A diamond has no redundant edges: both arms are needed.
+        let mut d = Dag::new("diamond");
+        let a = d.add_task("a", 1, 1.0).unwrap();
+        let b = d.add_task("b", 1, 1.0).unwrap();
+        let c = d.add_task("c", 1, 1.0).unwrap();
+        let e = d.add_task("e", 1, 1.0).unwrap();
+        d.add_dep(a, b).unwrap();
+        d.add_dep(a, c).unwrap();
+        d.add_dep(b, e).unwrap();
+        d.add_dep(c, e).unwrap();
+        assert!(d.redundant_edges().unwrap().is_empty());
+        // Longer shortcut: a -> b -> c -> d plus a -> d.
+        let mut g = Dag::new("long");
+        let a = g.add_task("a", 1, 1.0).unwrap();
+        let b = g.add_task("b", 1, 1.0).unwrap();
+        let c = g.add_task("c", 1, 1.0).unwrap();
+        let e = g.add_task("d", 1, 1.0).unwrap();
+        g.add_dep(a, b).unwrap();
+        g.add_dep(b, c).unwrap();
+        g.add_dep(c, e).unwrap();
+        g.add_dep(a, e).unwrap();
+        assert_eq!(g.redundant_edges().unwrap(), vec![(a, e)]);
+        // Cycles propagate the topo error.
+        let mut g = Dag::new("cyc");
+        let a = g.add_task("a", 1, 1.0).unwrap();
+        let b = g.add_task("b", 1, 1.0).unwrap();
+        g.add_dep(a, b).unwrap();
+        g.add_dep(b, a).unwrap();
+        assert!(g.redundant_edges().is_err());
     }
 
     #[test]

@@ -1,25 +1,51 @@
 //! Abstract syntax for the workflow description language.
 
 /// A 1-based source position (line and column), matching the lexer's
-/// numbering. `0:0` means "no recorded position" (e.g. synthesized
-/// nodes).
+/// numbering, plus the byte range of the spanned token(s) so tooling
+/// can splice machine-applicable edits into the source. `0:0` means
+/// "no recorded position" (e.g. synthesized nodes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Span {
     /// 1-based line number (0 = unknown).
     pub line: usize,
     /// 1-based column number.
     pub col: usize,
+    /// Byte offset of the start of the spanned text.
+    pub offset: usize,
+    /// Byte length of the spanned text (0 when only a position is
+    /// known).
+    pub len: usize,
 }
 
 impl Span {
-    /// A span at `line:col`.
+    /// A span at `line:col` with no byte range.
     pub fn new(line: usize, col: usize) -> Self {
-        Self { line, col }
+        Self {
+            line,
+            col,
+            offset: 0,
+            len: 0,
+        }
+    }
+
+    /// A span at `line:col` covering `len` bytes starting at `offset`.
+    pub fn with_range(line: usize, col: usize, offset: usize, len: usize) -> Self {
+        Self {
+            line,
+            col,
+            offset,
+            len,
+        }
     }
 
     /// True when the span carries a real position.
     pub fn is_known(&self) -> bool {
         self.line > 0
+    }
+
+    /// One past the last byte of the spanned text.
+    pub fn end_offset(&self) -> usize {
+        self.offset + self.len
     }
 }
 
@@ -184,4 +210,7 @@ pub struct AfterRef {
     pub index: Option<usize>,
     /// Position of the referenced name.
     pub span: Span,
+    /// Byte range of the whole statement (`after name[i]`), so fix-its
+    /// can remove the edge.
+    pub stmt_span: Span,
 }

@@ -52,10 +52,12 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
     let mut tokens = Vec::new();
     let mut line = 1usize;
     let mut col = 1usize;
+    let mut offset = 0usize;
     let mut chars = source.chars().peekable();
 
     macro_rules! bump {
         ($c:expr) => {{
+            offset += $c.len_utf8();
             if $c == '\n' {
                 line += 1;
                 col = 1;
@@ -66,7 +68,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
     }
 
     while let Some(&c) = chars.peek() {
-        let (tline, tcol) = (line, col);
+        let (tline, tcol, tstart) = (line, col, offset);
         match c {
             ' ' | '\t' | '\r' | '\n' | ',' | ';' => {
                 chars.next();
@@ -89,6 +91,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                     kind: TokenKind::LBrace,
                     line: tline,
                     col: tcol,
+                    offset: tstart,
+                    len: offset - tstart,
                 });
             }
             '}' => {
@@ -98,6 +102,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                     kind: TokenKind::RBrace,
                     line: tline,
                     col: tcol,
+                    offset: tstart,
+                    len: offset - tstart,
                 });
             }
             '[' => {
@@ -107,6 +113,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                     kind: TokenKind::LBracket,
                     line: tline,
                     col: tcol,
+                    offset: tstart,
+                    len: offset - tstart,
                 });
             }
             ']' => {
@@ -116,6 +124,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                     kind: TokenKind::RBracket,
                     line: tline,
                     col: tcol,
+                    offset: tstart,
+                    len: offset - tstart,
                 });
             }
             '0'..='9' | '.' => {
@@ -172,6 +182,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                     kind,
                     line: tline,
                     col: tcol,
+                    offset: tstart,
+                    len: offset - tstart,
                 });
             }
             c2 if c2.is_ascii_alphabetic() || c2 == '_' => {
@@ -189,6 +201,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                     kind: TokenKind::Ident(ident),
                     line: tline,
                     col: tcol,
+                    offset: tstart,
+                    len: offset - tstart,
                 });
             }
             other => {
@@ -204,6 +218,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
         kind: TokenKind::Eof,
         line,
         col,
+        offset,
+        len: 0,
     });
     Ok(tokens)
 }
@@ -293,6 +309,33 @@ mod tests {
         assert!(err.message.contains("unexpected character"));
         let err = lex("1.2.3").unwrap_err();
         assert!(err.message.contains("invalid number"));
+    }
+
+    #[test]
+    fn byte_ranges_slice_back_to_the_source_text() {
+        let src = "workflow lcls {\n  task a[5] nodes 32\n}";
+        let toks = lex(src).unwrap();
+        for t in &toks {
+            let text = &src[t.offset..t.end_offset()];
+            match &t.kind {
+                TokenKind::Ident(s) => assert_eq!(text, s),
+                TokenKind::Number { .. } => assert!(text == "5" || text == "32"),
+                TokenKind::LBrace => assert_eq!(text, "{"),
+                TokenKind::RBrace => assert_eq!(text, "}"),
+                TokenKind::LBracket => assert_eq!(text, "["),
+                TokenKind::RBracket => assert_eq!(text, "]"),
+                TokenKind::Eof => {
+                    assert_eq!(t.offset, src.len());
+                    assert_eq!(t.len, 0);
+                }
+            }
+        }
+        // Unit suffixes are part of the number token's range.
+        let toks = lex("cap 1.5GB/s").unwrap();
+        assert_eq!(
+            &"cap 1.5GB/s"[toks[1].offset..toks[1].end_offset()],
+            "1.5GB/s"
+        );
     }
 
     #[test]

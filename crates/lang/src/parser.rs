@@ -42,10 +42,15 @@ impl Parser {
         &self.tokens[self.pos]
     }
 
-    /// Source position of the next token.
+    /// Source position (and byte range) of the next token.
     fn pos_span(&self) -> Span {
         let t = self.peek();
-        Span::new(t.line, t.col)
+        Span::with_range(t.line, t.col, t.offset, t.len)
+    }
+
+    /// One past the last byte of the most recently consumed token.
+    fn prev_end(&self) -> usize {
+        self.tokens[self.pos.saturating_sub(1)].end_offset()
     }
 
     fn next(&mut self) -> Token {
@@ -260,7 +265,18 @@ impl Parser {
                             } else {
                                 None
                             };
-                            task.after.push(AfterRef { name, index, span });
+                            let stmt_span = Span::with_range(
+                                kw_span.line,
+                                kw_span.col,
+                                kw_span.offset,
+                                self.prev_end() - kw_span.offset,
+                            );
+                            task.after.push(AfterRef {
+                                name,
+                                index,
+                                span,
+                                stmt_span,
+                            });
                         }
                         other => {
                             return Err(self.err(format!(
@@ -532,16 +548,39 @@ workflow lcls on cori-hsw {
     fn spans_point_at_the_declaration_sites() {
         let ast = parse(LCLS).unwrap();
         // Line/col are 1-based; `workflow lcls on cori-hsw` is line 3.
-        assert_eq!(ast.name_span, Span::new(3, 10));
-        assert_eq!(ast.machine_span, Span::new(3, 18));
+        let lc = |s: Span| (s.line, s.col);
+        assert_eq!(lc(ast.name_span), (3, 10));
+        assert_eq!(lc(ast.machine_span), (3, 18));
         assert_eq!(ast.targets.makespan_span.line, 4);
         let analyze = &ast.tasks[0];
-        assert_eq!(analyze.span, Span::new(5, 8));
-        assert_eq!(analyze.count_span, Span::new(5, 16));
+        assert_eq!(lc(analyze.span), (5, 8));
+        assert_eq!(lc(analyze.count_span), (5, 16));
         assert_eq!(analyze.nodes_span.line, 6);
-        assert_eq!(analyze.phases[0].span(), Span::new(7, 5));
+        assert_eq!(lc(analyze.phases[0].span()), (7, 5));
         let merge = &ast.tasks[1];
-        assert_eq!(merge.after[0].span, Span::new(14, 11));
+        assert_eq!(lc(merge.after[0].span), (14, 11));
+    }
+
+    #[test]
+    fn byte_ranges_slice_back_to_the_declarations() {
+        let ast = parse(LCLS).unwrap();
+        let slice = |s: Span| &LCLS[s.offset..s.end_offset()];
+        assert_eq!(slice(ast.name_span), "lcls");
+        assert_eq!(slice(ast.machine_span), "cori-hsw");
+        assert_eq!(slice(ast.targets.makespan_span), "10min");
+        let analyze = &ast.tasks[0];
+        assert_eq!(slice(analyze.span), "analyze");
+        assert_eq!(slice(analyze.count_span), "5");
+        assert_eq!(slice(analyze.nodes_span), "32");
+        let merge = &ast.tasks[1];
+        assert_eq!(slice(merge.after[0].span), "analyze");
+        // The statement span covers the whole dependency edge so a
+        // fix-it can delete it.
+        assert_eq!(slice(merge.after[0].stmt_span), "after analyze");
+        let ast = parse("workflow w { task a[3] { } task b { after a[1] } }").unwrap();
+        let src = "workflow w { task a[3] { } task b { after a[1] } }";
+        let s = ast.tasks[1].after[0].stmt_span;
+        assert_eq!(&src[s.offset..s.end_offset()], "after a[1]");
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use std::fmt;
 
-/// A token with its source position (1-based line/column).
+/// A token with its source position (1-based line/column) and byte
+/// range.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The token kind and payload.
@@ -11,6 +12,17 @@ pub struct Token {
     pub line: usize,
     /// 1-based source column.
     pub col: usize,
+    /// Byte offset of the token start.
+    pub offset: usize,
+    /// Byte length of the token text (0 for Eof).
+    pub len: usize,
+}
+
+impl Token {
+    /// One past the last byte of the token text.
+    pub fn end_offset(&self) -> usize {
+        self.offset + self.len
+    }
 }
 
 /// Token kinds.

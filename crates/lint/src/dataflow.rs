@@ -1,0 +1,227 @@
+//! Forward dataflow over the task-group DAG of an [`AnalysisIr`].
+//!
+//! The framework is the classic one: a topological order, a per-node
+//! fact, a merge over incoming edges, and a transfer function. On top
+//! of it sits the analyzer's workhorse, the earliest-finish analysis:
+//! `EF[t] = max over predecessors EF[p] + serial-duration(t)`,
+//! propagated as an [`Interval`] so the `lo` end is a *certified*
+//! critical-path lower bound on makespan, with the argmax predecessor
+//! recorded as a witness chain.
+
+use crate::interval::Interval;
+use crate::ir::AnalysisIr;
+
+/// A topological ordering of the task groups.
+#[derive(Debug, Clone)]
+pub struct Topo {
+    /// Schedulable groups in dependency order.
+    pub order: Vec<usize>,
+    /// Groups left out of the order: on a dependency cycle, or
+    /// transitively dependent on one. Empty for a well-formed spec.
+    pub stuck: Vec<usize>,
+}
+
+/// Kahn's algorithm over the AST-granularity dependency edges.
+pub fn topo(ir: &AnalysisIr) -> Topo {
+    let n = ir.tasks.len();
+    let mut indegree = vec![0usize; n];
+    for (i, t) in ir.tasks.iter().enumerate() {
+        indegree[i] = t.deps.len();
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    ready.reverse(); // pop() yields lowest index first: deterministic
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, t) in ir.tasks.iter().enumerate() {
+        for d in &t.deps {
+            succs[d.target].push(i);
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = ready.pop() {
+        order.push(v);
+        for &s in &succs[v] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                // Keep the ready stack sorted descending so pop() stays
+                // lowest-first without a priority queue.
+                let at = ready.partition_point(|&r| r > s);
+                ready.insert(at, s);
+            }
+        }
+    }
+    let in_order: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &i in &order {
+            v[i] = true;
+        }
+        v
+    };
+    let stuck = (0..n).filter(|&i| !in_order[i]).collect();
+    Topo { order, stuck }
+}
+
+/// Runs a forward analysis: for each schedulable group `v` (in topo
+/// order), fold the facts of its predecessors with `merge` starting
+/// from `init`, then apply `transfer`. Stuck groups get `None`.
+pub fn forward<S: Clone>(
+    ir: &AnalysisIr,
+    topo: &Topo,
+    init: S,
+    mut merge: impl FnMut(S, usize, &S) -> S,
+    mut transfer: impl FnMut(usize, S) -> S,
+) -> Vec<Option<S>> {
+    let mut facts: Vec<Option<S>> = vec![None; ir.tasks.len()];
+    for &v in &topo.order {
+        let mut acc = init.clone();
+        for d in &ir.tasks[v].deps {
+            if let Some(fp) = &facts[d.target] {
+                acc = merge(acc, d.target, fp);
+            }
+        }
+        facts[v] = Some(transfer(v, acc));
+    }
+    facts
+}
+
+/// Per-group earliest-finish bounds plus the witness predecessor.
+#[derive(Debug, Clone)]
+pub struct EarliestFinish {
+    /// `finish[v]`: bounds on when group `v` can be fully done.
+    pub finish: Vec<Option<Interval>>,
+    /// The predecessor whose lower bound dominated `v`'s start (None
+    /// for roots).
+    pub via: Vec<Option<usize>>,
+}
+
+/// Runs the earliest-finish interval analysis.
+pub fn earliest_finish(ir: &AnalysisIr, topo: &Topo) -> EarliestFinish {
+    #[derive(Clone)]
+    struct Fact {
+        start: Interval,
+        via: Option<usize>,
+    }
+    let facts = forward(
+        ir,
+        topo,
+        Fact {
+            start: Interval::ZERO,
+            via: None,
+        },
+        |acc, p, fp| {
+            let via = if fp.start.lo > acc.start.lo {
+                Some(p)
+            } else {
+                acc.via
+            };
+            Fact {
+                start: acc.start.max(fp.start),
+                via,
+            }
+        },
+        |v, inc| Fact {
+            start: inc.start + ir.tasks[v].serial,
+            via: inc.via,
+        },
+    );
+    let mut finish = vec![None; ir.tasks.len()];
+    let mut via = vec![None; ir.tasks.len()];
+    for (i, f) in facts.into_iter().enumerate() {
+        if let Some(f) = f {
+            finish[i] = Some(f.start);
+            via[i] = f.via;
+        }
+    }
+    EarliestFinish { finish, via }
+}
+
+/// The critical chain: the group with the largest certified finish
+/// lower bound, walked back through witness predecessors. Returns the
+/// chain (in dependency order) and the finish bounds of its last
+/// group. Empty when the IR has no tasks or everything is stuck.
+pub fn critical_path(ir: &AnalysisIr, ef: &EarliestFinish) -> (Vec<usize>, Interval) {
+    let Some(end) = (0..ir.tasks.len())
+        .filter(|&i| ef.finish[i].is_some())
+        .max_by(|&a, &b| {
+            let (fa, fb) = (ef.finish[a].unwrap().lo, ef.finish[b].unwrap().lo);
+            fa.partial_cmp(&fb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                // Ties resolve to the lowest index for determinism.
+                .then(b.cmp(&a))
+        })
+    else {
+        return (Vec::new(), Interval::ZERO);
+    };
+    let bound = ef.finish[end].unwrap();
+    let mut chain = vec![end];
+    let mut cur = end;
+    while let Some(p) = ef.via[cur] {
+        chain.push(p);
+        cur = p;
+    }
+    chain.reverse();
+    (chain, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower(src: &str) -> AnalysisIr {
+        let ast = wrm_lang::parse(src).unwrap();
+        let machine = ast.machine.as_deref().and_then(wrm_core::machines::by_name);
+        AnalysisIr::lower(&ast, machine.as_ref())
+    }
+
+    #[test]
+    fn diamond_takes_the_longer_arm() {
+        let ir = lower(
+            "workflow w {
+               task a { overhead x 10s }
+               task b { overhead x 5s after a }
+               task c { overhead x 20s after a }
+               task d { overhead x 1s after b after c }
+             }",
+        );
+        let t = topo(&ir);
+        assert!(t.stuck.is_empty());
+        let ef = earliest_finish(&ir, &t);
+        let (chain, bound) = critical_path(&ir, &ef);
+        let names: Vec<&str> = chain.iter().map(|&i| ir.tasks[i].name.as_str()).collect();
+        assert_eq!(names, ["a", "c", "d"]);
+        assert!((bound.lo - 31.0).abs() < 1e-12);
+        assert!((bound.hi - 31.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_leave_their_cone_stuck() {
+        let ir = lower(
+            "workflow w {
+               task a { after b }
+               task b { after a }
+               task c { after b }
+               task d { }
+             }",
+        );
+        let t = topo(&ir);
+        assert_eq!(t.order, vec![3]);
+        assert_eq!(t.stuck, vec![0, 1, 2]);
+        let ef = earliest_finish(&ir, &t);
+        assert!(ef.finish[0].is_none());
+        assert!(ef.finish[3].is_some());
+    }
+
+    #[test]
+    fn chains_count_every_replica() {
+        let ir = lower(
+            "workflow w {
+               task iter[5] chain { overhead x 2s }
+               task done { overhead x 1s after iter }
+             }",
+        );
+        let t = topo(&ir);
+        let ef = earliest_finish(&ir, &t);
+        let (chain, bound) = critical_path(&ir, &ef);
+        assert_eq!(chain, vec![0, 1]);
+        assert!((bound.lo - 11.0).abs() < 1e-12);
+    }
+}

@@ -25,36 +25,118 @@ impl fmt::Display for Severity {
     }
 }
 
-/// A 1-based source position, matching the lexer's line/column scheme.
+/// A 1-based source position, matching the lexer's line/column scheme,
+/// plus the byte range of the spanned text (when known) so fix-its and
+/// SARIF regions can address the source precisely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Span {
     /// 1-based line number.
     pub line: usize,
     /// 1-based column number.
     pub col: usize,
+    /// Byte offset of the spanned text (0 when only a position is
+    /// known).
+    #[serde(default)]
+    pub offset: usize,
+    /// Byte length of the spanned text (0 when only a position is
+    /// known).
+    #[serde(default)]
+    pub len: usize,
 }
 
 impl Span {
-    /// A span at `line:col`.
+    /// A span at `line:col` with no byte range.
     pub fn new(line: usize, col: usize) -> Self {
-        Self { line, col }
+        Self {
+            line,
+            col,
+            offset: 0,
+            len: 0,
+        }
+    }
+
+    /// A span at `line:col` covering `len` bytes starting at `offset`.
+    pub fn with_range(line: usize, col: usize, offset: usize, len: usize) -> Self {
+        Self {
+            line,
+            col,
+            offset,
+            len,
+        }
     }
 
     /// The "unknown location" sentinel used when a construct has no
     /// recorded position.
     pub fn unknown() -> Self {
-        Self { line: 0, col: 0 }
+        Self::new(0, 0)
     }
 
     /// True when the span carries a real position.
     pub fn is_known(&self) -> bool {
         self.line > 0
     }
+
+    /// True when the span carries a usable byte range.
+    pub fn has_range(&self) -> bool {
+        self.len > 0
+    }
+
+    /// One past the last byte of the spanned text.
+    pub fn end_offset(&self) -> usize {
+        self.offset + self.len
+    }
+}
+
+impl From<wrm_lang::Span> for Span {
+    fn from(s: wrm_lang::Span) -> Self {
+        Self {
+            line: s.line,
+            col: s.col,
+            offset: s.offset,
+            len: s.len,
+        }
+    }
 }
 
 impl fmt::Display for Span {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A machine-applicable edit: replace `len` bytes at `offset` with
+/// `replacement`. `len == 0` inserts; an empty replacement deletes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuggestedEdit {
+    /// Byte offset of the start of the replaced range.
+    pub offset: usize,
+    /// Byte length of the replaced range.
+    pub len: usize,
+    /// Text to splice in.
+    pub replacement: String,
+    /// Short human description of the edit.
+    pub title: String,
+}
+
+impl SuggestedEdit {
+    /// An edit replacing the bytes under `span` (which must carry a
+    /// range) with `replacement`.
+    pub fn replace_span(
+        span: Span,
+        replacement: impl Into<String>,
+        title: impl Into<String>,
+    ) -> Self {
+        Self {
+            offset: span.offset,
+            len: span.len,
+            replacement: replacement.into(),
+            title: title.into(),
+        }
+    }
+
+    /// One past the last replaced byte.
+    pub fn end_offset(&self) -> usize {
+        self.offset + self.len
     }
 }
 
@@ -73,6 +155,10 @@ pub struct Diagnostic {
     pub message: String,
     /// Optional guidance on how to fix it.
     pub help: Option<String>,
+    /// Machine-applicable edits that resolve the diagnostic (empty when
+    /// no automatic fix exists).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub fixes: Vec<SuggestedEdit>,
 }
 
 impl Diagnostic {
@@ -84,6 +170,7 @@ impl Diagnostic {
             span,
             message: message.into(),
             help: None,
+            fixes: Vec::new(),
         }
     }
 
@@ -95,6 +182,7 @@ impl Diagnostic {
             span,
             message: message.into(),
             help: None,
+            fixes: Vec::new(),
         }
     }
 
@@ -102,6 +190,17 @@ impl Diagnostic {
     pub fn with_help(mut self, help: impl Into<String>) -> Self {
         self.help = Some(help.into());
         self
+    }
+
+    /// Attaches a machine-applicable fix.
+    pub fn with_fix(mut self, fix: SuggestedEdit) -> Self {
+        self.fixes.push(fix);
+        self
+    }
+
+    /// True when the diagnostic carries at least one suggested edit.
+    pub fn is_fixable(&self) -> bool {
+        !self.fixes.is_empty()
     }
 
     /// One-line rendering: `error[E001] 3:9: message`.
@@ -182,5 +281,27 @@ mod tests {
     fn unknown_span_is_omitted_from_text() {
         let d = Diagnostic::error("E008", Span::unknown(), "duplicate task `a`");
         assert_eq!(d.one_line(), "error[E008]: duplicate task `a`");
+    }
+
+    #[test]
+    fn fixes_round_trip_and_legacy_json_still_loads() {
+        let d = Diagnostic::warning("W004", Span::with_range(4, 11, 40, 1), "nodes 0").with_fix(
+            SuggestedEdit::replace_span(
+                Span::with_range(4, 11, 40, 1),
+                "1",
+                "replace `0` with `1`",
+            ),
+        );
+        assert!(d.is_fixable());
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Diagnostic = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+        // Diagnostics serialized before spans carried byte ranges (and
+        // before `fixes` existed) still deserialize.
+        let legacy = r#"{"code":"E001","severity":"error","span":{"line":2,"col":15},
+                         "message":"unknown machine `summit`","help":null}"#;
+        let back: Diagnostic = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.span, Span::new(2, 15));
+        assert!(back.fixes.is_empty());
     }
 }

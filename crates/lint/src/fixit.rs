@@ -1,0 +1,174 @@
+//! Applying machine-applicable fixes ([`SuggestedEdit`]) to source
+//! text.
+//!
+//! Edits are applied as a batch: sorted by offset, overlapping or
+//! out-of-bounds edits skipped (first wins), survivors spliced
+//! back-to-front so earlier offsets stay valid.
+
+use crate::diagnostics::{Diagnostic, SuggestedEdit};
+
+/// The result of applying a batch of edits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixOutcome {
+    /// The edited source.
+    pub fixed: String,
+    /// Edits actually applied, in offset order.
+    pub applied: Vec<SuggestedEdit>,
+    /// Edits skipped because they overlapped an earlier one or fell
+    /// outside the source.
+    pub skipped: Vec<SuggestedEdit>,
+}
+
+/// Gathers every suggested edit from a batch of diagnostics, in
+/// deterministic (offset, length, replacement) order, dropping exact
+/// duplicates.
+pub fn collect_edits(diags: &[Diagnostic]) -> Vec<SuggestedEdit> {
+    let mut edits: Vec<SuggestedEdit> = diags.iter().flat_map(|d| d.fixes.clone()).collect();
+    edits.sort_by(|a, b| (a.offset, a.len, &a.replacement).cmp(&(b.offset, b.len, &b.replacement)));
+    edits.dedup();
+    edits
+}
+
+/// Applies `edits` to `source`. Overlap resolution is first-wins in
+/// offset order; callers get the skipped edits back so they can rerun
+/// the linter and fix in a second round.
+pub fn apply(source: &str, edits: &[SuggestedEdit]) -> FixOutcome {
+    let mut sorted: Vec<SuggestedEdit> = edits.to_vec();
+    sorted.sort_by_key(|e| (e.offset, e.len));
+    let mut applied: Vec<SuggestedEdit> = Vec::new();
+    let mut skipped = Vec::new();
+    let mut watermark = 0usize;
+    for e in sorted {
+        let in_bounds = e.end_offset() <= source.len()
+            && source.is_char_boundary(e.offset)
+            && source.is_char_boundary(e.end_offset());
+        if !in_bounds || e.offset < watermark {
+            skipped.push(e);
+            continue;
+        }
+        watermark = e.end_offset();
+        applied.push(e);
+    }
+    let mut fixed = source.to_owned();
+    for e in applied.iter().rev() {
+        fixed.replace_range(e.offset..e.end_offset(), &e.replacement);
+    }
+    FixOutcome {
+        fixed,
+        applied,
+        skipped,
+    }
+}
+
+/// A minimal line diff (for `--fix --dry-run`): shared prefix/suffix
+/// lines are elided, changed lines shown as `-`/`+` under one hunk
+/// header.
+pub fn diff(path: &str, old: &str, new: &str) -> String {
+    let old_lines: Vec<&str> = old.lines().collect();
+    let new_lines: Vec<&str> = new.lines().collect();
+    let mut head = 0;
+    while head < old_lines.len() && head < new_lines.len() && old_lines[head] == new_lines[head] {
+        head += 1;
+    }
+    let mut tail = 0;
+    while tail < old_lines.len() - head
+        && tail < new_lines.len() - head
+        && old_lines[old_lines.len() - 1 - tail] == new_lines[new_lines.len() - 1 - tail]
+    {
+        tail += 1;
+    }
+    let removed = &old_lines[head..old_lines.len() - tail];
+    let added = &new_lines[head..new_lines.len() - tail];
+    if removed.is_empty() && added.is_empty() {
+        return format!("--- {path}\n+++ {path}\n(no changes)\n");
+    }
+    let mut out = format!(
+        "--- {path}\n+++ {path}\n@@ -{},{} +{},{} @@\n",
+        head + 1,
+        removed.len(),
+        head + 1,
+        added.len()
+    );
+    for l in removed {
+        out.push_str(&format!("-{l}\n"));
+    }
+    for l in added {
+        out.push_str(&format!("+{l}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::Span;
+
+    fn edit(offset: usize, len: usize, replacement: &str) -> SuggestedEdit {
+        SuggestedEdit {
+            offset,
+            len,
+            replacement: replacement.to_owned(),
+            title: String::new(),
+        }
+    }
+
+    #[test]
+    fn edits_apply_back_to_front() {
+        let src = "nodes 0 eff 2";
+        let out = apply(src, &[edit(6, 1, "1"), edit(12, 1, "0.9")]);
+        assert_eq!(out.fixed, "nodes 1 eff 0.9");
+        assert_eq!(out.applied.len(), 2);
+        assert!(out.skipped.is_empty());
+    }
+
+    #[test]
+    fn overlapping_edits_first_wins() {
+        let src = "makespan 600s";
+        let out = apply(
+            src,
+            &[edit(9, 4, "800s"), edit(9, 4, "900s"), edit(11, 2, "x")],
+        );
+        assert_eq!(out.fixed, "makespan 800s");
+        assert_eq!(out.skipped.len(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_edits_are_skipped() {
+        let out = apply("abc", &[edit(10, 2, "x")]);
+        assert_eq!(out.fixed, "abc");
+        assert_eq!(out.skipped.len(), 1);
+    }
+
+    #[test]
+    fn deletion_and_insertion() {
+        let src = "a after b c";
+        let out = apply(src, &[edit(2, 8, ""), edit(11, 0, "!")]);
+        assert_eq!(out.fixed, "a c!");
+    }
+
+    #[test]
+    fn collect_orders_and_dedups() {
+        let d1 = Diagnostic::warning("W004", Span::new(1, 1), "m")
+            .with_fix(edit(5, 1, "1"))
+            .with_fix(edit(2, 1, "x"));
+        let d2 = Diagnostic::warning("W006", Span::new(2, 1), "m").with_fix(edit(5, 1, "1"));
+        let edits = collect_edits(&[d1, d2]);
+        assert_eq!(edits.len(), 2);
+        assert_eq!(edits[0].offset, 2);
+        assert_eq!(edits[1].offset, 5);
+    }
+
+    #[test]
+    fn diff_shows_only_changed_lines() {
+        let old = "a\nb\nc\n";
+        let new = "a\nB\nc\n";
+        let d = diff("w.wrm", old, new);
+        assert!(d.contains("--- w.wrm"), "{d}");
+        assert!(d.contains("@@ -2,1 +2,1 @@"), "{d}");
+        assert!(d.contains("-b\n"), "{d}");
+        assert!(d.contains("+B\n"), "{d}");
+        assert!(!d.contains("-a"), "{d}");
+        let d = diff("w.wrm", old, old);
+        assert!(d.contains("no changes"), "{d}");
+    }
+}

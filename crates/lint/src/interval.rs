@@ -1,0 +1,122 @@
+//! The interval abstract domain for time/rate bounds.
+//!
+//! Every quantity the analyzer propagates is a closed interval
+//! `[lo, hi]` of non-negative seconds (or bytes/s): `lo` is a certified
+//! lower bound (the value under the most optimistic contention
+//! assumption the spec allows), `hi` an upper bound (worst admissible
+//! contention). Propagating intervals instead of points is what turns
+//! the W005 point-check into a *proof*: if even the `lo` end of the
+//! critical path exceeds the declared makespan target, no schedule can
+//! meet it.
+
+use std::fmt;
+
+/// A closed interval `[lo, hi]` with `0 <= lo <= hi <= +inf`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Certified lower bound.
+    pub lo: f64,
+    /// Upper bound (`+inf` when the spec admits unbounded contention).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The additive identity.
+    pub const ZERO: Interval = Interval { lo: 0.0, hi: 0.0 };
+
+    /// A normalized interval: NaN ends collapse to the identity (lo)
+    /// or `+inf` (hi), negatives clamp to 0, and `hi` never sits below
+    /// `lo`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        let lo = if lo.is_nan() { 0.0 } else { lo.max(0.0) };
+        let hi = if hi.is_nan() {
+            f64::INFINITY
+        } else {
+            hi.max(lo)
+        };
+        Self { lo, hi }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn point(v: f64) -> Self {
+        Self::new(v, v)
+    }
+
+    /// Scaling by a non-negative factor (serial replica chains).
+    pub fn scale(self, k: f64) -> Interval {
+        Interval::new(self.lo * k, self.hi * k)
+    }
+
+    /// Element-wise max: the join used when several predecessors must
+    /// all finish before a task starts.
+    pub fn max(self, other: Interval) -> Interval {
+        Interval::new(self.lo.max(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Convex hull (least interval containing both).
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// True when `v` lies inside the interval.
+    pub fn contains(self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+}
+
+/// Interval addition (sequential composition of phases).
+impl std::ops::Add for Interval {
+    type Output = Interval;
+
+    fn add(self, other: Interval) -> Interval {
+        Interval::new(self.lo + other.lo, self.hi + other.hi)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let end = |v: f64| -> String {
+            if v.is_infinite() {
+                "inf".to_owned()
+            } else {
+                format!("{v:.3}")
+            }
+        };
+        write!(f, "[{}, {}]", end(self.lo), end(self.hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_preserves_ordering() {
+        let a = Interval::new(1.0, 3.0);
+        let b = Interval::new(2.0, 5.0);
+        assert_eq!(a + b, Interval::new(3.0, 8.0));
+        assert_eq!(a.max(b), Interval::new(2.0, 5.0));
+        assert_eq!(a.hull(b), Interval::new(1.0, 5.0));
+        assert_eq!(a.scale(2.0), Interval::new(2.0, 6.0));
+        assert!(a.contains(1.0) && a.contains(3.0) && !a.contains(3.1));
+    }
+
+    #[test]
+    fn normalization_handles_degenerate_input() {
+        let i = Interval::new(f64::NAN, f64::NAN);
+        assert_eq!(i.lo, 0.0);
+        assert!(i.hi.is_infinite());
+        let i = Interval::new(-1.0, -2.0);
+        assert_eq!(i, Interval::ZERO);
+        let i = Interval::new(5.0, 2.0);
+        assert_eq!(i, Interval::point(5.0));
+    }
+
+    #[test]
+    fn infinity_is_absorbing_on_the_upper_end() {
+        let i = Interval::new(1.0, f64::INFINITY) + Interval::point(2.0);
+        assert_eq!(i.lo, 3.0);
+        assert!(i.hi.is_infinite());
+        assert_eq!(format!("{i}"), "[3.000, inf]");
+    }
+}

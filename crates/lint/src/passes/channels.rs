@@ -1,0 +1,137 @@
+//! Shared-channel passes: W007 (a contention ceiling that can never
+//! bind) and W008 (max-min starvation against the makespan target).
+
+use super::{fmt_bytes, fmt_rate, AnalysisContext};
+use crate::diagnostics::Diagnostic;
+use wrm_sim::{max_min_rates, FlowDemand};
+
+/// W007: an aggregate channel where every flow is capped and the caps
+/// sum to strictly less than the capacity — the channel's roofline
+/// ceiling can never bind, so the spec's contention budget is dead.
+pub fn unsaturable(ctx: &AnalysisContext, out: &mut Vec<Diagnostic>) {
+    if ctx.compiled.is_none() {
+        return;
+    }
+    let ir = &ctx.ir;
+    for (ci, ch) in ir.channels.iter().enumerate() {
+        if !ch.shared || ch.capacity <= 0.0 || !ch.capacity.is_finite() {
+            continue;
+        }
+        let flows = ir.flows_on(ci);
+        if flows.is_empty() || flows.iter().any(|(_, f)| !f.cap.is_finite()) {
+            continue;
+        }
+        let cap_sum: f64 = flows
+            .iter()
+            .map(|&(ti, f)| f.cap * ir.tasks[ti].concurrent as f64)
+            .sum();
+        if cap_sum < ch.capacity * (1.0 - 1e-9) {
+            let anchor = flows
+                .iter()
+                .map(|(_, f)| f.span)
+                .min()
+                .expect("non-empty flows");
+            out.push(
+                Diagnostic::warning(
+                    "W007",
+                    anchor,
+                    format!(
+                        "channel `{}` can never saturate: every stream is capped and the caps \
+                         sum to {} of its {} capacity",
+                        ch.id,
+                        fmt_rate(cap_sum),
+                        fmt_rate(ch.capacity)
+                    ),
+                )
+                .with_help(format!(
+                    "the `{}` ceiling can never bind; raise the caps or budget against \
+                     {} as the effective capacity",
+                    ch.label,
+                    fmt_rate(cap_sum)
+                )),
+            );
+        }
+    }
+}
+
+/// W008: under max-min fair sharing with every declared flow in
+/// flight, some task's share of a channel stays below the rate it
+/// needs to move its bytes within the makespan target. This is the
+/// paper's LCLS "bad day" failure mode, caught statically.
+pub fn starved(ctx: &AnalysisContext, out: &mut Vec<Diagnostic>) {
+    if ctx.compiled.is_none() {
+        return;
+    }
+    let ir = &ctx.ir;
+    let Some((target, _)) = ir.makespan else {
+        return;
+    };
+    if target <= 0.0 || target.is_nan() {
+        return;
+    }
+    for (ci, ch) in ir.channels.iter().enumerate() {
+        if !ch.shared || ch.capacity <= 0.0 || !ch.capacity.is_finite() {
+            continue;
+        }
+        if ch.concurrent_flows < 2 {
+            // A single stream cannot be starved by contention; slow
+            // channels show up through W005/W009 instead.
+            continue;
+        }
+        let flows = ir.flows_on(ci);
+        let mut demands: Vec<FlowDemand> = Vec::new();
+        let mut groups: Vec<(usize, &crate::ir::FlowIr, usize)> = Vec::new();
+        for &(ti, f) in &flows {
+            groups.push((ti, f, demands.len()));
+            for _ in 0..ir.tasks[ti].concurrent {
+                demands.push(FlowDemand {
+                    id: demands.len(),
+                    cap: f.cap,
+                });
+            }
+        }
+        let rates = max_min_rates(ch.capacity, &demands);
+        for (ti, f, first) in groups {
+            let task = &ir.tasks[ti];
+            // Replicas of a group are symmetric: they all get the rate
+            // of the group's first demand.
+            let share = rates[first].rate;
+            // A chained group pushes every replica's bytes through one
+            // stream inside the target window.
+            let total_bytes = if task.chain {
+                f.bytes * task.count as f64
+            } else {
+                f.bytes
+            };
+            if total_bytes <= 0.0 {
+                continue;
+            }
+            let needed = total_bytes / target;
+            if needed > share * (1.0 + 1e-9) {
+                out.push(
+                    Diagnostic::warning(
+                        "W008",
+                        f.span,
+                        format!(
+                            "task `{}` is starved on channel `{}`: its max-min fair share is \
+                             {}, below the {} needed to move {} within the {target}s makespan \
+                             target",
+                            task.name,
+                            ch.id,
+                            fmt_rate(share),
+                            fmt_rate(needed),
+                            fmt_bytes(total_bytes)
+                        ),
+                    )
+                    .with_help(format!(
+                        "{} concurrent streams compete for {} on `{}`; stagger the tasks, \
+                         raise the capacity, or relax the target",
+                        ch.concurrent_flows,
+                        fmt_rate(ch.capacity),
+                        ch.label
+                    )),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! W009: the interval abstract-interpretation pass.
+//!
+//! Propagates per-task duration intervals through the DAG with the
+//! earliest-finish dataflow analysis and compares the *certified lower
+//! end* of the critical path against the declared makespan target.
+//! This is strictly stronger than W005's aggregate roofline bound on
+//! heterogeneous multi-stage chains: the roofline prices total volume
+//! against total bandwidth, while the chain bound prices the
+//! *sequencing*.
+
+use super::AnalysisContext;
+use crate::dataflow;
+use crate::diagnostics::{Diagnostic, SuggestedEdit};
+
+/// Emits W009 when the critical-path lower bound provably exceeds the
+/// makespan target.
+pub fn interval_bound(ctx: &AnalysisContext, out: &mut Vec<Diagnostic>) {
+    if ctx.compiled.is_none() {
+        return;
+    }
+    let ir = &ctx.ir;
+    let Some((target, target_span)) = ir.makespan else {
+        return;
+    };
+    if target <= 0.0 || target.is_nan() {
+        return;
+    }
+    let topo = dataflow::topo(ir);
+    if !topo.stuck.is_empty() {
+        return; // cycles already surfaced as E004/E009
+    }
+    let ef = dataflow::earliest_finish(ir, &topo);
+    let (chain, bound) = dataflow::critical_path(ir, &ef);
+    if chain.is_empty() || !bound.lo.is_finite() {
+        return;
+    }
+    if target >= bound.lo * (1.0 - 1e-9) {
+        return;
+    }
+    let witness = chain
+        .iter()
+        .map(|&i| ir.tasks[i].name.as_str())
+        .collect::<Vec<_>>()
+        .join(" -> ");
+    // The roofline bound may be even tighter; the fix-it raises the
+    // target past both.
+    let model_lb = ctx
+        .model
+        .as_ref()
+        .and_then(wrm_core::RooflineModel::makespan_lower_bound)
+        .map(wrm_core::Seconds::get)
+        .filter(|lb| lb.is_finite());
+    let mut help = format!(
+        "interval analysis certifies the critical path takes {bound} s \
+         even with every channel to itself"
+    );
+    if let Some(lb) = model_lb {
+        let binding = ctx
+            .model
+            .as_ref()
+            .and_then(|m| m.binding_ceiling())
+            .map_or_else(|| "parallelism wall".to_owned(), |c| c.label.clone());
+        help.push_str(&format!(
+            "; the roofline lower bound is {lb:.3}s (binding ceiling: {binding})"
+        ));
+    }
+    let certified = model_lb.map_or(bound.lo, |lb| lb.max(bound.lo));
+    let mut diag = Diagnostic::warning(
+        "W009",
+        target_span,
+        format!(
+            "makespan target {target}s is infeasible: the dependency chain {witness} alone \
+             needs at least {:.3}s",
+            bound.lo
+        ),
+    )
+    .with_help(help);
+    if target_span.has_range() && certified.is_finite() {
+        let raised = format!("{}s", certified.ceil());
+        diag = diag.with_fix(SuggestedEdit::replace_span(
+            target_span,
+            raised.clone(),
+            format!("raise the makespan target to {raised}"),
+        ));
+    }
+    out.push(diag);
+}

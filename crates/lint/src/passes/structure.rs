@@ -1,0 +1,174 @@
+//! Structural DAG passes: unreachable tasks (E009) and redundant
+//! transitive edges (W006).
+
+use super::AnalysisContext;
+use crate::dataflow;
+use crate::diagnostics::{Diagnostic, SuggestedEdit};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use wrm_lang::ast::{AfterRef, WorkflowAst};
+
+/// E009: tasks that sit *downstream* of a dependency cycle. The cycle
+/// itself is E004; the tasks it strands are a separate defect — they
+/// parse, they even look schedulable locally, but no schedule can ever
+/// start them.
+pub fn unreachable_tasks(ctx: &AnalysisContext, out: &mut Vec<Diagnostic>) {
+    let ir = &ctx.ir;
+    let topo = dataflow::topo(ir);
+    if topo.stuck.is_empty() {
+        return;
+    }
+    let stuck: BTreeSet<usize> = topo.stuck.iter().copied().collect();
+    // Forward adjacency restricted to the stuck cone.
+    let mut succs: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &v in &stuck {
+        for d in &ir.tasks[v].deps {
+            if stuck.contains(&d.target) {
+                succs.entry(d.target).or_default().push(v);
+            }
+        }
+    }
+    let on_cycle = |start: usize| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut work: Vec<usize> = succs.get(&start).cloned().unwrap_or_default();
+        while let Some(v) = work.pop() {
+            if v == start {
+                return true;
+            }
+            if seen.insert(v) {
+                work.extend(succs.get(&v).cloned().unwrap_or_default());
+            }
+        }
+        false
+    };
+    for &v in &topo.stuck {
+        if on_cycle(v) {
+            continue; // the cycle members already carry E004
+        }
+        let task = &ir.tasks[v];
+        out.push(
+            Diagnostic::error(
+                "E009",
+                task.span,
+                format!(
+                    "task `{}` can never start: it depends, possibly transitively, on a \
+                     dependency cycle",
+                    task.name
+                ),
+            )
+            .with_help("break the cycle reported by E004 to make this task schedulable"),
+        );
+    }
+}
+
+/// W006: `after` edges already implied by the rest of the graph
+/// (transitive edges and duplicates). Each carries a fix-it deleting
+/// the statement; removing it cannot change any schedule.
+pub fn redundant_edges(ast: &WorkflowAst, ctx: &AnalysisContext, out: &mut Vec<Diagnostic>) {
+    let Some(compiled) = &ctx.compiled else {
+        return;
+    };
+    let Ok(dag) = compiled.spec.to_dag_with(|_| 0.0) else {
+        return;
+    };
+    let Ok(redundant) = dag.redundant_edges() else {
+        return;
+    };
+    let redundant: BTreeSet<(usize, usize)> =
+        redundant.into_iter().map(|(u, v)| (u.0, v.0)).collect();
+    let counts: BTreeMap<&str, usize> = ast
+        .tasks
+        .iter()
+        .map(|t| (t.name.as_str(), t.count.max(1)))
+        .collect();
+    let replica = |base: &str, i: usize, count: usize| -> String {
+        if count == 1 {
+            base.to_owned()
+        } else {
+            format!("{base}[{i}]")
+        }
+    };
+    for t in &ast.tasks {
+        let count = t.count.max(1);
+        let mut seen: BTreeSet<(&str, Option<usize>)> = BTreeSet::new();
+        for dep in &t.after {
+            let shown = match dep.index {
+                Some(i) => format!("{}[{i}]", dep.name),
+                None => dep.name.clone(),
+            };
+            if !seen.insert((dep.name.as_str(), dep.index)) {
+                out.push(duplicate_edge(t.name.as_str(), &shown, dep));
+                continue;
+            }
+            let Some(&dep_count) = counts.get(dep.name.as_str()) else {
+                continue;
+            };
+            if dep.name == t.name {
+                continue;
+            }
+            // The `after` statement is redundant only if EVERY replica
+            // edge it expands to is implied by the rest of the graph.
+            let froms: Vec<String> = match dep.index {
+                Some(i) => vec![replica(&dep.name, i, dep_count)],
+                None => (0..dep_count)
+                    .map(|j| replica(&dep.name, j, dep_count))
+                    .collect(),
+            };
+            let mut edges = 0usize;
+            let mut all_implied = true;
+            'edges: for i in 0..count {
+                let Some(to) = dag.task_by_name(&replica(&t.name, i, count)) else {
+                    all_implied = false;
+                    break;
+                };
+                for from in &froms {
+                    let Some(from) = dag.task_by_name(from) else {
+                        all_implied = false;
+                        break 'edges;
+                    };
+                    edges += 1;
+                    if !redundant.contains(&(from.0, to.0)) {
+                        all_implied = false;
+                        break 'edges;
+                    }
+                }
+            }
+            if edges > 0 && all_implied {
+                out.push(
+                    Diagnostic::warning(
+                        "W006",
+                        dep.stmt_span.into(),
+                        format!(
+                            "`after {shown}` on task `{}` is redundant: `{}` already precedes \
+                             `{}` through other dependencies",
+                            t.name, dep.name, t.name
+                        ),
+                    )
+                    .with_help(
+                        "removing the edge cannot change any schedule; `wrm lint --fix` \
+                         deletes it",
+                    )
+                    .with_fix(SuggestedEdit::replace_span(
+                        dep.stmt_span.into(),
+                        "",
+                        format!("remove `after {shown}`"),
+                    )),
+                );
+            }
+        }
+    }
+}
+
+fn duplicate_edge(task: &str, shown: &str, dep: &AfterRef) -> Diagnostic {
+    Diagnostic::warning(
+        "W006",
+        dep.stmt_span.into(),
+        format!("duplicate `after {shown}` on task `{task}`"),
+    )
+    .with_help("the same edge is already declared on this task")
+    .with_fix(SuggestedEdit::replace_span(
+        dep.stmt_span.into(),
+        "",
+        format!("remove the duplicate `after {shown}`"),
+    ))
+}

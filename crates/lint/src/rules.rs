@@ -17,10 +17,20 @@
 //! | W003 | warning  | zero/negative phase volume (imposes no ceiling) |
 //! | W004 | warning  | `nodes 0` (compiler treats it as 1) |
 //! | W005 | warning  | target provably unattainable (names the binding ceiling) |
+//! | E009 | error    | task strands behind a dependency cycle and can never start |
+//! | W006 | warning  | `after` edge already implied by other dependencies (fixable) |
+//! | W007 | warning  | shared channel whose capped streams can never saturate it |
+//! | W008 | warning  | max-min fair share too small for a task's bytes within the makespan target |
+//! | W009 | warning  | interval critical-path lower bound exceeds the makespan target (fixable) |
+//!
+//! E000–E008 and W001–W005 are per-statement checks implemented here;
+//! E009 and W006–W009 are the analyzer passes in [`crate::passes`],
+//! driven by the lowered IR and the DAG dataflow engine.
 
-use crate::diagnostics::{Diagnostic, Severity, Span};
+use crate::diagnostics::{Diagnostic, Severity, Span, SuggestedEdit};
+use crate::passes;
 use std::collections::{BTreeMap, BTreeSet};
-use wrm_core::{machines, Machine, RooflineModel, WorkUnit};
+use wrm_core::{machines, Machine, WorkUnit};
 use wrm_lang::ast::{PhaseAst, TaskAst, WorkflowAst};
 
 /// Registry metadata for one lint rule.
@@ -93,6 +103,13 @@ pub const RULES: &[RuleInfo] = &[
         summary: "a task or machine name is declared more than once",
     },
     RuleInfo {
+        code: "E009",
+        name: "unreachable-task",
+        severity: Severity::Error,
+        summary: "a task depends, possibly transitively, on a dependency cycle and can never \
+                  start",
+    },
+    RuleInfo {
         code: "W001",
         name: "dead-ceiling",
         severity: Severity::Warning,
@@ -124,6 +141,34 @@ pub const RULES: &[RuleInfo] = &[
         summary: "a declared target is provably unattainable on this machine; the message \
                   names the binding ceiling",
     },
+    RuleInfo {
+        code: "W006",
+        name: "redundant-edge",
+        severity: Severity::Warning,
+        summary: "an `after` edge is duplicated or already implied by other dependencies; \
+                  `wrm lint --fix` removes it",
+    },
+    RuleInfo {
+        code: "W007",
+        name: "unsaturable-channel",
+        severity: Severity::Warning,
+        summary: "every stream on a shared channel is capped and the caps sum below its \
+                  capacity, so the contention ceiling can never bind",
+    },
+    RuleInfo {
+        code: "W008",
+        name: "starved-channel",
+        severity: Severity::Warning,
+        summary: "under max-min fair sharing a task's share of a shared channel is below the \
+                  rate its bytes need within the makespan target",
+    },
+    RuleInfo {
+        code: "W009",
+        name: "infeasible-critical-path",
+        severity: Severity::Warning,
+        summary: "interval abstract interpretation certifies the dependency-chain lower bound \
+                  on makespan exceeds the declared target",
+    },
 ];
 
 /// Looks up a rule by its code.
@@ -132,7 +177,7 @@ pub fn rule(code: &str) -> Option<&'static RuleInfo> {
 }
 
 fn sp(s: wrm_lang::Span) -> Span {
-    Span::new(s.line, s.col)
+    s.into()
 }
 
 /// Lints source text: a parse failure becomes a single `E000`
@@ -148,8 +193,9 @@ pub fn lint_source(source: &str) -> Vec<Diagnostic> {
     }
 }
 
-/// Runs every semantic rule over a parsed workflow. Diagnostics come
-/// back sorted by source position, then code.
+/// Runs every semantic rule over a parsed workflow, then the analyzer
+/// passes. Diagnostics come back sorted by source position, then code,
+/// then message — a total order, so output is deterministic.
 pub fn lint_ast(ast: &WorkflowAst) -> Vec<Diagnostic> {
     let machine = resolve_machine(ast);
     let mut out = Vec::new();
@@ -165,9 +211,18 @@ pub fn lint_ast(ast: &WorkflowAst) -> Vec<Diagnostic> {
     }
     check_unused_machines(ast, &mut out);
     let has_errors = out.iter().any(|d| d.severity == Severity::Error);
-    check_targets(ast, machine.as_ref(), has_errors, &mut out);
+    let ctx = passes::AnalysisContext::build(ast, machine, has_errors);
+    check_targets(ast, &ctx, &mut out);
+    passes::run(ast, &ctx, &mut out);
 
-    out.sort_by(|a, b| (a.span, &a.code).cmp(&(b.span, &b.code)));
+    // Every AST span now carries a position; a 0:0 diagnostic here means
+    // a rule fabricated a span instead of taking it from the source.
+    debug_assert!(
+        out.iter().all(|d| d.span.is_known()),
+        "rule emitted an unknown span: {:?}",
+        out.iter().find(|d| !d.span.is_known())
+    );
+    out.sort_by(|a, b| (a.span, &a.code, &a.message).cmp(&(b.span, &b.code, &b.message)));
     out
 }
 
@@ -391,27 +446,35 @@ fn check_cycles(ast: &WorkflowAst, out: &mut Vec<Diagnostic>) {
 fn check_values(ast: &WorkflowAst, out: &mut Vec<Diagnostic>) {
     for t in &ast.tasks {
         if t.count == 0 {
-            out.push(
-                Diagnostic::error(
-                    "E007",
-                    sp(t.count_span),
-                    format!("task `{}` declares 0 replicas", t.name),
-                )
-                .with_help(format!(
-                    "use `task {}[n]` with n >= 1, or drop the bracket for a single task",
-                    t.name
-                )),
-            );
+            let span = sp(t.count_span);
+            let mut d = Diagnostic::error(
+                "E007",
+                span,
+                format!("task `{}` declares 0 replicas", t.name),
+            )
+            .with_help(format!(
+                "use `task {}[n]` with n >= 1, or drop the bracket for a single task",
+                t.name
+            ));
+            if span.has_range() {
+                d = d.with_fix(SuggestedEdit::replace_span(span, "1", "declare 1 replica"));
+            }
+            out.push(d);
         }
         if t.nodes == 0 {
-            out.push(Diagnostic::warning(
+            let span = sp(t.nodes_span);
+            let mut d = Diagnostic::warning(
                 "W004",
-                sp(t.nodes_span),
+                span,
                 format!(
                     "task `{}` declares `nodes 0`; the compiler treats it as 1 node",
                     t.name
                 ),
-            ));
+            );
+            if span.has_range() {
+                d = d.with_fix(SuggestedEdit::replace_span(span, "1", "set `nodes 1`"));
+            }
+            out.push(d);
         }
         for p in &t.phases {
             check_phase_values(t, p, out);
@@ -422,11 +485,13 @@ fn check_values(ast: &WorkflowAst, out: &mut Vec<Diagnostic>) {
 fn check_phase_values(t: &TaskAst, p: &PhaseAst, out: &mut Vec<Diagnostic>) {
     let eff_diag = |eff: f64, eff_span: wrm_lang::Span, out: &mut Vec<Diagnostic>| {
         if !(eff > 0.0 && eff <= 1.0) {
-            out.push(Diagnostic::error(
-                "E006",
-                sp(eff_span),
-                format!("eff must be in (0, 1], got {eff}"),
-            ));
+            let span = sp(eff_span);
+            let mut d =
+                Diagnostic::error("E006", span, format!("eff must be in (0, 1], got {eff}"));
+            if span.has_range() {
+                d = d.with_fix(SuggestedEdit::replace_span(span, "1", "set `eff 1`"));
+            }
+            out.push(d);
         }
     };
     let volume_diag =
@@ -616,31 +681,14 @@ fn check_unused_machines(ast: &WorkflowAst, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// W005: targets the model can prove unattainable. Needs a clean
-/// compile, so it runs only when no error-severity diagnostic exists.
-fn check_targets(
-    ast: &WorkflowAst,
-    machine: Option<&Machine>,
-    has_errors: bool,
-    out: &mut Vec<Diagnostic>,
-) {
-    let Some(machine) = machine else { return };
+/// W005: targets the model can prove unattainable. The model exists
+/// only when the spec compiled cleanly on a resolved machine, so this
+/// implicitly skips files with error-severity diagnostics.
+fn check_targets(ast: &WorkflowAst, ctx: &passes::AnalysisContext, out: &mut Vec<Diagnostic>) {
+    let Some(model) = &ctx.model else { return };
     if ast.targets.makespan.is_none() && ast.targets.throughput.is_none() {
         return;
     }
-    if has_errors {
-        return;
-    }
-    let Ok(compiled) = wrm_lang::compile(ast) else {
-        return;
-    };
-    let Ok(wf) = compiled.characterization() else {
-        return;
-    };
-    // Lenient: dead-ceiling resources already have their own W001.
-    let Ok(model) = RooflineModel::build_lenient(machine, &wf) else {
-        return;
-    };
     if model.ceilings.is_empty() {
         return; // nothing binds; any target is (vacuously) attainable
     }
@@ -734,7 +782,7 @@ mod tests {
             "{}",
             d.message
         );
-        assert_eq!(d.span, Span::new(1, 15));
+        assert_eq!((d.span.line, d.span.col), (1, 15));
         assert!(d.help.unwrap().contains("pm-gpu"));
     }
 
@@ -746,7 +794,7 @@ mod tests {
             "{}",
             d.message
         );
-        assert_eq!(d.span, Span::new(2, 18));
+        assert_eq!((d.span.line, d.span.col), (2, 18));
         assert!(d.help.unwrap().contains("`b`"));
     }
 

@@ -1,0 +1,385 @@
+//! SARIF 2.1.0 output for `wrm lint --format sarif`.
+//!
+//! Emits the subset of the Static Analysis Results Interchange Format
+//! that code-scanning UIs consume: one run, the rule registry as
+//! `tool.driver.rules`, one result per diagnostic with a physical
+//! location (line/column plus byte region when known), and
+//! machine-applicable `fixes` mirroring the linter's suggested edits.
+
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::rules::RULES;
+use serde_json::{json, Value};
+
+/// The published 2.1.0 schema URI, embedded in the log file.
+pub const SARIF_SCHEMA: &str =
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json";
+
+/// Builds an object [`Value`] from `(key, value)` pairs. The vendored
+/// `json!` macro only handles one literal nesting level, so the SARIF
+/// tree is assembled bottom-up with this.
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
+/// Walks a `/`-separated path of object keys (a JSON-pointer subset:
+/// no array indices, no escaping).
+fn ptr<'a>(v: &'a Value, path: &str) -> Option<&'a Value> {
+    path.split('/')
+        .filter(|s| !s.is_empty())
+        .try_fold(v, |v, key| v.get(key))
+}
+
+/// Renders lint results for a batch of files as a SARIF 2.1.0 log.
+pub fn to_sarif(files: &[(String, Vec<Diagnostic>)]) -> Value {
+    let rules: Vec<Value> = RULES
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("id", json!(r.code)),
+                ("name", json!(r.name)),
+                ("shortDescription", obj(vec![("text", json!(r.summary))])),
+                (
+                    "defaultConfiguration",
+                    obj(vec![("level", json!(level(r.severity)))]),
+                ),
+            ])
+        })
+        .collect();
+    let artifacts: Vec<Value> = files
+        .iter()
+        .map(|(path, _)| obj(vec![("location", obj(vec![("uri", json!(path))]))]))
+        .collect();
+    let mut results = Vec::new();
+    for (index, (path, diags)) in files.iter().enumerate() {
+        for d in diags {
+            results.push(result(path, index, d));
+        }
+    }
+    let driver = obj(vec![
+        ("name", json!("wrm-lint")),
+        ("version", json!(env!("CARGO_PKG_VERSION"))),
+        ("informationUri", json!("https://docs.rs/wrm-lint")),
+        ("rules", Value::Array(rules)),
+    ]);
+    let run = obj(vec![
+        ("tool", obj(vec![("driver", driver)])),
+        ("artifacts", Value::Array(artifacts)),
+        ("results", Value::Array(results)),
+    ]);
+    obj(vec![
+        ("$schema", json!(SARIF_SCHEMA)),
+        ("version", json!("2.1.0")),
+        ("runs", Value::Array(vec![run])),
+    ])
+}
+
+fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    }
+}
+
+fn artifact_location(path: &str, index: usize) -> Value {
+    obj(vec![("uri", json!(path)), ("index", json!(index))])
+}
+
+fn result(path: &str, artifact_index: usize, d: &Diagnostic) -> Value {
+    let mut message = d.message.clone();
+    if let Some(help) = &d.help {
+        message.push_str("\nhelp: ");
+        message.push_str(help);
+    }
+    let mut physical = vec![("artifactLocation", artifact_location(path, artifact_index))];
+    if d.span.line > 0 {
+        let mut region = vec![
+            ("startLine", json!(d.span.line)),
+            ("startColumn", json!(d.span.col)),
+        ];
+        if d.span.has_range() {
+            region.push(("endColumn", json!(d.span.col + d.span.len)));
+            region.push(("byteOffset", json!(d.span.offset)));
+            region.push(("byteLength", json!(d.span.len)));
+        }
+        physical.push(("region", obj(region)));
+    }
+    let location = obj(vec![("physicalLocation", obj(physical))]);
+    let mut out = vec![
+        ("ruleId", json!(d.code)),
+        ("level", json!(level(d.severity))),
+        ("message", obj(vec![("text", json!(message))])),
+        ("locations", Value::Array(vec![location])),
+    ];
+    if let Some(i) = RULES.iter().position(|r| r.code == d.code) {
+        out.push(("ruleIndex", json!(i)));
+    }
+    if !d.fixes.is_empty() {
+        let fixes: Vec<Value> = d
+            .fixes
+            .iter()
+            .map(|e| {
+                let deleted = obj(vec![
+                    ("byteOffset", json!(e.offset)),
+                    ("byteLength", json!(e.len)),
+                ]);
+                let replacement = obj(vec![
+                    ("deletedRegion", deleted),
+                    ("insertedContent", obj(vec![("text", json!(e.replacement))])),
+                ]);
+                let change = obj(vec![
+                    ("artifactLocation", artifact_location(path, artifact_index)),
+                    ("replacements", Value::Array(vec![replacement])),
+                ]);
+                obj(vec![
+                    ("description", obj(vec![("text", json!(e.title))])),
+                    ("artifactChanges", Value::Array(vec![change])),
+                ])
+            })
+            .collect();
+        out.push(("fixes", Value::Array(fixes)));
+    }
+    obj(out)
+}
+
+/// Validates the subset of the SARIF 2.1.0 schema this crate relies
+/// on. Not a full JSON-Schema engine — a structural check strict
+/// enough to catch shape regressions in `to_sarif`.
+pub fn validate_sarif(log: &Value) -> Result<(), String> {
+    if log.as_object().is_none() {
+        return Err("log must be an object".into());
+    }
+    if log.get("version").and_then(Value::as_str) != Some("2.1.0") {
+        return Err("version must be the string \"2.1.0\"".into());
+    }
+    let schema = log
+        .get("$schema")
+        .and_then(Value::as_str)
+        .ok_or("$schema must be a string")?;
+    if !schema.contains("sarif") || !schema.contains("2.1.0") {
+        return Err(format!("$schema does not look like SARIF 2.1.0: {schema}"));
+    }
+    let runs = log
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or("runs must be an array")?;
+    if runs.is_empty() {
+        return Err("runs must be non-empty".into());
+    }
+    for (ri, run) in runs.iter().enumerate() {
+        let driver = ptr(run, "tool/driver")
+            .filter(|d| d.as_object().is_some())
+            .ok_or_else(|| format!("runs[{ri}].tool.driver must be an object"))?;
+        driver
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("runs[{ri}].tool.driver.name must be a string"))?;
+        let rules = driver
+            .get("rules")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("runs[{ri}].tool.driver.rules must be an array"))?;
+        for (i, rule) in rules.iter().enumerate() {
+            rule.get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("rules[{i}].id must be a string"))?;
+        }
+        let results = run
+            .get("results")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("runs[{ri}].results must be an array"))?;
+        for (i, r) in results.iter().enumerate() {
+            validate_result(i, r, rules)?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_result(i: usize, r: &Value, rules: &[Value]) -> Result<(), String> {
+    let rule_id = r
+        .get("ruleId")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("results[{i}].ruleId must be a string"))?;
+    let level = r
+        .get("level")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("results[{i}].level must be a string"))?;
+    if !matches!(level, "none" | "note" | "warning" | "error") {
+        return Err(format!("results[{i}].level `{level}` is not a SARIF level"));
+    }
+    ptr(r, "message/text")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("results[{i}].message.text must be a string"))?;
+    if let Some(idx) = r.get("ruleIndex") {
+        let idx = idx
+            .as_u64()
+            .ok_or_else(|| format!("results[{i}].ruleIndex must be an integer"))?;
+        let rule = rules
+            .get(idx as usize)
+            .ok_or_else(|| format!("results[{i}].ruleIndex {idx} is out of range"))?;
+        if rule.get("id").and_then(Value::as_str) != Some(rule_id) {
+            return Err(format!(
+                "results[{i}].ruleIndex {idx} does not point at rule `{rule_id}`"
+            ));
+        }
+    }
+    let locations = r
+        .get("locations")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("results[{i}].locations must be an array"))?;
+    for loc in locations {
+        if let Some(region) = ptr(loc, "physicalLocation/region") {
+            let start = region
+                .get("startLine")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("results[{i}] region.startLine must be an integer"))?;
+            if start == 0 {
+                return Err(format!("results[{i}] region.startLine must be >= 1"));
+            }
+        }
+        ptr(loc, "physicalLocation/artifactLocation/uri")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("results[{i}] artifactLocation.uri must be a string"))?;
+    }
+    if let Some(fixes) = r.get("fixes") {
+        let fixes = fixes
+            .as_array()
+            .ok_or_else(|| format!("results[{i}].fixes must be an array"))?;
+        for fix in fixes {
+            let changes = fix
+                .get("artifactChanges")
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("results[{i}] fix.artifactChanges must be an array"))?;
+            for ch in changes {
+                let reps = ch
+                    .get("replacements")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| {
+                        format!("results[{i}] artifactChange.replacements must be an array")
+                    })?;
+                for rep in reps {
+                    ptr(rep, "deletedRegion/byteOffset")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| {
+                            format!(
+                                "results[{i}] replacement.deletedRegion.byteOffset must be an \
+                                 integer"
+                            )
+                        })?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::{Span, SuggestedEdit};
+
+    fn sample() -> Vec<(String, Vec<Diagnostic>)> {
+        let d1 = Diagnostic::error("E002", Span::with_range(2, 5, 21, 7), "unknown dep");
+        let d2 = Diagnostic::warning("W006", Span::with_range(3, 3, 40, 9), "redundant edge")
+            .with_help("remove it")
+            .with_fix(SuggestedEdit {
+                offset: 40,
+                len: 9,
+                replacement: String::new(),
+                title: "remove `after a`".into(),
+            });
+        let d3 = Diagnostic::error("E000", Span::unknown(), "could not read file");
+        vec![
+            ("workflows/a.wrm".into(), vec![d1, d2]),
+            ("workflows/b.wrm".into(), vec![d3]),
+        ]
+    }
+
+    /// Replaces a field, asserting it exists (test-only mutation since
+    /// the vendored `Value` has no `IndexMut`).
+    fn set(v: &mut Value, path: &[&str], new: Value) {
+        if let [key] = path {
+            let Value::Object(o) = v else {
+                panic!("not an object")
+            };
+            let slot = o.iter_mut().find(|(k, _)| k == key).expect("field exists");
+            slot.1 = new;
+            return;
+        }
+        let next = match v {
+            Value::Object(o) => &mut o.iter_mut().find(|(k, _)| k == path[0]).expect("field").1,
+            Value::Array(a) => &mut a[path[0].parse::<usize>().expect("index")],
+            _ => panic!("cannot descend into scalar"),
+        };
+        set(next, &path[1..], new);
+    }
+
+    #[test]
+    fn sarif_log_passes_the_subset_validator() {
+        let log = to_sarif(&sample());
+        validate_sarif(&log).expect("generated SARIF should validate");
+    }
+
+    #[test]
+    fn results_carry_regions_rule_indices_and_fixes() {
+        let log = to_sarif(&sample());
+        let results = ptr(&log, "runs").unwrap()[0]
+            .get("results")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        let r0 = &results[0];
+        assert_eq!(r0["ruleId"].as_str(), Some("E002"));
+        assert_eq!(r0["level"].as_str(), Some("error"));
+        let region = ptr(&r0["locations"][0], "physicalLocation/region").unwrap();
+        assert_eq!(region["startLine"].as_u64(), Some(2));
+        assert_eq!(region["byteOffset"].as_u64(), Some(21));
+        assert_eq!(region["byteLength"].as_u64(), Some(7));
+        let r1 = &results[1];
+        assert!(ptr(r1, "message/text")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("help: remove it"));
+        let rep = &r1["fixes"][0]["artifactChanges"][0]["replacements"][0];
+        assert_eq!(
+            ptr(rep, "deletedRegion/byteOffset").unwrap().as_u64(),
+            Some(40)
+        );
+        assert_eq!(ptr(rep, "insertedContent/text").unwrap().as_str(), Some(""));
+        // Unknown span: no region at all.
+        let r2 = &results[2];
+        assert!(ptr(&r2["locations"][0], "physicalLocation/region").is_none());
+        assert_eq!(
+            ptr(&r2["locations"][0], "physicalLocation/artifactLocation/uri")
+                .unwrap()
+                .as_str(),
+            Some("workflows/b.wrm")
+        );
+    }
+
+    #[test]
+    fn validator_rejects_malformed_logs() {
+        let mut log = to_sarif(&sample());
+        set(&mut log, &["version"], json!("2.0.0"));
+        assert!(validate_sarif(&log).is_err());
+        let mut log = to_sarif(&sample());
+        set(
+            &mut log,
+            &["runs", "0", "results", "0", "level"],
+            json!("fatal"),
+        );
+        assert!(validate_sarif(&log).is_err());
+        let mut log = to_sarif(&sample());
+        set(
+            &mut log,
+            &["runs", "0", "results", "0", "ruleIndex"],
+            json!(0),
+        );
+        assert!(validate_sarif(&log).is_err(), "ruleIndex/ruleId mismatch");
+    }
+}

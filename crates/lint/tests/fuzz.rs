@@ -6,7 +6,7 @@
 //! hostile dependency graphs without crashing.
 
 use proptest::prelude::*;
-use wrm_lint::{lint_source, max_severity, Severity};
+use wrm_lint::{apply_fixes, collect_edits, lint_source, max_severity, Severity};
 
 proptest! {
     #[test]
@@ -75,6 +75,65 @@ proptest! {
         if has_self_loop {
             prop_assert_eq!(max_severity(&diags), Some(Severity::Error));
             prop_assert!(diags.iter().any(|d| d.code == "E004"));
+        }
+    }
+
+    /// `--fix` round trip: applying every suggested edit yields a file
+    /// that still parses, and re-linting it no longer reports the fixed
+    /// diagnostic at its original (code, line). Specs here draw from
+    /// the fixable rules' trigger space: zero nodes/replicas (W004,
+    /// E007), out-of-range eff (E006), redundant and duplicate `after`
+    /// edges (W006), and infeasible makespan targets (W009).
+    #[test]
+    fn applied_fixes_reparse_and_resolve_their_diagnostics(
+        count in 0usize..3,
+        nodes in 0usize..3,
+        eff in prop_oneof![Just(0.0f64), Just(0.5), Just(2.0)],
+        makespan in 1usize..2000,
+        dup_edge in any::<bool>(),
+        transitive_edge in any::<bool>(),
+    ) {
+        let mut src = format!(
+            "machine m {{ nodes 16 node compute 1TFLOPS system ext 1GB/s }}\n\
+             workflow w on m {{\n  targets {{ makespan {makespan}s }}\n  \
+             task a[{count}] {{ nodes {nodes} compute 1PFLOPS eff {eff:.1} \
+             system_bytes ext 100GB }}\n  \
+             task b {{ after a }}\n  task c {{ after b"
+        );
+        if dup_edge {
+            src.push_str(" after b");
+        }
+        if transitive_edge {
+            src.push_str(" after a");
+        }
+        src.push_str(" }\n}\n");
+
+        let diags = lint_source(&src);
+        let edits = collect_edits(&diags);
+        let outcome = apply_fixes(&src, &edits);
+        // Whatever was applied, the result must still parse.
+        let reparsed = wrm_lang::parse(&outcome.fixed);
+        prop_assert!(reparsed.is_ok(), "fixed source fails to parse:\n{}", outcome.fixed);
+
+        // Every fixable diagnostic whose edits all landed must be gone
+        // from the re-lint at its original (code, line) anchor.
+        let relinted = lint_source(&outcome.fixed);
+        for d in diags.iter().filter(|d| !d.fixes.is_empty()) {
+            let all_applied = d
+                .fixes
+                .iter()
+                .all(|f| outcome.applied.contains(f));
+            if all_applied {
+                prop_assert!(
+                    !relinted
+                        .iter()
+                        .any(|r| r.code == d.code && r.span.line == d.span.line),
+                    "{} at line {} survived its own fix:\n{}\nrelinted: {relinted:?}",
+                    d.code,
+                    d.span.line,
+                    outcome.fixed
+                );
+            }
         }
     }
 }

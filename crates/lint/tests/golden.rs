@@ -122,6 +122,38 @@ const GOLDENS: &[Golden] = &[
         col: 11,
         message: "task `a` declares `nodes 0`; the compiler treats it as 1 node",
     },
+    Golden {
+        file: "bad/redundant_edge.wrm",
+        code: "W006",
+        line: 7,
+        col: 20,
+        message: "`after a` on task `c` is redundant: `a` already precedes `c` through other \
+                  dependencies",
+    },
+    Golden {
+        file: "bad/unsaturable_channel.wrm",
+        code: "W007",
+        line: 6,
+        col: 26,
+        message: "channel `fs` can never saturate: every stream is capped and the caps sum to \
+                  4.00 GB/s of its 100.00 GB/s capacity",
+    },
+    Golden {
+        file: "bad/starved_channel.wrm",
+        code: "W008",
+        line: 9,
+        col: 23,
+        message: "task `bulk` is starved on channel `fs`: its max-min fair share is 1.00 GB/s, \
+                  below the 6.67 GB/s needed to move 1.00 TB within the 150s makespan target",
+    },
+    Golden {
+        file: "bad/infeasible_interval.wrm",
+        code: "W009",
+        line: 7,
+        col: 22,
+        message: "makespan target 1500s is infeasible: the dependency chain fetch -> crunch \
+                  alone needs at least 2000.000s",
+    },
 ];
 
 #[test]
@@ -150,10 +182,25 @@ fn every_defect_fixture_fires_its_rule_exactly() {
 #[test]
 fn infeasible_target_fixture_names_the_binding_ceiling() {
     let (_, diags) = lint_file("bad/infeasible_target.wrm");
-    assert_eq!(diags.len(), 2, "expected both W005 diagnostics: {diags:?}");
+    let shape: Vec<(&str, usize, usize)> = diags
+        .iter()
+        .map(|d| (d.code.as_str(), d.span.line, d.span.col))
+        .collect();
+    assert_eq!(
+        shape,
+        vec![
+            ("W005", 5, 22), // makespan below the roofline lower bound
+            ("W009", 5, 22), // ...and below the interval critical-path bound
+            ("W005", 5, 38), // throughput above the envelope
+            ("W008", 8, 5),  // the shared link also starves each replica
+        ],
+        "{diags:?}"
+    );
     for d in &diags {
-        assert_eq!(d.code, "W005");
         assert_eq!(d.severity, Severity::Warning);
+    }
+    let w005: Vec<_> = diags.iter().filter(|d| d.code == "W005").collect();
+    for d in &w005 {
         let help = d.help.as_deref().expect("W005 carries a help line");
         assert!(
             help.contains("binding ceiling: System External"),
@@ -163,10 +210,43 @@ fn infeasible_target_fixture_names_the_binding_ceiling() {
     // The makespan diagnostic quotes the theoretical lower bound
     // (4 tasks x 1 TB over 5 GB/s = 800 s) and the throughput one the
     // attainable cap (5 GB/s / 1 TB = 0.005 tasks/s).
-    assert_eq!((diags[0].span.line, diags[0].span.col), (5, 22));
-    assert!(diags[0].message.contains("lower bound 800.000s"));
-    assert_eq!((diags[1].span.line, diags[1].span.col), (5, 38));
-    assert!(diags[1].message.contains("caps at 0.005000 tasks/s"));
+    assert!(w005[0].message.contains("lower bound 800.000s"));
+    assert!(w005[1].message.contains("caps at 0.005000 tasks/s"));
+}
+
+#[test]
+fn interval_pass_certifies_a_bound_above_the_roofline() {
+    // The chain fetch -> crunch needs 1000 s + 1000 s = 2000 s, while
+    // the aggregate roofline bound is only 1000 s: W009 flags the
+    // 1500 s target, W005 stays quiet, and the fix-it raises the
+    // target past the certified bound.
+    let (source, diags) = lint_file("bad/infeasible_interval.wrm");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.code, "W009");
+    assert!(
+        d.message.contains("at least 2000.000s"),
+        "critical-path lower bound must be certified: {}",
+        d.message
+    );
+    let help = d.help.as_deref().expect("W009 carries a help line");
+    assert!(help.contains("[2000.000, 2000.000]"), "{help}");
+    assert!(help.contains("roofline lower bound is 1000.000s"), "{help}");
+    assert_eq!(d.fixes.len(), 1);
+    let fix = &d.fixes[0];
+    assert_eq!(fix.replacement, "2000s");
+    assert_eq!(&source[fix.offset..fix.offset + fix.len], "1500s");
+}
+
+#[test]
+fn unreachable_task_rides_along_with_the_cycle() {
+    let (_, diags) = lint_file("bad/unreachable_task.wrm");
+    let shape: Vec<(&str, usize, usize)> = diags
+        .iter()
+        .map(|d| (d.code.as_str(), d.span.line, d.span.col))
+        .collect();
+    assert_eq!(shape, vec![("E004", 6, 18), ("E009", 7, 8)], "{diags:?}");
+    assert!(diags[1].message.contains("task `report` can never start"));
 }
 
 #[test]
@@ -217,18 +297,32 @@ fn shipped_workflows_lint_without_errors() {
             "{} has lint errors: {errors:?}",
             path.display()
         );
+        for d in &diags {
+            assert!(
+                d.span.is_known(),
+                "{}: {} has an unknown span",
+                path.display(),
+                d.code
+            );
+        }
         let name = path.file_name().unwrap().to_str().unwrap();
+        let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
         if name == "lcls_cori.wrm" {
             // The paper's own finding: even the good-day external link
-            // cannot meet the 2020 LCLS targets. W005 names the link.
-            assert_eq!(diags.len(), 2, "lcls should warn on both targets");
-            for d in &diags {
-                assert_eq!(d.code, "W005");
+            // cannot meet the 2020 LCLS targets. W005 names the link,
+            // the analyzer adds the chain bound (W009) and the fair-share
+            // starvation of each analyze replica (W008).
+            assert_eq!(codes, vec!["W005", "W009", "W005", "W008"], "{diags:?}");
+            for d in diags.iter().filter(|d| d.code == "W005") {
                 assert!(
                     d.help.as_deref().unwrap().contains("System External"),
                     "lcls W005 must name the External binding ceiling"
                 );
             }
+        } else if name == "gptune_rci.wrm" {
+            // The DB channel's per-stream caps sum far below the shared
+            // filesystem capacity: contention never materializes.
+            assert_eq!(codes, vec!["W007"], "{diags:?}");
         } else {
             assert!(diags.is_empty(), "{name} should be clean: {diags:?}");
         }

@@ -5,7 +5,8 @@
 //! environment has no `syn`/`quote`). Supports the shapes this workspace
 //! uses:
 //!
-//! * structs with named fields (field attr `#[serde(skip)]`),
+//! * structs with named fields (field attrs `#[serde(skip)]`,
+//!   `#[serde(default)]`, `#[serde(skip_serializing_if = "path")]`),
 //! * newtype/tuple structs with one field (incl. `#[serde(transparent)]`),
 //! * enums with unit, newtype, and struct variants, externally tagged by
 //!   default or internally tagged via `#[serde(tag = "...")]`,
@@ -18,6 +19,8 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Attrs {
     transparent: bool,
     skip: bool,
+    default: bool,
+    skip_serializing_if: Option<String>,
     tag: Option<String>,
     rename_all_snake: bool,
 }
@@ -25,6 +28,8 @@ struct Attrs {
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
+    skip_serializing_if: Option<String>,
 }
 
 enum VariantShape {
@@ -96,6 +101,8 @@ fn apply_serde_attr(group: &proc_macro::Group, attrs: &mut Attrs) {
         match (key.as_str(), value) {
             ("transparent", _) => attrs.transparent = true,
             ("skip", _) => attrs.skip = true,
+            ("default", _) => attrs.default = true,
+            ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
             ("tag", Some(v)) => attrs.tag = Some(v),
             ("rename_all", Some(v)) => attrs.rename_all_snake = v == "snake_case",
             _ => {}
@@ -164,6 +171,8 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
         fields.push(Field {
             name,
             skip: attrs.skip,
+            default: attrs.default,
+            skip_serializing_if: attrs.skip_serializing_if,
         });
     }
 }
@@ -309,10 +318,16 @@ fn gen_serialize(p: &Parsed) -> String {
         Item::NamedStruct { fields, .. } => {
             let mut s = String::from("let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n");
             for f in fields.iter().filter(|f| !f.skip) {
-                s.push_str(&format!(
+                let push = format!(
                     "obj.push((\"{n}\".to_string(), ::serde::ser::Serialize::to_value(&self.{n})));\n",
                     n = f.name
-                ));
+                );
+                match &f.skip_serializing_if {
+                    Some(pred) => {
+                        s.push_str(&format!("if !{pred}(&self.{n}) {{\n{push}}}\n", n = f.name))
+                    }
+                    None => s.push_str(&push),
+                }
             }
             s.push_str("::serde::value::Value::Object(obj)");
             s
@@ -361,10 +376,17 @@ fn gen_serialize(p: &Parsed) -> String {
                             ));
                         }
                         for f in fields.iter().filter(|f| !f.skip) {
-                            arm.push_str(&format!(
+                            let push = format!(
                                 "obj.push((\"{n}\".to_string(), ::serde::ser::Serialize::to_value({n})));\n",
                                 n = f.name
-                            ));
+                            );
+                            match &f.skip_serializing_if {
+                                Some(pred) => arm.push_str(&format!(
+                                    "if !{pred}({n}) {{\n{push}}}\n",
+                                    n = f.name
+                                )),
+                                None => arm.push_str(&push),
+                            }
                         }
                         if tag.is_some() {
                             arm.push_str("::serde::value::Value::Object(obj)\n}\n");
@@ -407,10 +429,15 @@ fn gen_named_fields_init(fields: &[Field], entries_expr: &str) -> String {
                 n = f.name
             ));
         } else {
+            let absent = if f.default {
+                "::std::default::Default::default()".to_owned()
+            } else {
+                format!("::serde::de::Deserialize::absent(\"{n}\")?", n = f.name)
+            };
             s.push_str(&format!(
                 "{n}: match ::serde::de::field({e}, \"{n}\") {{\n\
                  ::std::option::Option::Some(v) => ::serde::de::Deserialize::from_value(v)?,\n\
-                 ::std::option::Option::None => ::serde::de::Deserialize::absent(\"{n}\")?,\n\
+                 ::std::option::Option::None => {absent},\n\
                  }},\n",
                 n = f.name,
                 e = entries_expr
