@@ -4,10 +4,11 @@
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use wrm_bench::{bag_scenario, generated_scenario, layered_scenario};
+use wrm_bench::{bag_scenario, generated_scenario, layered_scenario, sweep_scenario};
 use wrm_sim::reference::simulate_reference;
 use wrm_sim::{
-    max_min_rates, run_all, simulate, FlowDemand, Scenario, SchedulerPolicy, SimOptions,
+    max_min_rates, run_all, simulate, sweep_grid, FlowDemand, Scenario, SchedulerPolicy,
+    SimOptions, SimResult, SweepGrid,
 };
 
 fn sim_scaling(c: &mut Criterion) {
@@ -107,11 +108,92 @@ fn sweep_threads(c: &mut Criterion) {
     group.finish();
 }
 
+/// The contention x node-limit grid the incremental sweep engine is
+/// benchmarked on: `side` values per axis, single policy. The node axis
+/// (256, 316, ...) brackets the workloads' natural parallelism — the
+/// smallest limits queue (exercising checkpoint replay), the rest run
+/// unqueued (exercising the analytic fast path) — and stays inside the
+/// machine's 4096-node pool at the full 64-value size.
+fn incremental_grid(side: usize) -> SweepGrid {
+    SweepGrid {
+        resource: Some(wrm_core::ids::EXTERNAL.into()),
+        factors: (0..side).map(|i| 0.25 + i as f64 * 0.05).collect(),
+        node_limits: (0..side).map(|i| Some(256 + 60 * i as u64)).collect(),
+        policies: vec![SchedulerPolicy::Fifo],
+    }
+}
+
+/// The grid expanded to per-point scenarios, in `SweepGrid::index_of`
+/// order — the cold path the incremental engine is measured against.
+fn grid_scenarios(base: &Scenario, grid: &SweepGrid) -> Vec<Scenario> {
+    let mut out = Vec::with_capacity(grid.len());
+    for fi in 0..grid.factors.len() {
+        for ni in 0..grid.node_limits.len() {
+            for pi in 0..grid.policies.len() {
+                out.push(
+                    base.clone()
+                        .with_options(grid.point_options(&base.options, fi, ni, pi)),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Span order within one completion instant is the single
+/// representation detail the evaluation paths may legitimately differ
+/// in; sort it away and compare everything else exactly.
+fn canonical(mut r: SimResult) -> SimResult {
+    r.trace.spans.sort_by(|a, b| {
+        a.task
+            .cmp(&b.task)
+            .then(a.start.total_cmp(&b.start))
+            .then(a.end.total_cmp(&b.end))
+    });
+    r
+}
+
+/// Asserts the incremental sweep matches cold per-point simulation on
+/// every grid point, bit for bit.
+fn assert_incremental_matches_cold(base: &Scenario, grid: &SweepGrid) -> wrm_sim::SweepStats {
+    let outcome = sweep_grid(base, grid, 1);
+    let cold = run_all(&grid_scenarios(base, grid), 1);
+    assert_eq!(outcome.results.len(), cold.len());
+    for (i, (a, b)) in outcome.results.iter().zip(&cold).enumerate() {
+        match (a, b) {
+            (Ok(x), Ok(y)) => assert_eq!(
+                canonical(x.clone()),
+                canonical(y.clone()),
+                "incremental diverges from cold at grid point {i}"
+            ),
+            (Err(x), Err(y)) => assert_eq!(x, y, "error mismatch at grid point {i}"),
+            (x, y) => panic!("grid point {i}: {x:?} vs {y:?}"),
+        }
+    }
+    outcome.stats
+}
+
+/// Small-grid incremental sweep: correctness gate first (divergence
+/// panics, failing the bench — CI runs this with `--test`), then the
+/// timed body.
+fn sweep_incremental_smoke(c: &mut Criterion) {
+    let base = sweep_scenario(200);
+    let grid = incremental_grid(8);
+    let stats = assert_incremental_matches_cold(&base, &grid);
+    assert!(stats.fastpath > 0, "fast path unused: {stats:?}");
+    assert!(stats.replayed > 0, "replay unused: {stats:?}");
+    let mut group = c.benchmark_group("engine/sweep_incremental");
+    group.bench_function("8x8", |b| {
+        b.iter(|| black_box(sweep_grid(&base, &grid, 1).results.len()));
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = engine;
     config = Criterion::default().sample_size(10);
     targets = sim_scaling, sim_layers, fair_share_solver, scheduler_ablation,
-        generated_dags, sweep_threads
+        generated_dags, sweep_threads, sweep_incremental_smoke
 }
 
 /// Best-of-`reps` wall time in milliseconds.
@@ -160,20 +242,57 @@ fn write_baseline() {
         .iter()
         .map(|(t, ms)| {
             format!(
-                "    {{ \"threads\": {t}, \"ms\": {ms:.2}, \"speedup_vs_serial\": {:.2} }}",
+                "      {{ \"threads\": {t}, \"ms\": {ms:.2}, \"speedup_vs_serial\": {:.2} }}",
                 serial_ms / ms
             )
         })
         .collect();
     let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // Thread scaling is meaningless without cores to scale onto; say so
+    // in the data rather than leaving a mystery 1.0x table.
+    let sweep_note = if cpus == 1 {
+        "\n    \"note\": \"host has 1 CPU: thread scaling cannot show a speedup here\",".to_owned()
+    } else {
+        String::new()
+    };
+
+    // The incremental sweep engine vs cold per-point simulation on a
+    // 64x64 contention x node-limit grid, single-threaded so the win is
+    // purely algorithmic. Equality is asserted before anything is timed.
+    let grid_base = sweep_scenario(1_000);
+    let grid = incremental_grid(64);
+    let grid_stats = assert_incremental_matches_cold(&grid_base, &grid);
+    let cold_scenarios = grid_scenarios(&grid_base, &grid);
+    let cold_ms = time_ms(2, || {
+        for r in run_all(black_box(&cold_scenarios), 1) {
+            black_box(r.unwrap().makespan);
+        }
+    });
+    let inc_ms = time_ms(3, || {
+        for r in sweep_grid(black_box(&grid_base), black_box(&grid), 1).results {
+            black_box(r.unwrap().makespan);
+        }
+    });
+    let grid_speedup = cold_ms / inc_ms;
+
     let json = format!(
-        "{{\n  \"bench\": \"engine/generated\",\n  \"workload\": \"10000 tasks, 32 shared channels, seed 42 (wrm_bench::generated_scenario)\",\n  \"host_cpus\": {cpus},\n  \"makespan_s\": {:.6},\n  \"reference_ms\": {ref_ms:.2},\n  \"optimized_ms\": {opt_ms:.2},\n  \"speedup\": {speedup:.2},\n  \"sweep\": {{\n    \"workload\": \"64 scenarios x 1000 tasks, 8 channels (wrm_sim::run_all)\",\n    \"threads\": [\n{}\n    ]\n  }},\n  \"methodology\": \"cargo bench -p wrm-bench --bench engine; best of 3 runs; see docs/CLI.md\"\n}}\n",
+        "{{\n  \"bench\": \"engine/generated\",\n  \"workload\": \"10000 tasks, 32 shared channels, seed 42 (wrm_bench::generated_scenario)\",\n  \"host_cpus\": {cpus},\n  \"makespan_s\": {:.6},\n  \"reference_ms\": {ref_ms:.2},\n  \"optimized_ms\": {opt_ms:.2},\n  \"speedup\": {speedup:.2},\n  \"sweep\": {{\n    \"workload\": \"64 scenarios x 1000 tasks, 8 channels (wrm_sim::run_all)\",\n    \"host_cpus\": {cpus},{sweep_note}\n    \"threads\": [\n{}\n    ]\n  }},\n  \"sweep_incremental\": {{\n    \"workload\": \"1000-task layered pipeline + 16-task chained archive stage (wrm_bench::sweep_scenario)\",\n    \"grid\": \"64 contention factors (0.25..3.40 on ext) x 64 node limits (256..4036), fifo\",\n    \"host_cpus\": {cpus},\n    \"threads\": 1,\n    \"cold_ms\": {cold_ms:.2},\n    \"incremental_ms\": {inc_ms:.2},\n    \"speedup\": {grid_speedup:.2},\n    \"points\": {{ \"fastpath\": {}, \"replayed\": {}, \"cold\": {}, \"reused\": {}, \"errors\": {} }},\n    \"note\": \"single-threaded by construction (algorithmic win); incremental results asserted bit-identical to cold per-point simulation before timing\"\n  }},\n  \"methodology\": \"cargo bench -p wrm-bench --bench engine; best of 3 runs (cold grid: best of 2); see docs/PERF.md\"\n}}\n",
         opt.makespan,
-        sweep_json.join(",\n")
+        sweep_json.join(",\n"),
+        grid_stats.fastpath,
+        grid_stats.replayed,
+        grid_stats.cold,
+        grid_stats.reused,
+        grid_stats.errors
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, &json).expect("write BENCH_engine.json");
     println!("engine baseline: {speedup:.1}x vs reference ({ref_ms:.1} ms -> {opt_ms:.1} ms); wrote {path}");
+    println!(
+        "incremental sweep: {grid_speedup:.1}x vs cold on the 64x64 grid \
+         ({cold_ms:.0} ms -> {inc_ms:.0} ms; {} fastpath / {} replayed / {} cold / {} reused)",
+        grid_stats.fastpath, grid_stats.replayed, grid_stats.cold, grid_stats.reused
+    );
 }
 
 fn main() {

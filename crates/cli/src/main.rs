@@ -23,6 +23,8 @@
 //!     --nodes 64,128                    scheduler node-pool limits
 //!     --policies fifo,backfill          scheduler policies
 //!     --threads N --format json|csv     workers and output format
+//!     --no-incremental                  per-point simulation (the default
+//!                                       incremental engine is bit-identical)
 //!     --out <file>                      write rows to a file
 //! wrm figures [all|<id>] [--out <dir>]  regenerate paper figures
 //! ```
@@ -95,10 +97,13 @@ fn usage() -> &'static str {
      \x20 simulate <file.wrm> [--gantt] [--jsonl out.jsonl] [--contention r=f]\n\
      \x20 sweep <file.wrm|builtin> [--resource R --factors 1.0,0.5]\n\
      \x20       [--nodes 64,128] [--policies fifo,backfill] [--threads N]\n\
-     \x20       [--format json|csv] [--out file]\n\
+     \x20       [--format json|csv] [--out file] [--no-incremental]\n\
      \x20                                    simulate a parameter grid in\n\
      \x20                                    parallel (builtins: lcls, bgw,\n\
-     \x20                                    cosmoflow, gptune-rci, gptune-spawn)\n\
+     \x20                                    cosmoflow, gptune-rci, gptune-spawn);\n\
+     \x20                                    the incremental engine (default)\n\
+     \x20                                    shares index/prefix work across\n\
+     \x20                                    the grid, bit-identically\n\
      \x20 figures [all|f1|f2|f3|f4|f5a|f5b|f6|f7a|f7b|f7c|f7d|f8|f9|f10|t1]\n\
      \x20         [--out dir]                 regenerate the paper's figures\n\
      \x20 compare <file.wrm>                 project the workflow onto every\n\
@@ -150,6 +155,7 @@ struct Flags {
     nodes: Vec<u64>,
     policies: Vec<wrm_sim::SchedulerPolicy>,
     threads: usize,
+    incremental: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -177,6 +183,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         nodes: Vec::new(),
         policies: Vec::new(),
         threads: 1,
+        incremental: true,
     };
     let mut i = 0;
     let mut positional = 0;
@@ -245,6 +252,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 let v = value(&mut i)?;
                 f.threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
             }
+            "--incremental" => f.incremental = true,
+            "--no-incremental" => f.incremental = false,
             "--structure" => {
                 let v = value(&mut i)?;
                 let parts: Vec<&str> = v.split(',').collect();

@@ -1,13 +1,22 @@
 //! `wrm sweep` — parameter sweeps over a workflow scenario.
 //!
 //! Builds the cartesian grid of contention factor x node limit x
-//! scheduler policy, simulates every cell with the parallel sweep
-//! runner (`wrm_sim::run_all`), and prints one row per cell as JSON or
-//! CSV. Scenario errors land in the row's `error` column instead of
-//! aborting the whole sweep.
+//! scheduler policy and simulates every cell, printing one row per cell
+//! as JSON or CSV. By default the grid runs on the incremental sweep
+//! engine (`wrm_sim::sweep_grid`) — one shared base index, an analytic
+//! fast path for uncontended cells, and checkpoint/replay along the
+//! factor axis — which is bit-identical to per-point simulation;
+//! `--no-incremental` forces the per-point runner (`wrm_sim::run_all`).
+//! Scenario errors land in the row's `error` column instead of aborting
+//! the whole sweep.
+//!
+//! Output rows are always sorted by grid coordinates (factor, then node
+//! limit with the full pool first, then policy with `fifo` first), so
+//! the bytes are identical regardless of `--threads`, `--incremental`,
+//! or the order axis values were passed in.
 
 use wrm_core::machines;
-use wrm_sim::{run_all, Scenario, SchedulerPolicy};
+use wrm_sim::{run_all, Scenario, SchedulerPolicy, SweepGrid};
 use wrm_workflows::{Bgw, CosmoFlow, Day, GpTune, Lcls, Mode};
 
 use crate::{compile_checked, Flags};
@@ -68,21 +77,29 @@ pub fn cmd_sweep(args: &[String]) -> Result<(), String> {
     if !flags.factors.is_empty() && flags.resource.is_none() {
         return Err("--factors needs --resource <shared resource id>".to_owned());
     }
-    let factors = if flags.factors.is_empty() {
+    let mut factors = if flags.factors.is_empty() {
         vec![1.0]
     } else {
         flags.factors.clone()
     };
-    let node_limits: Vec<Option<u64>> = if flags.nodes.is_empty() {
+    let mut node_limits: Vec<Option<u64>> = if flags.nodes.is_empty() {
         vec![base.options.node_limit]
     } else {
         flags.nodes.iter().map(|&n| Some(n)).collect()
     };
-    let policies = if flags.policies.is_empty() {
+    let mut policies = if flags.policies.is_empty() {
         vec![base.options.scheduler]
     } else {
         flags.policies.clone()
     };
+    // Canonical coordinate order: output bytes must not depend on the
+    // order axis values were given, the thread count, or the engine.
+    factors.sort_unstable_by(f64::total_cmp);
+    node_limits.sort_unstable();
+    policies.sort_unstable_by_key(|p| match p {
+        SchedulerPolicy::Fifo => 0,
+        SchedulerPolicy::Backfill => 1,
+    });
     if let Some(res) = &flags.resource {
         if base.machine.system_resource(res).is_none() {
             return Err(format!(
@@ -92,28 +109,45 @@ pub fn cmd_sweep(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let mut cells = Vec::new();
-    let mut scenarios = Vec::new();
-    for &factor in &factors {
-        for &node_limit in &node_limits {
-            for &policy in &policies {
-                let mut opts = base.options.clone();
-                if let Some(res) = &flags.resource {
-                    opts = opts.with_contention(res.clone(), factor);
-                }
-                opts.node_limit = node_limit;
-                opts.scheduler = policy;
+    let grid = SweepGrid {
+        resource: flags.resource.clone(),
+        factors,
+        node_limits,
+        policies,
+    };
+    // Cell metadata in `SweepGrid::index_of` order — the same nested
+    // factor / node-limit / policy order both engines return results in.
+    let mut cells = Vec::with_capacity(grid.len());
+    for &factor in &grid.factors {
+        for &node_limit in &grid.node_limits {
+            for &policy in &grid.policies {
                 cells.push(Cell {
                     factor,
                     node_limit,
                     policy,
                 });
-                scenarios.push(base.clone().with_options(opts));
             }
         }
     }
 
-    let results = run_all(&scenarios, flags.threads);
+    let (results, stats) = if flags.incremental {
+        let outcome = wrm_sim::sweep_grid(&base, &grid, flags.threads);
+        (outcome.results, Some(outcome.stats))
+    } else {
+        let scenarios: Vec<Scenario> = (0..grid.factors.len())
+            .flat_map(|fi| {
+                let base = &base;
+                let grid = &grid;
+                (0..grid.node_limits.len()).flat_map(move |ni| {
+                    (0..grid.policies.len()).map(move |pi| {
+                        base.clone()
+                            .with_options(grid.point_options(&base.options, fi, ni, pi))
+                    })
+                })
+            })
+            .collect();
+        (run_all(&scenarios, flags.threads), None)
+    };
 
     let resource = flags.resource.clone().unwrap_or_default();
     let output = match flags.format.as_str() {
@@ -200,11 +234,24 @@ pub fn cmd_sweep(args: &[String]) -> Result<(), String> {
     match &flags.out {
         Some(path) => {
             std::fs::write(path, &output).map_err(|e| format!("cannot write {path}: {e}"))?;
-            eprintln!(
-                "wrote {} sweep row(s) to {path} ({} thread(s))",
-                cells.len(),
-                flags.threads.max(1)
-            );
+            match &stats {
+                Some(s) => eprintln!(
+                    "wrote {} sweep row(s) to {path} ({} thread(s); incremental: \
+                     {} analytic, {} replayed, {} cold, {} reused, {} error(s))",
+                    cells.len(),
+                    flags.threads.max(1),
+                    s.fastpath,
+                    s.replayed,
+                    s.cold,
+                    s.reused,
+                    s.errors
+                ),
+                None => eprintln!(
+                    "wrote {} sweep row(s) to {path} ({} thread(s))",
+                    cells.len(),
+                    flags.threads.max(1)
+                ),
+            }
         }
         None => print!("{output}"),
     }

@@ -435,3 +435,65 @@ fn html_report_contains_every_section() {
     assert!(html.matches("<svg").count() >= 5);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn sweep_output_order_is_deterministic() {
+    let dir = tmpdir("sweep_order");
+    let wf_path = dir.join("lcls.wrm");
+    std::fs::write(&wf_path, LCLS_WRM).expect("write");
+    let wf = wf_path.to_str().expect("utf8");
+
+    // The same grid under different thread counts, engines, and axis
+    // input orders must produce byte-identical output: rows are sorted
+    // by grid coordinates before serializing.
+    let run = |factors: &str, extra: &[&str]| -> String {
+        let mut args = vec![
+            "sweep",
+            wf,
+            "--resource",
+            "ext",
+            "--factors",
+            factors,
+            "--nodes",
+            "161,64",
+            "--policies",
+            "backfill,fifo",
+            "--format",
+            "csv",
+        ];
+        args.extend_from_slice(extra);
+        let out = wrm().args(&args).output().expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf8 output")
+    };
+
+    let golden = run("0.25,0.5,1.0", &["--threads", "1"]);
+    // 3 factors x 2 node limits x 2 policies + header.
+    assert_eq!(golden.lines().count(), 13, "{golden}");
+    // Coordinates ascend: factor major, node limit next, fifo first.
+    let second_field = |line: &str, n: usize| line.split(',').nth(n).map(str::to_owned);
+    let rows: Vec<&str> = golden.lines().skip(1).collect();
+    assert_eq!(second_field(rows[0], 3).as_deref(), Some("0.25"));
+    assert_eq!(second_field(rows[0], 4).as_deref(), Some("64"));
+    assert_eq!(second_field(rows[0], 5).as_deref(), Some("fifo"));
+    assert_eq!(second_field(rows[1], 5).as_deref(), Some("backfill"));
+    assert_eq!(second_field(rows[2], 4).as_deref(), Some("161"));
+    assert_eq!(second_field(rows[4], 3).as_deref(), Some("0.5"));
+    assert_eq!(second_field(rows[12 - 4], 3).as_deref(), Some("1"));
+
+    for (factors, extra) in [
+        ("0.25,0.5,1.0", &["--threads", "4"][..]),
+        ("1.0,0.25,0.5", &["--threads", "2"][..]),
+        ("0.25,0.5,1.0", &["--threads", "1", "--no-incremental"][..]),
+        ("1.0,0.25,0.5", &["--threads", "4", "--no-incremental"][..]),
+        ("0.25,0.5,1.0", &["--incremental"][..]),
+    ] {
+        assert_eq!(run(factors, extra), golden, "variant {factors} {extra:?}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

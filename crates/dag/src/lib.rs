@@ -26,12 +26,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod csr;
 pub mod gantt;
 pub mod generate;
 pub mod graph;
 pub mod profile;
 pub mod schedule;
 
+pub use csr::longest_path_ends;
 pub use gantt::{GanttChart, GanttRow};
 pub use graph::{Dag, DagError, Task, TaskId};
 pub use profile::{ParallelismProfile, ProfileStep};

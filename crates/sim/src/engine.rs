@@ -8,9 +8,22 @@
 //! output is a `wrm_trace::Trace` — the same format real measurements
 //! would use — so the Workflow Roofline dot of a simulated run is derived
 //! exactly like the paper derives its empirical dots.
+//!
+//! Flow progress is *materialized on rate change*: a flow's remaining
+//! byte count is only touched when a fair-share solve assigns it a new
+//! rate, at which point its completion time is recomputed once and
+//! cached. Between rate changes the completion time is a constant, so it
+//! lives in the same calendar heap as fixed-phase ends and the event
+//! loop never walks the flow set per event. The payoff is twofold: the
+//! per-event cost drops from `O(flows)` to `O(log events)`, and an
+//! uncontended flow's end becomes a closed-form spawn-time expression —
+//! which is what lets [`crate::fastpath`] replace the whole DES with a
+//! longest-path computation *bit-exactly* when a sweep point has no
+//! contention.
 
 use crate::channel::{FlowDemand, Sharing};
-use crate::index::{PhaseIx, ScenarioIndex};
+use crate::index::{BaseIndex, PhaseIx};
+use crate::overlay::IndexOverlay;
 use crate::spec::{Phase, SpecError, WorkflowSpec};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -261,6 +274,14 @@ enum EntryKind {
         remaining: f64,
         cap: f64,
         rate: f64,
+        /// Time the current rate was assigned; `remaining` is exact as
+        /// of this instant and untouched until the next rate change.
+        last_set: f64,
+        /// Cached completion time under the current rate
+        /// (`f64::INFINITY` while starved). Recomputed only on rate
+        /// change; the calendar holds a copy, and an event whose time
+        /// differs from this field is stale and skipped.
+        end: f64,
         /// Index into `members[channel]`, or [`DEAD`] when the flow was
         /// born finished and never joined the channel.
         member_slot: u32,
@@ -280,26 +301,29 @@ struct RunEntry {
     kind: EntryKind,
 }
 
-/// A calendar entry: a fixed activity's known completion time. Ordered
-/// as a min-heap on `end` (ties broken by token for a total order).
+/// A calendar entry: an activity's known completion time. Ordered as a
+/// min-heap on `end` (ties broken by token for a total order). Flow
+/// entries are not removed on rate change; they are lazily discarded
+/// when popped with an `end` that no longer matches the flow's cached
+/// one.
 #[derive(Debug, Clone, Copy)]
-struct FixedEv {
+struct CalEv {
     end: f64,
     token: u32,
 }
 
-impl PartialEq for FixedEv {
+impl PartialEq for CalEv {
     fn eq(&self, other: &Self) -> bool {
         self.token == other.token && self.end.total_cmp(&other.end).is_eq()
     }
 }
-impl Eq for FixedEv {}
-impl PartialOrd for FixedEv {
+impl Eq for CalEv {}
+impl PartialOrd for CalEv {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for FixedEv {
+impl Ord for CalEv {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest end.
         other
@@ -311,8 +335,24 @@ impl Ord for FixedEv {
 
 /// Runs the simulation.
 pub fn simulate(scenario: &Scenario) -> Result<SimResult, SimError> {
-    let idx = ScenarioIndex::build(scenario)?;
-    Engine::new(scenario, &idx).run()
+    let base = BaseIndex::build(&scenario.machine, &scenario.workflow)?;
+    let overlay = IndexOverlay::build(&base, &scenario.workflow, &scenario.options)?;
+    Engine::new(
+        &scenario.workflow,
+        &scenario.machine.name,
+        &scenario.options,
+        &base,
+        &overlay,
+    )
+    .run()
+}
+
+/// Outcome of [`Engine::advance`].
+pub(crate) enum Outcome {
+    /// All tasks completed.
+    Done,
+    /// Stopped at `stop_iter` with the loop body not yet executed.
+    Paused,
 }
 
 /// The optimized event loop.
@@ -328,11 +368,10 @@ pub fn simulate(scenario: &Scenario) -> Result<SimResult, SimError> {
 ///   re-sorted by position before solving, and a channel is marked dirty
 ///   not only when its membership changes but also when a `swap_remove`
 ///   relocates one of its members (relocation can reorder demands);
-/// * flow completion times are recomputed per event with the reference's
-///   exact expression (`now + remaining / rate`) rather than cached,
-///   because a cached ETA differs from the recomputed one in the last
-///   ulp; only fixed activities, whose ends are spawn-time constants, go
-///   into the calendar heap;
+/// * flow ends are cached at rate-change time with the reference's exact
+///   expression (`now + remaining / rate`), and the reference caches the
+///   same value at the same instants — both engines materialize flow
+///   progress only when a solve changes a rate;
 /// * the reference's completion scan processes finished entries in
 ///   position order under `swap_remove` reshuffling — emulated with an
 ///   ordered pending set and a position-relocation rule;
@@ -343,17 +382,26 @@ pub fn simulate(scenario: &Scenario) -> Result<SimResult, SimError> {
 ///   entries skipped by backfill cannot newly fit and the reference's
 ///   quadratic `qi = 0` rescan is equivalent to continuing the scan —
 ///   which is what this engine does.
-struct Engine<'a> {
-    scenario: &'a Scenario,
-    idx: &'a ScenarioIndex,
+///
+/// The engine borrows its immutable inputs (`base`, `overlay`) and is
+/// `Clone`, which is what the incremental sweep's delta re-simulation
+/// uses: run to a chosen loop iteration ([`Engine::pause_at`]), then
+/// clone the paused state per grid point with a different overlay
+/// ([`Engine::resume_with`]) and replay only the suffix.
+#[derive(Clone)]
+pub(crate) struct Engine<'a> {
+    workflow: &'a WorkflowSpec,
+    opts: &'a SimOptions,
+    base: &'a BaseIndex,
+    overlay: &'a IndexOverlay,
     rng: Option<StdRng>,
     amplitude: f64,
     /// Running phases; positions mirror the reference engine exactly.
     running: Vec<RunEntry>,
     /// Token -> current position in `running` ([`DEAD`] once removed).
     pos_of: Vec<u32>,
-    /// Min-heap of fixed-activity completion times.
-    calendar: BinaryHeap<FixedEv>,
+    /// Min-heap of activity completion times (fixed and flow).
+    calendar: BinaryHeap<CalEv>,
     /// Tokens of the flows on each channel (unordered).
     members: Vec<Vec<u32>>,
     /// Channels whose demand set or demand order changed since the last
@@ -379,45 +427,71 @@ struct Engine<'a> {
     starts: Vec<f64>,
     ends: Vec<f64>,
     demand_scratch: Vec<FlowDemand>,
+    /// Channel whose first member join should be recorded (incremental
+    /// sweep: the first loop iteration where a contention factor on this
+    /// channel can influence the run).
+    watch: Option<u32>,
+    /// Loop iteration of the first watched-channel join, if any.
+    watch_hit: Option<u64>,
+    /// Completed loop-body count (the current body's index).
+    iter: u64,
+    /// Pause before executing this loop body (checkpointing).
+    stop_iter: Option<u64>,
 }
 
 impl<'a> Engine<'a> {
-    fn new(scenario: &'a Scenario, idx: &'a ScenarioIndex) -> Self {
-        let opts = &scenario.options;
-        let n = idx.n_tasks();
+    pub(crate) fn new(
+        workflow: &'a WorkflowSpec,
+        machine_name: &'a str,
+        opts: &'a SimOptions,
+        base: &'a BaseIndex,
+        overlay: &'a IndexOverlay,
+    ) -> Self {
+        let n = base.n_tasks();
         let mut ready = BinaryHeap::with_capacity(n);
-        for (t, &d) in idx.dep_count.iter().enumerate() {
+        for (t, &d) in base.dep_count.iter().enumerate() {
             if d == 0 {
                 ready.push(Reverse(t as u32));
             }
         }
         Engine {
-            scenario,
-            idx,
+            workflow,
+            opts,
+            base,
+            overlay,
             rng: opts.jitter.map(|j| StdRng::seed_from_u64(j.seed)),
             amplitude: opts.jitter.map_or(0.0, |j| j.amplitude),
             running: Vec::new(),
             pos_of: Vec::new(),
             calendar: BinaryHeap::new(),
-            members: vec![Vec::new(); idx.channel_capacity.len()],
-            dirty: vec![false; idx.channel_capacity.len()],
+            members: vec![Vec::new(); overlay.channel_capacity.len()],
+            dirty: vec![false; overlay.channel_capacity.len()],
             dirty_list: Vec::new(),
             ready,
             deferred: VecDeque::new(),
             skipped: Vec::new(),
             pending: BTreeSet::new(),
-            dep_count: idx.dep_count.clone(),
-            free: idx.pool_total,
+            dep_count: base.dep_count.clone(),
+            free: overlay.pool_total,
             now: 0.0,
             done: 0,
-            trace: Trace::new(
-                scenario.workflow.name.clone(),
-                scenario.machine.name.clone(),
-            ),
+            trace: Trace::new(workflow.name.clone(), machine_name.to_string()),
             starts: vec![f64::NAN; n],
             ends: vec![f64::NAN; n],
             demand_scratch: Vec::new(),
+            watch: None,
+            watch_hit: None,
+            iter: 0,
+            stop_iter: None,
         }
+    }
+
+    /// Arms the watch: records the first loop iteration at which a flow
+    /// joins `channel` (i.e. the first time that channel's capacity or
+    /// cap factor can influence the run).
+    pub(crate) fn with_watch(mut self, channel: u32) -> Self {
+        self.watch = Some(channel);
+        self
     }
 
     /// One multiplicative jitter factor; the draw sequence matches the
@@ -443,39 +517,62 @@ impl<'a> Engine<'a> {
     /// straight onto the pending set so it is processed by the same scan,
     /// exactly where the reference's forward sweep would reach it.
     fn spawn(&mut self, ti: u32, pi: u32, jf: f64, in_scan: bool) {
-        let slot = (self.idx.phase_off[ti as usize] + pi) as usize;
+        let slot = (self.base.phase_off[ti as usize] + pi) as usize;
         let token = self.pos_of.len() as u32;
         let pos = self.running.len() as u32;
         self.pos_of.push(pos);
-        let kind = match self.idx.phases[slot] {
+        let kind = match self.base.phases[slot] {
             PhaseIx::Fixed { duration } => {
                 let end = self.now + duration * jf;
                 if in_scan && end <= self.now + time_eps(self.now) {
                     self.pending.insert(pos);
                 } else {
-                    self.calendar.push(FixedEv { end, token });
+                    self.calendar.push(CalEv { end, token });
                 }
                 EntryKind::Fixed
             }
             PhaseIx::Flow {
                 channel,
                 bytes,
-                cap,
+                alloc_base,
+                stream_base,
             } => {
-                let member_slot = if in_scan && flow_finished(bytes, 0.0, self.now) {
+                let f = self.overlay.channel_factor[channel as usize];
+                let cap = (alloc_base * f).min(stream_base * f);
+                let born_done = flow_finished(bytes, 0.0, self.now);
+                let member_slot = if in_scan && born_done {
                     self.pending.insert(pos);
                     DEAD
                 } else {
+                    if self.watch == Some(channel) && self.watch_hit.is_none() {
+                        self.watch_hit = Some(self.iter);
+                    }
                     let ms = self.members[channel as usize].len() as u32;
                     self.members[channel as usize].push(token);
                     self.mark_dirty(channel);
                     ms
+                };
+                let end = if born_done {
+                    // Born finished but (outside the scan) still a
+                    // channel member for one solve round; its completion
+                    // is a calendar event at the current time.
+                    if !in_scan {
+                        self.calendar.push(CalEv {
+                            end: self.now,
+                            token,
+                        });
+                    }
+                    self.now
+                } else {
+                    f64::INFINITY
                 };
                 EntryKind::Flow {
                     channel,
                     remaining: bytes,
                     cap,
                     rate: 0.0,
+                    last_set: self.now,
+                    end,
                     member_slot,
                 }
             }
@@ -493,18 +590,18 @@ impl<'a> Engine<'a> {
     /// when it has no phases, unblocking dependents into `deferred`).
     fn start_task(&mut self, ti: u32) {
         let t = ti as usize;
-        let need = self.idx.nodes[t];
+        let need = self.base.nodes[t];
         self.free -= need;
         self.starts[t] = self.now;
-        if self.idx.n_phases(t) == 0 {
+        if self.base.n_phases(t) == 0 {
             // Zero-phase task completes instantly.
             self.ends[t] = self.now;
             self.free += need;
             self.done += 1;
-            let lo = self.idx.dependents_off[t] as usize;
-            let hi = self.idx.dependents_off[t + 1] as usize;
+            let lo = self.base.dependents_off[t] as usize;
+            let hi = self.base.dependents_off[t + 1] as usize;
             for k in lo..hi {
-                let d = self.idx.dependents[k];
+                let d = self.base.dependents[k];
                 self.dep_count[d as usize] -= 1;
                 if self.dep_count[d as usize] == 0 {
                     self.deferred.push_back(d);
@@ -520,10 +617,10 @@ impl<'a> Engine<'a> {
     /// reference: the sorted ready set first, then tasks unblocked by
     /// zero-phase completions in append order.
     fn start_scan(&mut self) {
-        let fifo = self.scenario.options.scheduler == SchedulerPolicy::Fifo;
+        let fifo = self.opts.scheduler == SchedulerPolicy::Fifo;
         let mut blocked = false;
         while let Some(Reverse(ti)) = self.ready.pop() {
-            if self.idx.nodes[ti as usize] <= self.free {
+            if self.base.nodes[ti as usize] <= self.free {
                 self.start_task(ti);
             } else if fifo {
                 self.ready.push(Reverse(ti));
@@ -535,7 +632,7 @@ impl<'a> Engine<'a> {
         }
         if !blocked {
             while let Some(ti) = self.deferred.pop_front() {
-                if self.idx.nodes[ti as usize] <= self.free {
+                if self.base.nodes[ti as usize] <= self.free {
                     self.start_task(ti);
                 } else if fifo {
                     self.deferred.push_front(ti);
@@ -556,9 +653,14 @@ impl<'a> Engine<'a> {
     }
 
     /// Re-solves fair sharing on channels whose demands changed. Demands
-    /// are ordered by running-vector position — the reference's order.
+    /// are ordered by running-vector position — the reference's order. A
+    /// flow whose rate actually changes has its progress materialized
+    /// (`remaining` brought up to date) and its completion time
+    /// recomputed and pushed onto the calendar; unchanged rates touch
+    /// nothing, so their calendar entries stay valid.
     fn recompute(&mut self) {
-        let sharing = self.scenario.options.sharing;
+        let sharing = self.opts.sharing;
+        let now = self.now;
         for di in 0..self.dirty_list.len() {
             let ch = self.dirty_list[di] as usize;
             self.dirty[ch] = false;
@@ -574,73 +676,69 @@ impl<'a> Engine<'a> {
             }
             self.demand_scratch.sort_unstable_by_key(|d| d.id);
             let first_bg = self.demand_scratch.len();
-            for (k, &rate) in self.idx.background[ch].iter().enumerate() {
+            for (k, &rate) in self.overlay.background[ch].iter().enumerate() {
                 self.demand_scratch.push(FlowDemand {
                     id: usize::MAX - k,
                     cap: rate,
                 });
             }
-            let rates = sharing.rates(self.idx.channel_capacity[ch], &self.demand_scratch);
+            let rates = sharing.rates(self.overlay.channel_capacity[ch], &self.demand_scratch);
             for fr in rates.into_iter().take(first_bg) {
-                if let EntryKind::Flow { rate, .. } = &mut self.running[fr.id].kind {
-                    *rate = fr.rate;
+                let token = self.running[fr.id].token;
+                if let EntryKind::Flow {
+                    remaining,
+                    rate,
+                    last_set,
+                    end,
+                    ..
+                } = &mut self.running[fr.id].kind
+                {
+                    if fr.rate != *rate {
+                        *remaining = (*remaining - *rate * (now - *last_set)).max(0.0);
+                        *last_set = now;
+                        *rate = fr.rate;
+                        *end = if flow_finished(*remaining, *rate, now) {
+                            now
+                        } else if *rate > 0.0 {
+                            now + *remaining / *rate
+                        } else {
+                            f64::INFINITY
+                        };
+                        if end.is_finite() {
+                            self.calendar.push(CalEv { end: *end, token });
+                        }
+                    }
                 }
             }
         }
         self.dirty_list.clear();
     }
 
-    /// Earliest completion among running activities: the calendar top
-    /// for fixed phases, the reference's exact per-flow expression for
-    /// flows (`f64::min` over the same value set as the reference's
-    /// whole-vector fold).
-    fn next_event(&self) -> f64 {
-        let mut next = f64::INFINITY;
-        if let Some(top) = self.calendar.peek() {
-            next = next.min(top.end);
-        }
-        for ms in &self.members {
-            for &tok in ms {
-                let p = self.pos_of[tok as usize] as usize;
-                if let EntryKind::Flow {
-                    remaining, rate, ..
-                } = self.running[p].kind
-                {
-                    let t = if flow_finished(remaining, rate, self.now) {
-                        self.now
-                    } else if rate > 0.0 {
-                        self.now + remaining / rate
-                    } else {
-                        f64::INFINITY
-                    };
-                    next = next.min(t);
+    /// Earliest pending completion: the calendar top, after lazily
+    /// discarding events for removed entries and superseded flow ends.
+    /// Returns infinity when nothing is scheduled (every live flow is
+    /// starved).
+    fn next_event(&mut self) -> f64 {
+        while let Some(top) = self.calendar.peek() {
+            let pos = self.pos_of[top.token as usize];
+            if pos == DEAD {
+                self.calendar.pop();
+                continue;
+            }
+            if let EntryKind::Flow { end, .. } = self.running[pos as usize].kind {
+                if end.total_cmp(&top.end).is_ne() {
+                    self.calendar.pop();
+                    continue;
                 }
             }
+            return top.end;
         }
-        next
+        f64::INFINITY
     }
 
-    /// Advances every flow by `dt` and queues the finished ones.
-    fn advance_flows(&mut self, dt: f64) {
-        for ci in 0..self.members.len() {
-            for mi in 0..self.members[ci].len() {
-                let tok = self.members[ci][mi];
-                let p = self.pos_of[tok as usize];
-                if let EntryKind::Flow {
-                    remaining, rate, ..
-                } = &mut self.running[p as usize].kind
-                {
-                    *remaining = (*remaining - *rate * dt).max(0.0);
-                    if flow_finished(*remaining, *rate, self.now) {
-                        self.pending.insert(p);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Pops every fixed activity due at the current time into `pending`.
-    fn collect_due_fixed(&mut self) {
+    /// Pops every activity due at the current time into `pending`,
+    /// skipping stale calendar entries.
+    fn collect_due(&mut self) {
         let threshold = self.now + time_eps(self.now);
         while let Some(top) = self.calendar.peek() {
             // `!(<=)` rather than `>` so a NaN end stops the scan instead
@@ -651,7 +749,16 @@ impl<'a> Engine<'a> {
                 break;
             }
             let ev = self.calendar.pop().expect("peeked");
-            self.pending.insert(self.pos_of[ev.token as usize]);
+            let pos = self.pos_of[ev.token as usize];
+            if pos == DEAD {
+                continue;
+            }
+            if let EntryKind::Flow { end, .. } = self.running[pos as usize].kind {
+                if end.total_cmp(&ev.end).is_ne() {
+                    continue; // superseded by a later rate change
+                }
+            }
+            self.pending.insert(pos);
         }
     }
 
@@ -699,7 +806,7 @@ impl<'a> Engine<'a> {
             }
 
             let t = entry.task as usize;
-            let task = &self.scenario.workflow.tasks[t];
+            let task = &self.workflow.tasks[t];
             let phase = &task.phases[entry.phase as usize];
             self.trace.push(TraceSpan::new(
                 task.name.clone(),
@@ -716,10 +823,10 @@ impl<'a> Engine<'a> {
                 self.ends[t] = self.now;
                 self.free += task.nodes;
                 self.done += 1;
-                let lo = self.idx.dependents_off[t] as usize;
-                let hi = self.idx.dependents_off[t + 1] as usize;
+                let lo = self.base.dependents_off[t] as usize;
+                let hi = self.base.dependents_off[t + 1] as usize;
                 for k in lo..hi {
-                    let d = self.idx.dependents[k];
+                    let d = self.base.dependents[k];
                     self.dep_count[d as usize] -= 1;
                     if self.dep_count[d as usize] == 0 {
                         self.ready.push(Reverse(d));
@@ -729,12 +836,16 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(mut self) -> Result<SimResult, SimError> {
-        let n_tasks = self.idx.n_tasks();
+    /// Runs loop bodies until completion, a stall, or `stop_iter`.
+    fn advance(&mut self) -> Result<Outcome, SimError> {
+        let n_tasks = self.base.n_tasks();
         loop {
+            if self.stop_iter == Some(self.iter) {
+                return Ok(Outcome::Paused);
+            }
             self.start_scan();
             if self.done == n_tasks {
-                break;
+                return Ok(Outcome::Done);
             }
             if self.running.is_empty() {
                 // Tasks remain but nothing runs and nothing can start.
@@ -748,37 +859,89 @@ impl<'a> Engine<'a> {
             if !next.is_finite() {
                 return Err(SimError::Stalled { at: self.now });
             }
-            let dt = (next - self.now).max(0.0);
             self.now = next;
 
-            self.advance_flows(dt);
-            self.collect_due_fixed();
+            self.collect_due();
             self.complete_pending();
+            self.iter += 1;
         }
+    }
 
+    /// Materializes the final [`SimResult`] after [`Outcome::Done`].
+    fn into_result(self) -> SimResult {
         let makespan = self.trace.makespan();
-        let tasks = &self.scenario.workflow.tasks;
-        let mut task_starts = BTreeMap::new();
-        let mut task_ends = BTreeMap::new();
-        for (i, t) in tasks.iter().enumerate() {
-            task_starts.insert(t.name.clone(), self.starts[i]);
-            task_ends.insert(t.name.clone(), self.ends[i]);
-        }
-        let task_times = task_starts
+        let tasks = &self.workflow.tasks;
+        // One name-sorted pass, then O(n) bulk map construction —
+        // repeated B-tree inserts in random name order are measurably
+        // slower on sweep-sized results.
+        let mut order: Vec<u32> = (0..tasks.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| tasks[a as usize].name.cmp(&tasks[b as usize].name));
+        let task_starts: BTreeMap<String, f64> = order
             .iter()
-            .filter_map(|(name, start): (&String, &f64)| {
-                task_ends.get(name).map(|end| (name.clone(), end - start))
+            .map(|&i| (tasks[i as usize].name.clone(), self.starts[i as usize]))
+            .collect();
+        let task_times: BTreeMap<String, f64> = order
+            .iter()
+            .map(|&i| {
+                let i = i as usize;
+                (tasks[i].name.clone(), self.ends[i] - self.starts[i])
             })
             .collect();
-        let task_nodes = tasks.iter().map(|t| (t.name.clone(), t.nodes)).collect();
-        Ok(SimResult {
+        let task_nodes: BTreeMap<String, u64> = order
+            .iter()
+            .map(|&i| (tasks[i as usize].name.clone(), tasks[i as usize].nodes))
+            .collect();
+        SimResult {
             trace: self.trace,
             makespan,
             task_times,
             task_starts,
             task_nodes,
-            pool_nodes: self.idx.pool_total,
-        })
+            pool_nodes: self.overlay.pool_total,
+        }
+    }
+
+    /// Runs to completion.
+    pub(crate) fn run(mut self) -> Result<SimResult, SimError> {
+        match self.advance()? {
+            Outcome::Done => Ok(self.into_result()),
+            Outcome::Paused => unreachable!("run() is never called with stop_iter set"),
+        }
+    }
+
+    /// Runs to completion, also reporting the loop iteration of the
+    /// first watched-channel join (see [`Engine::with_watch`]).
+    pub(crate) fn run_watched(mut self) -> (Result<SimResult, SimError>, Option<u64>) {
+        match self.advance() {
+            Err(e) => {
+                let hit = self.watch_hit;
+                (Err(e), hit)
+            }
+            Ok(_) => {
+                let hit = self.watch_hit;
+                (Ok(self.into_result()), hit)
+            }
+        }
+    }
+
+    /// Runs loop bodies `0..iter` and pauses, returning the checkpointed
+    /// engine. The checkpoint is taken *before* body `iter` executes.
+    pub(crate) fn pause_at(mut self, iter: u64) -> Result<Engine<'a>, SimError> {
+        self.stop_iter = Some(iter);
+        self.advance()?;
+        Ok(self)
+    }
+
+    /// Clones a paused engine with a different overlay and clears the
+    /// pause, ready to replay the suffix. Sound only when the prefix up
+    /// to the pause provably does not depend on the parts of the overlay
+    /// that differ (the incremental sweep guarantees this via the
+    /// watched-channel first-join iteration).
+    pub(crate) fn resume_with(&self, overlay: &'a IndexOverlay) -> Engine<'a> {
+        let mut e = self.clone();
+        e.overlay = overlay;
+        e.stop_iter = None;
+        e
     }
 }
 

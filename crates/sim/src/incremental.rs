@@ -1,0 +1,624 @@
+//! The incremental sweep engine: shared-index overlays, the analytic
+//! fast path, and delta re-simulation over a parameter grid.
+//!
+//! `wrm sweep` evaluates a full cross product of contention factors,
+//! node limits and scheduler policies over one workflow. Running each
+//! grid point through [`crate::simulate`] repeats almost all of the
+//! work: the topology/duration index is identical everywhere, and
+//! adjacent points differ in a single knob. [`sweep_grid`] exploits that
+//! structure three ways, strongest first:
+//!
+//! 1. **One base index per sweep.** [`BaseIndex`] (topology, the
+//!    dependents CSR, durations) is built once; each point only builds
+//!    a tiny [`IndexOverlay`] (channel capacities/factors, pool size,
+//!    background demands) on top of it — bit-identical to a cold build,
+//!    which `overlay::tests` proves.
+//! 2. **Analytic fast path.** Points whose overlay yields no channel
+//!    contention and no node queueing skip the DES entirely
+//!    ([`crate::fastpath`]): the makespan is a longest-path over the
+//!    base CSR, exact to the bit.
+//! 3. **Delta re-simulation.** Points are evaluated in *column* order —
+//!    one column per `(node_limit, policy)` pair, contention factor
+//!    varying innermost — so consecutive DES points differ only in the
+//!    swept resource's factor. The first DES run in a column watches the
+//!    swept channel and reports the event-loop iteration of its first
+//!    member join; until that iteration the channel has no members, so
+//!    its capacity and factor are never read and the engine state is
+//!    provably factor-independent. The column then checkpoints one
+//!    engine at that iteration ([`Engine::pause_at`]) and replays only
+//!    the suffix per factor ([`Engine::resume_with`]). When the watched
+//!    channel never joins at all, the factor provably never matters and
+//!    the first result is reused outright.
+//!
+//! Changing the *node limit* re-runs the DES cold (one run per column at
+//! most): a pool change can matter from the very first allocation, so
+//! there is no comparable prefix to share, and in practice the fast path
+//! already absorbs the uncontended majority of the node-limit axis.
+//!
+//! Every path is exact — [`SweepOutcome::results`] is bit-identical to
+//! running [`crate::simulate`] per point (and, transitively, to
+//! `wrm_sim::reference`), which the oracle proptest below enforces. Only
+//! trace span *order* within one completion instant may differ between
+//! paths; the `Trace` contract leaves that order unspecified.
+
+use crate::engine::{Engine, Scenario, SchedulerPolicy, SimError, SimResult};
+use crate::fastpath::try_fastpath;
+use crate::index::BaseIndex;
+use crate::overlay::IndexOverlay;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The cross product a sweep evaluates: `factors x node_limits x
+/// policies`, applied to a base scenario.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// The shared resource the contention factors apply to (`None`
+    /// leaves the base options' contention untouched, making the factor
+    /// axis degenerate).
+    pub resource: Option<String>,
+    /// Contention factors for `resource`.
+    pub factors: Vec<f64>,
+    /// Node-limit values (`None` = the machine's full pool).
+    pub node_limits: Vec<Option<u64>>,
+    /// Scheduler policies.
+    pub policies: Vec<SchedulerPolicy>,
+}
+
+impl SweepGrid {
+    /// Number of grid points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.factors.len() * self.node_limits.len() * self.policies.len()
+    }
+
+    /// True when any axis is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The canonical result index of grid point `(fi, ni, pi)`: factor
+    /// major, policy minor — the order a nested
+    /// `factors / node_limits / policies` loop visits cells.
+    #[must_use]
+    pub fn index_of(&self, fi: usize, ni: usize, pi: usize) -> usize {
+        (fi * self.node_limits.len() + ni) * self.policies.len() + pi
+    }
+
+    /// The per-point options: the base options with this point's factor,
+    /// node limit and policy applied.
+    #[must_use]
+    pub fn point_options(
+        &self,
+        base: &crate::engine::SimOptions,
+        fi: usize,
+        ni: usize,
+        pi: usize,
+    ) -> crate::engine::SimOptions {
+        let mut opts = base.clone();
+        if let Some(res) = &self.resource {
+            opts = opts.with_contention(res.clone(), self.factors[fi]);
+        }
+        opts.node_limit = self.node_limits[ni];
+        opts.scheduler = self.policies[pi];
+        opts
+    }
+}
+
+/// How the points of a sweep were evaluated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Points answered analytically (no DES run).
+    pub fastpath: usize,
+    /// Points answered by replaying a checkpointed engine's suffix.
+    pub replayed: usize,
+    /// Points answered by a full cold DES run.
+    pub cold: usize,
+    /// Points that reused a cold result verbatim (the swept channel
+    /// never acquired a member, so the factor provably had no effect).
+    pub reused: usize,
+    /// Points that failed validation (per-point error in `results`).
+    pub errors: usize,
+}
+
+impl SweepStats {
+    fn absorb(&mut self, other: SweepStats) {
+        self.fastpath += other.fastpath;
+        self.replayed += other.replayed;
+        self.cold += other.cold;
+        self.reused += other.reused;
+        self.errors += other.errors;
+    }
+}
+
+/// A completed sweep: per-point results in [`SweepGrid::index_of`]
+/// order, plus evaluation-path statistics.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One result per grid point, bit-identical to
+    /// [`crate::simulate`] on that point's scenario.
+    pub results: Vec<Result<SimResult, SimError>>,
+    /// How the points were evaluated.
+    pub stats: SweepStats,
+}
+
+/// How a column answers DES-requiring points after its first one.
+enum DesState<'e> {
+    /// No DES point evaluated yet.
+    NotRun,
+    /// The watched channel never joined: the factor cannot matter, reuse
+    /// the first result.
+    Reuse(Box<Result<SimResult, SimError>>),
+    /// Engine checkpointed just before the swept channel's first join;
+    /// replay the suffix per overlay.
+    Paused(Box<Engine<'e>>),
+    /// Checkpointing failed (defensive); run every point cold.
+    Cold,
+}
+
+/// Evaluates the full grid over `scenario`, using up to `threads` worker
+/// threads (one column — a `(node_limit, policy)` pair — per work unit).
+///
+/// Results are returned in [`SweepGrid::index_of`] order regardless of
+/// `threads`, and every result is bit-identical to calling
+/// [`crate::simulate`] with that point's options.
+#[must_use]
+pub fn sweep_grid(scenario: &Scenario, grid: &SweepGrid, threads: usize) -> SweepOutcome {
+    let n = grid.len();
+    if n == 0 {
+        return SweepOutcome {
+            results: Vec::new(),
+            stats: SweepStats::default(),
+        };
+    }
+
+    let base = match BaseIndex::build(&scenario.machine, &scenario.workflow) {
+        Ok(b) => b,
+        Err(e) => {
+            // The spec itself is invalid: every point fails identically,
+            // exactly as per-point simulate() calls would.
+            return SweepOutcome {
+                results: (0..n).map(|_| Err(e.clone())).collect(),
+                stats: SweepStats {
+                    errors: n,
+                    ..SweepStats::default()
+                },
+            };
+        }
+    };
+
+    let columns: Vec<(usize, usize)> = (0..grid.node_limits.len())
+        .flat_map(|ni| (0..grid.policies.len()).map(move |pi| (ni, pi)))
+        .collect();
+
+    let workers = threads.max(1).min(columns.len());
+    let mut results: Vec<Option<Result<SimResult, SimError>>> = (0..n).map(|_| None).collect();
+    let mut stats = SweepStats::default();
+
+    if workers == 1 {
+        for &(ni, pi) in &columns {
+            let (out, col_stats) = run_column(scenario, grid, &base, ni, pi);
+            stats.absorb(col_stats);
+            for (i, r) in out {
+                results[i] = Some(r);
+            }
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let worker_outputs = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut out = Vec::new();
+                        let mut local = SweepStats::default();
+                        loop {
+                            let c = next.fetch_add(1, Ordering::Relaxed);
+                            if c >= columns.len() {
+                                break;
+                            }
+                            let (ni, pi) = columns[c];
+                            let (col, col_stats) = run_column(scenario, grid, &base, ni, pi);
+                            local.absorb(col_stats);
+                            out.extend(col);
+                        }
+                        (out, local)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(std::thread::ScopedJoinHandle::join)
+                .collect::<Vec<_>>()
+        })
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        for joined in worker_outputs {
+            let (out, local) = joined.unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            stats.absorb(local);
+            for (i, r) in out {
+                results[i] = Some(r);
+            }
+        }
+    }
+
+    SweepOutcome {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("every grid point was evaluated"))
+            .collect(),
+        stats,
+    }
+}
+
+/// One evaluated grid point: its `SweepGrid::index_of` slot and result.
+type IndexedResult = (usize, Result<SimResult, SimError>);
+
+/// Evaluates one `(node_limit, policy)` column across all factors.
+fn run_column(
+    scenario: &Scenario,
+    grid: &SweepGrid,
+    base: &BaseIndex,
+    ni: usize,
+    pi: usize,
+) -> (Vec<IndexedResult>, SweepStats) {
+    // Prebuilt per-point options and overlays, so the engines (and the
+    // checkpoint) can borrow them for the whole column.
+    let points: Vec<(crate::engine::SimOptions, Result<IndexOverlay, SimError>)> =
+        (0..grid.factors.len())
+            .map(|fi| {
+                let opts = grid.point_options(&scenario.options, fi, ni, pi);
+                let overlay = IndexOverlay::build(base, &scenario.workflow, &opts);
+                (opts, overlay)
+            })
+            .collect();
+
+    let watch = grid
+        .resource
+        .as_ref()
+        .and_then(|r| base.channel_idx.get(r.as_str()).copied());
+
+    let mut out = Vec::with_capacity(points.len());
+    let mut stats = SweepStats::default();
+    let mut des = DesState::NotRun;
+
+    for (fi, (opts, overlay)) in points.iter().enumerate() {
+        let ix = grid.index_of(fi, ni, pi);
+        let r = match overlay {
+            Err(e) => {
+                stats.errors += 1;
+                Err(e.clone())
+            }
+            Ok(ov) => {
+                if let Some(fast) =
+                    try_fastpath(&scenario.workflow, &scenario.machine.name, opts, base, ov)
+                {
+                    stats.fastpath += 1;
+                    Ok(fast)
+                } else {
+                    let cold =
+                        || Engine::new(&scenario.workflow, &scenario.machine.name, opts, base, ov);
+                    match &des {
+                        DesState::NotRun => {
+                            let mut eng = cold();
+                            if let Some(ch) = watch {
+                                eng = eng.with_watch(ch);
+                            }
+                            let (res, hit) = eng.run_watched();
+                            stats.cold += 1;
+                            des = match hit {
+                                None => DesState::Reuse(Box::new(res.clone())),
+                                Some(k) => match cold().pause_at(k) {
+                                    Ok(p) => DesState::Paused(Box::new(p)),
+                                    Err(_) => DesState::Cold,
+                                },
+                            };
+                            res
+                        }
+                        DesState::Reuse(saved) => {
+                            stats.reused += 1;
+                            saved.as_ref().clone()
+                        }
+                        DesState::Paused(p) => {
+                            stats.replayed += 1;
+                            p.resume_with(ov).run()
+                        }
+                        DesState::Cold => {
+                            stats.cold += 1;
+                            cold().run()
+                        }
+                    }
+                }
+            }
+        };
+        out.push((ix, r));
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{sweep_grid, SweepGrid};
+    use crate::engine::{simulate, Scenario, SchedulerPolicy, SimOptions, SimResult};
+    use crate::reference::simulate_reference;
+    use crate::spec::{Phase, TaskSpec, WorkflowSpec};
+    use proptest::prelude::*;
+    use wrm_core::machines;
+
+    /// Sorts spans (the one representation detail the evaluation paths
+    /// may legitimately order differently within a completion instant)
+    /// and leaves every scalar under exact equality.
+    fn canonicalize(mut r: SimResult) -> SimResult {
+        r.trace.spans.sort_by(|a, b| {
+            a.task
+                .cmp(&b.task)
+                .then(a.start.total_cmp(&b.start))
+                .then(a.end.total_cmp(&b.end))
+        });
+        r
+    }
+
+    /// Asserts the incremental sweep is bit-identical to per-point
+    /// `simulate` and to the reference engine on every grid point.
+    fn assert_oracle(scenario: &Scenario, grid: &SweepGrid, threads: usize) {
+        let outcome = sweep_grid(scenario, grid, threads);
+        assert_eq!(outcome.results.len(), grid.len());
+        let n_paths = outcome.stats.fastpath
+            + outcome.stats.replayed
+            + outcome.stats.cold
+            + outcome.stats.reused
+            + outcome.stats.errors;
+        assert_eq!(n_paths, grid.len(), "stats cover every point");
+        for fi in 0..grid.factors.len() {
+            for ni in 0..grid.node_limits.len() {
+                for pi in 0..grid.policies.len() {
+                    let ix = grid.index_of(fi, ni, pi);
+                    let opts = grid.point_options(&scenario.options, fi, ni, pi);
+                    let point = Scenario {
+                        machine: scenario.machine.clone(),
+                        workflow: scenario.workflow.clone(),
+                        options: opts,
+                    };
+                    let expect = simulate(&point);
+                    let refr = simulate_reference(&point);
+                    match (&outcome.results[ix], expect, refr) {
+                        (Ok(got), Ok(want), Ok(want_ref)) => {
+                            assert_eq!(
+                                canonicalize(got.clone()),
+                                canonicalize(want),
+                                "point {ix} (fi={fi} ni={ni} pi={pi}) vs simulate"
+                            );
+                            assert_eq!(
+                                canonicalize(got.clone()),
+                                canonicalize(want_ref),
+                                "point {ix} vs reference"
+                            );
+                        }
+                        (Err(got), Err(want), Err(want_ref)) => {
+                            assert_eq!(got, &want, "point {ix} error vs simulate");
+                            assert_eq!(got, &want_ref, "point {ix} error vs reference");
+                        }
+                        (got, want, want_ref) => {
+                            panic!("point {ix} disagreement: {got:?} vs {want:?} / {want_ref:?}")
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A workflow with both contended and uncontended regions, so a
+    /// factor sweep exercises the fast path, the replay path and the
+    /// reuse path.
+    fn mixed_workflow() -> WorkflowSpec {
+        let mut wf = WorkflowSpec::new("mixed");
+        for i in 0..6 {
+            wf = wf.task(
+                TaskSpec::new(format!("sim{i}"), 16)
+                    .phase(Phase::overhead("setup", 5.0 + f64::from(i)))
+                    .phase(Phase::Compute {
+                        flops: 2e13,
+                        efficiency: 0.4,
+                    }),
+            );
+        }
+        // A contended egress stage at the end: five unbounded flows on
+        // the external link, fed by the compute stage.
+        for i in 0..5 {
+            wf = wf.task(
+                TaskSpec::new(format!("push{i}"), 4)
+                    .after(format!("sim{i}"))
+                    .phase(Phase::SystemData {
+                        resource: wrm_core::ids::EXTERNAL.into(),
+                        bytes: 2e11,
+                        stream_cap: None,
+                    }),
+            );
+        }
+        wf
+    }
+
+    #[test]
+    fn grid_matches_per_point_simulate_and_reference() {
+        let scenario = Scenario::new(machines::cori_haswell(), mixed_workflow());
+        let grid = SweepGrid {
+            resource: Some(wrm_core::ids::EXTERNAL.into()),
+            factors: vec![0.2, 0.5, 1.0, 2.0],
+            node_limits: vec![None, Some(64), Some(24)],
+            policies: vec![SchedulerPolicy::Fifo, SchedulerPolicy::Backfill],
+        };
+        assert_oracle(&scenario, &grid, 1);
+    }
+
+    #[test]
+    fn replay_path_engages_on_contended_columns() {
+        let scenario = Scenario::new(machines::cori_haswell(), mixed_workflow());
+        let grid = SweepGrid {
+            resource: Some(wrm_core::ids::EXTERNAL.into()),
+            factors: vec![0.25, 0.5, 0.75, 1.0, 1.5],
+            node_limits: vec![None],
+            policies: vec![SchedulerPolicy::Fifo],
+        };
+        let outcome = sweep_grid(&scenario, &grid, 1);
+        assert!(
+            outcome.stats.replayed > 0,
+            "expected checkpoint replays, got {:?}",
+            outcome.stats
+        );
+        assert_eq!(outcome.stats.cold, 1, "one cold run per column");
+        assert_oracle(&scenario, &grid, 1);
+    }
+
+    #[test]
+    fn reuse_path_engages_when_factor_cannot_matter() {
+        // No task touches the external link, so the watched channel
+        // never joins and one cold run serves the whole factor axis.
+        let mut wf = WorkflowSpec::new("no-ext");
+        for i in 0..4 {
+            wf = wf.task(TaskSpec::new(format!("t{i}"), 512).phase(Phase::overhead("work", 10.0)));
+        }
+        let scenario = Scenario::new(machines::cori_haswell(), wf);
+        let grid = SweepGrid {
+            resource: Some(wrm_core::ids::EXTERNAL.into()),
+            factors: vec![0.1, 0.5, 1.0, 5.0],
+            // A tight pool forces queueing, so the fast path stays out
+            // of the way and the reuse path must carry the column.
+            node_limits: vec![Some(1024)],
+            policies: vec![SchedulerPolicy::Fifo],
+        };
+        let outcome = sweep_grid(&scenario, &grid, 1);
+        assert_eq!(outcome.stats.cold, 1);
+        assert_eq!(outcome.stats.reused, 3);
+        assert_oracle(&scenario, &grid, 1);
+    }
+
+    #[test]
+    fn threads_do_not_change_results_or_stats() {
+        let scenario = Scenario::new(machines::perlmutter_cpu(), mixed_workflow());
+        let grid = SweepGrid {
+            resource: Some(wrm_core::ids::EXTERNAL.into()),
+            factors: vec![0.3, 1.0, 1.3],
+            node_limits: vec![None, Some(40)],
+            policies: vec![SchedulerPolicy::Fifo, SchedulerPolicy::Backfill],
+        };
+        let serial = sweep_grid(&scenario, &grid, 1);
+        let parallel = sweep_grid(&scenario, &grid, 4);
+        assert_eq!(serial.stats, parallel.stats);
+        assert_eq!(serial.results.len(), parallel.results.len());
+        for (s, p) in serial.results.iter().zip(parallel.results.iter()) {
+            match (s, p) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(canonicalize(a.clone()), canonicalize(b.clone()));
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("thread-count divergence: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_spec_errors_every_point() {
+        let wf = WorkflowSpec::new("dangling").task(
+            TaskSpec::new("t", 1)
+                .after("missing")
+                .phase(Phase::overhead("o", 1.0)),
+        );
+        let scenario = Scenario::new(machines::cori_haswell(), wf);
+        let grid = SweepGrid {
+            resource: None,
+            factors: vec![1.0, 2.0],
+            node_limits: vec![None],
+            policies: vec![SchedulerPolicy::Fifo],
+        };
+        let outcome = sweep_grid(&scenario, &grid, 1);
+        assert_eq!(outcome.results.len(), 2);
+        assert_eq!(outcome.stats.errors, 2);
+        for (r, want) in outcome.results.iter().zip([
+            simulate(&Scenario {
+                machine: scenario.machine.clone(),
+                workflow: scenario.workflow.clone(),
+                options: grid.point_options(&scenario.options, 0, 0, 0),
+            }),
+            simulate(&Scenario {
+                machine: scenario.machine.clone(),
+                workflow: scenario.workflow.clone(),
+                options: grid.point_options(&scenario.options, 1, 0, 0),
+            }),
+        ]) {
+            assert_eq!(r.as_ref().err(), want.err().as_ref());
+        }
+    }
+
+    /// Random-workflow generator mixing overheads, compute, capped and
+    /// uncapped external flows, and dependencies — enough variety to hit
+    /// the fast path, replay, reuse, errors and both schedulers.
+    fn random_workflow(seed: u64, n_tasks: usize) -> WorkflowSpec {
+        let mut s = seed;
+        let mut split = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut wf = WorkflowSpec::new(format!("rand[{seed}]"));
+        for i in 0..n_tasks {
+            let nodes = 1 + split() % 48;
+            let mut t = TaskSpec::new(format!("t{i}"), nodes);
+            for _ in 0..(split() % 3) {
+                t = match split() % 4 {
+                    0 => t.phase(Phase::overhead("o", (1 + split() % 300) as f64 / 10.0)),
+                    1 => t.phase(Phase::Compute {
+                        flops: (1 + split() % 500) as f64 * 1e12,
+                        efficiency: 0.2 + (split() % 100) as f64 / 150.0,
+                    }),
+                    2 => t.phase(Phase::SystemData {
+                        resource: wrm_core::ids::EXTERNAL.into(),
+                        bytes: (1 + split() % 300) as f64 * 1e9,
+                        stream_cap: Some((1 + split() % 20) as f64 * 1e8),
+                    }),
+                    _ => t.phase(Phase::SystemData {
+                        resource: wrm_core::ids::EXTERNAL.into(),
+                        bytes: (1 + split() % 300) as f64 * 1e9,
+                        stream_cap: None,
+                    }),
+                };
+            }
+            if i > 0 {
+                for _ in 0..(split() % 3).min(i as u64) {
+                    let d = (split() as usize) % i;
+                    t = t.after(format!("t{d}"));
+                }
+            }
+            wf = wf.task(t);
+        }
+        wf
+    }
+
+    proptest! {
+        /// The tentpole oracle: on random workflows and random small
+        /// grids, the incremental sweep (serial and threaded) matches
+        /// per-point `simulate` and `simulate_reference` bit for bit.
+        #[test]
+        fn incremental_sweep_matches_oracles(
+            seed in any::<u64>(),
+            n_tasks in 1usize..8,
+            machine_ix in 0usize..2,
+            threads in 1usize..4,
+            tight_pool in any::<bool>(),
+        ) {
+            let machine = if machine_ix == 0 {
+                machines::cori_haswell()
+            } else {
+                machines::perlmutter_cpu()
+            };
+            let wf = random_workflow(seed, n_tasks);
+            let scenario = Scenario::new(machine, wf).with_options(SimOptions::default());
+            let node_limit = if tight_pool { Some(64) } else { None };
+            let grid = SweepGrid {
+                resource: Some(wrm_core::ids::EXTERNAL.into()),
+                factors: vec![0.5, 1.0, 1.7],
+                node_limits: vec![None, node_limit],
+                policies: vec![SchedulerPolicy::Fifo, SchedulerPolicy::Backfill],
+            };
+            assert_oracle(&scenario, &grid, threads);
+        }
+    }
+}

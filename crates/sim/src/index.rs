@@ -1,23 +1,32 @@
-//! Dense-integer indexing of a [`Scenario`] for the simulator hot path.
+//! Dense-integer indexing of a scenario for the simulator hot path.
 //!
-//! [`ScenarioIndex::build`] validates a scenario once (in exactly the
-//! same order as the reference engine, so both engines report the same
-//! first error) and lowers it to flat arrays keyed by `u32` ids: CSR
-//! phase tables with precomputed fixed-phase durations and flow caps,
-//! CSR dependency lists, and per-channel capacities with contention
-//! factors applied. The event loop in [`crate::engine`] then never
-//! touches a string or a map: names reappear only when the final
-//! [`crate::SimResult`] is materialized.
+//! Since the incremental-sweep work the index is split in two:
+//!
+//! * [`BaseIndex`] (this module) holds everything that depends only on
+//!   the `(machine, workflow)` pair — CSR phase tables, CSR dependency
+//!   lists, unscaled channel capacities and flow-cap bases — so a sweep
+//!   over thousands of option points builds it exactly once;
+//! * [`crate::overlay::IndexOverlay`] holds the per-point deltas
+//!   (contention-scaled capacities, the usable node pool, background
+//!   demands) and is cheap to rebuild per grid point.
+//!
+//! Validation is split the same way without changing what error a caller
+//! sees: the reference engine interleaves `TaskTooLarge` (which needs
+//! the per-point pool) with `UnknownResource` (which does not) in one
+//! forward scan over tasks. The base records the first resource error
+//! *without failing*, plus a running prefix-maximum of task node counts;
+//! the overlay then reproduces the reference's first-error choice with a
+//! binary search over that prefix maximum.
 //!
 //! Every floating-point expression here is kept verbatim from the
 //! reference engine — the precomputed values must be bit-identical to
 //! what the reference computes per event, because the behavior contract
 //! between the two engines is exact equality of makespans and traces.
 
-use crate::engine::{Scenario, SimError};
-use crate::spec::Phase;
+use crate::engine::SimError;
+use crate::spec::{Phase, WorkflowSpec};
 use std::collections::BTreeMap;
-use wrm_core::SystemScaling;
+use wrm_core::{Machine, SystemScaling};
 
 /// One phase, lowered to the quantities the event loop needs.
 #[derive(Debug, Clone, Copy)]
@@ -30,22 +39,30 @@ pub(crate) enum PhaseIx {
     },
     /// A flow on a shared channel.
     Flow {
-        /// Channel id (index into [`ScenarioIndex::channel_capacity`]).
+        /// Channel id (index into [`BaseIndex::capacity_base`]).
         channel: u32,
         /// Bytes to move.
         bytes: f64,
-        /// The flow's own rate limit (allocation NIC aggregate and/or
-        /// stream cap, contention-scaled), `f64::INFINITY` if none.
-        cap: f64,
+        /// The allocation's aggregate injection limit *before* the
+        /// per-point contention factor (`f64::INFINITY` if none).
+        alloc_base: f64,
+        /// The stream cap before the contention factor
+        /// (`f64::INFINITY` if none).
+        stream_base: f64,
     },
 }
 
-/// A scenario lowered to dense integer ids and flat arrays.
-pub(crate) struct ScenarioIndex {
-    /// Usable node pool (node_limit-capped machine total).
-    pub pool_total: u64,
+/// The option-independent part of a lowered scenario: topology, CSR
+/// dependents, durations and cap bases. Built once per `(machine,
+/// workflow)` pair and shared by every [`crate::overlay::IndexOverlay`].
+pub(crate) struct BaseIndex {
+    /// The machine's total node count (pool ceiling).
+    pub total_nodes: u64,
     /// Nodes required per task.
     pub nodes: Vec<u64>,
+    /// Running maximum of [`Self::nodes`] by task index; used by the
+    /// overlay to find the first too-large task in `O(log n)`.
+    pub nodes_prefix_max: Vec<u64>,
     /// CSR offsets into [`Self::phases`], one entry per task plus one.
     pub phase_off: Vec<u32>,
     /// All phases of all tasks, in task order.
@@ -56,112 +73,93 @@ pub(crate) struct ScenarioIndex {
     pub dependents_off: Vec<u32>,
     /// Task ids unblocked by each task's completion.
     pub dependents: Vec<u32>,
-    /// Effective capacity per channel (contention-scaled).
-    pub channel_capacity: Vec<f64>,
-    /// Background demand rates per channel.
-    pub background: Vec<Vec<f64>>,
+    /// Channel ids in machine declaration order.
+    pub channel_ids: Vec<String>,
+    /// Capacity per channel *before* the contention factor.
+    pub capacity_base: Vec<f64>,
+    /// Resource id -> channel index.
+    pub channel_idx: BTreeMap<String, u32>,
+    /// The first `UnknownResource` error in task order (scan position =
+    /// task index), recorded but not raised: whether it wins over a
+    /// `TaskTooLarge` depends on the per-point pool, so the overlay
+    /// decides.
+    pub first_resource_error: Option<(usize, SimError)>,
 }
 
-impl ScenarioIndex {
-    /// Validates `scenario` and lowers it. Error kinds and ordering
-    /// mirror the reference engine exactly.
-    pub(crate) fn build(scenario: &Scenario) -> Result<Self, SimError> {
-        scenario.workflow.validate()?;
-        let machine = &scenario.machine;
-        let opts = &scenario.options;
-        for (res, f) in &opts.contention {
-            if !(f.is_finite() && *f > 0.0) {
-                return Err(SimError::InvalidOption(format!(
-                    "contention factor for {res} must be positive, got {f}"
-                )));
-            }
-        }
-        if let Some(j) = &opts.jitter {
-            if !(j.amplitude.is_finite() && (0.0..1.0).contains(&j.amplitude)) {
-                return Err(SimError::InvalidOption(format!(
-                    "jitter amplitude must be in [0,1), got {}",
-                    j.amplitude
-                )));
-            }
-        }
-        for bg in &opts.background {
-            if bg.rate.is_nan() || bg.rate <= 0.0 {
-                return Err(SimError::InvalidOption(format!(
-                    "background flow on {} must have a positive rate, got {}",
-                    bg.resource, bg.rate
-                )));
-            }
-            if machine.system_resource(&bg.resource).is_none() {
-                return Err(SimError::UnknownResource {
-                    task: "<background>".into(),
-                    resource: bg.resource.clone(),
-                });
-            }
-        }
+impl BaseIndex {
+    /// Validates the option-independent parts of a scenario and lowers
+    /// them. Resource errors are recorded, not raised (see the module
+    /// docs); tasks carrying one get placeholder phases, which is sound
+    /// because every overlay built on such a base refuses to run.
+    pub(crate) fn build(machine: &Machine, workflow: &WorkflowSpec) -> Result<Self, SimError> {
+        workflow.validate()?;
+        let tasks = &workflow.tasks;
 
-        let pool_total = opts
-            .node_limit
-            .unwrap_or(machine.total_nodes)
-            .min(machine.total_nodes);
-        let tasks = &scenario.workflow.tasks;
-        for t in tasks {
-            if t.nodes > pool_total {
-                return Err(SimError::TaskTooLarge {
-                    task: t.name.clone(),
-                    needs: t.nodes,
-                    pool: pool_total,
-                });
+        let mut first_resource_error: Option<(usize, SimError)> = None;
+        for (i, t) in tasks.iter().enumerate() {
+            if first_resource_error.is_some() {
+                break;
             }
-            // Resolve every referenced resource up front.
             for p in &t.phases {
-                match p {
+                let bad: Option<String> = match p {
                     Phase::Compute { .. } => {
                         if machine.node_resource(wrm_core::ids::COMPUTE).is_none() {
-                            return Err(SimError::UnknownResource {
-                                task: t.name.clone(),
-                                resource: wrm_core::ids::COMPUTE.into(),
-                            });
+                            Some(wrm_core::ids::COMPUTE.into())
+                        } else {
+                            None
                         }
                     }
                     Phase::NodeData { resource, .. } => {
                         if machine.node_resource(resource).is_none() {
-                            return Err(SimError::UnknownResource {
-                                task: t.name.clone(),
-                                resource: resource.clone(),
-                            });
+                            Some(resource.clone())
+                        } else {
+                            None
                         }
                     }
                     Phase::SystemData { resource, .. } => {
                         if machine.system_resource(resource).is_none() {
-                            return Err(SimError::UnknownResource {
-                                task: t.name.clone(),
-                                resource: resource.clone(),
-                            });
+                            Some(resource.clone())
+                        } else {
+                            None
                         }
                     }
-                    Phase::Overhead { .. } => {}
+                    Phase::Overhead { .. } => None,
+                };
+                if let Some(resource) = bad {
+                    first_resource_error = Some((
+                        i,
+                        SimError::UnknownResource {
+                            task: t.name.clone(),
+                            resource,
+                        },
+                    ));
+                    break;
                 }
             }
         }
 
-        // Channels: one per system resource the machine defines.
-        let mut channel_capacity = Vec::with_capacity(machine.system_resources.len());
-        let mut channel_idx: BTreeMap<&str, u32> = BTreeMap::new();
+        // Channels: one per system resource the machine defines. The
+        // capacity expression keeps the reference's association order:
+        // the per-point factor multiplies *this* product on the right.
+        let mut channel_ids = Vec::with_capacity(machine.system_resources.len());
+        let mut capacity_base = Vec::with_capacity(machine.system_resources.len());
+        let mut channel_idx: BTreeMap<String, u32> = BTreeMap::new();
         for sr in &machine.system_resources {
-            let factor = opts.contention.get(sr.id.as_str()).copied().unwrap_or(1.0);
             let capacity = match sr.scaling {
-                SystemScaling::Aggregate => sr.peak.get() * factor,
+                SystemScaling::Aggregate => sr.peak.get(),
                 // The interconnect's backbone: every node can inject at
                 // once.
-                SystemScaling::PerNodeInUse => sr.peak.get() * machine.total_nodes as f64 * factor,
+                SystemScaling::PerNodeInUse => sr.peak.get() * machine.total_nodes as f64,
             };
-            channel_idx.insert(sr.id.as_str(), channel_capacity.len() as u32);
-            channel_capacity.push(capacity);
+            channel_idx.insert(sr.id.to_string(), capacity_base.len() as u32);
+            channel_ids.push(sr.id.to_string());
+            capacity_base.push(capacity);
         }
 
-        // Phases, lowered. The duration and cap expressions replicate
-        // the reference's `fixed_duration` / `make_activity` bit for
-        // bit.
+        // Phases, lowered. The duration and cap-base expressions
+        // replicate the reference's `fixed_duration` / `make_activity`
+        // bit for bit (the factor multiplies the base on the right, as
+        // the reference's left-associative products do).
         let mut phase_off = Vec::with_capacity(tasks.len() + 1);
         let mut phases = Vec::new();
         phase_off.push(0u32);
@@ -169,55 +167,50 @@ impl ScenarioIndex {
             for p in &t.phases {
                 let lowered = match p {
                     Phase::Compute { flops, efficiency } => {
-                        let peak = machine
-                            .node_resource(wrm_core::ids::COMPUTE)
-                            .expect("checked above")
-                            .peak_per_node
-                            .magnitude();
-                        PhaseIx::Fixed {
-                            duration: flops / (peak * t.nodes as f64 * efficiency),
+                        match machine.node_resource(wrm_core::ids::COMPUTE) {
+                            Some(nr) => PhaseIx::Fixed {
+                                duration: flops
+                                    / (nr.peak_per_node.magnitude() * t.nodes as f64 * efficiency),
+                            },
+                            None => PhaseIx::Fixed { duration: 0.0 },
                         }
                     }
                     Phase::NodeData {
                         resource,
                         bytes,
                         efficiency,
-                    } => {
-                        let peak = machine
-                            .node_resource(resource)
-                            .expect("checked above")
-                            .peak_per_node
-                            .magnitude();
-                        PhaseIx::Fixed {
-                            duration: bytes / (peak * t.nodes as f64 * efficiency),
-                        }
-                    }
+                    } => match machine.node_resource(resource) {
+                        Some(nr) => PhaseIx::Fixed {
+                            duration: bytes
+                                / (nr.peak_per_node.magnitude() * t.nodes as f64 * efficiency),
+                        },
+                        None => PhaseIx::Fixed { duration: 0.0 },
+                    },
                     Phase::Overhead { seconds, .. } => PhaseIx::Fixed { duration: *seconds },
                     Phase::SystemData {
                         resource,
                         bytes,
                         stream_cap,
-                    } => {
-                        let sr = machine.system_resource(resource).expect("checked above");
-                        let factor = opts
-                            .contention
-                            .get(resource.as_str())
-                            .copied()
-                            .unwrap_or(1.0);
-                        // The task's own injection limit: for
-                        // per-node-scaled resources it is its
-                        // allocation's aggregate NIC rate.
-                        let alloc_cap = match sr.scaling {
-                            SystemScaling::Aggregate => f64::INFINITY,
-                            SystemScaling::PerNodeInUse => sr.peak.get() * t.nodes as f64 * factor,
-                        };
-                        let stream = stream_cap.unwrap_or(f64::INFINITY) * factor;
-                        PhaseIx::Flow {
-                            channel: channel_idx[resource.as_str()],
-                            bytes: *bytes,
-                            cap: alloc_cap.min(stream),
+                    } => match machine.system_resource(resource) {
+                        Some(sr) => {
+                            // The task's own injection limit: for
+                            // per-node-scaled resources it is its
+                            // allocation's aggregate NIC rate.
+                            let alloc_base = match sr.scaling {
+                                SystemScaling::Aggregate => f64::INFINITY,
+                                SystemScaling::PerNodeInUse => sr.peak.get() * t.nodes as f64,
+                            };
+                            PhaseIx::Flow {
+                                channel: channel_idx[resource.as_str()],
+                                bytes: *bytes,
+                                alloc_base,
+                                stream_base: stream_cap.unwrap_or(f64::INFINITY),
+                            }
                         }
-                    }
+                        // Unreachable at run time: the recorded resource
+                        // error fails every overlay built on this base.
+                        None => PhaseIx::Fixed { duration: 0.0 },
+                    },
                 };
                 phases.push(lowered);
             }
@@ -252,21 +245,27 @@ impl ScenarioIndex {
             }
         }
 
-        let mut background = vec![Vec::new(); channel_capacity.len()];
-        for bg in &opts.background {
-            background[channel_idx[bg.resource.as_str()] as usize].push(bg.rate);
+        let nodes: Vec<u64> = tasks.iter().map(|t| t.nodes).collect();
+        let mut nodes_prefix_max = Vec::with_capacity(nodes.len());
+        let mut running_max = 0u64;
+        for &n in &nodes {
+            running_max = running_max.max(n);
+            nodes_prefix_max.push(running_max);
         }
 
-        Ok(ScenarioIndex {
-            pool_total,
-            nodes: tasks.iter().map(|t| t.nodes).collect(),
+        Ok(BaseIndex {
+            total_nodes: machine.total_nodes,
+            nodes,
+            nodes_prefix_max,
             phase_off,
             phases,
             dep_count,
             dependents_off,
             dependents,
-            channel_capacity,
-            background,
+            channel_ids,
+            capacity_base,
+            channel_idx,
+            first_resource_error,
         })
     }
 

@@ -44,7 +44,10 @@
 
 pub mod channel;
 pub mod engine;
+mod fastpath;
+pub mod incremental;
 mod index;
+mod overlay;
 #[cfg(any(test, feature = "reference-engine"))]
 pub mod reference;
 pub mod spec;
@@ -54,5 +57,6 @@ pub use channel::{equal_split_rates, max_min_rates, FlowDemand, FlowRate, Sharin
 pub use engine::{
     simulate, BackgroundFlow, Jitter, Scenario, SchedulerPolicy, SimError, SimOptions, SimResult,
 };
+pub use incremental::{sweep_grid, SweepGrid, SweepOutcome, SweepStats};
 pub use spec::{Phase, SpecError, TaskSpec, WorkflowSpec};
 pub use sweep::{run_all, run_all_chunked, sweep};

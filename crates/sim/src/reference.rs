@@ -1,9 +1,11 @@
 //! The straightforward string-keyed discrete-event engine, kept as a
 //! test oracle for the optimized engine in [`crate::engine`].
 //!
-//! This is the original event loop, verbatim: per-event queue sort,
-//! linear earliest-event scans, and full fair-share recomputation on
-//! every event. It is compiled only for tests and under the
+//! This is the original event loop: per-event queue sort, linear
+//! earliest-event scans, and full fair-share recomputation on every
+//! event. Flow progress is materialized on rate change (see
+//! [`crate::engine`]'s module docs), the same accounting the optimized
+//! engine uses. It is compiled only for tests and under the
 //! `reference-engine` feature, and [`simulate_reference`] must stay
 //! bit-identical to [`crate::simulate`] — makespan, trace spans, and
 //! task times are compared exactly by the equivalence proptests below
@@ -23,12 +25,18 @@ use wrm_trace::{Trace, TraceSpan};
 enum Activity {
     /// Fixed-duration phase: ends at a known time.
     Fixed { end: f64 },
-    /// A flow on a shared channel.
+    /// A flow on a shared channel. Progress is materialized on rate
+    /// change: `remaining` is exact as of `last_set` and untouched until
+    /// a fair-share solve assigns a different rate, at which point the
+    /// completion time `end` is recomputed once and cached
+    /// (`f64::INFINITY` while starved).
     Flow {
         channel: usize,
         remaining: f64,
         cap: f64,
         rate: f64,
+        last_set: f64,
+        end: f64,
     },
 }
 
@@ -228,6 +236,14 @@ pub fn simulate_reference(scenario: &Scenario) -> Result<SimResult, SimError> {
                     remaining: *bytes,
                     cap: alloc_cap.min(stream),
                     rate: 0.0,
+                    last_set: at,
+                    // A zero-byte flow is finished at birth; everything
+                    // else waits for its first rate assignment.
+                    end: if flow_finished(*bytes, 0.0, at) {
+                        at
+                    } else {
+                        f64::INFINITY
+                    },
                 }
             }
             _ => Activity::Fixed {
@@ -243,37 +259,59 @@ pub fn simulate_reference(scenario: &Scenario) -> Result<SimResult, SimError> {
         background_per_channel[channel_idx[bg.resource.as_str()]].push(bg.rate);
     }
 
-    // Recomputes all flow rates per channel.
-    let recompute = |running: &mut [RunningTask], channels: &[Channel], sharing: Sharing| {
-        for (ci, ch) in channels.iter().enumerate() {
-            let mut demands: Vec<FlowDemand> = running
-                .iter()
-                .enumerate()
-                .filter_map(|(i, r)| match &r.activity {
-                    Activity::Flow { channel, cap, .. } if *channel == ci => {
-                        Some(FlowDemand { id: i, cap: *cap })
+    // Recomputes all flow rates per channel. A flow whose rate actually
+    // changes has its progress materialized (`remaining` brought up to
+    // date for the time spent at the old rate) and its completion time
+    // recomputed and cached; unchanged rates touch nothing.
+    let recompute =
+        |running: &mut [RunningTask], channels: &[Channel], sharing: Sharing, now: f64| {
+            for (ci, ch) in channels.iter().enumerate() {
+                let mut demands: Vec<FlowDemand> = running
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| match &r.activity {
+                        Activity::Flow { channel, cap, .. } if *channel == ci => {
+                            Some(FlowDemand { id: i, cap: *cap })
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                if demands.is_empty() {
+                    continue;
+                }
+                let first_bg = demands.len();
+                for (k, &rate) in background_per_channel[ci].iter().enumerate() {
+                    demands.push(FlowDemand {
+                        id: usize::MAX - k,
+                        cap: rate,
+                    });
+                }
+                let rates = sharing.rates(ch.capacity, &demands);
+                for fr in rates.into_iter().take(first_bg) {
+                    if let Activity::Flow {
+                        remaining,
+                        rate,
+                        last_set,
+                        end,
+                        ..
+                    } = &mut running[fr.id].activity
+                    {
+                        if fr.rate != *rate {
+                            *remaining = (*remaining - *rate * (now - *last_set)).max(0.0);
+                            *last_set = now;
+                            *rate = fr.rate;
+                            *end = if flow_finished(*remaining, *rate, now) {
+                                now
+                            } else if *rate > 0.0 {
+                                now + *remaining / *rate
+                            } else {
+                                f64::INFINITY
+                            };
+                        }
                     }
-                    _ => None,
-                })
-                .collect();
-            if demands.is_empty() {
-                continue;
-            }
-            let first_bg = demands.len();
-            for (k, &rate) in background_per_channel[ci].iter().enumerate() {
-                demands.push(FlowDemand {
-                    id: usize::MAX - k,
-                    cap: rate,
-                });
-            }
-            let rates = sharing.rates(ch.capacity, &demands);
-            for fr in rates.into_iter().take(first_bg) {
-                if let Activity::Flow { rate, .. } = &mut running[fr.id].activity {
-                    *rate = fr.rate;
                 }
             }
-        }
-    };
+        };
 
     loop {
         // Start ready tasks per policy.
@@ -323,51 +361,27 @@ pub fn simulate_reference(scenario: &Scenario) -> Result<SimResult, SimError> {
             return Err(SimError::Stalled { at: now });
         }
 
-        recompute(&mut running, &channels, opts.sharing);
+        recompute(&mut running, &channels, opts.sharing, now);
 
-        // Earliest completion among running activities.
+        // Earliest completion among running activities (flow ends are
+        // cached by `recompute`).
         let mut next = f64::INFINITY;
         for r in &running {
             let t = match &r.activity {
-                Activity::Fixed { end } => *end,
-                Activity::Flow {
-                    remaining, rate, ..
-                } => {
-                    if flow_finished(*remaining, *rate, now) {
-                        now
-                    } else if *rate > 0.0 {
-                        now + remaining / rate
-                    } else {
-                        f64::INFINITY
-                    }
-                }
+                Activity::Fixed { end } | Activity::Flow { end, .. } => *end,
             };
             next = next.min(t);
         }
         if !next.is_finite() {
             return Err(SimError::Stalled { at: now });
         }
-        let dt = (next - now).max(0.0);
         now = next;
-
-        // Advance flows.
-        for r in &mut running {
-            if let Activity::Flow {
-                remaining, rate, ..
-            } = &mut r.activity
-            {
-                *remaining = (*remaining - *rate * dt).max(0.0);
-            }
-        }
 
         // Complete activities that finished (within EPS).
         let mut i = 0;
         while i < running.len() {
             let finished = match &running[i].activity {
-                Activity::Fixed { end } => *end <= now + time_eps(now),
-                Activity::Flow {
-                    remaining, rate, ..
-                } => flow_finished(*remaining, *rate, now),
+                Activity::Fixed { end } | Activity::Flow { end, .. } => *end <= now + time_eps(now),
             };
             if !finished {
                 i += 1;
