@@ -395,9 +395,28 @@ fn cmd_lint(args: &[String]) -> Result<u8, String> {
 
     match flags.format.as_str() {
         "json" => {
+            // Each file carries its two-sided makespan certification
+            // when the spec compiles onto a known machine; `null`
+            // otherwise (syntax errors, unknown machines, invalid
+            // resources), so consumers can rely on the key existing.
             let files: Vec<serde_json::Value> = batch
                 .iter()
-                .map(|(path, _, diags)| serde_json::json!({ "file": path, "diagnostics": diags }))
+                .map(|(path, source, diags)| {
+                    let cert = wrm_lang::compile_source(source)
+                        .ok()
+                        .and_then(|c| {
+                            let machine = c.machine?;
+                            wrm_sim::certify(&machine, &c.spec, &wrm_sim::SimOptions::default())
+                                .ok()
+                        })
+                        .and_then(|c| serde_json::to_value(&c).ok())
+                        .unwrap_or(serde_json::Value::Null);
+                    serde_json::json!({
+                        "file": path,
+                        "diagnostics": diags,
+                        "certification": cert,
+                    })
+                })
                 .collect();
             let json = serde_json::to_string_pretty(&files).map_err(|e| e.to_string())?;
             println!("{json}");
@@ -504,6 +523,15 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         let result = simulate(&scenario).map_err(|e| e.to_string())?;
         wf.makespan = Some(Seconds(result.makespan));
         println!("simulated makespan: {:.2} s", result.makespan);
+    }
+
+    // The certified two-sided bound prints alongside the roofline:
+    // whatever the schedule, the makespan provably lands in [lo, hi].
+    if let Ok(cert) = wrm_sim::certify(&machine, &compiled.spec, &sim_options(&flags)) {
+        println!(
+            "certified makespan interval: [{:.2} s, {:.2} s]",
+            cert.lo, cert.hi
+        );
     }
 
     let model = RooflineModel::build_lenient(&machine, &wf).map_err(|e| e.to_string())?;

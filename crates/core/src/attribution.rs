@@ -1,0 +1,184 @@
+//! Binding-ceiling attribution: which bound term binds in *all*
+//! admissible schedules vs. *some*.
+//!
+//! The two-sided makespan certifier (wrm-sim's `certify`) decomposes a
+//! workflow's certified interval into competing terms — the dependency
+//! chain, per-channel aggregate floors, the node-pool occupancy floor —
+//! and the analogous per-task decomposition into phase-class intervals.
+//! Each term contributes an interval `[lo, hi]` of times it can account
+//! for across admissible schedules; attribution compares a term against
+//! the pointwise maximum of the others and places it on a three-point
+//! lattice:
+//!
+//! * [`BindingStrength::Must`] — the term's *lower* end already reaches
+//!   every other term's *upper* end: it attains the bound in every
+//!   admissible schedule;
+//! * [`BindingStrength::May`] — the term's upper end reaches some other
+//!   term's lower end: there is an admissible schedule where it binds;
+//! * [`BindingStrength::No`] — even the term's best case stays below
+//!   the others: it can never bind.
+//!
+//! This is the static-analysis form of Ridgeline's simultaneous-ceiling
+//! attribution: instead of one "binding ceiling" point, every ceiling
+//! gets a certified position on the lattice.
+
+use std::fmt;
+
+/// The class of a bound term, for structured diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BoundClass {
+    /// Node compute (FLOP) time.
+    Compute,
+    /// Node-local data movement (DRAM/HBM/PCIe).
+    NodeResource,
+    /// A shared system channel (file system, external link, fabric).
+    SystemChannel,
+    /// Node-pool occupancy (the parallelism wall as a time floor).
+    NodePool,
+    /// Fixed control-flow overhead.
+    Overhead,
+    /// The dependency-chain (critical path) term.
+    Chain,
+}
+
+impl BoundClass {
+    /// Stable lowercase identifier used in JSON/SARIF output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BoundClass::Compute => "compute",
+            BoundClass::NodeResource => "node-resource",
+            BoundClass::SystemChannel => "system-channel",
+            BoundClass::NodePool => "node-pool",
+            BoundClass::Overhead => "overhead",
+            BoundClass::Chain => "chain",
+        }
+    }
+}
+
+impl fmt::Display for BoundClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a bound term sits on the must-bind / may-bind lattice.
+/// Ordered: `No < May < Must`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BindingStrength {
+    /// Provably never binds: even its best case stays below the others.
+    No,
+    /// Binds in at least one admissible schedule.
+    May,
+    /// Binds in every admissible schedule.
+    Must,
+}
+
+impl BindingStrength {
+    /// Stable lowercase identifier used in JSON/SARIF output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BindingStrength::No => "no",
+            BindingStrength::May => "may",
+            BindingStrength::Must => "must",
+        }
+    }
+}
+
+impl fmt::Display for BindingStrength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Classifies one bound term `[c_lo, c_hi]` against the pointwise
+/// maximum `[other_lo, other_hi]` of every competing term.
+///
+/// A zero-width term at 0 never binds (an absent ceiling is not a
+/// binding one). Intervals are assumed normalized (`lo <= hi`); NaN
+/// ends classify as [`BindingStrength::No`], the conservative answer.
+pub fn classify(c_lo: f64, c_hi: f64, other_lo: f64, other_hi: f64) -> BindingStrength {
+    if c_hi.is_nan() || c_hi <= 0.0 {
+        // The term contributes nothing.
+        return BindingStrength::No;
+    }
+    if c_lo >= other_hi {
+        return BindingStrength::Must;
+    }
+    if c_hi >= other_lo {
+        return BindingStrength::May;
+    }
+    BindingStrength::No
+}
+
+/// Classifies every term of a decomposition against the max of the
+/// others. `terms[i]` is `(lo, hi)`; the result is index-aligned.
+pub fn classify_terms(terms: &[(f64, f64)]) -> Vec<BindingStrength> {
+    terms
+        .iter()
+        .enumerate()
+        .map(|(i, &(lo, hi))| {
+            let (mut olo, mut ohi) = (0.0f64, 0.0f64);
+            for (j, &(l, h)) in terms.iter().enumerate() {
+                if j != i {
+                    olo = olo.max(l);
+                    ohi = ohi.max(h);
+                }
+            }
+            classify(lo, hi, olo, ohi)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_is_ordered() {
+        assert!(BindingStrength::No < BindingStrength::May);
+        assert!(BindingStrength::May < BindingStrength::Must);
+        assert_eq!(BindingStrength::Must.as_str(), "must");
+        assert_eq!(BoundClass::SystemChannel.as_str(), "system-channel");
+        assert_eq!(format!("{}", BoundClass::Chain), "chain");
+    }
+
+    #[test]
+    fn dominant_term_must_binds() {
+        // Term [10, 12] vs others peaking at 8: binds everywhere.
+        assert_eq!(classify(10.0, 12.0, 5.0, 8.0), BindingStrength::Must);
+        // Overlapping: [6, 9] vs [5, 8] — binds somewhere, not everywhere.
+        assert_eq!(classify(6.0, 9.0, 5.0, 8.0), BindingStrength::May);
+        // Strictly below: can never bind.
+        assert_eq!(classify(1.0, 3.0, 5.0, 8.0), BindingStrength::No);
+    }
+
+    #[test]
+    fn absent_terms_never_bind() {
+        assert_eq!(classify(0.0, 0.0, 0.0, 0.0), BindingStrength::No);
+        assert_eq!(classify(f64::NAN, f64::NAN, 1.0, 2.0), BindingStrength::No);
+    }
+
+    #[test]
+    fn classify_terms_is_index_aligned() {
+        let terms = [(10.0, 12.0), (5.0, 8.0), (0.0, 0.0)];
+        let out = classify_terms(&terms);
+        assert_eq!(
+            out,
+            vec![
+                BindingStrength::Must,
+                BindingStrength::No,
+                BindingStrength::No
+            ]
+        );
+        // Two identical nonzero terms: both may-bind, neither must.
+        let out = classify_terms(&[(4.0, 6.0), (4.0, 6.0)]);
+        assert_eq!(out, vec![BindingStrength::May, BindingStrength::May]);
+    }
+
+    #[test]
+    fn ties_at_the_top_must_bind_when_exact() {
+        // A point term equal to the others' point max: Must (it binds in
+        // every schedule, jointly with the other).
+        assert_eq!(classify(7.0, 7.0, 7.0, 7.0), BindingStrength::Must);
+    }
+}

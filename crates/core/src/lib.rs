@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod attribution;
 pub mod charz;
 pub mod error;
 pub mod machine;
@@ -57,6 +58,7 @@ pub mod scaling;
 pub mod taskview;
 pub mod units;
 
+pub use attribution::{classify, classify_terms, BindingStrength, BoundClass};
 pub use charz::{CharacterizationBuilder, TargetSpec, WorkflowCharacterization};
 pub use error::CoreError;
 pub use machine::{Machine, MachineBuilder, NodeResource, SystemResource};

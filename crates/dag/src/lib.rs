@@ -33,7 +33,7 @@ pub mod graph;
 pub mod profile;
 pub mod schedule;
 
-pub use csr::longest_path_ends;
+pub use csr::{longest_path_ends, max_coschedulable, resource_work};
 pub use gantt::{GanttChart, GanttRow};
 pub use graph::{Dag, DagError, Task, TaskId};
 pub use profile::{ParallelismProfile, ProfileStep};

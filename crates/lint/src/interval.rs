@@ -24,10 +24,17 @@ impl Interval {
     /// The additive identity.
     pub const ZERO: Interval = Interval { lo: 0.0, hi: 0.0 };
 
-    /// A normalized interval: NaN ends collapse to the identity (lo)
-    /// or `+inf` (hi), negatives clamp to 0, and `hi` never sits below
-    /// `lo`.
+    /// A normalized interval: negatives clamp to 0 and `hi` never sits
+    /// below `lo`. A NaN end is a caller bug (it means an upstream
+    /// computation produced `0 * inf` or `inf - inf`), so debug builds
+    /// assert; release builds keep the sound collapse — NaN `lo`
+    /// becomes the identity 0, NaN `hi` becomes `+inf` — because a
+    /// too-wide interval is safe and a crash in a linter is not.
     pub fn new(lo: f64, hi: f64) -> Self {
+        debug_assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "Interval::new called with NaN end: lo={lo}, hi={hi}"
+        );
         let lo = if lo.is_nan() { 0.0 } else { lo.max(0.0) };
         let hi = if hi.is_nan() {
             f64::INFINITY
@@ -103,13 +110,34 @@ mod tests {
 
     #[test]
     fn normalization_handles_degenerate_input() {
-        let i = Interval::new(f64::NAN, f64::NAN);
-        assert_eq!(i.lo, 0.0);
-        assert!(i.hi.is_infinite());
         let i = Interval::new(-1.0, -2.0);
         assert_eq!(i, Interval::ZERO);
         let i = Interval::new(5.0, 2.0);
         assert_eq!(i, Interval::point(5.0));
+        let i = Interval::new(-3.0, 4.0);
+        assert_eq!(i, Interval::new(0.0, 4.0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn nan_ends_panic_in_debug_builds() {
+        for (lo, hi) in [(f64::NAN, 1.0), (1.0, f64::NAN), (f64::NAN, f64::NAN)] {
+            let caught = std::panic::catch_unwind(|| Interval::new(lo, hi));
+            assert!(caught.is_err(), "NaN end ({lo}, {hi}) should assert");
+        }
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn nan_ends_collapse_soundly_in_release_builds() {
+        let i = Interval::new(f64::NAN, f64::NAN);
+        assert_eq!(i.lo, 0.0);
+        assert!(i.hi.is_infinite());
+        let i = Interval::new(f64::NAN, 7.0);
+        assert_eq!(i, Interval::new(0.0, 7.0));
+        let i = Interval::new(2.0, f64::NAN);
+        assert_eq!(i.lo, 2.0);
+        assert!(i.hi.is_infinite());
     }
 
     #[test]

@@ -13,9 +13,11 @@ use crate::dataflow;
 use crate::diagnostics::{Diagnostic, SuggestedEdit};
 
 /// Emits W009 when the critical-path lower bound provably exceeds the
-/// makespan target.
-pub fn interval_bound(ctx: &AnalysisContext, out: &mut Vec<Diagnostic>) {
-    if ctx.compiled.is_none() {
+/// makespan target. `suppressed` is set when E010 already made the
+/// strictly stronger statement (infeasible even with channels zeroed),
+/// so repeating the weaker chain bound would be noise.
+pub fn interval_bound(ctx: &AnalysisContext, out: &mut Vec<Diagnostic>, suppressed: bool) {
+    if suppressed || ctx.compiled.is_none() {
         return;
     }
     let ir = &ctx.ir;

@@ -9,9 +9,15 @@
 //! * [`channels`] — shared-bandwidth reasoning: channels that can
 //!   never saturate (W007), max-min starvation against the makespan
 //!   target (W008);
+//! * [`bounds`] — the simulator-exact two-sided certificate: targets
+//!   inside the certified interval (W010), provably reducible channel
+//!   capacity (W011), channel-independent lower bounds (W012), and
+//!   targets infeasible under any channel provisioning (E010);
 //! * [`makespan`] — interval abstract interpretation: a certified
-//!   critical-path lower bound vs. the declared target (W009).
+//!   critical-path lower bound vs. the declared target (W009,
+//!   suppressed when E010 makes the stronger statement).
 
+pub mod bounds;
 pub mod channels;
 pub mod makespan;
 pub mod structure;
@@ -69,7 +75,8 @@ pub fn run(ast: &WorkflowAst, ctx: &AnalysisContext, out: &mut Vec<Diagnostic>) 
     structure::redundant_edges(ast, ctx, out);
     channels::unsaturable(ctx, out);
     channels::starved(ctx, out);
-    makespan::interval_bound(ctx, out);
+    let e010_fired = bounds::certified_interval(ctx, out);
+    makespan::interval_bound(ctx, out, e010_fired);
 }
 
 /// Human-readable bytes/s for diagnostics ("1.50 GB/s").

@@ -22,10 +22,15 @@
 //! | W007 | warning  | shared channel whose capped streams can never saturate it |
 //! | W008 | warning  | max-min fair share too small for a task's bytes within the makespan target |
 //! | W009 | warning  | interval critical-path lower bound exceeds the makespan target (fixable) |
+//! | W010 | warning  | makespan target falls inside the certified interval `[lo, hi)` — undetermined |
+//! | W011 | warning  | channel capacity provably reducible to the stream-cap sum without moving the certified interval |
+//! | W012 | warning  | certified lower bound unchanged with every channel zeroed — channel sweeps cannot help |
+//! | E010 | error    | makespan target infeasible under any channel provisioning (fixable) |
 //!
 //! E000–E008 and W001–W005 are per-statement checks implemented here;
-//! E009 and W006–W009 are the analyzer passes in [`crate::passes`],
-//! driven by the lowered IR and the DAG dataflow engine.
+//! E009, E010 and W006–W012 are the analyzer passes in [`crate::passes`],
+//! driven by the lowered IR, the DAG dataflow engine, and the
+//! simulator's two-sided makespan certificate ([`wrm_sim::certify`]).
 
 use crate::diagnostics::{Diagnostic, Severity, Span, SuggestedEdit};
 use crate::passes;
@@ -168,6 +173,36 @@ pub const RULES: &[RuleInfo] = &[
         severity: Severity::Warning,
         summary: "interval abstract interpretation certifies the dependency-chain lower bound \
                   on makespan exceeds the declared target",
+    },
+    RuleInfo {
+        code: "W010",
+        name: "undetermined-target",
+        severity: Severity::Warning,
+        summary: "the makespan target falls inside the certified interval [lo, hi): neither \
+                  provably met nor provably missed; the report carries the witness \
+                  decomposition of both bounds",
+    },
+    RuleInfo {
+        code: "W011",
+        name: "overprovisioned-channel",
+        severity: Severity::Warning,
+        summary: "an aggregate channel's capacity can provably be reduced to the sum of its \
+                  stream caps without moving either end of the certified makespan interval",
+    },
+    RuleInfo {
+        code: "W012",
+        name: "channel-independent-bound",
+        severity: Severity::Warning,
+        summary: "the certified makespan lower bound is unchanged with every channel zeroed: \
+                  the fixed-phase chain and node-pool occupancy alone force it, so channel \
+                  capacity sweeps provably cannot help",
+    },
+    RuleInfo {
+        code: "E010",
+        name: "infeasible-under-any-channel",
+        severity: Severity::Error,
+        summary: "the makespan target is below the certified lower bound even with every \
+                  channel infinitely fast; no channel provisioning can meet it",
     },
 ];
 

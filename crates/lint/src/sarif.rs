@@ -187,6 +187,20 @@ pub fn validate_sarif(log: &Value) -> Result<(), String> {
                 .and_then(Value::as_str)
                 .ok_or_else(|| format!("rules[{i}].id must be a string"))?;
         }
+        // The driver must advertise the complete registry: a log that
+        // silently drops a rule (say, a newly added one) would let
+        // results reference codes a code-scanning UI cannot resolve.
+        for r in RULES {
+            if !rules
+                .iter()
+                .any(|rule| rule.get("id").and_then(Value::as_str) == Some(r.code))
+            {
+                return Err(format!(
+                    "runs[{ri}].tool.driver.rules is missing registry rule `{}`",
+                    r.code
+                ));
+            }
+        }
         let results = run
             .get("results")
             .and_then(Value::as_array)
@@ -203,6 +217,14 @@ fn validate_result(i: usize, r: &Value, rules: &[Value]) -> Result<(), String> {
         .get("ruleId")
         .and_then(Value::as_str)
         .ok_or_else(|| format!("results[{i}].ruleId must be a string"))?;
+    if !rules
+        .iter()
+        .any(|rule| rule.get("id").and_then(Value::as_str) == Some(rule_id))
+    {
+        return Err(format!(
+            "results[{i}].ruleId `{rule_id}` does not appear in tool.driver.rules"
+        ));
+    }
     let level = r
         .get("level")
         .and_then(Value::as_str)
@@ -381,5 +403,45 @@ mod tests {
             json!(0),
         );
         assert!(validate_sarif(&log).is_err(), "ruleIndex/ruleId mismatch");
+    }
+
+    #[test]
+    fn validator_rejects_rule_ids_absent_from_the_rules_table() {
+        let mut log = to_sarif(&sample());
+        set(
+            &mut log,
+            &["runs", "0", "results", "0", "ruleId"],
+            json!("Z999"),
+        );
+        let err = validate_sarif(&log).expect_err("unknown ruleId should be rejected");
+        assert!(err.contains("Z999"), "error names the offender: {err}");
+    }
+
+    #[test]
+    fn validator_rejects_drivers_missing_registry_rules() {
+        let mut log = to_sarif(&sample());
+        set(
+            &mut log,
+            &["runs", "0", "tool", "driver", "rules"],
+            json!([]),
+        );
+        let err = validate_sarif(&log).expect_err("dropped registry rules should be rejected");
+        assert!(err.contains("missing registry rule"), "{err}");
+    }
+
+    #[test]
+    fn driver_rules_cover_the_certification_rule_ids() {
+        let log = to_sarif(&sample());
+        let rules = ptr(&log, "runs").unwrap()[0]["tool"]["driver"]["rules"]
+            .as_array()
+            .unwrap();
+        for code in ["W010", "W011", "W012", "E010"] {
+            assert!(
+                rules
+                    .iter()
+                    .any(|r| r.get("id").and_then(Value::as_str) == Some(code)),
+                "driver rules missing `{code}`"
+            );
+        }
     }
 }

@@ -131,28 +131,37 @@ const GOLDENS: &[Golden] = &[
                   dependencies",
     },
     Golden {
-        file: "bad/unsaturable_channel.wrm",
-        code: "W007",
-        line: 6,
-        col: 26,
-        message: "channel `fs` can never saturate: every stream is capped and the caps sum to \
-                  4.00 GB/s of its 100.00 GB/s capacity",
-    },
-    Golden {
-        file: "bad/starved_channel.wrm",
-        code: "W008",
-        line: 9,
-        col: 23,
-        message: "task `bulk` is starved on channel `fs`: its max-min fair share is 1.00 GB/s, \
-                  below the 6.67 GB/s needed to move 1.00 TB within the 150s makespan target",
-    },
-    Golden {
         file: "bad/infeasible_interval.wrm",
         code: "W009",
         line: 7,
         col: 22,
         message: "makespan target 1500s is infeasible: the dependency chain fetch -> crunch \
                   alone needs at least 2000.000s",
+    },
+    Golden {
+        file: "bad/certified_interval.wrm",
+        code: "W010",
+        line: 9,
+        col: 22,
+        message: "makespan target 60s is undetermined: it falls inside the certified interval \
+                  [40.000s, 82.000s]",
+    },
+    Golden {
+        file: "bad/pool_bound.wrm",
+        code: "W012",
+        line: 9,
+        col: 24,
+        message: "workflow is node-pool/chain-bound: with every channel infinitely fast the \
+                  certified makespan lower bound is still 250.000s (currently 250.000s); \
+                  channel capacity sweeps provably cannot help",
+    },
+    Golden {
+        file: "bad/infeasible_floor.wrm",
+        code: "E010",
+        line: 7,
+        col: 22,
+        message: "makespan target 50s is infeasible under any channel provisioning: with every \
+                  channel infinitely fast, fixed phases alone still need 100.000s",
     },
 ];
 
@@ -236,6 +245,111 @@ fn interval_pass_certifies_a_bound_above_the_roofline() {
     let fix = &d.fixes[0];
     assert_eq!(fix.replacement, "2000s");
     assert_eq!(&source[fix.offset..fix.offset + fix.len], "1500s");
+}
+
+#[test]
+fn unsaturable_channel_is_also_provably_overprovisioned() {
+    // The same capped-stream geometry triggers both statements: W007
+    // (the contention ceiling can never bind) and W011 (re-certifying
+    // at the cap sum provably leaves the makespan interval in place).
+    let (_, diags) = lint_file("bad/unsaturable_channel.wrm");
+    let shape: Vec<(&str, usize, usize)> = diags
+        .iter()
+        .map(|d| (d.code.as_str(), d.span.line, d.span.col))
+        .collect();
+    assert_eq!(shape, vec![("W007", 6, 26), ("W011", 6, 26)], "{diags:?}");
+    assert_eq!(
+        diags[1].message,
+        "channel `fs` is over-provisioned: reducing its capacity from 100.00 GB/s to \
+         4.00 GB/s provably leaves the certified makespan interval [10.000s, 12.500s] unchanged"
+    );
+}
+
+#[test]
+fn overprovisioned_fixture_proves_reduction_by_recertification() {
+    let (_, diags) = lint_file("bad/overprovisioned_channel.wrm");
+    let shape: Vec<(&str, usize, usize)> = diags
+        .iter()
+        .map(|d| (d.code.as_str(), d.span.line, d.span.col))
+        .collect();
+    assert_eq!(shape, vec![("W007", 8, 23), ("W011", 8, 23)], "{diags:?}");
+    let w011 = &diags[1];
+    assert_eq!(
+        w011.message,
+        "channel `fs` is over-provisioned: reducing its capacity from 100.00 GB/s to \
+         2.00 GB/s provably leaves the certified makespan interval [10.000s, 15.000s] unchanged"
+    );
+    let help = w011.help.as_deref().expect("W011 carries a help line");
+    assert!(help.contains("spare 98.00 GB/s"), "{help}");
+}
+
+#[test]
+fn starved_channel_target_is_also_inside_the_certified_interval() {
+    // W008's starvation diagnosis stands, and the certificate adds the
+    // two-sided view: 150 s sits between the 100.9 s aggregate floor
+    // and the 1009 s contended upper bound, so the target is
+    // undetermined rather than provably missed.
+    let (_, diags) = lint_file("bad/starved_channel.wrm");
+    let shape: Vec<(&str, usize, usize)> = diags
+        .iter()
+        .map(|d| (d.code.as_str(), d.span.line, d.span.col))
+        .collect();
+    assert_eq!(shape, vec![("W010", 7, 22), ("W008", 9, 23)], "{diags:?}");
+    assert_eq!(
+        diags[0].message,
+        "makespan target 150s is undetermined: it falls inside the certified interval \
+         [100.900s, 1009.000s]"
+    );
+}
+
+#[test]
+fn w010_report_is_byte_identical_across_runs() {
+    let (_, first) = lint_file("bad/certified_interval.wrm");
+    for _ in 0..3 {
+        let (_, again) = lint_file("bad/certified_interval.wrm");
+        assert_eq!(first, again);
+    }
+    let help = first[0].help.as_deref().expect("W010 carries the witness");
+    // The witness decomposition names both ends' terms and the binding
+    // strengths from the attribution lattice.
+    assert!(help.contains("chain a[0] = 11.000s"), "{help}");
+    assert!(help.contains("`fs` 40.000s"), "{help}");
+    assert!(help.contains("node pool 11.000s"), "{help}");
+    assert!(
+        help.contains("min(serial 164.000s, chain 41.000s"),
+        "{help}"
+    );
+    assert!(
+        help.contains("chain=may, system-channel `fs`=may"),
+        "{help}"
+    );
+}
+
+#[test]
+fn e010_suppresses_w009_and_carries_a_fix() {
+    let (source, diags) = lint_file("bad/infeasible_floor.wrm");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.code, "E010");
+    assert_eq!(d.severity, Severity::Error);
+    // W009 would have fired on its own (50 s < the 100 s chain bound)
+    // but the strictly stronger E010 replaces it.
+    assert!(!diags.iter().any(|x| x.code == "W009"));
+    assert_eq!(d.fixes.len(), 1);
+    let fix = &d.fixes[0];
+    assert_eq!(fix.replacement, "100s");
+    assert_eq!(&source[fix.offset..fix.offset + fix.len], "50s");
+}
+
+#[test]
+fn w009_fires_without_e010_when_channels_drive_the_infeasibility() {
+    // infeasible_interval's 2000 s chain bound is half transfer time:
+    // with channels zeroed only the 1000 s compute remains, which the
+    // 1500 s target clears — so E010 must stay quiet and the weaker
+    // (but still certified) W009 does the talking.
+    let (_, diags) = lint_file("bad/infeasible_interval.wrm");
+    let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+    assert_eq!(codes, vec!["W009"], "{diags:?}");
 }
 
 #[test]
@@ -341,6 +455,40 @@ fn diagnostics_round_trip_through_json() {
     let back: Vec<Diagnostic> =
         serde_json::from_str(&serde_json::to_string(&diags).unwrap()).unwrap();
     assert_eq!(diags, back);
+}
+
+#[test]
+fn certification_fixtures_render_to_valid_sarif() {
+    // One golden SARIF check per certification rule: the log validates
+    // against the subset schema, the result carries the expected
+    // ruleId, and E010's machine-applicable fix survives the
+    // conversion.
+    for (file, code, level) in [
+        ("bad/certified_interval.wrm", "W010", "warning"),
+        ("bad/overprovisioned_channel.wrm", "W011", "warning"),
+        ("bad/pool_bound.wrm", "W012", "warning"),
+        ("bad/infeasible_floor.wrm", "E010", "error"),
+    ] {
+        let (_, diags) = lint_file(file);
+        let log = wrm_lint::to_sarif(&[(file.to_owned(), diags)]);
+        wrm_lint::validate_sarif(&log).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let results = log["runs"][0]["results"]
+            .as_array()
+            .unwrap_or_else(|| panic!("{file}: results array"));
+        let hit = results
+            .iter()
+            .find(|r| r["ruleId"].as_str() == Some(code))
+            .unwrap_or_else(|| panic!("{file}: no SARIF result with ruleId {code}"));
+        assert_eq!(hit["level"].as_str(), Some(level), "{file}");
+        let region = &hit["locations"][0]["physicalLocation"]["region"];
+        assert!(region["startLine"].as_u64().is_some(), "{file}: region");
+        if code == "E010" {
+            let text = hit["fixes"][0]["artifactChanges"][0]["replacements"][0]["insertedContent"]
+                ["text"]
+                .as_str();
+            assert_eq!(text, Some("100s"), "{file}: fix-it replacement");
+        }
+    }
 }
 
 #[test]

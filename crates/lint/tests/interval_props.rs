@@ -1,0 +1,106 @@
+//! Property tests for the interval abstract domain.
+//!
+//! The analyzer's soundness rests on `Interval` being a well-behaved
+//! lattice of time bounds: every operation must preserve the `lo <= hi`
+//! invariant, be monotone in both arguments, and — the property that
+//! makes interval propagation a *proof* — be sound under point
+//! refinement: if `x in a` and `y in b` then `f(x, y) in f(a, b)` for
+//! each lifted operation `f`.
+
+use proptest::prelude::*;
+use wrm_lint::Interval;
+
+/// A well-formed interval with finite non-negative ends.
+fn interval() -> impl Strategy<Value = Interval> {
+    (0.0f64..1e6, 0.0f64..1e6).prop_map(|(a, b)| Interval::new(a.min(b), a.max(b)))
+}
+
+/// `a` widened on both ends, so `a` is a sub-interval of the result.
+fn widen(a: Interval, down: f64, up: f64) -> Interval {
+    Interval::new(a.lo - down, a.hi + up)
+}
+
+proptest! {
+    #[test]
+    fn operations_preserve_the_ordering_invariant(
+        a in interval(),
+        b in interval(),
+        k in 0.0f64..100.0,
+    ) {
+        for i in [a + b, a.max(b), a.hull(b), a.scale(k)] {
+            prop_assert!(i.lo <= i.hi, "lo <= hi violated: {i}");
+            prop_assert!(i.lo >= 0.0, "negative lower bound: {i}");
+        }
+    }
+
+    #[test]
+    fn add_max_and_hull_are_monotone(
+        a in interval(),
+        b in interval(),
+        down in 0.0f64..100.0,
+        up in 0.0f64..100.0,
+    ) {
+        // Widening one argument can only widen the result: the wider
+        // result must contain the narrower one end-for-end.
+        let w = widen(a, down, up);
+        let contains = |outer: Interval, inner: Interval| {
+            outer.lo <= inner.lo && outer.hi >= inner.hi
+        };
+        prop_assert!(contains(w + b, a + b));
+        prop_assert!(contains(w.max(b), a.max(b)));
+        prop_assert!(contains(w.hull(b), a.hull(b)));
+    }
+
+    #[test]
+    fn scale_is_monotone_in_the_factor(a in interval(), k in 0.0f64..100.0, dk in 0.0f64..10.0) {
+        let small = a.scale(k);
+        let big = a.scale(k + dk);
+        prop_assert!(small.lo <= big.lo && small.hi <= big.hi);
+    }
+
+    #[test]
+    fn lifted_operations_are_sound_under_point_refinement(
+        a in interval(),
+        b in interval(),
+        tx in 0.0f64..=1.0,
+        ty in 0.0f64..=1.0,
+        k in 0.0f64..100.0,
+    ) {
+        let x = a.lo + tx * (a.hi - a.lo);
+        let y = b.lo + ty * (b.hi - b.lo);
+        prop_assert!(a.contains(x) && b.contains(y));
+        prop_assert!((a + b).contains(x + y), "{a} + {b} misses {x} + {y}");
+        prop_assert!(a.max(b).contains(x.max(y)), "max unsound");
+        prop_assert!(a.hull(b).contains(x) && a.hull(b).contains(y), "hull unsound");
+        // Allow one ulp of slack for the scaled product: the interval
+        // ends and the refined point round independently.
+        let s = a.scale(k);
+        let p = x * k;
+        prop_assert!(
+            s.lo <= p * (1.0 + 1e-12) + f64::MIN_POSITIVE
+                && s.hi >= p * (1.0 - 1e-12) - f64::MIN_POSITIVE,
+            "scale unsound: {s} misses {p}"
+        );
+    }
+
+    #[test]
+    fn zero_is_the_additive_identity_and_hull_max_are_idempotent(a in interval()) {
+        prop_assert_eq!(a + Interval::ZERO, a);
+        prop_assert_eq!(Interval::ZERO + a, a);
+        prop_assert_eq!(a.max(a), a);
+        prop_assert_eq!(a.hull(a), a);
+    }
+
+    #[test]
+    fn add_and_max_commute_and_hull_is_the_least_upper_bound(
+        a in interval(),
+        b in interval(),
+        c in interval(),
+    ) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a.max(b), b.max(a));
+        prop_assert_eq!(a.hull(b), b.hull(a));
+        // Hull of hulls is associative on these finite inputs.
+        prop_assert_eq!(a.hull(b).hull(c), a.hull(b.hull(c)));
+    }
+}

@@ -909,6 +909,19 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Runs to completion but materializes only the makespan, skipping
+    /// [`Engine::into_result`]'s per-task map construction. The value is
+    /// identical to `run()?.makespan`; the bracketing oracle calls this
+    /// thousands of times per grid, so the maps would dominate.
+    pub(crate) fn run_makespan(mut self) -> Result<f64, SimError> {
+        match self.advance()? {
+            Outcome::Done => Ok(self.trace.makespan()),
+            Outcome::Paused => {
+                unreachable!("run_makespan() is never called with stop_iter set")
+            }
+        }
+    }
+
     /// Runs to completion, also reporting the loop iteration of the
     /// first watched-channel join (see [`Engine::with_watch`]).
     pub(crate) fn run_watched(mut self) -> (Result<SimResult, SimError>, Option<u64>) {

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bounds;
 pub mod channel;
 pub mod engine;
 mod fastpath;
@@ -53,6 +54,9 @@ pub mod reference;
 pub mod spec;
 pub mod sweep;
 
+pub use bounds::{
+    certify, certify_scenario, simulate_makespan, Certificate, ChannelFloor, TaskBound, TermBound,
+};
 pub use channel::{equal_split_rates, max_min_rates, FlowDemand, FlowRate, Sharing};
 pub use engine::{
     simulate, BackgroundFlow, Jitter, Scenario, SchedulerPolicy, SimError, SimOptions, SimResult,
