@@ -4,11 +4,14 @@
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use wrm_bench::{bag_scenario, generated_scenario, layered_scenario, sweep_scenario};
+use wrm_bench::{
+    bag_scenario, generated_fork_join_scenario, generated_scenario, layered_scenario,
+    sweep_scenario,
+};
 use wrm_sim::reference::simulate_reference;
 use wrm_sim::{
-    max_min_rates, run_all, simulate, sweep_grid, FlowDemand, Scenario, SchedulerPolicy,
-    SimOptions, SimResult, SweepGrid,
+    max_min_rates, run_all, simulate, simulate_in, simulate_summary_in, sweep_grid, FlowDemand,
+    Scenario, SchedulerPolicy, SimArena, SimOptions, SimResult, SweepGrid,
 };
 
 fn sim_scaling(c: &mut Criterion) {
@@ -207,6 +210,93 @@ fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
+/// One row of the scaling curve: shape, size, per-mode wall times.
+struct ScalingRow {
+    shape: &'static str,
+    n: usize,
+    full_ms: Option<f64>,
+    summary_ms: f64,
+    makespan: f64,
+}
+
+/// Builds one scaling workload by shape name.
+fn scaling_scenario(shape: &str, n: usize) -> Scenario {
+    match shape {
+        "layered" => generated_scenario(n, 32, 42),
+        "forkjoin" => generated_fork_join_scenario(n, 32, 42),
+        other => panic!("unknown scaling shape {other}"),
+    }
+}
+
+/// Measures one scaling row. Summary mode always runs; full-result mode
+/// runs when `full` is set, and its makespan must equal the summary's
+/// bit for bit (the streaming aggregates replicate the trace folds).
+fn scaling_row(shape: &'static str, n: usize, full: bool, reps: usize) -> ScalingRow {
+    let scenario = scaling_scenario(shape, n);
+    let mut arena = SimArena::new();
+    let sum = simulate_summary_in(&scenario, &mut arena).unwrap();
+    assert_eq!(sum.n_tasks, n);
+    let summary_ms = time_ms(reps, || {
+        black_box(simulate_summary_in(&scenario, &mut arena).unwrap().makespan);
+    });
+    let full_ms = full.then(|| {
+        let r = simulate_in(&scenario, &mut arena).unwrap();
+        assert_eq!(
+            r.makespan, sum.makespan,
+            "summary-mode makespan must match the full engine ({shape}/{n})"
+        );
+        time_ms(reps, || {
+            black_box(simulate_in(&scenario, &mut arena).unwrap().makespan);
+        })
+    });
+    ScalingRow {
+        shape,
+        n,
+        full_ms,
+        summary_ms,
+        makespan: sum.makespan,
+    }
+}
+
+fn scaling_rows_json(rows: &[ScalingRow]) -> String {
+    rows.iter()
+        .map(|r| {
+            let full = r
+                .full_ms
+                .map_or("null".to_owned(), |ms| format!("{ms:.2}"));
+            format!(
+                "      {{ \"shape\": \"{}\", \"n_tasks\": {}, \"full_ms\": {full}, \"summary_ms\": {:.2}, \"makespan_s\": {:.6} }}",
+                r.shape, r.n, r.summary_ms, r.makespan
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+/// CI smoke (runs under `--test`): the 100k-task layered workload in
+/// summary mode must reproduce the full-result engine's makespan bit
+/// for bit and finish inside a generous single-CPU wall-clock budget.
+/// Writes the small scaling table to `target/scaling_smoke.json` for
+/// artifact upload.
+fn scaling_smoke() {
+    let row = scaling_row("layered", 100_000, true, 1);
+    assert!(
+        row.summary_ms < 60_000.0,
+        "100k-task summary run blew the smoke budget: {:.0} ms",
+        row.summary_ms
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"engine/scaling_smoke\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        scaling_rows_json(&[row])
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/scaling_smoke.json"
+    );
+    std::fs::write(path, &json).expect("write scaling_smoke.json");
+    println!("scaling smoke: wrote {path}");
+}
+
 /// Headline numbers for the PR acceptance criteria, written to
 /// `BENCH_engine.json` at the workspace root: optimized-vs-reference
 /// speedup on the 10k-task / 32-channel DAG, and `run_all` thread
@@ -218,10 +308,10 @@ fn write_baseline() {
     let reference = simulate_reference(&scenario).unwrap();
     assert_eq!(opt, reference, "engines must agree before we time them");
 
-    let opt_ms = time_ms(3, || {
+    let opt_ms = time_ms(5, || {
         black_box(simulate(&scenario).unwrap().makespan);
     });
-    let ref_ms = time_ms(3, || {
+    let ref_ms = time_ms(5, || {
         black_box(simulate_reference(&scenario).unwrap().makespan);
     });
     let speedup = ref_ms / opt_ms;
@@ -275,15 +365,26 @@ fn write_baseline() {
     });
     let grid_speedup = cold_ms / inc_ms;
 
+    // Scaling curve: 10k -> 100k (full + summary, makespans asserted
+    // bit-equal) -> 1M (summary only; the full-result maps are exactly
+    // what summary mode exists to avoid at that size).
+    let scaling = [
+        scaling_row("layered", 10_000, true, 3),
+        scaling_row("layered", 100_000, true, 2),
+        scaling_row("forkjoin", 100_000, true, 2),
+        scaling_row("layered", 1_000_000, false, 1),
+    ];
+
     let json = format!(
-        "{{\n  \"bench\": \"engine/generated\",\n  \"workload\": \"10000 tasks, 32 shared channels, seed 42 (wrm_bench::generated_scenario)\",\n  \"host_cpus\": {cpus},\n  \"makespan_s\": {:.6},\n  \"reference_ms\": {ref_ms:.2},\n  \"optimized_ms\": {opt_ms:.2},\n  \"speedup\": {speedup:.2},\n  \"sweep\": {{\n    \"workload\": \"64 scenarios x 1000 tasks, 8 channels (wrm_sim::run_all)\",\n    \"host_cpus\": {cpus},{sweep_note}\n    \"threads\": [\n{}\n    ]\n  }},\n  \"sweep_incremental\": {{\n    \"workload\": \"1000-task layered pipeline + 16-task chained archive stage (wrm_bench::sweep_scenario)\",\n    \"grid\": \"64 contention factors (0.25..3.40 on ext) x 64 node limits (256..4036), fifo\",\n    \"host_cpus\": {cpus},\n    \"threads\": 1,\n    \"cold_ms\": {cold_ms:.2},\n    \"incremental_ms\": {inc_ms:.2},\n    \"speedup\": {grid_speedup:.2},\n    \"points\": {{ \"fastpath\": {}, \"replayed\": {}, \"cold\": {}, \"reused\": {}, \"errors\": {} }},\n    \"note\": \"single-threaded by construction (algorithmic win); incremental results asserted bit-identical to cold per-point simulation before timing\"\n  }},\n  \"methodology\": \"cargo bench -p wrm-bench --bench engine; best of 3 runs (cold grid: best of 2); see docs/PERF.md\"\n}}\n",
+        "{{\n  \"bench\": \"engine/generated\",\n  \"workload\": \"10000 tasks, 32 shared channels, seed 42 (wrm_bench::generated_scenario)\",\n  \"host_cpus\": {cpus},\n  \"makespan_s\": {:.6},\n  \"reference_ms\": {ref_ms:.2},\n  \"optimized_ms\": {opt_ms:.2},\n  \"speedup\": {speedup:.2},\n  \"sweep\": {{\n    \"workload\": \"64 scenarios x 1000 tasks, 8 channels (wrm_sim::run_all)\",\n    \"host_cpus\": {cpus},{sweep_note}\n    \"threads\": [\n{}\n    ]\n  }},\n  \"sweep_incremental\": {{\n    \"workload\": \"1000-task layered pipeline + 16-task chained archive stage (wrm_bench::sweep_scenario)\",\n    \"grid\": \"64 contention factors (0.25..3.40 on ext) x 64 node limits (256..4036), fifo\",\n    \"host_cpus\": {cpus},\n    \"threads\": 1,\n    \"cold_ms\": {cold_ms:.2},\n    \"incremental_ms\": {inc_ms:.2},\n    \"speedup\": {grid_speedup:.2},\n    \"points\": {{ \"fastpath\": {}, \"replayed\": {}, \"cold\": {}, \"reused\": {}, \"errors\": {} }},\n    \"note\": \"single-threaded by construction (algorithmic win); incremental results asserted bit-identical to cold per-point simulation before timing\"\n  }},\n  \"scaling\": {{\n    \"workload\": \"generated layered / fork-join DAGs, 32 shared channels, seed 42 (wrm_bench::generated_scenario / generated_fork_join_scenario)\",\n    \"host_cpus\": {cpus},\n    \"rows\": [\n{}\n    ],\n    \"note\": \"summary-mode makespans asserted bit-equal to the full engine wherever both run; 1M-task row is summary-only (O(channels) result memory)\"\n  }},\n  \"methodology\": \"cargo bench -p wrm-bench --bench engine; headline: best of 5 runs; sweep: best of 3 (cold grid: best of 2; 100k rows: best of 2; 1M row: single run); see docs/PERF.md\"\n}}\n",
         opt.makespan,
         sweep_json.join(",\n"),
         grid_stats.fastpath,
         grid_stats.replayed,
         grid_stats.cold,
         grid_stats.reused,
-        grid_stats.errors
+        grid_stats.errors,
+        scaling_rows_json(&scaling)
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, &json).expect("write BENCH_engine.json");
@@ -296,8 +397,14 @@ fn write_baseline() {
 }
 
 fn main() {
-    engine();
-    if !std::env::args().any(|a| a == "--test") {
+    if std::env::args().any(|a| a == "--test") {
+        engine();
+        scaling_smoke();
+    } else {
+        // Headline timings first, in a quiet process: criterion's long
+        // churn ahead of them inflates the measurements noticeably on a
+        // 1-CPU host.
         write_baseline();
+        engine();
     }
 }

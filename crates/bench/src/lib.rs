@@ -95,6 +95,44 @@ pub fn generated_scenario(n_tasks: usize, n_channels: usize, seed: u64) -> Scena
     Scenario::new(machine, wf)
 }
 
+/// The fork–join counterpart of [`generated_scenario`]: `n_tasks` tasks
+/// from [`wrm_dag::generate::fork_join_tasks`] (rounds of up-to-4096-wide
+/// barriers, each gated on the previous round) on the same 8192-node /
+/// `n_channels`-channel machine with the same phase-attachment policy.
+/// Wide barriers drain hundreds of completions into a single instant —
+/// the completion calendar's worst case. Deterministic per
+/// `(n_tasks, n_channels, seed)`.
+pub fn generated_fork_join_scenario(n_tasks: usize, n_channels: usize, seed: u64) -> Scenario {
+    assert!(n_channels >= 1, "need at least one channel");
+    let mut builder = Machine::builder("bench-fj", 8192);
+    for c in 0..n_channels {
+        builder = builder.system(
+            format!("ch{c}"),
+            format!("Channel {c}"),
+            BytesPerSec::gbps(50.0),
+        );
+    }
+    let machine = builder.build().expect("valid machine");
+    let tasks = wrm_dag::generate::fork_join_tasks(seed, n_tasks, 4096, 2, 20.0);
+    let mut wf = WorkflowSpec::new(format!("fj[{n_tasks}x{n_channels}]"));
+    for (i, gt) in tasks.iter().enumerate() {
+        let mut t = TaskSpec::new(&gt.name, gt.nodes).phase(Phase::overhead("work", gt.duration));
+        if i % 4 == 0 {
+            let ch = i % n_channels;
+            t = t.phase(Phase::SystemData {
+                resource: format!("ch{ch}"),
+                bytes: (1.0 + gt.duration) * 2e9,
+                stream_cap: if i % 8 == 0 { Some(5e9) } else { None },
+            });
+        }
+        for &d in &gt.deps {
+            t = t.after(&tasks[d].name);
+        }
+        wf = wf.task(t);
+    }
+    Scenario::new(machine, wf)
+}
+
 /// The incremental-sweep benchmark workload: a layered main pipeline
 /// where *every* task streams over a shared 1 TB/s file system under a
 /// 0.5 GB/s cap, feeding a 16-task *chained* archive stage that pushes
@@ -181,6 +219,20 @@ mod tests {
         assert!(r.makespan > 0.0);
         let reference = wrm_sim::reference::simulate_reference(&s).unwrap();
         assert_eq!(r, reference);
+    }
+
+    #[test]
+    fn fork_join_scenario_simulates_and_matches_reference() {
+        let s = generated_fork_join_scenario(400, 8, 7);
+        let r = simulate(&s).unwrap();
+        assert_eq!(r.task_times.len(), 400);
+        assert!(r.makespan > 0.0);
+        let reference = wrm_sim::reference::simulate_reference(&s).unwrap();
+        assert_eq!(r, reference);
+        // Summary mode reproduces the full engine's makespan exactly.
+        let sum = wrm_sim::simulate_summary(&s).unwrap();
+        assert_eq!(sum.makespan, r.makespan);
+        assert_eq!(sum.n_tasks, 400);
     }
 
     #[test]

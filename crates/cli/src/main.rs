@@ -95,6 +95,9 @@ fn usage() -> &'static str {
      \x20         [--svg out.svg] [--html out.html] [--ascii]\n\
      \x20                                    analyze a workflow file\n\
      \x20 simulate <file.wrm> [--gantt] [--jsonl out.jsonl] [--contention r=f]\n\
+     \x20          [--summary]               streaming aggregates only —\n\
+     \x20                                    O(channels) result memory, for\n\
+     \x20                                    very large (100k+ task) runs\n\
      \x20 sweep <file.wrm|builtin> [--resource R --factors 1.0,0.5]\n\
      \x20       [--nodes 64,128] [--policies fifo,backfill] [--threads N]\n\
      \x20       [--format json|csv] [--out file] [--no-incremental]\n\
@@ -138,6 +141,7 @@ struct Flags {
     dry_run: bool,
     machine: Option<String>,
     simulate: bool,
+    summary: bool,
     contention: Vec<(String, f64)>,
     svg: Option<String>,
     ascii: bool,
@@ -166,6 +170,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         dry_run: false,
         machine: None,
         simulate: false,
+        summary: false,
         contention: Vec::new(),
         svg: None,
         ascii: false,
@@ -202,6 +207,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--fix" => f.fix = true,
             "--dry-run" => f.dry_run = true,
             "--simulate" => f.simulate = true,
+            "--summary" => f.summary = true,
             "--ascii" => f.ascii = true,
             "--gantt" => f.gantt = true,
             "--svg" => f.svg = Some(value(&mut i)?),
@@ -630,6 +636,45 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let (compiled, machine) = load(&flags)?;
     let scenario =
         Scenario::new(machine.clone(), compiled.spec.clone()).with_options(sim_options(&flags));
+    if flags.summary {
+        if flags.gantt || flags.jsonl.is_some() {
+            return Err(
+                "--summary keeps no trace; it cannot be combined with --gantt or --jsonl".into(),
+            );
+        }
+        let sum = wrm_sim::simulate_summary(&scenario).map_err(|e| e.to_string())?;
+        println!(
+            "{} on {}: makespan {:.2} s, {} tasks, {} spans, {:.0} node-seconds \
+             ({:.1}% pool utilization)",
+            compiled.spec.name,
+            machine.name,
+            sum.makespan,
+            sum.n_tasks,
+            sum.n_spans,
+            sum.node_seconds,
+            sum.utilization() * 100.0
+        );
+        println!("\nchannels:");
+        for ch in &sum.channels {
+            println!(
+                "  {:<12} busy {:>10.2} s  {:>12.3e} B  {:>8} flows",
+                ch.resource, ch.busy, ch.bytes, ch.flows
+            );
+        }
+        println!(
+            "\ncritical-path tail ({} task(s){}):",
+            sum.critical_tail_len,
+            if sum.critical_tail_len > sum.critical_tail.len() {
+                ", last 32 shown"
+            } else {
+                ""
+            }
+        );
+        for name in &sum.critical_tail {
+            println!("  {name}");
+        }
+        return Ok(());
+    }
     let result = simulate(&scenario).map_err(|e| e.to_string())?;
 
     println!(

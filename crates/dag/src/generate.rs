@@ -195,6 +195,80 @@ pub fn random_layered_tasks(
     tasks
 }
 
+/// A deterministic pseudo-random repeated fork–join workload with
+/// exactly `n_tasks` tasks, as plain task records: rounds of `fork ->
+/// width workers -> join`, each round's fork gated on the previous join
+/// (the LCLS shape of Fig. 4, tiled until the budget is exhausted —
+/// wide barriers are the worst case for a completion calendar, since
+/// every worker of a round finishes into the same join). Widths are
+/// drawn in `1..=max_width` per round; worker node counts in
+/// `1..=max_nodes`; fork/join tasks take one node. Uses its own
+/// splitmix64 stream from `seed`, so identical seeds give identical
+/// workloads.
+pub fn fork_join_tasks(
+    seed: u64,
+    n_tasks: usize,
+    max_width: usize,
+    max_nodes: u64,
+    max_duration: f64,
+) -> Vec<GeneratedTask> {
+    assert!(max_width >= 1, "max_width must be at least 1");
+    assert!(max_nodes >= 1, "max_nodes must be at least 1");
+    let mut state = seed ^ 0x5851_F42D_4C95_7F2D;
+    let mut next = move || -> u64 {
+        // splitmix64
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut tasks: Vec<GeneratedTask> = Vec::with_capacity(n_tasks);
+    let mut prev_join: Option<usize> = None;
+    let mut round = 0usize;
+    while tasks.len() < n_tasks {
+        let budget = n_tasks - tasks.len();
+        let fork = tasks.len();
+        tasks.push(GeneratedTask {
+            name: format!("fork[{round}]"),
+            nodes: 1,
+            duration: (next() % 1_000_000) as f64 / 1_000_000.0 * max_duration,
+            deps: prev_join.into_iter().collect(),
+        });
+        // Reserve one slot for the join; degenerate tails become a chain.
+        let width = (1 + (next() as usize) % max_width).min(budget.saturating_sub(2));
+        let mut workers = Vec::with_capacity(width);
+        for i in 0..width {
+            let id = tasks.len();
+            tasks.push(GeneratedTask {
+                name: format!("work[{round}.{i}]"),
+                nodes: 1 + next() % max_nodes,
+                duration: (next() % 1_000_000) as f64 / 1_000_000.0 * max_duration,
+                deps: vec![fork],
+            });
+            workers.push(id);
+        }
+        if tasks.len() < n_tasks {
+            let join = tasks.len();
+            tasks.push(GeneratedTask {
+                name: format!("join[{round}]"),
+                nodes: 1,
+                duration: (next() % 1_000_000) as f64 / 1_000_000.0 * max_duration,
+                deps: if workers.is_empty() {
+                    vec![fork]
+                } else {
+                    workers
+                },
+            });
+            prev_join = Some(join);
+        } else {
+            prev_join = Some(fork);
+        }
+        round += 1;
+    }
+    tasks
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +340,30 @@ mod tests {
         assert!(
             random_layered_tasks(3, 100, 8, 4, 50.0) != random_layered_tasks(4, 100, 8, 4, 50.0)
         );
+    }
+
+    #[test]
+    fn fork_join_tasks_hit_the_budget_exactly() {
+        for n in [1, 2, 3, 4, 17, 1000] {
+            let tasks = fork_join_tasks(11, n, 16, 8, 30.0);
+            assert_eq!(tasks.len(), n);
+            assert_eq!(tasks, fork_join_tasks(11, n, 16, 8, 30.0));
+            for (i, t) in tasks.iter().enumerate() {
+                assert!(t.deps.iter().all(|&d| d < i), "topological order");
+                assert!(t.nodes >= 1 && t.nodes <= 8);
+                assert!(t.duration >= 0.0 && t.duration < 30.0);
+            }
+        }
+        // Names are unique, and the barrier shape is present: some join
+        // depends on more than one worker.
+        let tasks = fork_join_tasks(11, 500, 16, 8, 30.0);
+        let names: std::collections::BTreeSet<&str> =
+            tasks.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names.len(), tasks.len());
+        assert!(tasks.iter().any(|t| t.deps.len() > 1));
+        // Every round is gated on the previous one: exactly one root.
+        assert_eq!(tasks.iter().filter(|t| t.deps.is_empty()).count(), 1);
+        assert!(fork_join_tasks(1, 100, 8, 4, 50.0) != fork_join_tasks(2, 100, 8, 4, 50.0));
     }
 
     #[test]

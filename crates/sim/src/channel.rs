@@ -29,6 +29,15 @@ pub struct FlowRate {
     pub rate: f64,
 }
 
+/// Reusable scratch for the `*_rates_into` solver variants: holds the
+/// progressive-filling working set so a caller solving thousands of
+/// channel instants per run allocates nothing after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct RateScratch {
+    /// Indices of flows still competing for the remainder.
+    open: Vec<usize>,
+}
+
 /// Computes max–min fair rates for `flows` on a channel of `capacity`
 /// bytes/s.
 ///
@@ -39,23 +48,38 @@ pub struct FlowRate {
 /// * uncapped flows all receive the same rate, and no capped flow
 ///   receives more than an uncapped one.
 pub fn max_min_rates(capacity: f64, flows: &[FlowDemand]) -> Vec<FlowRate> {
+    let mut out = Vec::new();
+    max_min_rates_into(capacity, flows, &mut RateScratch::default(), &mut out);
+    out
+}
+
+/// [`max_min_rates`] into caller-owned buffers: `out` is cleared and
+/// refilled (one rate per flow, in flow order), `scratch` is reused
+/// across calls. The assigned rates are bit-identical to
+/// [`max_min_rates`] — both run the same progressive filling in the
+/// same order.
+pub fn max_min_rates_into(
+    capacity: f64,
+    flows: &[FlowDemand],
+    scratch: &mut RateScratch,
+    out: &mut Vec<FlowRate>,
+) {
     assert!(
         capacity >= 0.0 && !capacity.is_nan(),
         "channel capacity must be non-negative"
     );
+    out.clear();
     if flows.is_empty() {
-        return Vec::new();
+        return;
     }
 
-    let mut rates: Vec<FlowRate> = flows
-        .iter()
-        .map(|f| FlowRate {
-            id: f.id,
-            rate: 0.0,
-        })
-        .collect();
-    // Indices of flows still competing for the remainder.
-    let mut open: Vec<usize> = (0..flows.len()).collect();
+    out.extend(flows.iter().map(|f| FlowRate {
+        id: f.id,
+        rate: 0.0,
+    }));
+    let open = &mut scratch.open;
+    open.clear();
+    open.extend(0..flows.len());
     let mut remaining = capacity;
 
     loop {
@@ -67,7 +91,7 @@ pub fn max_min_rates(capacity: f64, flows: &[FlowDemand]) -> Vec<FlowRate> {
         let mut settled_any = false;
         open.retain(|&i| {
             if flows[i].cap <= share {
-                rates[i].rate = flows[i].cap;
+                out[i].rate = flows[i].cap;
                 remaining -= flows[i].cap;
                 settled_any = true;
                 false
@@ -77,34 +101,36 @@ pub fn max_min_rates(capacity: f64, flows: &[FlowDemand]) -> Vec<FlowRate> {
         });
         if !settled_any {
             // Everyone left is limited by the channel: equal share.
-            for &i in &open {
-                rates[i].rate = share;
+            for &i in &*open {
+                out[i].rate = share;
             }
             break;
         }
     }
-    rates
 }
 
 /// Equal-split sharing: the naive alternative (every flow gets
 /// `capacity / n`, clipped to its cap). Kept as an ablation baseline for
 /// the benchmarks; it under-utilizes the link whenever caps differ.
 pub fn equal_split_rates(capacity: f64, flows: &[FlowDemand]) -> Vec<FlowRate> {
+    let mut out = Vec::new();
+    equal_split_rates_into(capacity, flows, &mut out);
+    out
+}
+
+/// [`equal_split_rates`] into a caller-owned buffer (cleared and
+/// refilled), for allocation-free repeated solving.
+pub fn equal_split_rates_into(capacity: f64, flows: &[FlowDemand], out: &mut Vec<FlowRate>) {
     assert!(
         capacity >= 0.0 && !capacity.is_nan(),
         "channel capacity must be non-negative"
     );
-    if flows.is_empty() {
-        return Vec::new();
-    }
+    out.clear();
     let share = capacity / flows.len() as f64;
-    flows
-        .iter()
-        .map(|f| FlowRate {
-            id: f.id,
-            rate: share.min(f.cap),
-        })
-        .collect()
+    out.extend(flows.iter().map(|f| FlowRate {
+        id: f.id,
+        rate: share.min(f.cap),
+    }));
 }
 
 /// Sharing discipline selector (ablation knob).
@@ -123,6 +149,21 @@ impl Sharing {
         match self {
             Sharing::MaxMin => max_min_rates(capacity, flows),
             Sharing::EqualSplit => equal_split_rates(capacity, flows),
+        }
+    }
+
+    /// Dispatches to the selected solver's buffer-reusing variant; the
+    /// rates written to `out` are bit-identical to [`Sharing::rates`].
+    pub fn rates_into(
+        self,
+        capacity: f64,
+        flows: &[FlowDemand],
+        scratch: &mut RateScratch,
+        out: &mut Vec<FlowRate>,
+    ) {
+        match self {
+            Sharing::MaxMin => max_min_rates_into(capacity, flows, scratch, out),
+            Sharing::EqualSplit => equal_split_rates_into(capacity, flows, out),
         }
     }
 }
@@ -226,6 +267,23 @@ mod tests {
         let rates = max_min_rates(10.0, &flows);
         assert_eq!(rates[0].rate, 0.0);
         assert!((rates[1].rate - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let flows = vec![demand(0, 10.0), demand(1, f64::INFINITY), demand(2, 3.0)];
+        let mut scratch = RateScratch::default();
+        let mut out = Vec::new();
+        for cap in [0.0, 5.0, 100.0] {
+            max_min_rates_into(cap, &flows, &mut scratch, &mut out);
+            assert_eq!(out, max_min_rates(cap, &flows));
+            equal_split_rates_into(cap, &flows, &mut out);
+            assert_eq!(out, equal_split_rates(cap, &flows));
+            Sharing::MaxMin.rates_into(cap, &flows, &mut scratch, &mut out);
+            assert_eq!(out, Sharing::MaxMin.rates(cap, &flows));
+        }
+        equal_split_rates_into(1.0, &[], &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //! longest-path computation *bit-exactly* when a sweep point has no
 //! contention.
 
-use crate::channel::{FlowDemand, Sharing};
+use crate::calendar::{CalEv, Calendar, CalendarKind};
+use crate::channel::{FlowDemand, FlowRate, RateScratch, Sharing};
 use crate::index::{BaseIndex, PhaseIx};
 use crate::overlay::IndexOverlay;
 use crate::spec::{Phase, SpecError, WorkflowSpec};
@@ -29,7 +30,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::fmt;
 use wrm_core::Machine;
 use wrm_trace::{SpanKind, Trace, TraceSpan};
@@ -263,88 +264,458 @@ pub(crate) fn flow_finished(remaining: f64, rate: f64, now: f64) -> bool {
 /// Position/slot sentinel: not present.
 const DEAD: u32 = u32::MAX;
 
-/// How a running phase progresses.
-#[derive(Debug, Clone, Copy)]
-enum EntryKind {
-    /// Fixed-duration phase; its end sits in the completion calendar.
-    Fixed,
-    /// A flow on a shared channel.
-    Flow {
+/// Names the summary tail keeps (nearest the end task).
+const TAIL_CAP: usize = 32;
+
+/// The running set as a struct of arrays: column `i` of every vector
+/// describes the entry at running-vector position `i`, so the hot loops
+/// (demand collection, rate updates, stale-event checks) each touch only
+/// the one or two arrays they need instead of dragging whole
+/// 96-byte entries through the cache. Positions reproduce the reference
+/// engine's `Vec<RunningTask>` layout (they shift only via
+/// `swap_remove`, mirrored exactly); tokens are stable handles used by
+/// the calendar and channel member lists.
+///
+/// `channel[i] == DEAD` marks a fixed-duration phase (its float columns
+/// are unused placeholders); `member_slot[i] == DEAD` marks a flow that
+/// never joined its channel (born finished inside a completion scan).
+#[derive(Debug, Clone, Default)]
+struct RunSoa {
+    token: Vec<u32>,
+    task: Vec<u32>,
+    phase: Vec<u32>,
+    phase_start: Vec<f64>,
+    channel: Vec<u32>,
+    remaining: Vec<f64>,
+    cap: Vec<f64>,
+    /// Current fair-share rate; `remaining` is exact as of `last_set`
+    /// and untouched until the next rate change.
+    rate: Vec<f64>,
+    last_set: Vec<f64>,
+    /// Cached completion time under the current rate (`f64::INFINITY`
+    /// while starved). Recomputed only on rate change; the calendar
+    /// holds a copy, and an event whose time differs from this field is
+    /// stale and skipped.
+    end: Vec<f64>,
+    member_slot: Vec<u32>,
+}
+
+impl RunSoa {
+    fn len(&self) -> usize {
+        self.token.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.token.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.token.clear();
+        self.task.clear();
+        self.phase.clear();
+        self.phase_start.clear();
+        self.channel.clear();
+        self.remaining.clear();
+        self.cap.clear();
+        self.rate.clear();
+        self.last_set.clear();
+        self.end.clear();
+        self.member_slot.clear();
+    }
+
+    fn push_fixed(&mut self, token: u32, task: u32, phase: u32, start: f64) {
+        self.token.push(token);
+        self.task.push(task);
+        self.phase.push(phase);
+        self.phase_start.push(start);
+        self.channel.push(DEAD);
+        self.remaining.push(0.0);
+        self.cap.push(0.0);
+        self.rate.push(0.0);
+        self.last_set.push(start);
+        self.end.push(0.0);
+        self.member_slot.push(DEAD);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_flow(
+        &mut self,
+        token: u32,
+        task: u32,
+        phase: u32,
+        start: f64,
         channel: u32,
-        remaining: f64,
+        bytes: f64,
         cap: f64,
-        rate: f64,
-        /// Time the current rate was assigned; `remaining` is exact as
-        /// of this instant and untouched until the next rate change.
-        last_set: f64,
-        /// Cached completion time under the current rate
-        /// (`f64::INFINITY` while starved). Recomputed only on rate
-        /// change; the calendar holds a copy, and an event whose time
-        /// differs from this field is stale and skipped.
         end: f64,
-        /// Index into `members[channel]`, or [`DEAD`] when the flow was
-        /// born finished and never joined the channel.
         member_slot: u32,
-    },
-}
+    ) {
+        self.token.push(token);
+        self.task.push(task);
+        self.phase.push(phase);
+        self.phase_start.push(start);
+        self.channel.push(channel);
+        self.remaining.push(bytes);
+        self.cap.push(cap);
+        self.rate.push(0.0);
+        self.last_set.push(start);
+        self.end.push(end);
+        self.member_slot.push(member_slot);
+    }
 
-/// One running phase. Its *position* in the running vector reproduces
-/// the reference engine's `Vec<RunningTask>` layout (positions shift
-/// only via `swap_remove`, mirrored exactly); its *token* is a stable
-/// handle used by the calendar and channel member lists.
-#[derive(Debug, Clone, Copy)]
-struct RunEntry {
-    token: u32,
-    task: u32,
-    phase: u32,
-    phase_start: f64,
-    kind: EntryKind,
-}
-
-/// A calendar entry: an activity's known completion time. Ordered as a
-/// min-heap on `end` (ties broken by token for a total order). Flow
-/// entries are not removed on rate change; they are lazily discarded
-/// when popped with an `end` that no longer matches the flow's cached
-/// one.
-#[derive(Debug, Clone, Copy)]
-struct CalEv {
-    end: f64,
-    token: u32,
-}
-
-impl PartialEq for CalEv {
-    fn eq(&self, other: &Self) -> bool {
-        self.token == other.token && self.end.total_cmp(&other.end).is_eq()
+    fn swap_remove(&mut self, i: usize) {
+        self.token.swap_remove(i);
+        self.task.swap_remove(i);
+        self.phase.swap_remove(i);
+        self.phase_start.swap_remove(i);
+        self.channel.swap_remove(i);
+        self.remaining.swap_remove(i);
+        self.cap.swap_remove(i);
+        self.rate.swap_remove(i);
+        self.last_set.swap_remove(i);
+        self.end.swap_remove(i);
+        self.member_slot.swap_remove(i);
     }
 }
-impl Eq for CalEv {}
-impl PartialOrd for CalEv {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+/// A sorted-vec ordered set of positions. The pending-completion set
+/// only ever holds the entries finishing at one instant (usually one or
+/// two), so binary-search insertion into a flat vec beats a `BTreeSet`
+/// — and, unlike one, it keeps its allocation across arena reuses.
+#[derive(Debug, Clone, Default)]
+struct OrdSet(Vec<u32>);
+
+impl OrdSet {
+    fn insert(&mut self, v: u32) {
+        if let Err(i) = self.0.binary_search(&v) {
+            self.0.insert(i, v);
+        }
+    }
+
+    fn remove(&mut self, v: u32) -> bool {
+        match self.0.binary_search(&v) {
+            Ok(i) => {
+                self.0.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn pop_first(&mut self) -> Option<u32> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(self.0.remove(0))
+        }
+    }
+
+    fn clear(&mut self) {
+        self.0.clear();
     }
 }
-impl Ord for CalEv {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest end.
-        other
-            .end
-            .total_cmp(&self.end)
-            .then_with(|| other.token.cmp(&self.token))
+
+/// Streaming aggregates accumulated during a [`RunMode::Summary`] run,
+/// replicating exactly what would be derived from the full result:
+/// the makespan folds (`Trace::makespan`'s min-start/max-end over spans,
+/// in span order), per-channel busy time (maximal member-presence
+/// intervals, closed in chronological order), and per-channel byte and
+/// flow counts (accumulated at each flow completion, i.e. in trace
+/// order).
+#[derive(Debug, Clone, Default)]
+struct SummaryAcc {
+    span_min_start: f64,
+    span_max_end: f64,
+    n_spans: u64,
+    /// Time each channel's member count last became non-zero.
+    active_since: Vec<f64>,
+    busy: Vec<f64>,
+    bytes: Vec<f64>,
+    flows: Vec<u64>,
+}
+
+impl SummaryAcc {
+    fn reset(&mut self, n_channels: usize) {
+        self.span_min_start = f64::INFINITY;
+        self.span_max_end = 0.0;
+        self.n_spans = 0;
+        self.active_since.clear();
+        self.active_since.resize(n_channels, 0.0);
+        self.busy.clear();
+        self.busy.resize(n_channels, 0.0);
+        self.bytes.clear();
+        self.bytes.resize(n_channels, 0.0);
+        self.flows.clear();
+        self.flows.resize(n_channels, 0);
     }
+}
+
+/// Every growable buffer an engine run needs, grouped so a
+/// [`SimArena`] can keep them warm between runs: after the first run of
+/// a similar size, the event loop performs no heap allocation at all
+/// (the fair-share solver included, via the `rates_into` variants).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EngineState {
+    run: RunSoa,
+    /// Token -> current position in `run` ([`DEAD`] once removed).
+    pos_of: Vec<u32>,
+    /// Completion calendar (bucketed calendar queue, or the heap oracle).
+    calendar: Calendar,
+    /// Tokens of the flows on each channel (unordered).
+    members: Vec<Vec<u32>>,
+    /// Channels whose demand set or demand order changed since the last
+    /// fair-share solve.
+    dirty: Vec<bool>,
+    dirty_list: Vec<u32>,
+    /// Ready tasks, popped in task-index order (= the reference's sorted
+    /// queue).
+    ready: BinaryHeap<Reverse<u32>>,
+    /// Tasks unblocked by zero-phase completions mid-scan; examined
+    /// after the heap in append order, like the reference's queue tail.
+    deferred: VecDeque<u32>,
+    /// Backfill scratch: ready tasks that did not fit this scan.
+    skipped: Vec<u32>,
+    /// Positions of finished-but-unprocessed entries during an event's
+    /// completion scan.
+    pending: OrdSet,
+    dep_count: Vec<u32>,
+    starts: Vec<f64>,
+    ends: Vec<f64>,
+    /// The dependency that released each task (its last-completing
+    /// predecessor), [`DEAD`] for roots; walking it back from the
+    /// last-finishing task yields the critical-path tail of the summary.
+    released_by: Vec<u32>,
+    demand_scratch: Vec<FlowDemand>,
+    rates_out: Vec<FlowRate>,
+    rate_scratch: RateScratch,
+    sum: SummaryAcc,
+}
+
+impl EngineState {
+    /// Re-initializes every buffer for a fresh run, keeping capacity.
+    fn reset(&mut self, kind: CalendarKind, base: &BaseIndex, overlay: &IndexOverlay) {
+        let n = base.n_tasks();
+        let n_channels = overlay.channel_capacity.len();
+        self.run.clear();
+        self.pos_of.clear();
+        self.calendar.reset(kind);
+        for m in &mut self.members {
+            m.clear();
+        }
+        self.members.resize_with(n_channels, Vec::new);
+        self.dirty.clear();
+        self.dirty.resize(n_channels, false);
+        self.dirty_list.clear();
+        self.ready.clear();
+        for (t, &d) in base.dep_count.iter().enumerate() {
+            if d == 0 {
+                self.ready.push(Reverse(t as u32));
+            }
+        }
+        self.deferred.clear();
+        self.skipped.clear();
+        self.pending.clear();
+        self.dep_count.clear();
+        self.dep_count.extend_from_slice(&base.dep_count);
+        self.starts.clear();
+        self.starts.resize(n, f64::NAN);
+        self.ends.clear();
+        self.ends.resize(n, f64::NAN);
+        self.released_by.clear();
+        self.released_by.resize(n, DEAD);
+        self.demand_scratch.clear();
+        self.rates_out.clear();
+        self.sum.reset(n_channels);
+    }
+}
+
+/// A reusable simulation arena: owns every growable buffer the engine
+/// needs, so repeated [`simulate_in`] / [`simulate_summary_in`] calls
+/// (sweeps, Monte-Carlo batches) stop allocating once the buffers have
+/// grown to the workload's high-water mark. A fresh arena per call is
+/// exactly [`simulate`].
+#[derive(Debug, Default)]
+pub struct SimArena {
+    state: EngineState,
+}
+
+impl SimArena {
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// What a run materializes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunMode {
+    /// Full results: a trace span per phase plus per-task maps
+    /// ([`SimResult`]).
+    #[default]
+    Full,
+    /// Streaming aggregates only ([`SimSummary`]): O(channels) result
+    /// memory and no per-span or per-task materialization — the mode
+    /// that lets 1M-task DAGs run in bounded memory.
+    Summary,
+}
+
+/// Aggregate statistics of a [`RunMode::Summary`] run. Every field is
+/// bit-identical to the same statistic derived from the corresponding
+/// full [`SimResult`] (enforced by `tests/calendar_props.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSummary {
+    /// End-to-end makespan in seconds (identical to `Trace::makespan`
+    /// of the full run).
+    pub makespan: f64,
+    /// Number of tasks executed.
+    pub n_tasks: usize,
+    /// Number of trace spans the full run would have emitted.
+    pub n_spans: u64,
+    /// The usable pool size the run was scheduled against.
+    pub pool_nodes: u64,
+    /// Total node-seconds of allocation, folded in task order.
+    pub node_seconds: f64,
+    /// Per-channel aggregates, in machine declaration order.
+    pub channels: Vec<ChannelSummary>,
+    /// Length of the dependency chain ending at the last-finishing
+    /// task (1 = that task has no released dependency).
+    pub critical_tail_len: usize,
+    /// The last tasks of that chain (at most 32 names, execution
+    /// order, ending at the last-finishing task).
+    pub critical_tail: Vec<String>,
+}
+
+impl SimSummary {
+    /// Allocation-weighted pool utilization over the makespan (the
+    /// summary-mode counterpart of `SimResult::utilization`).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 || self.pool_nodes == 0 {
+            return 0.0;
+        }
+        self.node_seconds / (self.pool_nodes as f64 * self.makespan)
+    }
+}
+
+/// Aggregate flow statistics for one shared channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelSummary {
+    /// Resource id.
+    pub resource: String,
+    /// Seconds during which at least one workflow flow was live on the
+    /// channel (union of flow-presence intervals).
+    pub busy: f64,
+    /// Total bytes moved by completed workflow flows.
+    pub bytes: f64,
+    /// Number of completed workflow flows.
+    pub flows: u64,
 }
 
 /// Runs the simulation.
 pub fn simulate(scenario: &Scenario) -> Result<SimResult, SimError> {
+    simulate_in(scenario, &mut SimArena::new())
+}
+
+/// [`simulate`] against a reusable [`SimArena`]: bit-identical results,
+/// no allocation once the arena is warm.
+pub fn simulate_in(scenario: &Scenario, arena: &mut SimArena) -> Result<SimResult, SimError> {
+    run_full(scenario, arena, CalendarKind::Buckets)
+}
+
+/// [`simulate`] with an explicit calendar implementation — the hook the
+/// equivalence oracles use to pin calendar-queue results to the heap's.
+pub fn simulate_with_calendar(
+    scenario: &Scenario,
+    kind: CalendarKind,
+) -> Result<SimResult, SimError> {
+    run_full(scenario, &mut SimArena::new(), kind)
+}
+
+/// Runs the simulation in [`RunMode::Summary`]: streaming aggregates
+/// only, O(channels) result memory.
+pub fn simulate_summary(scenario: &Scenario) -> Result<SimSummary, SimError> {
+    simulate_summary_in(scenario, &mut SimArena::new())
+}
+
+/// [`simulate_summary`] against a reusable [`SimArena`].
+pub fn simulate_summary_in(
+    scenario: &Scenario,
+    arena: &mut SimArena,
+) -> Result<SimSummary, SimError> {
     let base = BaseIndex::build(&scenario.machine, &scenario.workflow)?;
     let overlay = IndexOverlay::build(&base, &scenario.workflow, &scenario.options)?;
-    Engine::new(
+    let mut engine = Engine::new_in(
         &scenario.workflow,
         &scenario.machine.name,
         &scenario.options,
         &base,
         &overlay,
-    )
-    .run()
+        std::mem::take(&mut arena.state),
+        CalendarKind::Buckets,
+        RunMode::Summary,
+    );
+    let result = match engine.advance() {
+        Ok(Outcome::Done) => Ok(engine.take_summary()),
+        Ok(Outcome::Paused) => unreachable!("no stop_iter set"),
+        Err(e) => Err(e),
+    };
+    arena.state = engine.recycle();
+    result
+}
+
+fn run_full(
+    scenario: &Scenario,
+    arena: &mut SimArena,
+    kind: CalendarKind,
+) -> Result<SimResult, SimError> {
+    let base = BaseIndex::build(&scenario.machine, &scenario.workflow)?;
+    let overlay = IndexOverlay::build(&base, &scenario.workflow, &scenario.options)?;
+    let mut engine = Engine::new_in(
+        &scenario.workflow,
+        &scenario.machine.name,
+        &scenario.options,
+        &base,
+        &overlay,
+        std::mem::take(&mut arena.state),
+        kind,
+        RunMode::Full,
+    );
+    let result = match engine.advance() {
+        Ok(Outcome::Done) => Ok(engine.take_result()),
+        Ok(Outcome::Paused) => unreachable!("no stop_iter set"),
+        Err(e) => Err(e),
+    };
+    arena.state = engine.recycle();
+    result
+}
+
+/// Runs one prebuilt `(base, overlay)` point to completion against a
+/// reusable arena — the incremental sweep's cold path. Bit-identical to
+/// constructing a fresh [`Engine`] (same default calendar, same mode).
+pub(crate) fn run_point_in(
+    workflow: &WorkflowSpec,
+    machine_name: &str,
+    opts: &SimOptions,
+    base: &BaseIndex,
+    overlay: &IndexOverlay,
+    arena: &mut SimArena,
+) -> Result<SimResult, SimError> {
+    let mut engine = Engine::new_in(
+        workflow,
+        machine_name,
+        opts,
+        base,
+        overlay,
+        std::mem::take(&mut arena.state),
+        CalendarKind::default(),
+        RunMode::Full,
+    );
+    let result = match engine.advance() {
+        Ok(Outcome::Done) => Ok(engine.take_result()),
+        Ok(Outcome::Paused) => unreachable!("no stop_iter set"),
+        Err(e) => Err(e),
+    };
+    arena.state = engine.recycle();
+    result
 }
 
 /// Outcome of [`Engine::advance`].
@@ -396,37 +767,13 @@ pub(crate) struct Engine<'a> {
     overlay: &'a IndexOverlay,
     rng: Option<StdRng>,
     amplitude: f64,
-    /// Running phases; positions mirror the reference engine exactly.
-    running: Vec<RunEntry>,
-    /// Token -> current position in `running` ([`DEAD`] once removed).
-    pos_of: Vec<u32>,
-    /// Min-heap of activity completion times (fixed and flow).
-    calendar: BinaryHeap<CalEv>,
-    /// Tokens of the flows on each channel (unordered).
-    members: Vec<Vec<u32>>,
-    /// Channels whose demand set or demand order changed since the last
-    /// fair-share solve.
-    dirty: Vec<bool>,
-    dirty_list: Vec<u32>,
-    /// Ready tasks, popped in task-index order (= the reference's sorted
-    /// queue).
-    ready: BinaryHeap<Reverse<u32>>,
-    /// Tasks unblocked by zero-phase completions mid-scan; examined
-    /// after the heap in append order, like the reference's queue tail.
-    deferred: VecDeque<u32>,
-    /// Backfill scratch: ready tasks that did not fit this scan.
-    skipped: Vec<u32>,
-    /// Positions of finished-but-unprocessed entries during an event's
-    /// completion scan.
-    pending: BTreeSet<u32>,
-    dep_count: Vec<u32>,
+    mode: RunMode,
+    /// Every growable buffer, arena-recyclable (see [`SimArena`]).
+    st: EngineState,
     free: u64,
     now: f64,
     done: usize,
     trace: Trace,
-    starts: Vec<f64>,
-    ends: Vec<f64>,
-    demand_scratch: Vec<FlowDemand>,
     /// Channel whose first member join should be recorded (incremental
     /// sweep: the first loop iteration where a contention factor on this
     /// channel can influence the run).
@@ -447,13 +794,32 @@ impl<'a> Engine<'a> {
         base: &'a BaseIndex,
         overlay: &'a IndexOverlay,
     ) -> Self {
-        let n = base.n_tasks();
-        let mut ready = BinaryHeap::with_capacity(n);
-        for (t, &d) in base.dep_count.iter().enumerate() {
-            if d == 0 {
-                ready.push(Reverse(t as u32));
-            }
-        }
+        Self::new_in(
+            workflow,
+            machine_name,
+            opts,
+            base,
+            overlay,
+            EngineState::default(),
+            CalendarKind::default(),
+            RunMode::Full,
+        )
+    }
+
+    /// [`Engine::new`] over recycled buffers (see [`SimArena`]), with an
+    /// explicit calendar implementation and run mode.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new_in(
+        workflow: &'a WorkflowSpec,
+        machine_name: &'a str,
+        opts: &'a SimOptions,
+        base: &'a BaseIndex,
+        overlay: &'a IndexOverlay,
+        mut state: EngineState,
+        kind: CalendarKind,
+        mode: RunMode,
+    ) -> Self {
+        state.reset(kind, base, overlay);
         Engine {
             workflow,
             opts,
@@ -461,29 +827,22 @@ impl<'a> Engine<'a> {
             overlay,
             rng: opts.jitter.map(|j| StdRng::seed_from_u64(j.seed)),
             amplitude: opts.jitter.map_or(0.0, |j| j.amplitude),
-            running: Vec::new(),
-            pos_of: Vec::new(),
-            calendar: BinaryHeap::new(),
-            members: vec![Vec::new(); overlay.channel_capacity.len()],
-            dirty: vec![false; overlay.channel_capacity.len()],
-            dirty_list: Vec::new(),
-            ready,
-            deferred: VecDeque::new(),
-            skipped: Vec::new(),
-            pending: BTreeSet::new(),
-            dep_count: base.dep_count.clone(),
+            mode,
+            st: state,
             free: overlay.pool_total,
             now: 0.0,
             done: 0,
             trace: Trace::new(workflow.name.clone(), machine_name.to_string()),
-            starts: vec![f64::NAN; n],
-            ends: vec![f64::NAN; n],
-            demand_scratch: Vec::new(),
             watch: None,
             watch_hit: None,
             iter: 0,
             stop_iter: None,
         }
+    }
+
+    /// Releases the engine's buffers for arena reuse.
+    pub(crate) fn recycle(self) -> EngineState {
+        self.st
     }
 
     /// Arms the watch: records the first loop iteration at which a flow
@@ -505,9 +864,9 @@ impl<'a> Engine<'a> {
 
     fn mark_dirty(&mut self, channel: u32) {
         let ch = channel as usize;
-        if !self.dirty[ch] {
-            self.dirty[ch] = true;
-            self.dirty_list.push(channel);
+        if !self.st.dirty[ch] {
+            self.st.dirty[ch] = true;
+            self.st.dirty_list.push(channel);
         }
     }
 
@@ -518,18 +877,18 @@ impl<'a> Engine<'a> {
     /// exactly where the reference's forward sweep would reach it.
     fn spawn(&mut self, ti: u32, pi: u32, jf: f64, in_scan: bool) {
         let slot = (self.base.phase_off[ti as usize] + pi) as usize;
-        let token = self.pos_of.len() as u32;
-        let pos = self.running.len() as u32;
-        self.pos_of.push(pos);
-        let kind = match self.base.phases[slot] {
+        let token = self.st.pos_of.len() as u32;
+        let pos = self.st.run.len() as u32;
+        self.st.pos_of.push(pos);
+        match self.base.phases[slot] {
             PhaseIx::Fixed { duration } => {
                 let end = self.now + duration * jf;
                 if in_scan && end <= self.now + time_eps(self.now) {
-                    self.pending.insert(pos);
+                    self.st.pending.insert(pos);
                 } else {
-                    self.calendar.push(CalEv { end, token });
+                    self.st.calendar.push(CalEv { end, token });
                 }
-                EntryKind::Fixed
+                self.st.run.push_fixed(token, ti, pi, self.now);
             }
             PhaseIx::Flow {
                 channel,
@@ -541,14 +900,18 @@ impl<'a> Engine<'a> {
                 let cap = (alloc_base * f).min(stream_base * f);
                 let born_done = flow_finished(bytes, 0.0, self.now);
                 let member_slot = if in_scan && born_done {
-                    self.pending.insert(pos);
+                    self.st.pending.insert(pos);
                     DEAD
                 } else {
                     if self.watch == Some(channel) && self.watch_hit.is_none() {
                         self.watch_hit = Some(self.iter);
                     }
-                    let ms = self.members[channel as usize].len() as u32;
-                    self.members[channel as usize].push(token);
+                    let ms = self.st.members[channel as usize].len() as u32;
+                    if self.mode == RunMode::Summary && ms == 0 {
+                        // Channel going idle -> busy: open an interval.
+                        self.st.sum.active_since[channel as usize] = self.now;
+                    }
+                    self.st.members[channel as usize].push(token);
                     self.mark_dirty(channel);
                     ms
                 };
@@ -557,7 +920,7 @@ impl<'a> Engine<'a> {
                     // channel member for one solve round; its completion
                     // is a calendar event at the current time.
                     if !in_scan {
-                        self.calendar.push(CalEv {
+                        self.st.calendar.push(CalEv {
                             end: self.now,
                             token,
                         });
@@ -566,24 +929,19 @@ impl<'a> Engine<'a> {
                 } else {
                     f64::INFINITY
                 };
-                EntryKind::Flow {
+                self.st.run.push_flow(
+                    token,
+                    ti,
+                    pi,
+                    self.now,
                     channel,
-                    remaining: bytes,
+                    bytes,
                     cap,
-                    rate: 0.0,
-                    last_set: self.now,
                     end,
                     member_slot,
-                }
+                );
             }
-        };
-        self.running.push(RunEntry {
-            token,
-            task: ti,
-            phase: pi,
-            phase_start: self.now,
-            kind,
-        });
+        }
     }
 
     /// Allocates nodes to `ti` and starts it (or completes it instantly
@@ -592,19 +950,20 @@ impl<'a> Engine<'a> {
         let t = ti as usize;
         let need = self.base.nodes[t];
         self.free -= need;
-        self.starts[t] = self.now;
+        self.st.starts[t] = self.now;
         if self.base.n_phases(t) == 0 {
             // Zero-phase task completes instantly.
-            self.ends[t] = self.now;
+            self.st.ends[t] = self.now;
             self.free += need;
             self.done += 1;
             let lo = self.base.dependents_off[t] as usize;
             let hi = self.base.dependents_off[t + 1] as usize;
             for k in lo..hi {
                 let d = self.base.dependents[k];
-                self.dep_count[d as usize] -= 1;
-                if self.dep_count[d as usize] == 0 {
-                    self.deferred.push_back(d);
+                self.st.dep_count[d as usize] -= 1;
+                if self.st.dep_count[d as usize] == 0 {
+                    self.st.released_by[d as usize] = ti;
+                    self.st.deferred.push_back(d);
                 }
             }
         } else {
@@ -619,36 +978,36 @@ impl<'a> Engine<'a> {
     fn start_scan(&mut self) {
         let fifo = self.opts.scheduler == SchedulerPolicy::Fifo;
         let mut blocked = false;
-        while let Some(Reverse(ti)) = self.ready.pop() {
+        while let Some(Reverse(ti)) = self.st.ready.pop() {
             if self.base.nodes[ti as usize] <= self.free {
                 self.start_task(ti);
             } else if fifo {
-                self.ready.push(Reverse(ti));
+                self.st.ready.push(Reverse(ti));
                 blocked = true;
                 break; // head blocks
             } else {
-                self.skipped.push(ti); // backfill: try the next
+                self.st.skipped.push(ti); // backfill: try the next
             }
         }
         if !blocked {
-            while let Some(ti) = self.deferred.pop_front() {
+            while let Some(ti) = self.st.deferred.pop_front() {
                 if self.base.nodes[ti as usize] <= self.free {
                     self.start_task(ti);
                 } else if fifo {
-                    self.deferred.push_front(ti);
+                    self.st.deferred.push_front(ti);
                     break;
                 } else {
-                    self.skipped.push(ti);
+                    self.st.skipped.push(ti);
                 }
             }
         }
         // Leftovers wait for the next scan (re-sorted by the heap, as
         // the reference re-sorts its queue).
-        while let Some(ti) = self.skipped.pop() {
-            self.ready.push(Reverse(ti));
+        while let Some(ti) = self.st.skipped.pop() {
+            self.st.ready.push(Reverse(ti));
         }
-        while let Some(ti) = self.deferred.pop_front() {
-            self.ready.push(Reverse(ti));
+        while let Some(ti) = self.st.deferred.pop_front() {
+            self.st.ready.push(Reverse(ti));
         }
     }
 
@@ -661,57 +1020,62 @@ impl<'a> Engine<'a> {
     fn recompute(&mut self) {
         let sharing = self.opts.sharing;
         let now = self.now;
-        for di in 0..self.dirty_list.len() {
-            let ch = self.dirty_list[di] as usize;
-            self.dirty[ch] = false;
-            if self.members[ch].is_empty() {
+        for di in 0..self.st.dirty_list.len() {
+            let ch = self.st.dirty_list[di] as usize;
+            self.st.dirty[ch] = false;
+            if self.st.members[ch].is_empty() {
                 continue;
             }
-            self.demand_scratch.clear();
-            for &tok in &self.members[ch] {
-                let p = self.pos_of[tok as usize] as usize;
-                if let EntryKind::Flow { cap, .. } = self.running[p].kind {
-                    self.demand_scratch.push(FlowDemand { id: p, cap });
-                }
+            self.st.demand_scratch.clear();
+            for &tok in &self.st.members[ch] {
+                let p = self.st.pos_of[tok as usize] as usize;
+                self.st.demand_scratch.push(FlowDemand {
+                    id: p,
+                    cap: self.st.run.cap[p],
+                });
             }
-            self.demand_scratch.sort_unstable_by_key(|d| d.id);
-            let first_bg = self.demand_scratch.len();
+            self.st.demand_scratch.sort_unstable_by_key(|d| d.id);
+            let first_bg = self.st.demand_scratch.len();
             for (k, &rate) in self.overlay.background[ch].iter().enumerate() {
-                self.demand_scratch.push(FlowDemand {
+                self.st.demand_scratch.push(FlowDemand {
                     id: usize::MAX - k,
                     cap: rate,
                 });
             }
-            let rates = sharing.rates(self.overlay.channel_capacity[ch], &self.demand_scratch);
-            for fr in rates.into_iter().take(first_bg) {
-                let token = self.running[fr.id].token;
-                if let EntryKind::Flow {
-                    remaining,
-                    rate,
-                    last_set,
-                    end,
-                    ..
-                } = &mut self.running[fr.id].kind
-                {
-                    if fr.rate != *rate {
-                        *remaining = (*remaining - *rate * (now - *last_set)).max(0.0);
-                        *last_set = now;
-                        *rate = fr.rate;
-                        *end = if flow_finished(*remaining, *rate, now) {
-                            now
-                        } else if *rate > 0.0 {
-                            now + *remaining / *rate
-                        } else {
-                            f64::INFINITY
-                        };
-                        if end.is_finite() {
-                            self.calendar.push(CalEv { end: *end, token });
-                        }
+            sharing.rates_into(
+                self.overlay.channel_capacity[ch],
+                &self.st.demand_scratch,
+                &mut self.st.rate_scratch,
+                &mut self.st.rates_out,
+            );
+            for k in 0..first_bg {
+                let fr = self.st.rates_out[k];
+                let i = fr.id;
+                if fr.rate != self.st.run.rate[i] {
+                    let rem = (self.st.run.remaining[i]
+                        - self.st.run.rate[i] * (now - self.st.run.last_set[i]))
+                        .max(0.0);
+                    self.st.run.remaining[i] = rem;
+                    self.st.run.last_set[i] = now;
+                    self.st.run.rate[i] = fr.rate;
+                    let end = if flow_finished(rem, fr.rate, now) {
+                        now
+                    } else if fr.rate > 0.0 {
+                        now + rem / fr.rate
+                    } else {
+                        f64::INFINITY
+                    };
+                    self.st.run.end[i] = end;
+                    if end.is_finite() {
+                        self.st.calendar.push(CalEv {
+                            end,
+                            token: self.st.run.token[i],
+                        });
                     }
                 }
             }
         }
-        self.dirty_list.clear();
+        self.st.dirty_list.clear();
     }
 
     /// Earliest pending completion: the calendar top, after lazily
@@ -719,17 +1083,16 @@ impl<'a> Engine<'a> {
     /// Returns infinity when nothing is scheduled (every live flow is
     /// starved).
     fn next_event(&mut self) -> f64 {
-        while let Some(top) = self.calendar.peek() {
-            let pos = self.pos_of[top.token as usize];
+        while let Some(top) = self.st.calendar.peek() {
+            let pos = self.st.pos_of[top.token as usize];
             if pos == DEAD {
-                self.calendar.pop();
+                self.st.calendar.pop();
                 continue;
             }
-            if let EntryKind::Flow { end, .. } = self.running[pos as usize].kind {
-                if end.total_cmp(&top.end).is_ne() {
-                    self.calendar.pop();
-                    continue;
-                }
+            let p = pos as usize;
+            if self.st.run.channel[p] != DEAD && self.st.run.end[p].total_cmp(&top.end).is_ne() {
+                self.st.calendar.pop();
+                continue;
             }
             return top.end;
         }
@@ -740,7 +1103,7 @@ impl<'a> Engine<'a> {
     /// skipping stale calendar entries.
     fn collect_due(&mut self) {
         let threshold = self.now + time_eps(self.now);
-        while let Some(top) = self.calendar.peek() {
+        while let Some(top) = self.st.calendar.peek() {
             // `!(<=)` rather than `>` so a NaN end stops the scan instead
             // of being popped as complete, matching the reference loop.
             #[allow(clippy::neg_cmp_op_on_partial_ord)]
@@ -748,17 +1111,16 @@ impl<'a> Engine<'a> {
             if not_due {
                 break;
             }
-            let ev = self.calendar.pop().expect("peeked");
-            let pos = self.pos_of[ev.token as usize];
+            let ev = self.st.calendar.pop().expect("peeked");
+            let pos = self.st.pos_of[ev.token as usize];
             if pos == DEAD {
                 continue;
             }
-            if let EntryKind::Flow { end, .. } = self.running[pos as usize].kind {
-                if end.total_cmp(&ev.end).is_ne() {
-                    continue; // superseded by a later rate change
-                }
+            let p = pos as usize;
+            if self.st.run.channel[p] != DEAD && self.st.run.end[p].total_cmp(&ev.end).is_ne() {
+                continue; // superseded by a later rate change
             }
-            self.pending.insert(pos);
+            self.st.pending.insert(pos);
         }
     }
 
@@ -767,69 +1129,92 @@ impl<'a> Engine<'a> {
     /// entries (`swap_remove` only moves entries from the tail down, so
     /// the scan always reaches the smallest finished position next).
     fn complete_pending(&mut self) {
-        while let Some(p) = self.pending.pop_first() {
+        while let Some(p) = self.st.pending.pop_first() {
             let i = p as usize;
-            let entry = self.running.swap_remove(i);
-            self.pos_of[entry.token as usize] = DEAD;
-            if i < self.running.len() {
+            // Copy the finished column out before swap_remove overwrites
+            // it with the tail entry.
+            let token = self.st.run.token[i];
+            let task_ix = self.st.run.task[i];
+            let phase_ix = self.st.run.phase[i];
+            let phase_start = self.st.run.phase_start[i];
+            let channel = self.st.run.channel[i];
+            let member_slot = self.st.run.member_slot[i];
+            self.st.run.swap_remove(i);
+            self.st.pos_of[token as usize] = DEAD;
+            if i < self.st.run.len() {
                 // The old tail entry moved into position i.
-                let old_last = self.running.len() as u32;
-                let moved = self.running[i];
-                self.pos_of[moved.token as usize] = p;
-                if let EntryKind::Flow { channel, .. } = moved.kind {
+                let old_last = self.st.run.len() as u32;
+                let moved_token = self.st.run.token[i];
+                self.st.pos_of[moved_token as usize] = p;
+                if self.st.run.channel[i] != DEAD {
                     // Relocation reorders this channel's demand list.
-                    self.mark_dirty(channel);
+                    self.mark_dirty(self.st.run.channel[i]);
                 }
-                if self.pending.remove(&old_last) {
-                    self.pending.insert(p);
+                if self.st.pending.remove(old_last) {
+                    self.st.pending.insert(p);
                 }
             }
-            if let EntryKind::Flow {
-                channel,
-                member_slot,
-                ..
-            } = entry.kind
-            {
-                if member_slot != DEAD {
-                    let ch = channel as usize;
-                    let ms = member_slot as usize;
-                    self.members[ch].swap_remove(ms);
-                    if ms < self.members[ch].len() {
-                        let tok = self.members[ch][ms] as usize;
-                        let q = self.pos_of[tok] as usize;
-                        if let EntryKind::Flow { member_slot, .. } = &mut self.running[q].kind {
-                            *member_slot = ms as u32;
-                        }
-                    }
-                    self.mark_dirty(channel);
+            if channel != DEAD && member_slot != DEAD {
+                let ch = channel as usize;
+                let ms = member_slot as usize;
+                self.st.members[ch].swap_remove(ms);
+                if ms < self.st.members[ch].len() {
+                    let tok = self.st.members[ch][ms] as usize;
+                    let q = self.st.pos_of[tok] as usize;
+                    self.st.run.member_slot[q] = ms as u32;
+                }
+                self.mark_dirty(channel);
+                if self.mode == RunMode::Summary && self.st.members[ch].is_empty() {
+                    // Channel going busy -> idle: close the interval.
+                    self.st.sum.busy[ch] += self.now - self.st.sum.active_since[ch];
                 }
             }
 
-            let t = entry.task as usize;
-            let task = &self.workflow.tasks[t];
-            let phase = &task.phases[entry.phase as usize];
-            self.trace.push(TraceSpan::new(
-                task.name.clone(),
-                span_kind(phase),
-                entry.phase_start,
-                self.now,
-                task.nodes,
-            ));
-            let next_phase = entry.phase + 1;
-            if (next_phase as usize) < task.phases.len() {
+            let t = task_ix as usize;
+            match self.mode {
+                RunMode::Full => {
+                    let task = &self.workflow.tasks[t];
+                    let phase = &task.phases[phase_ix as usize];
+                    self.trace.push(TraceSpan::new(
+                        task.name.clone(),
+                        span_kind(phase),
+                        phase_start,
+                        self.now,
+                        task.nodes,
+                    ));
+                }
+                RunMode::Summary => {
+                    // The folds `Trace::makespan` would perform over the
+                    // span this branch does not emit, plus per-channel
+                    // byte/flow accounting.
+                    self.st.sum.n_spans += 1;
+                    self.st.sum.span_min_start = self.st.sum.span_min_start.min(phase_start);
+                    self.st.sum.span_max_end = self.st.sum.span_max_end.max(self.now);
+                    if channel != DEAD {
+                        let slot = (self.base.phase_off[t] + phase_ix) as usize;
+                        if let PhaseIx::Flow { bytes, .. } = self.base.phases[slot] {
+                            self.st.sum.bytes[channel as usize] += bytes;
+                            self.st.sum.flows[channel as usize] += 1;
+                        }
+                    }
+                }
+            }
+            let next_phase = phase_ix + 1;
+            if next_phase < self.base.n_phases(t) {
                 let jf = self.jitter();
-                self.spawn(entry.task, next_phase, jf, true);
+                self.spawn(task_ix, next_phase, jf, true);
             } else {
-                self.ends[t] = self.now;
-                self.free += task.nodes;
+                self.st.ends[t] = self.now;
+                self.free += self.base.nodes[t];
                 self.done += 1;
                 let lo = self.base.dependents_off[t] as usize;
                 let hi = self.base.dependents_off[t + 1] as usize;
                 for k in lo..hi {
                     let d = self.base.dependents[k];
-                    self.dep_count[d as usize] -= 1;
-                    if self.dep_count[d as usize] == 0 {
-                        self.ready.push(Reverse(d));
+                    self.st.dep_count[d as usize] -= 1;
+                    if self.st.dep_count[d as usize] == 0 {
+                        self.st.released_by[d as usize] = task_ix;
+                        self.st.ready.push(Reverse(d));
                     }
                 }
             }
@@ -837,7 +1222,7 @@ impl<'a> Engine<'a> {
     }
 
     /// Runs loop bodies until completion, a stall, or `stop_iter`.
-    fn advance(&mut self) -> Result<Outcome, SimError> {
+    pub(crate) fn advance(&mut self) -> Result<Outcome, SimError> {
         let n_tasks = self.base.n_tasks();
         loop {
             if self.stop_iter == Some(self.iter) {
@@ -847,9 +1232,9 @@ impl<'a> Engine<'a> {
             if self.done == n_tasks {
                 return Ok(Outcome::Done);
             }
-            if self.running.is_empty() {
+            if self.st.run.is_empty() {
                 // Tasks remain but nothing runs and nothing can start.
-                debug_assert!(!self.ready.is_empty() || self.done < n_tasks);
+                debug_assert!(!self.st.ready.is_empty() || self.done < n_tasks);
                 return Err(SimError::Stalled { at: self.now });
             }
 
@@ -867,50 +1252,110 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Materializes the final [`SimResult`] after [`Outcome::Done`].
-    fn into_result(self) -> SimResult {
+    /// Materializes the final [`SimResult`] after [`Outcome::Done`],
+    /// leaving the engine's buffers recyclable. One name-sorted pass
+    /// fills all three key/value streams, then `BTreeMap::from_iter`
+    /// bulk-builds each tree from its pre-sorted stream in O(n) —
+    /// repeated B-tree inserts in random name order are measurably
+    /// slower on sweep-sized results.
+    pub(crate) fn take_result(&mut self) -> SimResult {
         let makespan = self.trace.makespan();
         let tasks = &self.workflow.tasks;
-        // One name-sorted pass, then O(n) bulk map construction —
-        // repeated B-tree inserts in random name order are measurably
-        // slower on sweep-sized results.
         let mut order: Vec<u32> = (0..tasks.len() as u32).collect();
         order.sort_unstable_by(|&a, &b| tasks[a as usize].name.cmp(&tasks[b as usize].name));
-        let task_starts: BTreeMap<String, f64> = order
+        let mut starts_kv = Vec::with_capacity(order.len());
+        let mut times_kv = Vec::with_capacity(order.len());
+        let mut nodes_kv = Vec::with_capacity(order.len());
+        for &i in &order {
+            let i = i as usize;
+            let name = &tasks[i].name;
+            starts_kv.push((name.clone(), self.st.starts[i]));
+            times_kv.push((name.clone(), self.st.ends[i] - self.st.starts[i]));
+            nodes_kv.push((name.clone(), tasks[i].nodes));
+        }
+        SimResult {
+            trace: std::mem::replace(&mut self.trace, Trace::new(String::new(), String::new())),
+            makespan,
+            task_times: BTreeMap::from_iter(times_kv),
+            task_starts: BTreeMap::from_iter(starts_kv),
+            task_nodes: BTreeMap::from_iter(nodes_kv),
+            pool_nodes: self.overlay.pool_total,
+        }
+    }
+
+    /// Materializes the [`SimSummary`] of a [`RunMode::Summary`] run
+    /// after [`Outcome::Done`].
+    pub(crate) fn take_summary(&mut self) -> SimSummary {
+        let sum = &self.st.sum;
+        let makespan = if sum.span_min_start.is_finite() {
+            sum.span_max_end - sum.span_min_start
+        } else {
+            0.0
+        };
+        let n = self.base.n_tasks();
+        let mut node_seconds = 0.0;
+        for t in 0..n {
+            node_seconds += self.base.nodes[t] as f64 * (self.st.ends[t] - self.st.starts[t]);
+        }
+        let channels = self
+            .base
+            .channel_ids
             .iter()
-            .map(|&i| (tasks[i as usize].name.clone(), self.starts[i as usize]))
-            .collect();
-        let task_times: BTreeMap<String, f64> = order
-            .iter()
-            .map(|&i| {
-                let i = i as usize;
-                (tasks[i].name.clone(), self.ends[i] - self.starts[i])
+            .enumerate()
+            .map(|(ci, id)| ChannelSummary {
+                resource: id.clone(),
+                busy: sum.busy[ci],
+                bytes: sum.bytes[ci],
+                flows: sum.flows[ci],
             })
             .collect();
-        let task_nodes: BTreeMap<String, u64> = order
-            .iter()
-            .map(|&i| (tasks[i as usize].name.clone(), tasks[i as usize].nodes))
-            .collect();
-        SimResult {
-            trace: self.trace,
+        // Critical-path tail: walk released-by links back from the
+        // first task attaining the maximum end time.
+        let mut critical_tail = Vec::new();
+        let mut critical_tail_len = 0;
+        if n > 0 {
+            let mut best = 0usize;
+            for t in 1..n {
+                if self.st.ends[t] > self.st.ends[best] {
+                    best = t;
+                }
+            }
+            let mut cur = best as u32;
+            loop {
+                if critical_tail.len() < TAIL_CAP {
+                    critical_tail.push(self.workflow.tasks[cur as usize].name.clone());
+                }
+                critical_tail_len += 1;
+                match self.st.released_by[cur as usize] {
+                    DEAD => break,
+                    prev => cur = prev,
+                }
+            }
+            // The walk goes end -> root; report in execution order.
+            critical_tail.reverse();
+        }
+        SimSummary {
             makespan,
-            task_times,
-            task_starts,
-            task_nodes,
+            n_tasks: n,
+            n_spans: sum.n_spans,
             pool_nodes: self.overlay.pool_total,
+            node_seconds,
+            channels,
+            critical_tail_len,
+            critical_tail,
         }
     }
 
     /// Runs to completion.
     pub(crate) fn run(mut self) -> Result<SimResult, SimError> {
         match self.advance()? {
-            Outcome::Done => Ok(self.into_result()),
+            Outcome::Done => Ok(self.take_result()),
             Outcome::Paused => unreachable!("run() is never called with stop_iter set"),
         }
     }
 
     /// Runs to completion but materializes only the makespan, skipping
-    /// [`Engine::into_result`]'s per-task map construction. The value is
+    /// [`Engine::take_result`]'s per-task map construction. The value is
     /// identical to `run()?.makespan`; the bracketing oracle calls this
     /// thousands of times per grid, so the maps would dominate.
     pub(crate) fn run_makespan(mut self) -> Result<f64, SimError> {
@@ -932,7 +1377,7 @@ impl<'a> Engine<'a> {
             }
             Ok(_) => {
                 let hit = self.watch_hit;
-                (Ok(self.into_result()), hit)
+                (Ok(self.take_result()), hit)
             }
         }
     }

@@ -41,7 +41,9 @@
 //! trace span *order* within one completion instant may differ between
 //! paths; the `Trace` contract leaves that order unspecified.
 
-use crate::engine::{Engine, Scenario, SchedulerPolicy, SimError, SimResult};
+use crate::engine::{
+    run_point_in, Engine, Scenario, SchedulerPolicy, SimArena, SimError, SimResult,
+};
 use crate::fastpath::try_fastpath;
 use crate::index::BaseIndex;
 use crate::overlay::IndexOverlay;
@@ -195,8 +197,9 @@ pub fn sweep_grid(scenario: &Scenario, grid: &SweepGrid, threads: usize) -> Swee
     let mut stats = SweepStats::default();
 
     if workers == 1 {
+        let mut arena = SimArena::new();
         for &(ni, pi) in &columns {
-            let (out, col_stats) = run_column(scenario, grid, &base, ni, pi);
+            let (out, col_stats) = run_column(scenario, grid, &base, ni, pi, &mut arena);
             stats.absorb(col_stats);
             for (i, r) in out {
                 results[i] = Some(r);
@@ -210,13 +213,17 @@ pub fn sweep_grid(scenario: &Scenario, grid: &SweepGrid, threads: usize) -> Swee
                     scope.spawn(|_| {
                         let mut out = Vec::new();
                         let mut local = SweepStats::default();
+                        // One arena per worker: cold DES runs across all
+                        // of this worker's columns share warmed buffers.
+                        let mut arena = SimArena::new();
                         loop {
                             let c = next.fetch_add(1, Ordering::Relaxed);
                             if c >= columns.len() {
                                 break;
                             }
                             let (ni, pi) = columns[c];
-                            let (col, col_stats) = run_column(scenario, grid, &base, ni, pi);
+                            let (col, col_stats) =
+                                run_column(scenario, grid, &base, ni, pi, &mut arena);
                             local.absorb(col_stats);
                             out.extend(col);
                         }
@@ -258,6 +265,7 @@ fn run_column(
     base: &BaseIndex,
     ni: usize,
     pi: usize,
+    arena: &mut SimArena,
 ) -> (Vec<IndexedResult>, SweepStats) {
     // Prebuilt per-point options and overlays, so the engines (and the
     // checkpoint) can borrow them for the whole column.
@@ -322,7 +330,14 @@ fn run_column(
                         }
                         DesState::Cold => {
                             stats.cold += 1;
-                            cold().run()
+                            run_point_in(
+                                &scenario.workflow,
+                                &scenario.machine.name,
+                                opts,
+                                base,
+                                ov,
+                                arena,
+                            )
                         }
                     }
                 }

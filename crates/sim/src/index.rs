@@ -217,8 +217,10 @@ impl BaseIndex {
             phase_off.push(phases.len() as u32);
         }
 
-        // Dependency CSR.
-        let name_to_idx: BTreeMap<&str, u32> = tasks
+        // Dependency CSR. The name map is only probed (never iterated),
+        // so a hash map's O(1) lookups are safe and make this build
+        // O(tasks + deps) instead of O(deps log tasks).
+        let name_to_idx: std::collections::HashMap<&str, u32> = tasks
             .iter()
             .enumerate()
             .map(|(i, t)| (t.name.as_str(), i as u32))

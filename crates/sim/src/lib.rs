@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bounds;
+mod calendar;
 pub mod channel;
 pub mod engine;
 mod fastpath;
@@ -57,9 +58,15 @@ pub mod sweep;
 pub use bounds::{
     certify, certify_scenario, simulate_makespan, Certificate, ChannelFloor, TaskBound, TermBound,
 };
-pub use channel::{equal_split_rates, max_min_rates, FlowDemand, FlowRate, Sharing};
+pub use calendar::CalendarKind;
+pub use channel::{
+    equal_split_rates, equal_split_rates_into, max_min_rates, max_min_rates_into, FlowDemand,
+    FlowRate, RateScratch, Sharing,
+};
 pub use engine::{
-    simulate, BackgroundFlow, Jitter, Scenario, SchedulerPolicy, SimError, SimOptions, SimResult,
+    simulate, simulate_in, simulate_summary, simulate_summary_in, simulate_with_calendar,
+    BackgroundFlow, ChannelSummary, Jitter, RunMode, Scenario, SchedulerPolicy, SimArena, SimError,
+    SimOptions, SimResult, SimSummary,
 };
 pub use incremental::{sweep_grid, SweepGrid, SweepOutcome, SweepStats};
 pub use spec::{Phase, SpecError, TaskSpec, WorkflowSpec};

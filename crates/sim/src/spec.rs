@@ -231,10 +231,21 @@ impl WorkflowSpec {
     }
 
     /// Validates phases, dependency names, and acyclicity.
+    ///
+    /// The happy path runs on dense indices (hash-map name resolution
+    /// plus an index-based Kahn scan), so validation is
+    /// `O(tasks + deps)`. The string-keyed [`Dag`] — whose
+    /// duplicate-name scan is quadratic — is only built when a
+    /// structural problem is detected, purely to reproduce the exact
+    /// error value callers have always seen.
     pub fn validate(&self) -> Result<(), SpecError> {
-        let names: std::collections::BTreeSet<&str> =
-            self.tasks.iter().map(|t| t.name.as_str()).collect();
-        if names.len() != self.tasks.len() {
+        let mut names: std::collections::HashMap<&str, u32> =
+            std::collections::HashMap::with_capacity(self.tasks.len());
+        let mut duplicate = false;
+        for (i, t) in self.tasks.iter().enumerate() {
+            duplicate |= names.insert(t.name.as_str(), i as u32).is_some();
+        }
+        if duplicate {
             // Let the DAG construction name the duplicate.
             self.to_dag_with(|_| 0.0)?;
         }
@@ -249,7 +260,7 @@ impl WorkflowSpec {
                 p.validate()?;
             }
             for dep in &t.after {
-                if !names.contains(dep.as_str()) {
+                if !names.contains_key(dep.as_str()) {
                     return Err(SpecError::UnknownDependency {
                         task: t.name.clone(),
                         dependency: dep.clone(),
@@ -257,8 +268,74 @@ impl WorkflowSpec {
                 }
             }
         }
-        self.to_dag_with(|_| 0.0)?;
+        if !self.is_acyclic(&names) {
+            // Let the DAG construction name the self-dependency or the
+            // first cycle member, exactly as it always has.
+            self.to_dag_with(|_| 0.0)?;
+        }
         Ok(())
+    }
+
+    /// Index-based Kahn scan over the dependency lists (`names` maps
+    /// task name to index; every dependency is known to resolve).
+    /// Returns `false` on a self-dependency or a cycle; the caller then
+    /// rebuilds the [`Dag`] to produce the historical error value.
+    fn is_acyclic(&self, names: &std::collections::HashMap<&str, u32>) -> bool {
+        let n = self.tasks.len();
+        // Per-task predecessor lists, deduplicated ([`Dag`] ignores
+        // duplicate edges, so double-counting indegree here would
+        // misreport diamond-with-repeated-edge specs as cyclic).
+        let mut pred_off = Vec::with_capacity(n + 1);
+        pred_off.push(0u32);
+        let mut preds: Vec<u32> = Vec::new();
+        let mut scratch: Vec<u32> = Vec::new();
+        for (i, t) in self.tasks.iter().enumerate() {
+            scratch.clear();
+            for dep in &t.after {
+                let p = names[dep.as_str()];
+                if p == i as u32 {
+                    return false; // self-dependency
+                }
+                scratch.push(p);
+            }
+            scratch.sort_unstable();
+            scratch.dedup();
+            preds.extend_from_slice(&scratch);
+            pred_off.push(preds.len() as u32);
+        }
+        // Invert into CSR successor lists.
+        let mut succ_off = vec![0u32; n + 1];
+        for &p in &preds {
+            succ_off[p as usize + 1] += 1;
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+        }
+        let mut cursor = succ_off.clone();
+        let mut succs = vec![0u32; preds.len()];
+        for i in 0..n {
+            for &pred in &preds[pred_off[i] as usize..pred_off[i + 1] as usize] {
+                let p = pred as usize;
+                succs[cursor[p] as usize] = i as u32;
+                cursor[p] += 1;
+            }
+        }
+        let mut indegree: Vec<u32> = (0..n).map(|i| pred_off[i + 1] - pred_off[i]).collect();
+        let mut queue: Vec<u32> = (0..n as u32)
+            .filter(|&i| indegree[i as usize] == 0)
+            .collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head] as usize;
+            head += 1;
+            for &s in &succs[succ_off[v] as usize..succ_off[v + 1] as usize] {
+                indegree[s as usize] -= 1;
+                if indegree[s as usize] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        queue.len() == n
     }
 
     /// Builds the dependency [`Dag`], estimating each task's duration via

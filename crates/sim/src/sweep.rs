@@ -9,7 +9,7 @@
 //! (including one raised by a user closure in [`sweep`]) is re-raised on
 //! the caller thread with its original payload.
 
-use crate::engine::{simulate, Scenario, SimError, SimResult};
+use crate::engine::{simulate_in, Scenario, SimArena, SimError, SimResult};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default number of scenarios a worker claims per counter increment.
@@ -40,7 +40,11 @@ pub fn run_all_chunked(
     }
     let workers = threads.max(1).min(scenarios.len());
     if workers == 1 {
-        return scenarios.iter().map(simulate).collect();
+        let mut arena = SimArena::new();
+        return scenarios
+            .iter()
+            .map(|s| simulate_in(s, &mut arena))
+            .collect();
     }
     let chunk = chunk.max(1);
 
@@ -50,6 +54,9 @@ pub fn run_all_chunked(
             .map(|_| {
                 scope.spawn(|_| {
                     let mut out: Vec<(usize, Result<SimResult, SimError>)> = Vec::new();
+                    // One arena per worker: every simulation after the
+                    // first reuses the warmed buffers.
+                    let mut arena = SimArena::new();
                     loop {
                         let lo = next.fetch_add(chunk, Ordering::Relaxed);
                         if lo >= scenarios.len() {
@@ -57,7 +64,7 @@ pub fn run_all_chunked(
                         }
                         let hi = (lo + chunk).min(scenarios.len());
                         for (off, scenario) in scenarios[lo..hi].iter().enumerate() {
-                            out.push((lo + off, simulate(scenario)));
+                            out.push((lo + off, simulate_in(scenario, &mut arena)));
                         }
                     }
                     out

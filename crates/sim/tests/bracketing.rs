@@ -17,8 +17,8 @@ use proptest::prelude::*;
 use wrm_core::{ids, BytesPerSec, FlopsPerSec, Machine, Rate};
 use wrm_dag::generate::random_layered_tasks;
 use wrm_sim::{
-    certify_scenario, simulate_makespan, Jitter, Phase, Scenario, SchedulerPolicy, Sharing,
-    SimOptions, SweepGrid, TaskSpec, WorkflowSpec,
+    certify_scenario, simulate_makespan, simulate_summary, Jitter, Phase, Scenario,
+    SchedulerPolicy, Sharing, SimOptions, SweepGrid, TaskSpec, WorkflowSpec,
 };
 
 fn machine(pool: u64, fs_gbps: f64) -> Machine {
@@ -133,6 +133,37 @@ proptest! {
         let scenario = Scenario::new(machine(pool, 10.0), wf).with_options(opts);
         assert_bracketed(&scenario, "knobs");
     }
+}
+
+/// Certification at scale: a generated 100k-task workload stays inside
+/// the bracket, and the streaming summary mode reproduces the full
+/// engine's makespan bit for bit at that size. Debug builds skip it
+/// (the DES alone would take minutes unoptimized); CI runs the oracle
+/// suite with `--release`.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "100k-task workload; run with --release (CI's bracketing step does)"
+)]
+fn hundred_k_task_workload_stays_bracketed() {
+    let wf = workload(7, 100_000, 64, 1e10);
+    let scenario = Scenario::new(machine(4096, 50.0), wf);
+    let cert = certify_scenario(&scenario).expect("certifies");
+    let makespan = simulate_makespan(&scenario).expect("simulates");
+    assert!(cert.hi.is_finite(), "hi must be finite, got {}", cert.hi);
+    assert!(
+        cert.lo * (1.0 - 1e-6) <= makespan && makespan <= cert.hi * (1.0 + 1e-9) + 1e-9,
+        "100k: {} <= {makespan} <= {} violated",
+        cert.lo,
+        cert.hi
+    );
+    let sum = simulate_summary(&scenario).expect("summary mode simulates");
+    assert_eq!(sum.makespan, makespan, "summary diverges from the engine");
+    assert_eq!(sum.n_tasks, 100_000);
+    assert!(
+        cert.lo * (1.0 - 1e-6) <= sum.makespan && sum.makespan <= cert.hi * (1.0 + 1e-9) + 1e-9,
+        "100k summary escapes the bracket"
+    );
 }
 
 /// The certificate holds at every point of an 8x8 sweep grid

@@ -1,0 +1,280 @@
+//! Equivalence oracles for the bucketed calendar queue and the
+//! streaming summary mode.
+//!
+//! The calendar queue is a drop-in replacement for the binary-heap
+//! completion calendar, and the contract is the usual one for this
+//! repo's engine work: *bit-identical* results — same makespan, same
+//! trace spans in the same order, same task times, same errors — across
+//! `CalendarKind::Buckets`, `CalendarKind::Heap`, and the string-keyed
+//! reference engine, on randomly generated layered and fork–join DAGs
+//! under contention, node limits and both schedulers.
+//!
+//! Summary mode ([`wrm_sim::simulate_summary`]) is checked against
+//! aggregates recomputed from the full result: makespan, span count and
+//! node-seconds must match bit for bit (the streaming folds replicate
+//! the full engine's expressions in the same order); per-channel busy
+//! time and bytes are recomputed from the trace's flow spans by
+//! interval merging, which may legitimately differ in the last ulp at
+//! touching interval boundaries, so those two carry a 1e-9 relative
+//! tolerance.
+
+use proptest::prelude::*;
+use wrm_core::{ids, BytesPerSec, FlopsPerSec, Machine, Rate};
+use wrm_dag::generate::{fork_join_tasks, random_layered_tasks};
+use wrm_sim::reference::simulate_reference;
+use wrm_sim::{
+    simulate, simulate_summary, simulate_with_calendar, CalendarKind, Phase, Scenario,
+    SchedulerPolicy, SimOptions, SimResult, TaskSpec, WorkflowSpec,
+};
+use wrm_trace::SpanKind;
+
+fn machine(pool: u64, fs_gbps: f64) -> Machine {
+    Machine::builder("cal-oracle", pool)
+        .node(
+            ids::COMPUTE,
+            "CPU",
+            Rate::FlopsPerSec(FlopsPerSec::tflops(1.0)),
+        )
+        .system(ids::FILE_SYSTEM, "fs", BytesPerSec::gbps(fs_gbps))
+        .system(ids::EXTERNAL, "ext", BytesPerSec::gbps(5.0))
+        .build()
+        .unwrap()
+}
+
+/// A generated workload (layered or fork–join skeleton) with a mix of
+/// overhead, compute, and capped/uncapped flows on two channels.
+fn workload(seed: u64, n_tasks: usize, max_width: usize, fork_join: bool) -> WorkflowSpec {
+    let tasks = if fork_join {
+        fork_join_tasks(seed, n_tasks, max_width, 8, 30.0)
+    } else {
+        random_layered_tasks(seed, n_tasks, max_width, 8, 30.0)
+    };
+    let mut wf = WorkflowSpec::new(format!("cal[{seed}]"));
+    for (i, t) in tasks.iter().enumerate() {
+        let mut spec = TaskSpec::new(&t.name, t.nodes);
+        spec = match i % 5 {
+            0 => spec
+                .phase(Phase::overhead("setup", t.duration))
+                .phase(Phase::system_data(ids::FILE_SYSTEM, 1e10)),
+            1 => spec.phase(Phase::SystemData {
+                resource: ids::EXTERNAL.into(),
+                bytes: 5e9,
+                stream_cap: Some(1e9 * (1.0 + (i % 3) as f64)),
+            }),
+            2 => spec
+                .phase(Phase::compute(t.duration * 1e12))
+                .phase(Phase::overhead("teardown", 1.0)),
+            3 => spec
+                .phase(Phase::system_data(ids::FILE_SYSTEM, 2e9))
+                .phase(Phase::system_data(ids::EXTERNAL, 1e9)),
+            _ => spec.phase(Phase::overhead("work", t.duration)),
+        };
+        for &d in &t.deps {
+            spec = spec.after(tasks[d].name.clone());
+        }
+        wf = wf.task(spec);
+    }
+    wf
+}
+
+/// Asserts `simulate_summary` agrees with aggregates of the full result.
+fn assert_summary_matches(scenario: &Scenario, full: &SimResult) {
+    let sum = simulate_summary(scenario).expect("summary mode runs where the full engine runs");
+    assert_eq!(
+        sum.makespan, full.makespan,
+        "makespan must match bit for bit"
+    );
+    assert_eq!(sum.n_spans as usize, full.trace.spans.len(), "span count");
+    assert_eq!(sum.n_tasks, scenario.workflow.tasks.len());
+    assert_eq!(sum.pool_nodes, full.pool_nodes);
+
+    // Node-seconds: the summary folds nodes * (end - start) in task
+    // index order; replicate the same sequence of operations.
+    let mut want_ns = 0.0;
+    for t in &scenario.workflow.tasks {
+        want_ns += t.nodes as f64 * full.task_times[&t.name];
+    }
+    assert_eq!(sum.node_seconds, want_ns, "node-seconds fold");
+
+    // Per-channel flow aggregates from the trace's flow spans.
+    for ch in &sum.channels {
+        let spans: Vec<(f64, f64, f64)> = full
+            .trace
+            .spans
+            .iter()
+            .filter_map(|s| match &s.kind {
+                SpanKind::SystemData { resource, bytes } if *resource == ch.resource => {
+                    Some((s.start, s.end, *bytes))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            ch.flows,
+            spans.len() as u64,
+            "flow count on {}",
+            ch.resource
+        );
+        let want_bytes: f64 = spans.iter().map(|&(_, _, b)| b).sum();
+        assert!(
+            (ch.bytes - want_bytes).abs() <= 1e-9 * want_bytes.max(1.0),
+            "bytes on {}: {} vs {}",
+            ch.resource,
+            ch.bytes,
+            want_bytes
+        );
+        // Busy time = measure of the union of flow-presence intervals.
+        let mut iv: Vec<(f64, f64)> = spans.iter().map(|&(s, e, _)| (s, e)).collect();
+        iv.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut want_busy = 0.0;
+        let mut cur: Option<(f64, f64)> = None;
+        for (s, e) in iv {
+            match &mut cur {
+                Some((_, ce)) if s <= *ce => *ce = ce.max(e),
+                _ => {
+                    if let Some((cs, ce)) = cur.take() {
+                        want_busy += ce - cs;
+                    }
+                    cur = Some((s, e));
+                }
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            want_busy += ce - cs;
+        }
+        assert!(
+            (ch.busy - want_busy).abs() <= 1e-9 * want_busy.max(1.0),
+            "busy on {}: {} vs {}",
+            ch.resource,
+            ch.busy,
+            want_busy
+        );
+        assert!(
+            ch.busy <= sum.makespan * (1.0 + 1e-9) + 1e-9,
+            "busy cannot exceed the makespan"
+        );
+    }
+
+    // Critical tail: valid task names, consistent lengths, and the walk
+    // starts (tail's last element) at a task attaining the final end.
+    if sum.n_tasks == 0 {
+        assert_eq!(sum.critical_tail_len, 0);
+        assert!(sum.critical_tail.is_empty());
+    } else {
+        assert!(sum.critical_tail_len >= 1);
+        assert!(sum.critical_tail.len() <= 32);
+        if sum.critical_tail_len <= 32 {
+            assert_eq!(sum.critical_tail.len(), sum.critical_tail_len);
+        }
+        for name in &sum.critical_tail {
+            assert!(
+                full.task_times.contains_key(name),
+                "tail names a real task: {name}"
+            );
+        }
+    }
+}
+
+/// Runs one scenario through all three engines plus summary mode and
+/// asserts full equivalence.
+fn assert_equivalent(scenario: &Scenario, what: &str) {
+    let buckets = simulate_with_calendar(scenario, CalendarKind::Buckets);
+    let heap = simulate_with_calendar(scenario, CalendarKind::Heap);
+    let default = simulate(scenario);
+    let reference = simulate_reference(scenario);
+    match (buckets, heap, default, reference) {
+        (Ok(b), Ok(h), Ok(d), Ok(r)) => {
+            assert_eq!(b, h, "{what}: calendar queue vs heap");
+            assert_eq!(b, d, "{what}: explicit buckets vs default simulate");
+            assert_eq!(b, r, "{what}: calendar queue vs reference");
+            assert_summary_matches(scenario, &b);
+        }
+        (Err(b), Err(h), Err(d), Err(r)) => {
+            assert_eq!(b, h, "{what}: error parity buckets vs heap");
+            assert_eq!(b, d, "{what}: error parity vs default");
+            assert_eq!(b, r, "{what}: error parity vs reference");
+            let s = simulate_summary(scenario).expect_err("summary rejects what full rejects");
+            assert_eq!(b, s, "{what}: error parity vs summary");
+        }
+        (b, h, d, r) => {
+            panic!("{what}: engines disagree on success: {b:?} / {h:?} / {d:?} / {r:?}")
+        }
+    }
+}
+
+proptest! {
+    /// Random layered and fork–join DAGs under contention, node limits
+    /// and both schedulers: calendar queue == heap == reference, and
+    /// summary == full-result aggregates.
+    #[test]
+    fn calendars_and_summary_agree_on_random_dags(
+        seed in any::<u64>(),
+        n_tasks in 1usize..40,
+        max_width in 1usize..8,
+        fork_join in any::<bool>(),
+        pool in 8u64..64,
+        factor in 0.05f64..2.0,
+        backfill in any::<bool>(),
+        limit in any::<bool>(),
+    ) {
+        let wf = workload(seed, n_tasks, max_width, fork_join);
+        let mut opts = SimOptions {
+            scheduler: if backfill { SchedulerPolicy::Backfill } else { SchedulerPolicy::Fifo },
+            node_limit: limit.then_some(8),
+            ..SimOptions::default()
+        };
+        opts = opts.with_contention(ids::FILE_SYSTEM, factor);
+        let scenario = Scenario::new(machine(pool, 10.0), wf).with_options(opts);
+        assert_equivalent(&scenario, "random");
+    }
+}
+
+/// Deterministic larger workloads, sized to force the calendar queue
+/// through several grow/shrink resizes and wide same-instant barrier
+/// drains.
+#[test]
+fn large_generated_dags_agree_across_calendars() {
+    for fork_join in [false, true] {
+        let wf = workload(42, 2_000, 64, fork_join);
+        let scenario = Scenario::new(machine(512, 40.0), wf);
+        assert_equivalent(
+            &scenario,
+            if fork_join { "fj-2000" } else { "layered-2000" },
+        );
+    }
+}
+
+/// Error scenarios hit the same first error in every engine and mode.
+#[test]
+fn error_parity_across_calendars() {
+    // Unknown resource.
+    let wf = WorkflowSpec::new("bad-res")
+        .task(TaskSpec::new("t", 1).phase(Phase::system_data("no-such-channel", 1e9)));
+    assert_equivalent(&Scenario::new(machine(8, 1.0), wf), "unknown-resource");
+    // Task larger than the pool.
+    let wf = WorkflowSpec::new("too-big")
+        .task(TaskSpec::new("t", 1_000_000).phase(Phase::overhead("o", 1.0)));
+    assert_equivalent(&Scenario::new(machine(8, 1.0), wf), "too-large");
+    // Dependency cycle.
+    let wf = WorkflowSpec::new("cycle")
+        .task(
+            TaskSpec::new("a", 1)
+                .after("b")
+                .phase(Phase::overhead("o", 1.0)),
+        )
+        .task(
+            TaskSpec::new("b", 1)
+                .after("a")
+                .phase(Phase::overhead("o", 1.0)),
+        );
+    assert_equivalent(&Scenario::new(machine(8, 1.0), wf), "cycle");
+}
+
+/// The empty workflow: zero tasks, zero makespan, empty tail.
+#[test]
+fn empty_workflow_summary() {
+    let scenario = Scenario::new(machine(8, 1.0), WorkflowSpec::new("empty"));
+    let full = simulate(&scenario).unwrap();
+    assert_eq!(full.makespan, 0.0);
+    assert_summary_matches(&scenario, &full);
+}
