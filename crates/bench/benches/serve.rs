@@ -1,0 +1,443 @@
+//! `wrm serve` load generator and latency benchmark.
+//!
+//! Three modes:
+//!
+//! * default — full benchmark: spawns an in-process server, hammers it
+//!   with a mixed open-loop workload from several client threads,
+//!   reports p50/p99 latency per endpoint plus the cache/path mix, and
+//!   writes `BENCH_serve.json` at the workspace root. The headline is
+//!   warm-cache sweep latency over the wire vs the one-shot CLI
+//!   (`target/release/wrm sweep …`) doing the same grid from scratch.
+//! * `--test` — smoke: a short in-process run asserting responses stay
+//!   byte-stable under concurrency; no files written.
+//! * `--check --wrm <path>` — CI gate: spawns `<path> serve` as a real
+//!   process, diffs server responses against `<path> sweep/simulate`
+//!   stdout, then delivers SIGTERM and verifies the graceful drain.
+//!
+//! Methodology notes live in `docs/SERVE.md`.
+
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+use wrm_serve::client::{self, Client};
+use wrm_serve::{spawn, ServerConfig};
+
+const LCLS_WRM: &str = r#"
+workflow lcls on cori-hsw {
+  targets { makespan 10min  throughput 6 per 600s }
+  task analyze[5] {
+    nodes 32
+    system_bytes ext 1TB cap 1GB/s
+    node_bytes dram 1024GB
+  }
+  task merge { nodes 1 system_bytes bb 5GB after analyze }
+}
+"#;
+
+/// The benchmark grid: 8 contention factors x 2 policies = 16 rows.
+const FACTORS: &str = "0.25,0.5,0.75,1.0,1.5,2.0,2.5,3.0";
+const FACTORS_JSON: &str = "[0.25,0.5,0.75,1.0,1.5,2.0,2.5,3.0]";
+
+fn source_body(source: &str, extra: &str) -> String {
+    let escaped = serde_json::Value::String(source.to_owned()).to_string();
+    format!("{{\"workflow\":{escaped}{extra}}}")
+}
+
+fn sweep_body() -> String {
+    source_body(
+        LCLS_WRM,
+        &format!(
+            ",\"resource\":\"ext\",\"factors\":{FACTORS_JSON},\
+             \"policies\":[\"fifo\",\"backfill\"],\"format\":\"csv\""
+        ),
+    )
+}
+
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One client thread's share of the open-loop workload: requests are
+/// issued on a fixed arrival schedule (not back-to-back), so queueing
+/// at the server shows up as latency instead of reduced offered load.
+fn client_loop(
+    addr: &str,
+    requests: usize,
+    interval: Duration,
+    sweep: &str,
+    simulate: &str,
+    certify: &str,
+) -> Vec<(&'static str, u64, bool)> {
+    let mut conn = Client::connect(addr).expect("client connects");
+    let mut samples = Vec::with_capacity(requests);
+    let epoch = Instant::now();
+    for i in 0..requests {
+        let due = epoch + interval * u32::try_from(i).unwrap_or(u32::MAX);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        // Mixed workload: mostly sweeps (the hot path), some simulate /
+        // certify, an occasional health probe.
+        let (label, path, body) = match i % 10 {
+            0..=4 => ("sweep", "/v1/sweep", Some(sweep)),
+            5 | 6 => ("simulate", "/v1/simulate", Some(simulate)),
+            7 | 8 => ("certify", "/v1/certify", Some(certify)),
+            _ => ("healthz", "/healthz", None),
+        };
+        let method = if body.is_some() { "POST" } else { "GET" };
+        let start = Instant::now();
+        let ok = match conn.request(method, path, body) {
+            Ok(r) => r.status == 200,
+            Err(_) => {
+                // Reconnect and keep the schedule; the failure is
+                // recorded against this slot.
+                conn = Client::connect(addr).expect("client reconnects");
+                false
+            }
+        };
+        let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        samples.push((label, us, ok));
+    }
+    samples
+}
+
+struct EndpointReport {
+    label: &'static str,
+    count: usize,
+    errors: usize,
+    p50_us: u64,
+    p99_us: u64,
+    mean_us: u64,
+}
+
+fn summarize(samples: &[(&'static str, u64, bool)]) -> Vec<EndpointReport> {
+    let mut reports = Vec::new();
+    for label in ["sweep", "simulate", "certify", "healthz"] {
+        let mut lats: Vec<u64> = samples
+            .iter()
+            .filter(|(l, _, _)| *l == label)
+            .map(|(_, us, _)| *us)
+            .collect();
+        if lats.is_empty() {
+            continue;
+        }
+        lats.sort_unstable();
+        let errors = samples
+            .iter()
+            .filter(|(l, _, ok)| *l == label && !ok)
+            .count();
+        let mean = lats.iter().sum::<u64>() / lats.len() as u64;
+        reports.push(EndpointReport {
+            label,
+            count: lats.len(),
+            errors,
+            p50_us: percentile_us(&lats, 0.50),
+            p99_us: percentile_us(&lats, 0.99),
+            mean_us: mean,
+        });
+    }
+    reports
+}
+
+/// Times one warmed-up run of `f` per round and returns the best.
+fn best_ms(rounds: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// One-shot CLI latency for the same sweep: process start, parse, lint,
+/// compile, index build, simulate, render. `None` when the release
+/// binary has not been built.
+fn cli_one_shot_ms(wf_path: &str) -> Option<f64> {
+    let wrm = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/release/wrm");
+    if !std::path::Path::new(wrm).exists() {
+        return None;
+    }
+    let run = || {
+        let out = Command::new(wrm)
+            .args([
+                "sweep",
+                wf_path,
+                "--resource",
+                "ext",
+                "--factors",
+                FACTORS,
+                "--policies",
+                "fifo,backfill",
+                "--format",
+                "csv",
+                "--quiet",
+            ])
+            .output()
+            .expect("cli sweep runs");
+        assert!(out.status.success(), "cli sweep failed");
+    };
+    run(); // warm the page cache
+    Some(best_ms(3, run))
+}
+
+fn full_bench() {
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 0,
+        cache_capacity: 32,
+        quiet: true,
+    })
+    .expect("server spawns");
+    let addr = server.addr().to_string();
+
+    let sweep = sweep_body();
+    let simulate = source_body(LCLS_WRM, "");
+    let certify = source_body(LCLS_WRM, "");
+
+    // Cold-cache reference request, then a warm-cache latency baseline
+    // on an otherwise idle server.
+    let t0 = Instant::now();
+    let cold = client::request(&addr, "POST", "/v1/sweep", Some(&sweep)).expect("cold sweep");
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(cold.status, 200, "{}", cold.text());
+    let mut idle = Client::connect(&addr).expect("connect");
+    let warm_idle_ms = best_ms(5, || {
+        let r = idle
+            .request("POST", "/v1/sweep", Some(&sweep))
+            .expect("warm sweep");
+        assert_eq!(r.body, cold.body, "warm bytes diverged");
+    });
+
+    // Open-loop load: 4 clients x 100 requests at 5 ms arrivals.
+    let clients = 4usize;
+    let per_client = 100usize;
+    let interval = Duration::from_millis(5);
+    let load_start = Instant::now();
+    let samples: Vec<(&'static str, u64, bool)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let (addr, sweep, simulate, certify) = (&addr, &sweep, &simulate, &certify);
+                scope.spawn(move || {
+                    client_loop(addr, per_client, interval, sweep, simulate, certify)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let load_s = load_start.elapsed().as_secs_f64();
+    let reports = summarize(&samples);
+
+    let metrics = client::request(&addr, "GET", "/metrics/json", None).expect("metrics");
+    let snap: serde_json::Value = serde_json::from_str(&metrics.text()).expect("snapshot");
+    let cache = snap
+        .get("cache")
+        .cloned()
+        .unwrap_or(serde_json::Value::Null);
+    let paths = snap
+        .get("sweep_paths")
+        .cloned()
+        .unwrap_or(serde_json::Value::Null);
+    server.shutdown();
+
+    // The CLI comparison: same grid, cold process each time.
+    let dir = std::env::temp_dir().join("wrm_bench_serve");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let wf_path = dir.join("lcls.wrm");
+    std::fs::write(&wf_path, LCLS_WRM).expect("write workflow");
+    let cli_ms = cli_one_shot_ms(wf_path.to_str().expect("utf8"));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let endpoint_rows: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"endpoint\": \"{}\", \"requests\": {}, \"errors\": {}, \
+                 \"p50_us\": {}, \"p99_us\": {}, \"mean_us\": {} }}",
+                r.label, r.count, r.errors, r.p50_us, r.p99_us, r.mean_us
+            )
+        })
+        .collect();
+    let (cli_json, headline) = match cli_ms {
+        Some(ms) => (
+            format!("{ms:.2}"),
+            format!(
+                "warm-cache server sweep {warm_idle_ms:.2} ms vs one-shot CLI {ms:.2} ms \
+                 ({:.1}x)",
+                ms / warm_idle_ms
+            ),
+        ),
+        None => (
+            "null".to_owned(),
+            format!(
+                "warm-cache server sweep {warm_idle_ms:.2} ms \
+                 (build target/release/wrm for the CLI comparison)"
+            ),
+        ),
+    };
+    let total = samples.len();
+    let json = format!(
+        "{{\n  \"bench\": \"serve/loadgen\",\n  \"workload\": \"{clients} clients x {per_client} requests, \
+         5 ms open-loop arrivals; mix 50% sweep (8 factors x 2 policies on ext), 20% simulate, \
+         20% certify, 10% healthz\",\n  \"host_cpus\": {cpus},\n  \"duration_s\": {load_s:.2},\n  \
+         \"offered_rps\": {:.1},\n  \"endpoints\": [\n{}\n  ],\n  \"cache\": {},\n  \
+         \"sweep_paths\": {},\n  \"sweep_latency\": {{\n    \"cold_cache_ms\": {cold_ms:.2},\n    \
+         \"warm_cache_ms\": {warm_idle_ms:.2},\n    \"cli_one_shot_ms\": {cli_json}\n  }},\n  \
+         \"methodology\": \"cargo bench -p wrm-bench --bench serve; in-process server \
+         (workers auto, cache 32); warm/CLI latency: best of 5 / best of 3; \
+         see docs/SERVE.md\"\n}}\n",
+        total as f64 / load_s,
+        endpoint_rows.join(",\n"),
+        cache,
+        paths,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("serve bench: {headline}");
+    for r in &reports {
+        println!(
+            "  {:<9} {:>4} req  p50 {:>7} us  p99 {:>7} us  {} error(s)",
+            r.label, r.count, r.p50_us, r.p99_us, r.errors
+        );
+    }
+    println!("wrote {path}");
+}
+
+/// Short in-process smoke for `--test`: correctness only, no timing.
+fn smoke() {
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_capacity: 4,
+        quiet: true,
+    })
+    .expect("server spawns");
+    let addr = server.addr().to_string();
+    let body = sweep_body();
+    let first = client::request(&addr, "POST", "/v1/sweep", Some(&body)).expect("sweep");
+    assert_eq!(first.status, 200, "{}", first.text());
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let (addr, body, want) = (&addr, &body, &first.body);
+            scope.spawn(move || {
+                let r = client::request(addr, "POST", "/v1/sweep", Some(body)).expect("sweep");
+                assert_eq!(&r.body, want, "concurrent bytes diverged");
+            });
+        }
+    });
+    let report = server.shutdown();
+    assert_eq!(report.abandoned, 0);
+    println!("serve smoke: ok ({} request(s) served)", report.served);
+}
+
+/// Resolves the `--wrm` argument: cargo runs benches with the package
+/// directory as cwd, so a path relative to the workspace root (the
+/// natural thing to pass in CI) is retried against it.
+fn resolve_wrm(arg: &str) -> std::path::PathBuf {
+    let direct = std::path::Path::new(arg);
+    if direct.exists() {
+        return direct.to_owned();
+    }
+    let from_root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(arg);
+    if from_root.exists() {
+        return from_root;
+    }
+    direct.to_owned()
+}
+
+/// CI gate for `--check --wrm <path>`: real process, real signals.
+fn check(wrm: &str) {
+    let wrm = resolve_wrm(wrm);
+    let dir = std::env::temp_dir().join("wrm_serve_check");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let wf_path = dir.join("lcls.wrm");
+    std::fs::write(&wf_path, LCLS_WRM).expect("write workflow");
+    let wf = wf_path.to_str().expect("utf8");
+
+    let cli = Command::new(&wrm)
+        .args([
+            "sweep",
+            wf,
+            "--resource",
+            "ext",
+            "--factors",
+            FACTORS,
+            "--policies",
+            "fifo,backfill",
+            "--format",
+            "csv",
+            "--quiet",
+        ])
+        .output()
+        .expect("cli sweep runs");
+    assert!(
+        cli.status.success(),
+        "cli sweep: {}",
+        String::from_utf8_lossy(&cli.stderr)
+    );
+
+    let mut child = Command::new(&wrm)
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let mut line = String::new();
+    stderr.read_line(&mut line).expect("listening line");
+    let addr = line
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split(' ').next())
+        .unwrap_or_else(|| panic!("unexpected startup line {line:?}"))
+        .to_owned();
+
+    // Cold + warm responses must equal the CLI bytes.
+    let body = sweep_body();
+    for pass in ["cold", "warm"] {
+        let r = client::request(&addr, "POST", "/v1/sweep", Some(&body)).expect("sweep");
+        assert_eq!(r.status, 200, "{pass}: {}", r.text());
+        assert_eq!(r.body, cli.stdout, "{pass}-cache sweep != CLI bytes");
+    }
+    let r = client::request(&addr, "GET", "/metrics", None).expect("metrics");
+    assert!(r.text().contains("wrm_cache_hits_total 1"), "{}", r.text());
+
+    // Graceful SIGTERM drain.
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success(), "kill -TERM failed");
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exit after SIGTERM: {status:?}");
+    let mut rest = String::new();
+    stderr.read_to_string(&mut rest).expect("drain output");
+    assert!(rest.contains("drained"), "no drain report in {rest:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("serve check: ok (responses match CLI; SIGTERM drained cleanly)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--check") {
+        let wrm = args
+            .iter()
+            .position(|a| a == "--wrm")
+            .and_then(|i| args.get(i + 1))
+            .expect("--check needs --wrm <path-to-wrm-binary>");
+        check(wrm);
+    } else if args.iter().any(|a| a == "--test") {
+        smoke();
+    } else {
+        full_bench();
+    }
+}

@@ -22,10 +22,18 @@
 //!     --resource R --factors 1.0,0.5    contention factors on a resource
 //!     --nodes 64,128                    scheduler node-pool limits
 //!     --policies fifo,backfill          scheduler policies
-//!     --threads N --format json|csv     workers and output format
+//!     --threads N                       workers (0 = one per CPU; values
+//!                                       above the host core count are capped)
+//!     --format json|jsonl|csv           output format
 //!     --no-incremental                  per-point simulation (the default
 //!                                       incremental engine is bit-identical)
 //!     --out <file>                      write rows to a file
+//!     --quiet                           suppress the stderr stats line
+//! wrm certify <file.wrm>                print the two-sided makespan
+//!                                       certificate as JSON
+//! wrm serve [--addr host:port]          long-running HTTP server exposing
+//!     [--threads N] [--quiet]           simulate/certify/lint/sweep with a
+//!     [--cache-capacity N]              compiled-index LRU (see docs/SERVE.md)
 //! wrm figures [all|<id>] [--out <dir>]  regenerate paper figures
 //! ```
 //!
@@ -66,6 +74,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("analyze") => ok(cmd_analyze(&args[1..])),
         Some("simulate") => ok(cmd_simulate(&args[1..])),
         Some("sweep") => ok(sweep::cmd_sweep(&args[1..])),
+        Some("certify") => ok(cmd_certify(&args[1..])),
+        Some("serve") => ok(cmd_serve(&args[1..])),
         Some("figures") => ok(cmd_figures(&args[1..])),
         Some("compare") => ok(cmd_compare(&args[1..])),
         Some("profile") => ok(cmd_profile(&args[1..])),
@@ -100,13 +110,23 @@ fn usage() -> &'static str {
      \x20                                    very large (100k+ task) runs\n\
      \x20 sweep <file.wrm|builtin> [--resource R --factors 1.0,0.5]\n\
      \x20       [--nodes 64,128] [--policies fifo,backfill] [--threads N]\n\
-     \x20       [--format json|csv] [--out file] [--no-incremental]\n\
-     \x20                                    simulate a parameter grid in\n\
+     \x20       [--format json|jsonl|csv] [--out file] [--no-incremental]\n\
+     \x20       [--quiet]                    simulate a parameter grid in\n\
      \x20                                    parallel (builtins: lcls, bgw,\n\
      \x20                                    cosmoflow, gptune-rci, gptune-spawn);\n\
      \x20                                    the incremental engine (default)\n\
      \x20                                    shares index/prefix work across\n\
-     \x20                                    the grid, bit-identically\n\
+     \x20                                    the grid, bit-identically;\n\
+     \x20                                    --threads 0 (default) = one per\n\
+     \x20                                    CPU, explicit values capped at\n\
+     \x20                                    the host core count\n\
+     \x20 certify <file.wrm> [--machine M] [--contention r=f]\n\
+     \x20                                    print the certified two-sided\n\
+     \x20                                    makespan interval as JSON\n\
+     \x20 serve [--addr host:port] [--threads N] [--cache-capacity N] [--quiet]\n\
+     \x20                                    HTTP server for simulate, certify,\n\
+     \x20                                    lint, and sweep over preloaded or\n\
+     \x20                                    posted specs (see docs/SERVE.md)\n\
      \x20 figures [all|f1|f2|f3|f4|f5a|f5b|f6|f7a|f7b|f7c|f7d|f8|f9|f10|t1]\n\
      \x20         [--out dir]                 regenerate the paper's figures\n\
      \x20 compare <file.wrm>                 project the workflow onto every\n\
@@ -160,6 +180,9 @@ struct Flags {
     policies: Vec<wrm_sim::SchedulerPolicy>,
     threads: usize,
     incremental: bool,
+    quiet: bool,
+    addr: String,
+    cache_capacity: usize,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -187,8 +210,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         factors: Vec::new(),
         nodes: Vec::new(),
         policies: Vec::new(),
-        threads: 1,
+        threads: 0,
         incremental: true,
+        quiet: false,
+        addr: "127.0.0.1:8080".into(),
+        cache_capacity: 32,
     };
     let mut i = 0;
     let mut positional = 0;
@@ -260,6 +286,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--incremental" => f.incremental = true,
             "--no-incremental" => f.incremental = false,
+            "--quiet" => f.quiet = true,
+            "--addr" => f.addr = value(&mut i)?,
+            "--cache-capacity" => {
+                let v = value(&mut i)?;
+                f.cache_capacity = v.parse().map_err(|_| format!("bad cache capacity `{v}`"))?;
+            }
             "--structure" => {
                 let v = value(&mut i)?;
                 let parts: Vec<&str> = v.split(',').collect();
@@ -306,25 +338,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     Ok(f)
 }
 
-/// Parses and compiles a workflow file, running the error-severity lint
-/// subset first so a broken spec fails with spanned diagnostics instead
-/// of whatever the compiler trips over first.
-fn compile_checked(path: &str, source: &str) -> Result<wrm_lang::Compiled, String> {
-    let ast = wrm_lang::parse(source).map_err(|e| format!("{path}:{e}"))?;
-    let errors = wrm_lint::lint_errors(&ast);
-    if !errors.is_empty() {
-        let mut msg = String::new();
-        for d in &errors {
-            msg.push_str(&format!("{path}: {}\n", d.render(source)));
-        }
-        msg.push_str(&format!(
-            "{} error(s); see `wrm lint {path}` for the full report",
-            errors.len()
-        ));
-        return Err(msg);
-    }
-    wrm_lang::compile(&ast).map_err(|e| format!("{path}:{e}"))
-}
+// The lint-errors-first compile pipeline lives in `wrm_serve::resolve`
+// so the server resolves posted sources through the identical path.
+pub(crate) use wrm_serve::resolve::compile_checked;
 
 fn load(flags: &Flags) -> Result<(wrm_lang::Compiled, wrm_core::Machine), String> {
     let path = flags
@@ -333,13 +349,7 @@ fn load(flags: &Flags) -> Result<(wrm_lang::Compiled, wrm_core::Machine), String
         .ok_or_else(|| "missing workflow file argument".to_owned())?;
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let compiled = compile_checked(path, &source)?;
-    let machine = match &flags.machine {
-        Some(name) => machines::by_name(name)
-            .ok_or_else(|| format!("unknown machine `{name}` (try: pm-gpu, pm-cpu, cori-hsw)"))?,
-        None => compiled.machine.clone().ok_or_else(|| {
-            "no machine: add `on <machine>` to the file or pass --machine".to_owned()
-        })?,
-    };
+    let machine = wrm_serve::resolve::resolve_machine(&compiled, flags.machine.as_deref())?;
     Ok((compiled, machine))
 }
 
@@ -399,72 +409,12 @@ fn cmd_lint(args: &[String]) -> Result<u8, String> {
         apply_lint_fixes(&mut batch, flags.dry_run)?;
     }
 
+    // The reports come from `wrm_serve::render` — the same functions the
+    // server answers `POST /v1/lint` with, so the bytes match.
     match flags.format.as_str() {
-        "json" => {
-            // Each file carries its two-sided makespan certification
-            // when the spec compiles onto a known machine; `null`
-            // otherwise (syntax errors, unknown machines, invalid
-            // resources), so consumers can rely on the key existing.
-            let files: Vec<serde_json::Value> = batch
-                .iter()
-                .map(|(path, source, diags)| {
-                    let cert = wrm_lang::compile_source(source)
-                        .ok()
-                        .and_then(|c| {
-                            let machine = c.machine?;
-                            wrm_sim::certify(&machine, &c.spec, &wrm_sim::SimOptions::default())
-                                .ok()
-                        })
-                        .and_then(|c| serde_json::to_value(&c).ok())
-                        .unwrap_or(serde_json::Value::Null);
-                    serde_json::json!({
-                        "file": path,
-                        "diagnostics": diags,
-                        "certification": cert,
-                    })
-                })
-                .collect();
-            let json = serde_json::to_string_pretty(&files).map_err(|e| e.to_string())?;
-            println!("{json}");
-        }
-        "sarif" => {
-            let files: Vec<(String, Vec<wrm_lint::Diagnostic>)> = batch
-                .iter()
-                .map(|(path, _, diags)| (path.clone(), diags.clone()))
-                .collect();
-            let log = wrm_lint::to_sarif(&files);
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&log).map_err(|e| e.to_string())?
-            );
-        }
-        "text" => {
-            let mut total_errors = 0;
-            let mut total_warnings = 0;
-            for (path, source, diags) in &batch {
-                for d in diags {
-                    println!("{}\n", d.render(source));
-                }
-                let errors = diags
-                    .iter()
-                    .filter(|d| d.severity == wrm_lint::Severity::Error)
-                    .count();
-                let warnings = diags.len() - errors;
-                total_errors += errors;
-                total_warnings += warnings;
-                if diags.is_empty() {
-                    println!("{path}: clean");
-                } else {
-                    println!("{path}: {errors} error(s), {warnings} warning(s)");
-                }
-            }
-            if batch.len() > 1 {
-                println!(
-                    "{} file(s): {total_errors} error(s), {total_warnings} warning(s)",
-                    batch.len()
-                );
-            }
-        }
+        "json" => print!("{}", wrm_serve::render::lint_json(&batch)?),
+        "sarif" => print!("{}", wrm_serve::render::lint_sarif(&batch)?),
+        "text" => print!("{}", wrm_serve::render::lint_text(&batch)),
         other => {
             return Err(format!(
                 "unknown --format `{other}` (expected text, json, or sarif)"
@@ -643,64 +593,27 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             );
         }
         let sum = wrm_sim::simulate_summary(&scenario).map_err(|e| e.to_string())?;
-        println!(
-            "{} on {}: makespan {:.2} s, {} tasks, {} spans, {:.0} node-seconds \
-             ({:.1}% pool utilization)",
-            compiled.spec.name,
-            machine.name,
-            sum.makespan,
-            sum.n_tasks,
-            sum.n_spans,
-            sum.node_seconds,
-            sum.utilization() * 100.0
+        print!(
+            "{}",
+            wrm_serve::render::summary_report(&compiled.spec.name, &machine.name, &sum)
         );
-        println!("\nchannels:");
-        for ch in &sum.channels {
-            println!(
-                "  {:<12} busy {:>10.2} s  {:>12.3e} B  {:>8} flows",
-                ch.resource, ch.busy, ch.bytes, ch.flows
-            );
-        }
-        println!(
-            "\ncritical-path tail ({} task(s){}):",
-            sum.critical_tail_len,
-            if sum.critical_tail_len > sum.critical_tail.len() {
-                ", last 32 shown"
-            } else {
-                ""
-            }
-        );
-        for name in &sum.critical_tail {
-            println!("  {name}");
-        }
         return Ok(());
     }
     let result = simulate(&scenario).map_err(|e| e.to_string())?;
-
-    println!(
-        "{} on {}: makespan {:.2} s, {} tasks, {:.0} node-seconds \
-         ({:.1}% pool utilization)",
-        compiled.spec.name,
-        machine.name,
-        result.makespan,
-        result.task_times.len(),
-        result.node_seconds(),
-        result.utilization() * 100.0
-    );
     let structure = Structure::new(
         compiled.total_tasks,
         compiled.parallel_tasks,
         compiled.nodes_per_task,
     );
-    let wf = characterize(&result.trace, &structure).map_err(|e| e.to_string())?;
-    if let Ok(tps) = wf.throughput() {
-        println!("throughput: {:.4e} tasks/s", tps.get());
-    }
-    println!("\ntime breakdown:");
-    let b = result.trace.breakdown();
-    for (cat, secs) in &b.categories {
-        println!("  {cat:<24} {secs:>12.2} s");
-    }
+    print!(
+        "{}",
+        wrm_serve::render::simulate_report(
+            &compiled.spec.name,
+            &machine.name,
+            &result,
+            &structure
+        )?
+    );
 
     if flags.gantt {
         let mut dag = compiled.dag(&machine).map_err(|e| e.to_string())?;
@@ -721,6 +634,30 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         println!("wrote {path}");
     }
     Ok(())
+}
+
+/// `wrm certify` — the two-sided makespan certificate as JSON, byte-
+/// identical to the server's `POST /v1/certify` response for the same
+/// spec.
+fn cmd_certify(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let (compiled, machine) = load(&flags)?;
+    let cert = wrm_sim::certify(&machine, &compiled.spec, &sim_options(&flags))
+        .map_err(|e| e.to_string())?;
+    print!("{}", wrm_serve::render::certificate_json(&cert)?);
+    Ok(())
+}
+
+/// `wrm serve` — block on the HTTP server until SIGTERM, SIGINT, or
+/// `POST /admin/shutdown`.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    wrm_serve::run(wrm_serve::ServerConfig {
+        addr: flags.addr.clone(),
+        workers: flags.threads,
+        cache_capacity: flags.cache_capacity,
+        quiet: flags.quiet,
+    })
 }
 
 fn cmd_figures(args: &[String]) -> Result<(), String> {

@@ -2,38 +2,24 @@
 //!
 //! Builds the cartesian grid of contention factor x node limit x
 //! scheduler policy and simulates every cell, printing one row per cell
-//! as JSON or CSV. By default the grid runs on the incremental sweep
-//! engine (`wrm_sim::sweep_grid`) — one shared base index, an analytic
-//! fast path for uncontended cells, and checkpoint/replay along the
-//! factor axis — which is bit-identical to per-point simulation;
-//! `--no-incremental` forces the per-point runner (`wrm_sim::run_all`).
-//! Scenario errors land in the row's `error` column instead of aborting
-//! the whole sweep.
+//! as JSON, JSON lines, or CSV. By default the grid runs on the
+//! incremental sweep engine (`wrm_sim::sweep_grid`) — one shared base
+//! index, an analytic fast path for uncontended cells, and
+//! checkpoint/replay along the factor axis — which is bit-identical to
+//! per-point simulation; `--no-incremental` forces the per-point runner
+//! (`wrm_sim::run_all`). Scenario errors land in the row's `error`
+//! column instead of aborting the whole sweep.
 //!
-//! Output rows are always sorted by grid coordinates (factor, then node
-//! limit with the full pool first, then policy with `fifo` first), so
+//! Grid construction and row formatting live in `wrm_serve::render` —
+//! the same functions the server streams `POST /v1/sweep` responses
+//! with — so output rows are always in canonical coordinate order and
 //! the bytes are identical regardless of `--threads`, `--incremental`,
-//! or the order axis values were passed in.
+//! input axis order, or which front end produced them.
 
-use wrm_core::machines;
-use wrm_sim::{run_all, Scenario, SchedulerPolicy, SweepGrid};
-use wrm_workflows::{Bgw, CosmoFlow, Day, GpTune, Lcls, Mode};
+use wrm_serve::render;
+use wrm_sim::{run_all, Scenario};
 
-use crate::{compile_checked, Flags};
-
-/// One cell of the sweep grid.
-struct Cell {
-    factor: f64,
-    node_limit: Option<u64>,
-    policy: SchedulerPolicy,
-}
-
-fn policy_name(p: SchedulerPolicy) -> &'static str {
-    match p {
-        SchedulerPolicy::Fifo => "fifo",
-        SchedulerPolicy::Backfill => "backfill",
-    }
-}
+use crate::Flags;
 
 /// Resolves the positional argument to a base scenario: a `.wrm` file
 /// (compiled like `wrm simulate`) or one of the builtin paper
@@ -43,92 +29,33 @@ fn base_scenario(flags: &Flags) -> Result<Scenario, String> {
         .file
         .as_ref()
         .ok_or_else(|| "missing workflow argument (a .wrm file or a builtin name)".to_owned())?;
-    match target.as_str() {
-        "lcls" => Ok(Lcls::year_2020_on_cori().scenario(machines::cori_haswell(), Day::Good)),
-        "bgw" => Ok(Bgw::si998_64().scenario()),
-        "cosmoflow" => Ok(CosmoFlow::default().scenario()),
-        "gptune-rci" => Ok(GpTune::default().scenario(Mode::Rci)),
-        "gptune-spawn" => Ok(GpTune::default().scenario(Mode::Spawn)),
-        path if path.ends_with(".wrm") => {
-            let source =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let compiled = compile_checked(path, &source)?;
-            let machine = match &flags.machine {
-                Some(name) => {
-                    machines::by_name(name).ok_or_else(|| format!("unknown machine `{name}`"))?
-                }
-                None => compiled.machine.clone().ok_or_else(|| {
-                    "no machine: add `on <machine>` to the file or pass --machine".to_owned()
-                })?,
-            };
-            Ok(Scenario::new(machine, compiled.spec))
-        }
-        other => Err(format!(
-            "unknown workflow `{other}` (expected a .wrm file or one of: \
+    if let Some(scenario) = wrm_serve::resolve::builtin_scenario(target) {
+        return Ok(scenario);
+    }
+    if target.ends_with(".wrm") {
+        let source =
+            std::fs::read_to_string(target).map_err(|e| format!("cannot read {target}: {e}"))?;
+        let resolved = wrm_serve::resolve::from_source(target, &source, flags.machine.as_deref())?;
+        Ok(resolved.scenario)
+    } else {
+        Err(format!(
+            "unknown workflow `{target}` (expected a .wrm file or one of: \
              lcls, bgw, cosmoflow, gptune-rci, gptune-spawn)"
-        )),
+        ))
     }
 }
 
 pub fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let flags = crate::parse_flags(args)?;
     let base = base_scenario(&flags)?;
-
-    if !flags.factors.is_empty() && flags.resource.is_none() {
-        return Err("--factors needs --resource <shared resource id>".to_owned());
-    }
-    let mut factors = if flags.factors.is_empty() {
-        vec![1.0]
-    } else {
-        flags.factors.clone()
-    };
-    let mut node_limits: Vec<Option<u64>> = if flags.nodes.is_empty() {
-        vec![base.options.node_limit]
-    } else {
-        flags.nodes.iter().map(|&n| Some(n)).collect()
-    };
-    let mut policies = if flags.policies.is_empty() {
-        vec![base.options.scheduler]
-    } else {
-        flags.policies.clone()
-    };
-    // Canonical coordinate order: output bytes must not depend on the
-    // order axis values were given, the thread count, or the engine.
-    factors.sort_unstable_by(f64::total_cmp);
-    node_limits.sort_unstable();
-    policies.sort_unstable_by_key(|p| match p {
-        SchedulerPolicy::Fifo => 0,
-        SchedulerPolicy::Backfill => 1,
-    });
-    if let Some(res) = &flags.resource {
-        if base.machine.system_resource(res).is_none() {
-            return Err(format!(
-                "machine `{}` has no shared resource `{res}`",
-                base.machine.name
-            ));
-        }
-    }
-
-    let grid = SweepGrid {
-        resource: flags.resource.clone(),
-        factors,
-        node_limits,
-        policies,
-    };
-    // Cell metadata in `SweepGrid::index_of` order — the same nested
-    // factor / node-limit / policy order both engines return results in.
-    let mut cells = Vec::with_capacity(grid.len());
-    for &factor in &grid.factors {
-        for &node_limit in &grid.node_limits {
-            for &policy in &grid.policies {
-                cells.push(Cell {
-                    factor,
-                    node_limit,
-                    policy,
-                });
-            }
-        }
-    }
+    let grid = render::build_grid(
+        &base,
+        flags.resource.clone(),
+        &flags.factors,
+        &flags.nodes,
+        &flags.policies,
+    )?;
+    let cells = render::grid_cells(&grid);
 
     let (results, stats) = if flags.incremental {
         let outcome = wrm_sim::sweep_grid(&base, &grid, flags.threads);
@@ -149,111 +76,82 @@ pub fn cmd_sweep(args: &[String]) -> Result<(), String> {
         (run_all(&scenarios, flags.threads), None)
     };
 
-    let resource = flags.resource.clone().unwrap_or_default();
+    let workflow = base.workflow.name.as_str();
+    let machine = base.machine.name.as_str();
+    let resource = grid.resource.clone().unwrap_or_default();
     let output = match flags.format.as_str() {
         "json" => {
             let rows: Vec<serde_json::Value> = cells
                 .iter()
                 .zip(&results)
                 .map(|(cell, result)| {
-                    let (makespan, node_seconds, utilization, error) = match result {
-                        Ok(r) => (
-                            serde_json::json!(r.makespan),
-                            serde_json::json!(r.node_seconds()),
-                            serde_json::json!(r.utilization()),
-                            serde_json::Value::Null,
-                        ),
-                        Err(e) => (
-                            serde_json::Value::Null,
-                            serde_json::Value::Null,
-                            serde_json::Value::Null,
-                            serde_json::json!(e.to_string()),
-                        ),
-                    };
-                    serde_json::json!({
-                        "workflow": base.workflow.name.clone(),
-                        "machine": base.machine.name.clone(),
-                        "resource": resource.clone(),
-                        "factor": cell.factor,
-                        "node_limit": cell.node_limit,
-                        "policy": policy_name(cell.policy),
-                        "makespan_s": makespan,
-                        "node_seconds": node_seconds,
-                        "utilization": utilization,
-                        "error": error
-                    })
+                    render::sweep_row_value(workflow, machine, &resource, cell, result)
                 })
                 .collect();
-            let mut text = serde_json::to_string_pretty(&serde_json::Value::Array(rows))
-                .map_err(|e| e.to_string())?;
-            text.push('\n');
+            render::sweep_json(rows)?
+        }
+        "jsonl" => {
+            let mut text = String::new();
+            for (cell, result) in cells.iter().zip(&results) {
+                let row = render::sweep_row_value(workflow, machine, &resource, cell, result);
+                text.push_str(&render::sweep_row_jsonl(&row)?);
+            }
             text
         }
         // "text" is parse_flags' untouched default: sweep output is
         // tabular, so plain invocations get CSV.
         "csv" | "text" => {
-            let mut text = String::from(
-                "workflow,machine,resource,factor,node_limit,policy,\
-                 makespan_s,node_seconds,utilization,error\n",
-            );
+            let mut text = String::from(render::SWEEP_CSV_HEADER);
             for (cell, result) in cells.iter().zip(&results) {
-                let node_limit = cell.node_limit.map(|n| n.to_string()).unwrap_or_default();
-                let (makespan, node_seconds, utilization, error) = match result {
-                    Ok(r) => (
-                        format!("{:.6}", r.makespan),
-                        format!("{:.3}", r.node_seconds()),
-                        format!("{:.6}", r.utilization()),
-                        String::new(),
-                    ),
-                    Err(e) => (
-                        String::new(),
-                        String::new(),
-                        String::new(),
-                        e.to_string().replace(',', ";"),
-                    ),
-                };
-                text.push_str(&format!(
-                    "{},{},{},{},{},{},{},{},{},{}\n",
-                    base.workflow.name,
-                    base.machine.name,
-                    resource,
-                    cell.factor,
-                    node_limit,
-                    policy_name(cell.policy),
-                    makespan,
-                    node_seconds,
-                    utilization,
-                    error
+                text.push_str(&render::sweep_row_csv(
+                    workflow, machine, &resource, cell, result,
                 ));
             }
             text
         }
-        other => return Err(format!("unknown --format `{other}` (expected json or csv)")),
+        other => {
+            return Err(format!(
+                "unknown --format `{other}` (expected json, jsonl, or csv)"
+            ))
+        }
     };
 
     match &flags.out {
         Some(path) => {
             std::fs::write(path, &output).map_err(|e| format!("cannot write {path}: {e}"))?;
-            match &stats {
-                Some(s) => eprintln!(
-                    "wrote {} sweep row(s) to {path} ({} thread(s); incremental: \
-                     {} analytic, {} replayed, {} cold, {} reused, {} error(s))",
-                    cells.len(),
-                    flags.threads.max(1),
-                    s.fastpath,
-                    s.replayed,
-                    s.cold,
-                    s.reused,
-                    s.errors
-                ),
-                None => eprintln!(
-                    "wrote {} sweep row(s) to {path} ({} thread(s))",
-                    cells.len(),
-                    flags.threads.max(1)
-                ),
-            }
         }
         None => print!("{output}"),
+    }
+
+    // Path stats go to stderr so scripted callers can pipe stdout; the
+    // worker count reported is the resolved one (0 = auto, explicit
+    // values capped at the host core count and the job count).
+    if !flags.quiet {
+        let jobs = if flags.incremental {
+            // The incremental engine parallelizes over (node, policy)
+            // columns, replaying the factor axis within each.
+            grid.node_limits.len() * grid.policies.len()
+        } else {
+            cells.len()
+        };
+        let workers = wrm_sim::effective_workers(flags.threads, jobs);
+        let engine = match &stats {
+            Some(s) => format!(
+                "incremental: {} analytic, {} replayed, {} cold, {} reused, {} error(s)",
+                s.fastpath, s.replayed, s.cold, s.reused, s.errors
+            ),
+            None => "per-point".to_owned(),
+        };
+        match &flags.out {
+            Some(path) => eprintln!(
+                "wrote {} sweep row(s) to {path} ({workers} thread(s); {engine})",
+                cells.len()
+            ),
+            None => eprintln!(
+                "swept {} row(s) ({workers} thread(s); {engine})",
+                cells.len()
+            ),
+        }
     }
     Ok(())
 }

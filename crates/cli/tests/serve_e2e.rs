@@ -1,0 +1,192 @@
+//! End-to-end determinism: the same analyses through `wrm <cmd>` and
+//! through a real `wrm serve` process must produce byte-identical
+//! output — cold cache, warm cache, and under concurrent clients.
+
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, ChildStderr, Command, Stdio};
+use wrm_serve::client::{self, Client};
+
+const LCLS_WRM: &str = r#"
+workflow lcls on cori-hsw {
+  targets { makespan 10min  throughput 6 per 600s }
+  task analyze[5] {
+    nodes 32
+    system_bytes ext 1TB cap 1GB/s
+    node_bytes dram 1024GB
+  }
+  task merge { nodes 1 system_bytes bb 5GB after analyze }
+}
+"#;
+
+fn wrm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wrm"))
+}
+
+/// Runs a CLI command and returns its stdout bytes (asserting success).
+fn cli_stdout(args: &[&str]) -> Vec<u8> {
+    let out = wrm().args(args).output().expect("wrm runs");
+    assert!(
+        out.status.success(),
+        "wrm {args:?}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+/// A `wrm serve` child process bound to a free port.
+struct Server {
+    child: Child,
+    stderr: BufReader<ChildStderr>,
+    addr: String,
+}
+
+impl Server {
+    fn start() -> Self {
+        let mut child = wrm()
+            .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("serve spawns");
+        let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+        let mut line = String::new();
+        stderr.read_line(&mut line).expect("listening line");
+        let addr = line
+            .split("listening on ")
+            .nth(1)
+            .and_then(|rest| rest.split(' ').next())
+            .unwrap_or_else(|| panic!("unexpected startup line {line:?}"))
+            .to_owned();
+        Server {
+            child,
+            stderr,
+            addr,
+        }
+    }
+
+    /// Shuts down via the admin endpoint and returns the drain line.
+    fn stop(mut self) -> String {
+        let r =
+            client::request(&self.addr, "POST", "/admin/shutdown", None).expect("shutdown request");
+        assert_eq!(r.status, 200);
+        let status = self.child.wait().expect("serve exits");
+        assert!(status.success(), "serve exit status {status:?}");
+        let mut rest = String::new();
+        self.stderr.read_to_string(&mut rest).expect("drain line");
+        rest
+    }
+}
+
+/// JSON body with the `.wrm` source under `workflow` plus extra
+/// pre-encoded fields.
+fn source_body(source: &str, extra: &str) -> String {
+    let escaped = serde_json::Value::String(source.to_owned()).to_string();
+    format!("{{\"workflow\":{escaped}{extra}}}")
+}
+
+#[test]
+fn server_responses_match_cli_output_byte_for_byte() {
+    let dir = std::env::temp_dir().join("wrm_serve_e2e");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let wf_path = dir.join("lcls.wrm");
+    std::fs::write(&wf_path, LCLS_WRM).expect("write workflow");
+    let wf = wf_path.to_str().expect("utf8");
+
+    let sweep_cli = cli_stdout(&[
+        "sweep",
+        wf,
+        "--resource",
+        "ext",
+        "--factors",
+        "1.0,0.5",
+        "--policies",
+        "backfill,fifo",
+        "--format",
+        "csv",
+        "--quiet",
+    ]);
+    let sweep_jsonl_cli = cli_stdout(&[
+        "sweep", wf, "--nodes", "64,161", "--format", "jsonl", "--quiet",
+    ]);
+    let simulate_cli = cli_stdout(&["simulate", wf]);
+    let summary_cli = cli_stdout(&["simulate", wf, "--summary"]);
+    let certify_cli = cli_stdout(&["certify", wf]);
+    let lint_cli = cli_stdout(&["lint", wf, "--format", "json"]);
+
+    let server = Server::start();
+    let addr = server.addr.clone();
+    let sweep_body = source_body(
+        LCLS_WRM,
+        ",\"resource\":\"ext\",\"factors\":[1.0,0.5],\
+         \"policies\":[\"backfill\",\"fifo\"],\"format\":\"csv\"",
+    );
+
+    // Cold then warm cache on one keep-alive connection.
+    let mut conn = Client::connect(&addr).expect("connect");
+    let cold = conn
+        .request("POST", "/v1/sweep", Some(&sweep_body))
+        .expect("cold sweep");
+    assert_eq!(cold.status, 200, "{}", cold.text());
+    assert_eq!(cold.body, sweep_cli, "cold-cache sweep != CLI bytes");
+    let warm = conn
+        .request("POST", "/v1/sweep", Some(&sweep_body))
+        .expect("warm sweep");
+    assert_eq!(warm.body, sweep_cli, "warm-cache sweep != CLI bytes");
+
+    // Four concurrent clients all get the CLI bytes.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let addr = &addr;
+            let body = &sweep_body;
+            let want = &sweep_cli;
+            scope.spawn(move || {
+                let r = client::request(addr, "POST", "/v1/sweep", Some(body))
+                    .expect("concurrent sweep");
+                assert_eq!(&r.body, want, "concurrent sweep != CLI bytes");
+            });
+        }
+    });
+
+    // The remaining endpoints, over the still-open connection.
+    let r = conn
+        .request(
+            "POST",
+            "/v1/sweep",
+            Some(&source_body(
+                LCLS_WRM,
+                ",\"nodes\":[64,161],\"format\":\"jsonl\"",
+            )),
+        )
+        .expect("jsonl sweep");
+    assert_eq!(r.body, sweep_jsonl_cli, "jsonl sweep != CLI bytes");
+
+    let r = conn
+        .request("POST", "/v1/simulate", Some(&source_body(LCLS_WRM, "")))
+        .expect("simulate");
+    assert_eq!(r.body, simulate_cli, "simulate != CLI bytes");
+
+    let r = conn
+        .request(
+            "POST",
+            "/v1/simulate",
+            Some(&source_body(LCLS_WRM, ",\"summary\":true")),
+        )
+        .expect("summary");
+    assert_eq!(r.body, summary_cli, "summary != CLI bytes");
+
+    let r = conn
+        .request("POST", "/v1/certify", Some(&source_body(LCLS_WRM, "")))
+        .expect("certify");
+    assert_eq!(r.body, certify_cli, "certify != CLI bytes");
+
+    let lint_body = source_body(LCLS_WRM, &format!(",\"path\":{wf:?},\"format\":\"json\""));
+    let r = conn
+        .request("POST", "/v1/lint", Some(&lint_body))
+        .expect("lint");
+    assert_eq!(r.body, lint_cli, "lint != CLI bytes");
+
+    let drain = server.stop();
+    assert!(drain.contains("drained"), "no drain report in {drain:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

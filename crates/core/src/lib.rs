@@ -49,6 +49,7 @@ pub mod analysis;
 pub mod attribution;
 pub mod charz;
 pub mod error;
+pub mod fingerprint;
 pub mod machine;
 pub mod machines;
 pub mod projection;
@@ -61,6 +62,7 @@ pub mod units;
 pub use attribution::{classify, classify_terms, BindingStrength, BoundClass};
 pub use charz::{CharacterizationBuilder, TargetSpec, WorkflowCharacterization};
 pub use error::CoreError;
+pub use fingerprint::{fingerprint, fingerprint_value, Fnv1a};
 pub use machine::{Machine, MachineBuilder, NodeResource, SystemResource};
 pub use projection::{across_machines, required_peak, MachineProjection};
 pub use resource::{ids, ResourceId, SystemScaling};

@@ -1,0 +1,235 @@
+//! The server's LRU cache of compiled workflow indexes.
+//!
+//! A cache entry holds everything the request handlers need after the
+//! front half of the pipeline: the resolved [`Scenario`] and the
+//! compiled [`BaseIndex`] the simulator shares across points. Entries
+//! are keyed by a stable content hash ([`wrm_core::fingerprint_value`])
+//! of the request's `(workflow, machine override)` pair, so a repeated
+//! request — same spec bytes, same machine — skips parse, lint,
+//! compile, and index construction entirely.
+//!
+//! The LRU list is a recency-ordered `Vec` under one mutex: with
+//! double-digit capacities (default 32) a linear scan is faster than
+//! any linked structure, and the lock is held only for the scan — entry
+//! construction on a miss runs outside it, so two clients missing on
+//! *different* specs compile concurrently. (Two clients racing on the
+//! *same* new spec may both compile it; the second insert wins and both
+//! answers are identical, so the race is benign and only costs work.)
+
+use crate::resolve::Resolved;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wrm_sim::{BaseIndex, Scenario};
+use wrm_trace::Structure;
+
+/// A cached compiled workflow: scenario, shared index, structure.
+pub struct ServeEntry {
+    /// Machine + workflow + base options.
+    pub scenario: Scenario,
+    /// The compiled index, shared by every simulation of this entry.
+    pub base: BaseIndex,
+    /// DAG structure for the simulate report (`None` for builtins).
+    pub structure: Option<Structure>,
+}
+
+impl ServeEntry {
+    /// Compiles the index for a resolved workflow.
+    pub fn build(resolved: Resolved) -> Result<Self, String> {
+        let base = BaseIndex::build(&resolved.scenario.machine, &resolved.scenario.workflow)
+            .map_err(|e| e.to_string())?;
+        Ok(Self {
+            scenario: resolved.scenario,
+            base,
+            structure: resolved.structure,
+        })
+    }
+}
+
+/// Stable cache key for a request's workflow: hashes the workflow text
+/// (builtin name or full `.wrm` source) and the machine override
+/// through the canonical value hasher, so the key is independent of
+/// process, platform, and map iteration order.
+#[must_use]
+pub fn cache_key(workflow: &str, machine: Option<&str>) -> u64 {
+    wrm_core::fingerprint_value(&serde_json::json!({
+        "workflow": workflow,
+        "machine": machine.unwrap_or(""),
+    }))
+}
+
+/// A concurrency-safe LRU cache of [`ServeEntry`]s.
+pub struct IndexCache {
+    capacity: usize,
+    /// Recency order: most recently used last.
+    entries: Mutex<Vec<(u64, Arc<ServeEntry>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl IndexCache {
+    /// Creates a cache holding at most `capacity` entries (floored at
+    /// 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency. Counts a hit or miss.
+    pub fn get(&self, key: u64) -> Option<Arc<ServeEntry>> {
+        let mut entries = self.entries.lock();
+        if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+            let pair = entries.remove(pos);
+            let entry = Arc::clone(&pair.1);
+            entries.push(pair);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(entry)
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Inserts `entry` as most recent, evicting the least recently used
+    /// entry if the cache is full. An existing entry under the same key
+    /// is replaced (not counted as an eviction).
+    pub fn insert(&self, key: u64, entry: Arc<ServeEntry>) {
+        let mut entries = self.entries.lock();
+        if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+            entries.remove(pos);
+        } else if entries.len() >= self.capacity {
+            entries.remove(0);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.push((key, entry));
+    }
+
+    /// Returns the entry for `key`, building and caching it on a miss.
+    /// The `hit` flag reports whether the entry came out of the cache.
+    pub fn get_or_build<F>(&self, key: u64, build: F) -> Result<(Arc<ServeEntry>, bool), String>
+    where
+        F: FnOnce() -> Result<ServeEntry, String>,
+    {
+        if let Some(entry) = self.get(key) {
+            return Ok((entry, true));
+        }
+        let entry = Arc::new(build()?);
+        self.insert(key, Arc::clone(&entry));
+        Ok((entry, false))
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits since startup.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses since startup.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by capacity pressure since startup.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::resolve_request;
+
+    fn entry_for(name: &str) -> ServeEntry {
+        ServeEntry::build(resolve_request(name, None, "<test>").unwrap()).unwrap()
+    }
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        assert_eq!(cache_key("lcls", None), cache_key("lcls", None));
+        assert_ne!(cache_key("lcls", None), cache_key("bgw", None));
+        assert_ne!(cache_key("lcls", None), cache_key("lcls", Some("pm-cpu")));
+        // No machine override and an empty override collide by design:
+        // both mean "the workflow's own machine".
+        assert_eq!(cache_key("lcls", None), cache_key("lcls", Some("")));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = IndexCache::new(2);
+        let (ka, kb, kc) = (1u64, 2u64, 3u64);
+        cache.insert(ka, Arc::new(entry_for("lcls")));
+        cache.insert(kb, Arc::new(entry_for("bgw")));
+        // Touch A so B becomes the LRU victim.
+        assert!(cache.get(ka).is_some());
+        cache.insert(kc, Arc::new(entry_for("cosmoflow")));
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(kb).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(ka).is_some());
+        assert!(cache.get(kc).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn evicted_entries_rebuild_on_demand() {
+        let cache = IndexCache::new(1);
+        let specs = ["lcls", "bgw", "cosmoflow"];
+        // More specs than capacity: every insert after the first evicts.
+        for name in specs {
+            let key = cache_key(name, None);
+            let (_, hit) = cache
+                .get_or_build(key, || Ok(entry_for(name)))
+                .expect("builds");
+            assert!(!hit);
+        }
+        assert_eq!(cache.evictions(), 2);
+        // The evicted specs still answer — get_or_build recompiles them
+        // and the rebuilt entry matches a fresh build.
+        let key = cache_key("lcls", None);
+        let (rebuilt, hit) = cache
+            .get_or_build(key, || Ok(entry_for("lcls")))
+            .expect("rebuilds");
+        assert!(!hit, "evicted entry must be a miss");
+        assert_eq!(
+            rebuilt.scenario.workflow.name,
+            entry_for("lcls").scenario.workflow.name
+        );
+        // And the rebuilt entry now serves hits.
+        let (_, hit) = cache
+            .get_or_build(key, || panic!("must not rebuild on a hit"))
+            .expect("hits");
+        assert!(hit);
+    }
+
+    #[test]
+    fn reinsert_same_key_does_not_evict() {
+        let cache = IndexCache::new(2);
+        cache.insert(7, Arc::new(entry_for("lcls")));
+        cache.insert(8, Arc::new(entry_for("bgw")));
+        cache.insert(7, Arc::new(entry_for("lcls")));
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(8).is_some());
+    }
+}

@@ -1,0 +1,370 @@
+//! Output assembly shared by the CLI and the server.
+//!
+//! Byte-identity between `wrm <cmd>` stdout and the corresponding
+//! server response is a standing invariant of this workspace (it is
+//! what makes the server a drop-in accelerator rather than a second
+//! implementation to cross-validate). The invariant is enforced by
+//! construction: both front ends call these functions, and neither
+//! formats a result line on its own.
+//!
+//! Sweep rows render one at a time ([`sweep_row_csv`],
+//! [`sweep_row_value`]) so the server can stream each row the moment
+//! its column completes; the CLI simply concatenates them. Grid
+//! construction ([`build_grid`]) owns the canonical axis order —
+//! factors ascending, node limits with the full pool first, policies
+//! with `fifo` first — so output bytes never depend on input order,
+//! thread count, or engine.
+
+use wrm_sim::{Certificate, Scenario, SchedulerPolicy, SimError, SimResult, SimSummary, SweepGrid};
+use wrm_trace::{characterize, Structure};
+
+/// Display name of a scheduler policy, as used in sweep rows and CLI
+/// flags.
+#[must_use]
+pub fn policy_name(p: SchedulerPolicy) -> &'static str {
+    match p {
+        SchedulerPolicy::Fifo => "fifo",
+        SchedulerPolicy::Backfill => "backfill",
+    }
+}
+
+/// Parses a policy name (the inverse of [`policy_name`]).
+pub fn parse_policy(name: &str) -> Result<SchedulerPolicy, String> {
+    match name.trim() {
+        "fifo" => Ok(SchedulerPolicy::Fifo),
+        "backfill" => Ok(SchedulerPolicy::Backfill),
+        other => Err(format!(
+            "unknown policy `{other}` (expected fifo or backfill)"
+        )),
+    }
+}
+
+/// One cell of a sweep grid, in output order.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepCell {
+    /// Contention factor applied to the swept resource.
+    pub factor: f64,
+    /// Scheduler node-pool limit (`None` = full pool).
+    pub node_limit: Option<u64>,
+    /// Scheduler policy.
+    pub policy: SchedulerPolicy,
+}
+
+/// Builds the canonical sweep grid for a base scenario: validates the
+/// axes, fills defaults from the scenario's options, and sorts every
+/// axis into canonical order so output bytes are input-order
+/// independent.
+pub fn build_grid(
+    base: &Scenario,
+    resource: Option<String>,
+    factors: &[f64],
+    nodes: &[u64],
+    policies: &[SchedulerPolicy],
+) -> Result<SweepGrid, String> {
+    if !factors.is_empty() && resource.is_none() {
+        return Err("--factors needs --resource <shared resource id>".to_owned());
+    }
+    if let Some(res) = &resource {
+        if base.machine.system_resource(res).is_none() {
+            return Err(format!(
+                "machine `{}` has no shared resource `{res}`",
+                base.machine.name
+            ));
+        }
+    }
+    let mut factors = if factors.is_empty() {
+        vec![1.0]
+    } else {
+        factors.to_vec()
+    };
+    let mut node_limits: Vec<Option<u64>> = if nodes.is_empty() {
+        vec![base.options.node_limit]
+    } else {
+        nodes.iter().map(|&n| Some(n)).collect()
+    };
+    let mut policies = if policies.is_empty() {
+        vec![base.options.scheduler]
+    } else {
+        policies.to_vec()
+    };
+    // Canonical coordinate order: output bytes must not depend on the
+    // order axis values were given, the thread count, or the engine.
+    factors.sort_unstable_by(f64::total_cmp);
+    node_limits.sort_unstable();
+    policies.sort_unstable_by_key(|p| match p {
+        SchedulerPolicy::Fifo => 0,
+        SchedulerPolicy::Backfill => 1,
+    });
+    Ok(SweepGrid {
+        resource,
+        factors,
+        node_limits,
+        policies,
+    })
+}
+
+/// Cell metadata in `SweepGrid::index_of` order — the same nested
+/// factor / node-limit / policy order both engines return results in.
+#[must_use]
+pub fn grid_cells(grid: &SweepGrid) -> Vec<SweepCell> {
+    let mut cells = Vec::with_capacity(grid.len());
+    for &factor in &grid.factors {
+        for &node_limit in &grid.node_limits {
+            for &policy in &grid.policies {
+                cells.push(SweepCell {
+                    factor,
+                    node_limit,
+                    policy,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The sweep CSV header row.
+pub const SWEEP_CSV_HEADER: &str = "workflow,machine,resource,factor,node_limit,policy,\
+                                    makespan_s,node_seconds,utilization,error\n";
+
+/// Renders one sweep cell as a CSV row (with trailing newline).
+#[must_use]
+pub fn sweep_row_csv(
+    workflow: &str,
+    machine: &str,
+    resource: &str,
+    cell: &SweepCell,
+    result: &Result<SimResult, SimError>,
+) -> String {
+    let node_limit = cell.node_limit.map(|n| n.to_string()).unwrap_or_default();
+    let (makespan, node_seconds, utilization, error) = match result {
+        Ok(r) => (
+            format!("{:.6}", r.makespan),
+            format!("{:.3}", r.node_seconds()),
+            format!("{:.6}", r.utilization()),
+            String::new(),
+        ),
+        Err(e) => (
+            String::new(),
+            String::new(),
+            String::new(),
+            e.to_string().replace(',', ";"),
+        ),
+    };
+    format!(
+        "{},{},{},{},{},{},{},{},{},{}\n",
+        workflow,
+        machine,
+        resource,
+        cell.factor,
+        node_limit,
+        policy_name(cell.policy),
+        makespan,
+        node_seconds,
+        utilization,
+        error
+    )
+}
+
+/// Renders one sweep cell as a JSON row value.
+#[must_use]
+pub fn sweep_row_value(
+    workflow: &str,
+    machine: &str,
+    resource: &str,
+    cell: &SweepCell,
+    result: &Result<SimResult, SimError>,
+) -> serde_json::Value {
+    let (makespan, node_seconds, utilization, error) = match result {
+        Ok(r) => (
+            serde_json::json!(r.makespan),
+            serde_json::json!(r.node_seconds()),
+            serde_json::json!(r.utilization()),
+            serde_json::Value::Null,
+        ),
+        Err(e) => (
+            serde_json::Value::Null,
+            serde_json::Value::Null,
+            serde_json::Value::Null,
+            serde_json::json!(e.to_string()),
+        ),
+    };
+    serde_json::json!({
+        "workflow": workflow,
+        "machine": machine,
+        "resource": resource,
+        "factor": cell.factor,
+        "node_limit": cell.node_limit,
+        "policy": policy_name(cell.policy),
+        "makespan_s": makespan,
+        "node_seconds": node_seconds,
+        "utilization": utilization,
+        "error": error
+    })
+}
+
+/// Assembles the buffered `--format json` sweep document (pretty array
+/// plus trailing newline).
+pub fn sweep_json(rows: Vec<serde_json::Value>) -> Result<String, String> {
+    let mut text =
+        serde_json::to_string_pretty(&serde_json::Value::Array(rows)).map_err(|e| e.to_string())?;
+    text.push('\n');
+    Ok(text)
+}
+
+/// Renders one sweep row as a compact JSON line (`--format jsonl`).
+pub fn sweep_row_jsonl(row: &serde_json::Value) -> Result<String, String> {
+    let mut line = serde_json::to_string(row).map_err(|e| e.to_string())?;
+    line.push('\n');
+    Ok(line)
+}
+
+/// The full `wrm simulate` report: makespan line, throughput, time
+/// breakdown.
+pub fn simulate_report(
+    spec_name: &str,
+    machine_name: &str,
+    result: &SimResult,
+    structure: &Structure,
+) -> Result<String, String> {
+    let mut out = format!(
+        "{} on {}: makespan {:.2} s, {} tasks, {:.0} node-seconds \
+         ({:.1}% pool utilization)\n",
+        spec_name,
+        machine_name,
+        result.makespan,
+        result.task_times.len(),
+        result.node_seconds(),
+        result.utilization() * 100.0
+    );
+    let wf = characterize(&result.trace, structure).map_err(|e| e.to_string())?;
+    if let Ok(tps) = wf.throughput() {
+        out.push_str(&format!("throughput: {:.4e} tasks/s\n", tps.get()));
+    }
+    out.push_str("\ntime breakdown:\n");
+    let b = result.trace.breakdown();
+    for (cat, secs) in &b.categories {
+        out.push_str(&format!("  {cat:<24} {secs:>12.2} s\n"));
+    }
+    Ok(out)
+}
+
+/// The `wrm simulate --summary` report: streaming aggregates only.
+#[must_use]
+pub fn summary_report(spec_name: &str, machine_name: &str, sum: &SimSummary) -> String {
+    let mut out = format!(
+        "{} on {}: makespan {:.2} s, {} tasks, {} spans, {:.0} node-seconds \
+         ({:.1}% pool utilization)\n",
+        spec_name,
+        machine_name,
+        sum.makespan,
+        sum.n_tasks,
+        sum.n_spans,
+        sum.node_seconds,
+        sum.utilization() * 100.0
+    );
+    out.push_str("\nchannels:\n");
+    for ch in &sum.channels {
+        out.push_str(&format!(
+            "  {:<12} busy {:>10.2} s  {:>12.3e} B  {:>8} flows\n",
+            ch.resource, ch.busy, ch.bytes, ch.flows
+        ));
+    }
+    out.push_str(&format!(
+        "\ncritical-path tail ({} task(s){}):\n",
+        sum.critical_tail_len,
+        if sum.critical_tail_len > sum.critical_tail.len() {
+            ", last 32 shown"
+        } else {
+            ""
+        }
+    ));
+    for name in &sum.critical_tail {
+        out.push_str(&format!("  {name}\n"));
+    }
+    out
+}
+
+/// The `wrm certify` document: the certificate as pretty JSON plus a
+/// trailing newline.
+pub fn certificate_json(cert: &Certificate) -> Result<String, String> {
+    let mut text = serde_json::to_string_pretty(cert).map_err(|e| e.to_string())?;
+    text.push('\n');
+    Ok(text)
+}
+
+/// A linted file: `(path, source, diagnostics)`.
+pub type LintBatch = [(String, String, Vec<wrm_lint::Diagnostic>)];
+
+/// The `wrm lint` text report.
+#[must_use]
+pub fn lint_text(batch: &LintBatch) -> String {
+    let mut out = String::new();
+    let mut total_errors = 0;
+    let mut total_warnings = 0;
+    for (path, source, diags) in batch {
+        for d in diags {
+            out.push_str(&format!("{}\n\n", d.render(source)));
+        }
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == wrm_lint::Severity::Error)
+            .count();
+        let warnings = diags.len() - errors;
+        total_errors += errors;
+        total_warnings += warnings;
+        if diags.is_empty() {
+            out.push_str(&format!("{path}: clean\n"));
+        } else {
+            out.push_str(&format!(
+                "{path}: {errors} error(s), {warnings} warning(s)\n"
+            ));
+        }
+    }
+    if batch.len() > 1 {
+        out.push_str(&format!(
+            "{} file(s): {total_errors} error(s), {total_warnings} warning(s)\n",
+            batch.len()
+        ));
+    }
+    out
+}
+
+/// The `wrm lint --format json` report. Each file carries its two-sided
+/// makespan certification when the spec compiles onto a known machine;
+/// `null` otherwise (syntax errors, unknown machines, invalid
+/// resources), so consumers can rely on the key existing.
+pub fn lint_json(batch: &LintBatch) -> Result<String, String> {
+    let files: Vec<serde_json::Value> = batch
+        .iter()
+        .map(|(path, source, diags)| {
+            let cert = wrm_lang::compile_source(source)
+                .ok()
+                .and_then(|c| {
+                    let machine = c.machine?;
+                    wrm_sim::certify(&machine, &c.spec, &wrm_sim::SimOptions::default()).ok()
+                })
+                .and_then(|c| serde_json::to_value(&c).ok())
+                .unwrap_or(serde_json::Value::Null);
+            serde_json::json!({
+                "file": path,
+                "diagnostics": diags,
+                "certification": cert,
+            })
+        })
+        .collect();
+    let mut text = serde_json::to_string_pretty(&files).map_err(|e| e.to_string())?;
+    text.push('\n');
+    Ok(text)
+}
+
+/// The `wrm lint --format sarif` report.
+pub fn lint_sarif(batch: &LintBatch) -> Result<String, String> {
+    let files: Vec<(String, Vec<wrm_lint::Diagnostic>)> = batch
+        .iter()
+        .map(|(path, _, diags)| (path.clone(), diags.clone()))
+        .collect();
+    let log = wrm_lint::to_sarif(&files);
+    let mut text = serde_json::to_string_pretty(&log).map_err(|e| e.to_string())?;
+    text.push('\n');
+    Ok(text)
+}

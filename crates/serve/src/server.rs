@@ -1,0 +1,251 @@
+//! The server runtime: bind, accept, dispatch, drain.
+//!
+//! Connection I/O is thread-per-connection (connections are cheap and
+//! mostly idle); the CPU-heavy simulation work all funnels through the
+//! fixed [`WorkerPool`], so concurrency in the transport never
+//! oversubscribes the simulator. The accept loop polls a nonblocking
+//! listener so it can observe the shutdown flag — set by SIGTERM,
+//! SIGINT, or `POST /admin/shutdown` — within [`ACCEPT_POLL`]; it then
+//! stops accepting, waits for in-flight connections to finish their
+//! current request, joins the pool, and reports the drain.
+
+use crate::api::{respond, AppState};
+use crate::cache::IndexCache;
+use crate::http::read_request;
+use crate::metrics::Metrics;
+use crate::pool::WorkerPool;
+use crate::signals;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often the accept loop checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+/// Per-connection read timeout: bounds how long an idle keep-alive
+/// connection can stall the drain.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+/// Max wall-clock the drain waits for in-flight connections.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(15);
+
+/// Server configuration (`wrm serve` flags map 1:1 onto this).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker pool size; 0 = auto (one per available CPU).
+    pub workers: usize,
+    /// Index cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Suppress the listening/drain stderr lines.
+    pub quiet: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8080".into(),
+            workers: 0,
+            cache_capacity: 32,
+            quiet: false,
+        }
+    }
+}
+
+/// A running server, owned by the caller (the bench and the tests run
+/// it in-process; the CLI blocks on [`run`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    join: std::thread::JoinHandle<DrainReport>,
+}
+
+/// What the drain saw on the way out.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainReport {
+    /// Requests served over the server's lifetime.
+    pub served: u64,
+    /// In-flight connections still open when the drain timed out
+    /// (0 on a clean drain).
+    pub abandoned: usize,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and blocks until the server drains.
+    pub fn shutdown(self) -> DrainReport {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join.join().unwrap_or(DrainReport {
+            served: 0,
+            abandoned: 0,
+        })
+    }
+}
+
+/// Binds and serves on a background thread, returning once the
+/// listener is live.
+pub fn spawn(config: ServerConfig) -> Result<ServerHandle, String> {
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let state = build_state(&config, Arc::clone(&shutdown));
+    let quiet = config.quiet;
+    let join = std::thread::Builder::new()
+        .name("wrm-serve-accept".into())
+        .spawn(move || serve_until_drained(&listener, &state, quiet))
+        .map_err(|e| format!("cannot spawn accept thread: {e}"))?;
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        join,
+    })
+}
+
+/// The CLI entry point: installs signal handlers, serves until SIGTERM
+/// / SIGINT / `POST /admin/shutdown`, drains, and reports.
+pub fn run(config: ServerConfig) -> Result<(), String> {
+    signals::install();
+    let quiet = config.quiet;
+    let workers = wrm_sim::effective_workers(config.workers, usize::MAX).max(1);
+    let handle = spawn(config)?;
+    if !quiet {
+        eprintln!(
+            "wrm serve: listening on {} ({workers} sim worker(s))",
+            handle.addr()
+        );
+    }
+    // Bridge process signals onto the server's shutdown flag.
+    while !handle.shutdown.load(Ordering::SeqCst) && !signals::triggered() {
+        std::thread::sleep(ACCEPT_POLL);
+    }
+    handle.shutdown.store(true, Ordering::SeqCst);
+    let report = handle.join.join().map_err(|_| "server thread panicked")?;
+    if !quiet {
+        if report.abandoned == 0 {
+            eprintln!(
+                "wrm serve: drained cleanly after {} request(s); bye",
+                report.served
+            );
+        } else {
+            eprintln!(
+                "wrm serve: drained with {} connection(s) abandoned after {} request(s)",
+                report.abandoned, report.served
+            );
+        }
+    }
+    Ok(())
+}
+
+fn build_state(config: &ServerConfig, shutdown: Arc<AtomicBool>) -> Arc<AppState> {
+    // The pool multiplexes *all* requests, so size it like a sweep:
+    // auto = one worker per CPU, explicit values capped at the host.
+    let workers = wrm_sim::effective_workers(config.workers, usize::MAX).max(1);
+    Arc::new(AppState {
+        cache: IndexCache::new(config.cache_capacity),
+        pool: WorkerPool::new(workers),
+        metrics: Metrics::new(),
+        shutdown,
+        served: AtomicU64::new(0),
+    })
+}
+
+fn serve_until_drained(listener: &TcpListener, state: &Arc<AppState>, quiet: bool) -> DrainReport {
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut conn_handles = Vec::new();
+
+    while !state.shutdown.load(Ordering::SeqCst) && !signals::triggered() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let state = Arc::clone(state);
+                let conn_active = Arc::clone(&active);
+                active.fetch_add(1, Ordering::SeqCst);
+                let handle = std::thread::Builder::new()
+                    .name("wrm-serve-conn".into())
+                    .spawn(move || {
+                        handle_connection(stream, &state, quiet);
+                        conn_active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                match handle {
+                    Ok(h) => conn_handles.push(h),
+                    Err(_) => {
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                // Drop finished handles so a long-lived server does not
+                // accumulate them.
+                conn_handles.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    state.shutdown.store(true, Ordering::SeqCst);
+
+    // Drain: connections observe the flag after their current request
+    // (and idle ones hit the read timeout), so this converges fast.
+    let deadline = std::time::Instant::now() + DRAIN_TIMEOUT;
+    while active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(ACCEPT_POLL);
+    }
+    let abandoned = active.load(Ordering::SeqCst);
+    for h in conn_handles {
+        if h.is_finished() {
+            let _ = h.join();
+        }
+    }
+    DrainReport {
+        served: state.served.load(Ordering::SeqCst),
+        abandoned,
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<AppState>, quiet: bool) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(Some(req)) => {
+                // An Err means the peer went away mid-response: drop it.
+                let keep = respond(state, &req, reader.get_mut()).unwrap_or_default();
+                if !keep {
+                    break;
+                }
+            }
+            Ok(None) => break, // clean close between requests
+            Err(e) => {
+                // Read timeouts on idle keep-alive connections are
+                // routine; anything else malformed gets a 400 if the
+                // socket is still writable.
+                let timed_out =
+                    e.contains("TimedOut") || e.contains("WouldBlock") || e.contains("timed out");
+                if !timed_out {
+                    if !quiet {
+                        eprintln!("wrm serve: bad request: {e}");
+                    }
+                    let body = format!("{e}\n");
+                    let _ = crate::http::write_response(
+                        reader.get_mut(),
+                        400,
+                        "text/plain; charset=utf-8",
+                        body.as_bytes(),
+                        false,
+                    );
+                }
+                break;
+            }
+        }
+    }
+}

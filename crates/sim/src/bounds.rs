@@ -176,6 +176,19 @@ pub fn certify_scenario(scenario: &Scenario) -> Result<Certificate, SimError> {
     certify(&scenario.machine, &scenario.workflow, &scenario.options)
 }
 
+/// [`certify`] against a prebuilt [`BaseIndex`] — the resident server's
+/// certify path, where the index comes out of a cache instead of being
+/// rebuilt per request. `base` must have been built from this
+/// `(machine, workflow)` pair; results are bit-identical to [`certify`].
+pub fn certify_with_base(
+    workflow: &WorkflowSpec,
+    options: &SimOptions,
+    base: &BaseIndex,
+) -> Result<Certificate, SimError> {
+    let overlay = IndexOverlay::build(base, workflow, options)?;
+    Ok(certify_indexed(workflow, options, base, &overlay))
+}
+
 /// Simulates and returns only the makespan: the oracle-side entry point
 /// (skips the per-task result maps the full [`crate::simulate`] builds).
 pub fn simulate_makespan(scenario: &Scenario) -> Result<f64, SimError> {

@@ -621,6 +621,57 @@ pub fn simulate_in(scenario: &Scenario, arena: &mut SimArena) -> Result<SimResul
     run_full(scenario, arena, CalendarKind::Buckets)
 }
 
+/// [`simulate_in`] against a prebuilt [`BaseIndex`] — the resident
+/// server's hot path: an index-cache hit skips spec validation and index
+/// compilation entirely and goes straight to overlay construction.
+///
+/// `base` must have been built from this scenario's `(machine,
+/// workflow)` pair (e.g. by [`BaseIndex::build`]); results are undefined
+/// (though memory-safe) otherwise. Bit-identical to [`simulate`].
+pub fn simulate_with_base(
+    scenario: &Scenario,
+    base: &BaseIndex,
+    arena: &mut SimArena,
+) -> Result<SimResult, SimError> {
+    let overlay = IndexOverlay::build(base, &scenario.workflow, &scenario.options)?;
+    run_point_in(
+        &scenario.workflow,
+        &scenario.machine.name,
+        &scenario.options,
+        base,
+        &overlay,
+        arena,
+    )
+}
+
+/// [`simulate_summary_in`] against a prebuilt [`BaseIndex`]; same
+/// contract as [`simulate_with_base`]. Bit-identical to
+/// [`simulate_summary`].
+pub fn simulate_summary_with_base(
+    scenario: &Scenario,
+    base: &BaseIndex,
+    arena: &mut SimArena,
+) -> Result<SimSummary, SimError> {
+    let overlay = IndexOverlay::build(base, &scenario.workflow, &scenario.options)?;
+    let mut engine = Engine::new_in(
+        &scenario.workflow,
+        &scenario.machine.name,
+        &scenario.options,
+        base,
+        &overlay,
+        std::mem::take(&mut arena.state),
+        CalendarKind::Buckets,
+        RunMode::Summary,
+    );
+    let result = match engine.advance() {
+        Ok(Outcome::Done) => Ok(engine.take_summary()),
+        Ok(Outcome::Paused) => unreachable!("no stop_iter set"),
+        Err(e) => Err(e),
+    };
+    arena.state = engine.recycle();
+    result
+}
+
 /// [`simulate`] with an explicit calendar implementation — the hook the
 /// equivalence oracles use to pin calendar-queue results to the heap's.
 pub fn simulate_with_calendar(

@@ -160,6 +160,10 @@ enum DesState<'e> {
 /// Evaluates the full grid over `scenario`, using up to `threads` worker
 /// threads (one column — a `(node_limit, policy)` pair — per work unit).
 ///
+/// `threads == 0` means auto: one worker per available CPU, capped at
+/// the column count; explicit values are also capped at the host's
+/// available parallelism (see [`crate::sweep::effective_workers`]).
+///
 /// Results are returned in [`SweepGrid::index_of`] order regardless of
 /// `threads`, and every result is bit-identical to calling
 /// [`crate::simulate`] with that point's options.
@@ -187,19 +191,40 @@ pub fn sweep_grid(scenario: &Scenario, grid: &SweepGrid, threads: usize) -> Swee
             };
         }
     };
+    sweep_grid_with_base(scenario, grid, threads, &base)
+}
+
+/// [`sweep_grid`] against a prebuilt [`BaseIndex`] — the resident
+/// server's sweep path, where the base comes out of the index cache
+/// instead of being compiled per request. `base` must have been built
+/// from this scenario's `(machine, workflow)` pair.
+#[must_use]
+pub fn sweep_grid_with_base(
+    scenario: &Scenario,
+    grid: &SweepGrid,
+    threads: usize,
+    base: &BaseIndex,
+) -> SweepOutcome {
+    let n = grid.len();
+    if n == 0 {
+        return SweepOutcome {
+            results: Vec::new(),
+            stats: SweepStats::default(),
+        };
+    }
 
     let columns: Vec<(usize, usize)> = (0..grid.node_limits.len())
         .flat_map(|ni| (0..grid.policies.len()).map(move |pi| (ni, pi)))
         .collect();
 
-    let workers = threads.max(1).min(columns.len());
+    let workers = crate::sweep::effective_workers(threads, columns.len());
     let mut results: Vec<Option<Result<SimResult, SimError>>> = (0..n).map(|_| None).collect();
     let mut stats = SweepStats::default();
 
     if workers == 1 {
         let mut arena = SimArena::new();
         for &(ni, pi) in &columns {
-            let (out, col_stats) = run_column(scenario, grid, &base, ni, pi, &mut arena);
+            let (out, col_stats) = sweep_column(scenario, grid, base, ni, pi, &mut arena);
             stats.absorb(col_stats);
             for (i, r) in out {
                 results[i] = Some(r);
@@ -223,7 +248,7 @@ pub fn sweep_grid(scenario: &Scenario, grid: &SweepGrid, threads: usize) -> Swee
                             }
                             let (ni, pi) = columns[c];
                             let (col, col_stats) =
-                                run_column(scenario, grid, &base, ni, pi, &mut arena);
+                                sweep_column(scenario, grid, base, ni, pi, &mut arena);
                             local.absorb(col_stats);
                             out.extend(col);
                         }
@@ -256,10 +281,18 @@ pub fn sweep_grid(scenario: &Scenario, grid: &SweepGrid, threads: usize) -> Swee
 }
 
 /// One evaluated grid point: its `SweepGrid::index_of` slot and result.
-type IndexedResult = (usize, Result<SimResult, SimError>);
+pub type IndexedResult = (usize, Result<SimResult, SimError>);
 
-/// Evaluates one `(node_limit, policy)` column across all factors.
-fn run_column(
+/// Evaluates one `(node_limit, policy)` column across all factors:
+/// fastpath-first, then cold / checkpoint-replay / reuse as the column's
+/// structure allows. Returns `(SweepGrid::index_of slot, result)` pairs
+/// plus path statistics.
+///
+/// Public so external schedulers (the `wrm serve` worker pool) can
+/// dispatch one column per job against a shared cached [`BaseIndex`]
+/// and stream results as columns complete; `base` must have been built
+/// from this scenario's `(machine, workflow)` pair.
+pub fn sweep_column(
     scenario: &Scenario,
     grid: &SweepGrid,
     base: &BaseIndex,

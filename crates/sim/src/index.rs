@@ -55,35 +55,41 @@ pub(crate) enum PhaseIx {
 /// The option-independent part of a lowered scenario: topology, CSR
 /// dependents, durations and cap bases. Built once per `(machine,
 /// workflow)` pair and shared by every [`crate::overlay::IndexOverlay`].
-pub(crate) struct BaseIndex {
+///
+/// Public as an *opaque* handle so long-lived callers (the `wrm serve`
+/// index cache) can compile once, wrap in an `Arc`, and answer many
+/// requests concurrently via [`crate::simulate_with_base`] /
+/// [`crate::sweep_grid_with_base`]; the lowered tables themselves stay
+/// crate-private.
+pub struct BaseIndex {
     /// The machine's total node count (pool ceiling).
-    pub total_nodes: u64,
+    pub(crate) total_nodes: u64,
     /// Nodes required per task.
-    pub nodes: Vec<u64>,
+    pub(crate) nodes: Vec<u64>,
     /// Running maximum of [`Self::nodes`] by task index; used by the
     /// overlay to find the first too-large task in `O(log n)`.
-    pub nodes_prefix_max: Vec<u64>,
+    pub(crate) nodes_prefix_max: Vec<u64>,
     /// CSR offsets into [`Self::phases`], one entry per task plus one.
-    pub phase_off: Vec<u32>,
+    pub(crate) phase_off: Vec<u32>,
     /// All phases of all tasks, in task order.
-    pub phases: Vec<PhaseIx>,
+    pub(crate) phases: Vec<PhaseIx>,
     /// Unresolved-dependency count per task.
-    pub dep_count: Vec<u32>,
+    pub(crate) dep_count: Vec<u32>,
     /// CSR offsets into [`Self::dependents`], one entry per task plus one.
-    pub dependents_off: Vec<u32>,
+    pub(crate) dependents_off: Vec<u32>,
     /// Task ids unblocked by each task's completion.
-    pub dependents: Vec<u32>,
+    pub(crate) dependents: Vec<u32>,
     /// Channel ids in machine declaration order.
-    pub channel_ids: Vec<String>,
+    pub(crate) channel_ids: Vec<String>,
     /// Capacity per channel *before* the contention factor.
-    pub capacity_base: Vec<f64>,
+    pub(crate) capacity_base: Vec<f64>,
     /// Resource id -> channel index.
-    pub channel_idx: BTreeMap<String, u32>,
+    pub(crate) channel_idx: BTreeMap<String, u32>,
     /// The first `UnknownResource` error in task order (scan position =
     /// task index), recorded but not raised: whether it wins over a
     /// `TaskTooLarge` depends on the per-point pool, so the overlay
     /// decides.
-    pub first_resource_error: Option<(usize, SimError)>,
+    pub(crate) first_resource_error: Option<(usize, SimError)>,
 }
 
 impl BaseIndex {
@@ -91,7 +97,10 @@ impl BaseIndex {
     /// them. Resource errors are recorded, not raised (see the module
     /// docs); tasks carrying one get placeholder phases, which is sound
     /// because every overlay built on such a base refuses to run.
-    pub(crate) fn build(machine: &Machine, workflow: &WorkflowSpec) -> Result<Self, SimError> {
+    ///
+    /// This is the expensive, cacheable step: the same `BaseIndex`
+    /// serves every option point of the `(machine, workflow)` pair.
+    pub fn build(machine: &Machine, workflow: &WorkflowSpec) -> Result<Self, SimError> {
         workflow.validate()?;
         let tasks = &workflow.tasks;
 

@@ -56,7 +56,8 @@ pub mod spec;
 pub mod sweep;
 
 pub use bounds::{
-    certify, certify_scenario, simulate_makespan, Certificate, ChannelFloor, TaskBound, TermBound,
+    certify, certify_scenario, certify_with_base, simulate_makespan, Certificate, ChannelFloor,
+    TaskBound, TermBound,
 };
 pub use calendar::CalendarKind;
 pub use channel::{
@@ -64,10 +65,14 @@ pub use channel::{
     FlowRate, RateScratch, Sharing,
 };
 pub use engine::{
-    simulate, simulate_in, simulate_summary, simulate_summary_in, simulate_with_calendar,
-    BackgroundFlow, ChannelSummary, Jitter, RunMode, Scenario, SchedulerPolicy, SimArena, SimError,
-    SimOptions, SimResult, SimSummary,
+    simulate, simulate_in, simulate_summary, simulate_summary_in, simulate_summary_with_base,
+    simulate_with_base, simulate_with_calendar, BackgroundFlow, ChannelSummary, Jitter, RunMode,
+    Scenario, SchedulerPolicy, SimArena, SimError, SimOptions, SimResult, SimSummary,
 };
-pub use incremental::{sweep_grid, SweepGrid, SweepOutcome, SweepStats};
+pub use incremental::{
+    sweep_column, sweep_grid, sweep_grid_with_base, IndexedResult, SweepGrid, SweepOutcome,
+    SweepStats,
+};
+pub use index::BaseIndex;
 pub use spec::{Phase, SpecError, TaskSpec, WorkflowSpec};
-pub use sweep::{run_all, run_all_chunked, sweep};
+pub use sweep::{effective_workers, run_all, run_all_chunked, sweep};

@@ -2,7 +2,12 @@
 //!
 //! Provides [`scope`] with crossbeam's signature (spawn closures take a
 //! scope argument; the scope call returns `Err` with the panic payload
-//! if any worker panicked), implemented on `std::thread::scope`.
+//! if any worker panicked), implemented on `std::thread::scope`, and
+//! [`channel`] with the `unbounded` MPMC subset of `crossbeam-channel`
+//! (clonable senders *and* receivers, disconnect on last-sender drop),
+//! implemented on `Mutex` + `Condvar`.
+
+pub mod channel;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
