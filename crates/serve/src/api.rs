@@ -46,6 +46,16 @@ pub fn respond<W: Write>(state: &AppState, req: &Request, out: &mut W) -> std::i
     let start = Instant::now();
     state.served.fetch_add(1, Ordering::Relaxed);
 
+    // Transfer-encoded (e.g. chunked) request bodies are not parsed, so
+    // their framing bytes would still be sitting in the connection's
+    // buffer and desync the next pipelined request. Reject and close.
+    if let Some(encoding) = req.header("transfer-encoding") {
+        let body = format!("transfer-encoding `{encoding}` request bodies are not supported; send a Content-Length body\n");
+        state.metrics.record("other", elapsed_us(start), false);
+        write_response(out, 501, TEXT, body.as_bytes(), false)?;
+        return Ok(false);
+    }
+
     let (label, outcome) = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => ("healthz", Reply::ok(TEXT, "ok\n".into())),
         ("GET", "/metrics") => (
@@ -388,11 +398,20 @@ fn sweep<W: Write>(
         let rows: Vec<serde_json::Value> = slots
             .iter()
             .zip(&cells)
-            .map(|(slot, cell)| {
-                let result = slot.as_ref().expect("every grid point evaluated");
-                render::sweep_row_value(workflow, machine, &resource, cell, result)
+            .filter_map(|(slot, cell)| {
+                slot.as_ref().map(|result| {
+                    render::sweep_row_value(workflow, machine, &resource, cell, result)
+                })
             })
             .collect();
+        if rows.len() != cells.len() {
+            // A worker died or the pool shut down mid-sweep; nothing
+            // has been written yet, so a plain 500 is still possible.
+            return Err(SweepAbort::Setup(
+                500,
+                "sweep aborted before completion".into(),
+            ));
+        }
         let doc = render::sweep_json(rows).map_err(|e| SweepAbort::Setup(500, e))?;
         write_response(out, 200, JSON, doc.as_bytes(), keep)?;
         return Ok(keep);

@@ -8,7 +8,7 @@
 //!   with `Transfer-Encoding: chunked` via [`ChunkedWriter`] — the
 //!   sweep endpoint emits each row group the moment it is ready.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 
 /// Max accepted header block (request line + headers).
 const MAX_HEADER_BYTES: usize = 64 * 1024;
@@ -49,43 +49,84 @@ impl Request {
     }
 }
 
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The socket read timed out before a full request arrived —
+    /// routine on idle keep-alive connections bounded by the server's
+    /// read timeout, so callers drop the connection silently.
+    TimedOut,
+    /// Malformed or oversized request; worth a 400 if the socket is
+    /// still writable.
+    Bad(String),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::TimedOut => f.write_str("read timed out"),
+            ReadError::Bad(msg) => f.write_str(msg),
+        }
+    }
+}
+
+/// Classifies an I/O failure: `SO_RCVTIMEO` expiry surfaces as
+/// `TimedOut` on most platforms but as `WouldBlock` (EAGAIN) on Linux,
+/// so both kinds mean "the timer fired", not "the request was bad".
+fn io_error(context: &str, e: &std::io::Error) -> ReadError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => ReadError::TimedOut,
+        _ => ReadError::Bad(format!("{context}: {e}")),
+    }
+}
+
 /// Reads one request off the wire. `Ok(None)` means the peer closed
-/// cleanly between requests (normal keep-alive teardown); `Err` covers
-/// malformed requests, oversized inputs, and read timeouts.
-pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, String> {
+/// cleanly between requests (normal keep-alive teardown); `Err`
+/// distinguishes idle-timeout expiry from malformed or oversized
+/// requests.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, ReadError> {
+    // The cap must bound *unterminated* lines too: `read_line` buffers
+    // until it sees a newline, so without the `take` a client sending
+    // one endless header line would grow memory without limit.
+    let mut head = (&mut *reader).take(MAX_HEADER_BYTES as u64);
     let mut line = String::new();
-    match reader.read_line(&mut line) {
+    match head.read_line(&mut line) {
         Ok(0) => return Ok(None),
+        Ok(_) if !line.ends_with('\n') && head.limit() == 0 => {
+            return Err(ReadError::Bad("header block too large".into()));
+        }
         Ok(_) => {}
-        Err(e) => return Err(format!("read request line: {e}")),
+        Err(e) => return Err(io_error("read request line", &e)),
     }
     let mut parts = line.split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v)) => (m.to_owned(), p.to_owned(), v),
-        _ => return Err(format!("malformed request line: {line:?}")),
+        _ => return Err(ReadError::Bad(format!("malformed request line: {line:?}"))),
     };
     if !version.starts_with("HTTP/1.") {
-        return Err(format!("unsupported protocol {version}"));
+        return Err(ReadError::Bad(format!("unsupported protocol {version}")));
     }
 
     let mut headers = Vec::new();
-    let mut header_bytes = line.len();
     loop {
         let mut hline = String::new();
-        match reader.read_line(&mut hline) {
-            Ok(0) => return Err("connection closed mid-headers".into()),
-            Ok(n) => header_bytes += n,
-            Err(e) => return Err(format!("read header: {e}")),
-        }
-        if header_bytes > MAX_HEADER_BYTES {
-            return Err("header block too large".into());
+        match head.read_line(&mut hline) {
+            Ok(0) if head.limit() == 0 => {
+                return Err(ReadError::Bad("header block too large".into()))
+            }
+            Ok(0) => return Err(ReadError::Bad("connection closed mid-headers".into())),
+            Ok(_) if !hline.ends_with('\n') && head.limit() == 0 => {
+                return Err(ReadError::Bad("header block too large".into()));
+            }
+            Ok(_) => {}
+            Err(e) => return Err(io_error("read header", &e)),
         }
         let trimmed = hline.trim_end_matches(['\r', '\n']);
         if trimmed.is_empty() {
             break;
         }
         let Some((name, value)) = trimmed.split_once(':') else {
-            return Err(format!("malformed header: {trimmed:?}"));
+            return Err(ReadError::Bad(format!("malformed header: {trimmed:?}")));
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
     }
@@ -96,19 +137,19 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Strin
         .find(|(k, _)| k == "content-length")
         .map(|(_, v)| {
             v.parse::<usize>()
-                .map_err(|_| format!("bad content-length {v:?}"))
+                .map_err(|_| ReadError::Bad(format!("bad content-length {v:?}")))
         })
         .transpose()?;
     if let Some(n) = content_length {
         if n > MAX_BODY_BYTES {
-            return Err(format!(
+            return Err(ReadError::Bad(format!(
                 "body of {n} bytes exceeds the {MAX_BODY_BYTES} cap"
-            ));
+            )));
         }
         body.resize(n, 0);
         reader
             .read_exact(&mut body)
-            .map_err(|e| format!("read body: {e}"))?;
+            .map_err(|e| io_error("read body", &e))?;
     }
 
     Ok(Some(Request {
@@ -236,6 +277,52 @@ mod tests {
         ] {
             assert!(read_request(&mut BufReader::new(raw)).is_err(), "{raw:?}");
         }
+    }
+
+    #[test]
+    fn caps_unterminated_header_lines() {
+        // A single endless line (no newline anywhere) must error at the
+        // header cap instead of buffering without bound.
+        let mut raw = vec![b'A'; MAX_HEADER_BYTES * 2];
+        raw.splice(0..0, b"GET / HTTP/1.1\r\nX-Pad: ".iter().copied());
+        let err = read_request(&mut BufReader::new(&raw[..])).unwrap_err();
+        assert!(
+            matches!(&err, ReadError::Bad(m) if m.contains("too large")),
+            "{err:?}"
+        );
+
+        // Same for a request line that never terminates.
+        let raw = vec![b'G'; MAX_HEADER_BYTES * 2];
+        let err = read_request(&mut BufReader::new(&raw[..])).unwrap_err();
+        assert!(
+            matches!(&err, ReadError::Bad(m) if m.contains("too large")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn classifies_timeouts_structurally() {
+        // SO_RCVTIMEO expiry surfaces as WouldBlock on Linux and
+        // TimedOut elsewhere; both must map to ReadError::TimedOut so
+        // the server never 400s an idle keep-alive connection.
+        struct Failing(std::io::ErrorKind);
+        impl Read for Failing {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(self.0))
+            }
+        }
+        impl BufRead for Failing {
+            fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+                Err(std::io::Error::from(self.0))
+            }
+            fn consume(&mut self, _: usize) {}
+        }
+        for kind in [std::io::ErrorKind::WouldBlock, std::io::ErrorKind::TimedOut] {
+            let err = read_request(&mut Failing(kind)).unwrap_err();
+            assert!(matches!(err, ReadError::TimedOut), "{kind:?}: {err:?}");
+        }
+        let err = read_request(&mut Failing(std::io::ErrorKind::ConnectionReset)).unwrap_err();
+        assert!(matches!(err, ReadError::Bad(_)), "{err:?}");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::api::{respond, AppState};
 use crate::cache::IndexCache;
-use crate::http::read_request;
+use crate::http::{read_request, ReadError};
 use crate::metrics::Metrics;
 use crate::pool::WorkerPool;
 use crate::signals;
@@ -167,19 +167,19 @@ fn serve_until_drained(listener: &TcpListener, state: &Arc<AppState>, quiet: boo
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let state = Arc::clone(state);
-                let conn_active = Arc::clone(&active);
+                // Decrement-on-drop so a panicking connection thread
+                // (or a failed spawn, which drops the closure) cannot
+                // leak the in-flight count and stall every later drain.
                 active.fetch_add(1, Ordering::SeqCst);
+                let guard = ActiveGuard(Arc::clone(&active));
                 let handle = std::thread::Builder::new()
                     .name("wrm-serve-conn".into())
                     .spawn(move || {
+                        let _guard = guard;
                         handle_connection(stream, &state, quiet);
-                        conn_active.fetch_sub(1, Ordering::SeqCst);
                     });
-                match handle {
-                    Ok(h) => conn_handles.push(h),
-                    Err(_) => {
-                        active.fetch_sub(1, Ordering::SeqCst);
-                    }
+                if let Ok(h) = handle {
+                    conn_handles.push(h);
                 }
                 // Drop finished handles so a long-lived server does not
                 // accumulate them.
@@ -211,6 +211,16 @@ fn serve_until_drained(listener: &TcpListener, state: &Arc<AppState>, quiet: boo
     }
 }
 
+/// Decrements the in-flight connection count when dropped, even if the
+/// owning thread unwinds.
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn handle_connection(stream: TcpStream, state: &Arc<AppState>, quiet: bool) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
@@ -225,25 +235,22 @@ fn handle_connection(stream: TcpStream, state: &Arc<AppState>, quiet: bool) {
                 }
             }
             Ok(None) => break, // clean close between requests
-            Err(e) => {
-                // Read timeouts on idle keep-alive connections are
-                // routine; anything else malformed gets a 400 if the
-                // socket is still writable.
-                let timed_out =
-                    e.contains("TimedOut") || e.contains("WouldBlock") || e.contains("timed out");
-                if !timed_out {
-                    if !quiet {
-                        eprintln!("wrm serve: bad request: {e}");
-                    }
-                    let body = format!("{e}\n");
-                    let _ = crate::http::write_response(
-                        reader.get_mut(),
-                        400,
-                        "text/plain; charset=utf-8",
-                        body.as_bytes(),
-                        false,
-                    );
+            // Read timeouts on idle keep-alive connections are routine:
+            // drop the connection without a response.
+            Err(ReadError::TimedOut) => break,
+            Err(ReadError::Bad(e)) => {
+                // Malformed gets a 400 if the socket is still writable.
+                if !quiet {
+                    eprintln!("wrm serve: bad request: {e}");
                 }
+                let body = format!("{e}\n");
+                let _ = crate::http::write_response(
+                    reader.get_mut(),
+                    400,
+                    "text/plain; charset=utf-8",
+                    body.as_bytes(),
+                    false,
+                );
                 break;
             }
         }

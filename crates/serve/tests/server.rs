@@ -236,6 +236,62 @@ fn lru_eviction_recompiles_evicted_specs() {
 }
 
 #[test]
+fn chunked_request_bodies_get_501_and_a_closed_connection() {
+    use std::io::{Read, Write};
+
+    let server = server(2);
+    let addr = server.addr();
+
+    // A chunked body is never parsed, so the server must refuse it and
+    // close — otherwise the framing bytes would desync the next
+    // pipelined request on the connection.
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            b"POST /v1/lint HTTP/1.1\r\nHost: wrm\r\nTransfer-Encoding: chunked\r\n\r\n\
+              5\r\nhello\r\n0\r\n\r\n\
+              GET /healthz HTTP/1.1\r\n\r\n",
+        )
+        .expect("write");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read until close");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 501 "), "{text}");
+    assert!(text.contains("Connection: close\r\n"), "{text}");
+    assert!(
+        !text.contains("ok\n"),
+        "pipelined request after chunked framing must not be served: {text}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn idle_read_timeout_closes_silently_without_a_400() {
+    use std::io::Read;
+
+    let server = server(2);
+    let addr = server.addr();
+
+    // An idle keep-alive connection should be dropped by the read
+    // timeout with no unsolicited response bytes (a 400 here would mean
+    // the timeout was misclassified as a malformed request).
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("timeout");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read until close");
+    assert!(
+        raw.is_empty(),
+        "idle connection got unsolicited bytes: {}",
+        String::from_utf8_lossy(&raw)
+    );
+
+    server.shutdown();
+}
+
+#[test]
 fn admin_shutdown_drains_the_server() {
     let server = server(2);
     let addr = server.addr().to_string();

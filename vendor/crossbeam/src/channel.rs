@@ -102,7 +102,13 @@ impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
         if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last sender gone: wake every blocked receiver so each can
-            // observe the disconnect.
+            // observe the disconnect. The lock round-trip is required —
+            // a receiver holds the mutex from its `senders` check until
+            // `wait` releases it, so acquiring the mutex here orders
+            // this notification after that check. Without it, the
+            // decrement+notify can land between the receiver's check
+            // and its wait(), and the wakeup is lost forever.
+            drop(self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()));
             self.shared.ready.notify_all();
         }
     }
@@ -205,6 +211,23 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    /// Regression: the last sender dropping must not lose its wakeup
+    /// against a receiver that has checked `senders` but not yet parked
+    /// in `wait`. With the unsynchronized notify this hung within a few
+    /// hundred iterations; with the lock round-trip in `Sender::drop`
+    /// every receiver observes the disconnect.
+    #[test]
+    fn disconnect_race_wakes_blocked_receiver() {
+        for _ in 0..500 {
+            let (tx, rx) = unbounded::<()>();
+            let receiver = std::thread::spawn(move || rx.recv());
+            // Race the drop against the receiver entering its wait.
+            std::thread::yield_now();
+            drop(tx);
+            assert_eq!(receiver.join().unwrap(), Err(RecvError));
+        }
     }
 
     #[test]
