@@ -1,0 +1,27 @@
+//! Normal-build facade: nothing but `std` re-exports.
+//!
+//! This module is the entire facade when `wrm_mc` is not set, so the
+//! shims are guaranteed zero-cost: the types *are* the `std` types and
+//! no wrapper code exists to optimize away.
+
+pub mod sync {
+    pub use std::sync::{Condvar, LockResult, Mutex, MutexGuard, PoisonError};
+
+    pub mod atomic {
+        pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+    }
+}
+
+pub mod thread {
+    pub use std::thread::{available_parallelism, sleep, yield_now, Builder, JoinHandle, Result};
+
+    /// Identical to [`std::thread::spawn`]; present so facade users can
+    /// write `wrm_mc::thread::spawn` in both configurations.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(f)
+    }
+}

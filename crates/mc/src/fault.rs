@@ -1,0 +1,63 @@
+//! A tiny named fault-injection registry.
+//!
+//! Model-check mutation tests re-introduce a historical bug behind a
+//! named flag (e.g. the PR-8 notify-without-lock lost wakeup) and
+//! assert the checker finds it. The flags live here — in the facade
+//! crate, outside the modeled state — so flipping one does not perturb
+//! the explored interleaving space, and so the code under test does not
+//! need its own `std::sync::atomic` import (which the facade lint
+//! forbids).
+//!
+//! Flags are process-global: a mutation test that sets one must run in
+//! its own test binary so it cannot race sibling tests (see
+//! `vendor/crossbeam/tests/mc_mutation.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One word of fault bits; 64 named faults is plenty.
+static FAULTS: AtomicU64 = AtomicU64::new(0);
+
+/// Known fault names, in bit order.
+const NAMES: &[&str] = &["crossbeam_notify_without_lock"];
+
+fn bit(name: &str) -> u64 {
+    let idx = NAMES
+        .iter()
+        .position(|n| *n == name)
+        .unwrap_or_else(|| panic!("unknown fault name `{name}`; add it to wrm_mc::fault::NAMES"));
+    1 << idx
+}
+
+/// Arms or disarms the named fault.
+pub fn set(name: &str, armed: bool) {
+    let b = bit(name);
+    if armed {
+        FAULTS.fetch_or(b, Ordering::SeqCst);
+    } else {
+        FAULTS.fetch_and(!b, Ordering::SeqCst);
+    }
+}
+
+/// True when the named fault is armed.
+#[must_use]
+pub fn armed(name: &str) -> bool {
+    FAULTS.load(Ordering::SeqCst) & bit(name) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn arm_and_disarm() {
+        assert!(!super::armed("crossbeam_notify_without_lock"));
+        super::set("crossbeam_notify_without_lock", true);
+        assert!(super::armed("crossbeam_notify_without_lock"));
+        super::set("crossbeam_notify_without_lock", false);
+        assert!(!super::armed("crossbeam_notify_without_lock"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fault name")]
+    fn unknown_name_panics() {
+        let _ = super::armed("no_such_fault");
+    }
+}

@@ -1,0 +1,1086 @@
+//! The cooperative scheduler and DFS interleaving explorer.
+//!
+//! Active only under `--cfg wrm_mc`, and only inside [`model`] /
+//! [`check`] / [`replay`] runs. One OS thread exists per model thread,
+//! but exactly one runs at a time: every shim operation parks at an
+//! *operation point*, publishes the operation it wants to execute, and
+//! waits for the controller (the caller's thread) to grant it. A
+//! schedule is therefore a deterministic sequence of grants, and the
+//! explorer enumerates schedules by depth-first search over grant
+//! decisions with:
+//!
+//! * a **preemption bound** (switching away from a still-runnable
+//!   thread costs one preemption; schedules over the bound are not
+//!   explored);
+//! * **sleep sets** (Godefroid): after a choice is fully explored at a
+//!   decision node, partial-order-equivalent reorderings against
+//!   independent operations are pruned.
+//!
+//! Failures — deadlock (every live thread blocked, which is how a lost
+//! wakeup manifests), a panic never consumed by `join`, or a schedule
+//! exceeding the step limit (non-terminating drain) — abort the run
+//! and report a **seed**: the grant decision list, replayable with
+//! [`replay`] or `WRM_MC_REPLAY=<seed>`.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AOrd};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+pub(crate) type Tid = usize;
+pub(crate) type Oid = usize;
+
+pub(crate) const NO_OBJ: usize = usize::MAX;
+
+/// The operation a parked thread wants to execute next.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum OpKind {
+    MutexLock,
+    MutexUnlock,
+    /// Release the mutex (`obj2`) and enqueue on the condvar (`obj`).
+    CvWait,
+    /// Blocked until notified; then reacquire the mutex (`obj2`).
+    CvRewait,
+    CvNotifyOne,
+    CvNotifyAll,
+    AtomicLoad,
+    AtomicRmw,
+    /// Create a child thread (`obj` assigned at grant time).
+    Spawn,
+    /// Wait for thread `obj` to finish.
+    Join,
+    Yield,
+    /// Thread exit (obj = own tid).
+    Finish,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct Op {
+    pub kind: OpKind,
+    pub obj: Oid,
+    pub obj2: Oid,
+}
+
+impl Op {
+    pub(crate) fn new(kind: OpKind, obj: Oid) -> Self {
+        Self {
+            kind,
+            obj,
+            obj2: NO_OBJ,
+        }
+    }
+
+    pub(crate) fn with2(kind: OpKind, obj: Oid, obj2: Oid) -> Self {
+        Self { kind, obj, obj2 }
+    }
+}
+
+/// One object an op touches: `(space, id, is_read)`. Space 0 =
+/// sync/atomic object ids, space 1 = thread ids (join/finish
+/// lifecycle).
+type Access = (u8, Oid, bool);
+
+fn footprint(op: &Op) -> ([Option<Access>; 2], bool) {
+    use OpKind::*;
+    match op.kind {
+        Yield | Spawn => ([None, None], true),
+        MutexLock | MutexUnlock | CvNotifyOne | CvNotifyAll => {
+            ([Some((0, op.obj, false)), None], false)
+        }
+        CvWait | CvRewait => ([Some((0, op.obj, false)), Some((0, op.obj2, false))], false),
+        AtomicLoad => ([Some((0, op.obj, true)), None], false),
+        AtomicRmw => ([Some((0, op.obj, false)), None], false),
+        Join | Finish => ([Some((1, op.obj, false)), None], false),
+    }
+}
+
+/// True when `a` and `b` commute in every state: they share no object,
+/// or share objects only through reads.
+pub(crate) fn independent(a: &Op, b: &Op) -> bool {
+    let (fa, a_free) = footprint(a);
+    let (fb, b_free) = footprint(b);
+    if a_free || b_free {
+        return true;
+    }
+    for oa in fa.iter().flatten() {
+        for ob in fb.iter().flatten() {
+            if oa.0 == ob.0 && oa.1 == ob.1 && !(oa.2 && ob.2) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+struct ThreadSlot {
+    pending: Option<Op>,
+    finished: bool,
+    /// Message of a user panic that ended this thread.
+    panicked: Option<String>,
+    /// True once a `join` delivered the panic to user code.
+    panic_consumed: bool,
+    /// Condvar wakeup token (set by notify, consumed by rewait).
+    notified: bool,
+}
+
+#[derive(Default)]
+struct MutexSlot {
+    owner: Option<Tid>,
+}
+
+#[derive(Default)]
+struct CvSlot {
+    /// FIFO wait queue (matches the common platform behavior; spurious
+    /// wakeups are not modeled — all substrate code loops on waits).
+    waiters: Vec<Tid>,
+}
+
+/// Why a schedule was torn down early.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Abort {
+    /// Sleep-set pruning: this schedule is equivalent to an explored one.
+    Pruned,
+    /// A failure was detected; unwind everything and report.
+    Failed,
+}
+
+struct SchedState {
+    threads: Vec<ThreadSlot>,
+    mutexes: HashMap<Oid, MutexSlot>,
+    cvs: HashMap<Oid, CvSlot>,
+    next_oid: Oid,
+    /// Thread currently granted but not yet woken/executing.
+    granted: Option<Tid>,
+    abort: Option<Abort>,
+    steps: usize,
+    trace: Vec<(Tid, Op)>,
+}
+
+/// Payload used to unwind model threads when a schedule is torn down.
+/// Raised with `resume_unwind` so the panic hook stays silent.
+pub(crate) struct SchedAbort;
+
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    /// Distinguishes schedules so object ids cached in shim types are
+    /// never reused across runs.
+    pub(crate) epoch: u64,
+}
+
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+static MODELS_ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+type Handle = (Arc<Scheduler>, Tid);
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Handle>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The scheduler handle of the calling thread, when it is a model
+/// thread of a live run. The global counter makes the miss path cheap
+/// (and TLS-free when no model is running anywhere in the process).
+pub(crate) fn current() -> Option<Handle> {
+    if MODELS_ACTIVE.load(AOrd::Relaxed) == 0 {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn unpoison<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+pub(crate) fn payload_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Unwind out of user code when the schedule is being torn down. During
+/// an unwind (destructors running) it must not panic again, so it
+/// returns and lets the destructor finish without scheduling.
+fn abort_unwind() {
+    if !std::thread::panicking() {
+        std::panic::resume_unwind(Box::new(SchedAbort));
+    }
+}
+
+impl Scheduler {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(SchedState {
+                threads: Vec::new(),
+                mutexes: HashMap::new(),
+                cvs: HashMap::new(),
+                next_oid: 0,
+                granted: None,
+                abort: None,
+                steps: 0,
+                trace: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            epoch: NEXT_EPOCH.fetch_add(1, AOrd::Relaxed),
+        })
+    }
+
+    fn register_thread(st: &mut SchedState) -> Tid {
+        st.threads.push(ThreadSlot {
+            pending: None,
+            finished: false,
+            panicked: None,
+            panic_consumed: false,
+            notified: false,
+        });
+        st.threads.len() - 1
+    }
+
+    /// Allocates a model object id (mutex, condvar, or atomic — one id
+    /// space so independence is a plain id comparison).
+    pub(crate) fn new_object(&self) -> Oid {
+        let mut st = unpoison(self.state.lock());
+        let oid = st.next_oid;
+        st.next_oid += 1;
+        oid
+    }
+
+    fn ensure_mutex(st: &mut SchedState, oid: Oid) -> &mut MutexSlot {
+        st.mutexes.entry(oid).or_default()
+    }
+
+    fn enabled(st: &SchedState, tid: Tid, op: &Op) -> bool {
+        match op.kind {
+            OpKind::MutexLock => st.mutexes.get(&op.obj).is_none_or(|m| m.owner.is_none()),
+            OpKind::CvRewait => {
+                st.threads[tid].notified
+                    && st.mutexes.get(&op.obj2).is_none_or(|m| m.owner.is_none())
+            }
+            OpKind::Join => st.threads[op.obj].finished,
+            _ => true,
+        }
+    }
+
+    fn apply_effect(st: &mut SchedState, tid: Tid, op: &Op) -> usize {
+        match op.kind {
+            OpKind::MutexLock => {
+                Self::ensure_mutex(st, op.obj).owner = Some(tid);
+                0
+            }
+            OpKind::MutexUnlock => {
+                Self::ensure_mutex(st, op.obj).owner = None;
+                0
+            }
+            OpKind::CvWait => {
+                Self::ensure_mutex(st, op.obj2).owner = None;
+                st.cvs.entry(op.obj).or_default().waiters.push(tid);
+                0
+            }
+            OpKind::CvRewait => {
+                st.threads[tid].notified = false;
+                Self::ensure_mutex(st, op.obj2).owner = Some(tid);
+                0
+            }
+            OpKind::CvNotifyOne => {
+                let cv = st.cvs.entry(op.obj).or_default();
+                if !cv.waiters.is_empty() {
+                    let w = cv.waiters.remove(0);
+                    st.threads[w].notified = true;
+                }
+                0
+            }
+            OpKind::CvNotifyAll => {
+                let waiters: Vec<Tid> = st
+                    .cvs
+                    .entry(op.obj)
+                    .or_default()
+                    .waiters
+                    .drain(..)
+                    .collect();
+                for w in waiters {
+                    st.threads[w].notified = true;
+                }
+                0
+            }
+            OpKind::Spawn => {
+                let child = Self::register_thread(st);
+                // The trace entry was pushed at grant time with the
+                // child still unknown; fill it in for readability.
+                if let Some(last) = st.trace.last_mut() {
+                    if last.0 == tid && last.1.kind == OpKind::Spawn {
+                        last.1.obj = child;
+                    }
+                }
+                child
+            }
+            OpKind::Finish => {
+                st.threads[tid].finished = true;
+                0
+            }
+            OpKind::AtomicLoad | OpKind::AtomicRmw | OpKind::Join | OpKind::Yield => 0,
+        }
+    }
+
+    /// Parks at an operation point and blocks until the controller
+    /// grants the op, then applies its model effect. Returns the
+    /// effect's result (the child tid for `Spawn`, else 0).
+    ///
+    /// When the schedule is being torn down this unwinds with
+    /// [`SchedAbort`] — unless the thread is already unwinding (shim
+    /// calls from destructors), in which case it returns immediately.
+    pub(crate) fn op_point(self: &Arc<Self>, tid: Tid, op: Op) -> usize {
+        let mut st = unpoison(self.state.lock());
+        let mut result = 0;
+        for round in 0..2 {
+            let op = if round == 0 {
+                op
+            } else if op.kind == OpKind::CvWait {
+                Op::with2(OpKind::CvRewait, op.obj, op.obj2)
+            } else {
+                break;
+            };
+            if st.abort.is_some() {
+                st.threads[tid].pending = None;
+                drop(st);
+                abort_unwind();
+                return 0;
+            }
+            st.threads[tid].pending = Some(op);
+            self.cv.notify_all();
+            loop {
+                if st.abort.is_some() {
+                    st.threads[tid].pending = None;
+                    self.cv.notify_all();
+                    drop(st);
+                    abort_unwind();
+                    return 0;
+                }
+                if st.granted == Some(tid) {
+                    break;
+                }
+                st = unpoison(self.cv.wait(st));
+            }
+            st.granted = None;
+            st.threads[tid].pending = None;
+            result = Self::apply_effect(&mut st, tid, &op);
+            self.cv.notify_all();
+        }
+        drop(st);
+        result
+    }
+
+    /// Thread exit: parks at a `Finish` op. Never unwinds — on abort it
+    /// just marks the thread finished so the controller can reap it.
+    pub(crate) fn finish_point(self: &Arc<Self>, tid: Tid, panic_msg: Option<String>) {
+        let mut st = unpoison(self.state.lock());
+        st.threads[tid].panicked = panic_msg;
+        if st.abort.is_some() {
+            st.threads[tid].pending = None;
+            st.threads[tid].finished = true;
+            self.cv.notify_all();
+            return;
+        }
+        st.threads[tid].pending = Some(Op::new(OpKind::Finish, tid));
+        self.cv.notify_all();
+        loop {
+            if st.abort.is_some() || st.granted == Some(tid) {
+                break;
+            }
+            st = unpoison(self.cv.wait(st));
+        }
+        if st.granted == Some(tid) {
+            st.granted = None;
+        }
+        st.threads[tid].pending = None;
+        st.threads[tid].finished = true;
+        self.cv.notify_all();
+    }
+
+    /// Marks a join-delivered panic as consumed (not a model failure).
+    pub(crate) fn consume_panic(&self, tid: Tid) {
+        let mut st = unpoison(self.state.lock());
+        st.threads[tid].panic_consumed = true;
+    }
+
+    /// Non-scheduled peek at a thread's finished flag (used by
+    /// `JoinHandle::is_finished`; not a linearization point).
+    pub(crate) fn is_finished(&self, tid: Tid) -> bool {
+        unpoison(self.state.lock()).threads[tid].finished
+    }
+
+    /// Controller: blocks until every unfinished thread is parked (and
+    /// no grant is outstanding). Returns the pending ops of unfinished
+    /// threads, or `None` once every thread has finished.
+    fn wait_quiescent(&self) -> Option<Vec<(Tid, Op)>> {
+        let mut st = unpoison(self.state.lock());
+        loop {
+            if st.threads.iter().all(|t| t.finished) {
+                return None;
+            }
+            let quiescent = st.granted.is_none()
+                && st.threads.iter().all(|t| t.finished || t.pending.is_some());
+            if quiescent {
+                return Some(
+                    st.threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| !t.finished)
+                        .map(|(i, t)| (i, t.pending.expect("quiescent")))
+                        .collect(),
+                );
+            }
+            st = unpoison(self.cv.wait(st));
+        }
+    }
+
+    fn grant(&self, tid: Tid, op: Op) {
+        let mut st = unpoison(self.state.lock());
+        st.granted = Some(tid);
+        st.steps += 1;
+        st.trace.push((tid, op));
+        self.cv.notify_all();
+    }
+
+    fn begin_abort(&self, kind: Abort) {
+        let mut st = unpoison(self.state.lock());
+        if st.abort.is_none() {
+            st.abort = Some(kind);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks until every model thread has marked itself finished after
+    /// an abort (they all unwind at their next operation point).
+    fn wait_all_finished(&self) {
+        let mut st = unpoison(self.state.lock());
+        while !st.threads.iter().all(|t| t.finished) {
+            self.cv.notify_all();
+            st = unpoison(self.cv.wait(st));
+        }
+    }
+
+    /// First unconsumed user panic, if any.
+    fn unconsumed_panic(&self) -> Option<(Tid, String)> {
+        let st = unpoison(self.state.lock());
+        st.threads.iter().enumerate().find_map(|(i, t)| {
+            t.panicked
+                .as_ref()
+                .filter(|_| !t.panic_consumed)
+                .map(|m| (i, m.clone()))
+        })
+    }
+
+    fn snapshot_trace(&self) -> Vec<(Tid, Op)> {
+        unpoison(self.state.lock()).trace.clone()
+    }
+
+    fn steps(&self) -> usize {
+        unpoison(self.state.lock()).steps
+    }
+
+    fn blocked_summary(&self) -> Vec<(Tid, Op)> {
+        let st = unpoison(self.state.lock());
+        st.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.finished)
+            .filter_map(|(i, t)| t.pending.map(|op| (i, op)))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exploration
+// ---------------------------------------------------------------------
+
+/// Exploration limits and bounds.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Max context switches away from a still-runnable thread per
+    /// schedule (`None` = unbounded). Bugs overwhelmingly need few
+    /// preemptions (CHESS); the default keeps suites exhaustive *and*
+    /// fast.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on schedules explored; exceeding it is a model-size
+    /// error, not a pass.
+    pub max_schedules: usize,
+    /// Per-schedule grant limit; exceeding it reports non-termination.
+    pub max_steps: usize,
+    /// Trace lines printed on failure.
+    pub trace_tail: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            preemption_bound: Some(4),
+            max_schedules: 200_000,
+            max_steps: 5_000,
+            trace_tail: 60,
+        }
+    }
+}
+
+/// Statistics of a successful exhaustive exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Schedules run to completion.
+    pub schedules: usize,
+    /// Schedules cut short by sleep-set pruning.
+    pub pruned: usize,
+    /// Longest schedule, in grants.
+    pub max_steps_seen: usize,
+}
+
+/// What the checker found, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub kind: FailureKind,
+    /// Deterministic replay seed (`WRM_MC_REPLAY=<seed>` or [`replay`]).
+    pub seed: String,
+    /// Human-readable tail of the failing schedule.
+    pub trace: String,
+    /// Schedules explored before the failure surfaced.
+    pub schedules: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Every live thread is blocked (includes lost wakeups).
+    Deadlock,
+    /// A thread panicked and no `join` consumed the panic.
+    Panic(String),
+    /// The schedule exceeded `max_steps` grants.
+    StepLimit,
+    /// Exploration exceeded `max_schedules` without finishing.
+    Budget,
+    /// A replay seed diverged from the current code's behavior.
+    ReplayMismatch(String),
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match &self.kind {
+            FailureKind::Deadlock => "deadlock: every live thread is blocked".to_owned(),
+            FailureKind::Panic(msg) => format!("unconsumed thread panic: {msg}"),
+            FailureKind::StepLimit => {
+                "schedule exceeded the step limit (non-termination?)".to_owned()
+            }
+            FailureKind::Budget => "exploration budget exceeded (model too large)".to_owned(),
+            FailureKind::ReplayMismatch(msg) => format!("replay mismatch: {msg}"),
+        };
+        writeln!(
+            f,
+            "wrm-mc failure after {} schedule(s): {what}",
+            self.schedules
+        )?;
+        writeln!(f, "replay seed: {}", self.seed)?;
+        writeln!(
+            f,
+            "  (set WRM_MC_REPLAY={} to re-run exactly this schedule)",
+            self.seed
+        )?;
+        write!(f, "{}", self.trace)
+    }
+}
+
+/// One decision node on the DFS stack.
+struct Node {
+    /// Full enabled set at this point, continuation-first then by tid.
+    candidates: Vec<(Tid, Op)>,
+    /// Index (into `candidates`) currently being explored.
+    chosen: usize,
+    /// Sleep set on entry (threads whose exploration here is redundant).
+    sleep_entry: Vec<(Tid, Op)>,
+    /// Choices fully explored at this node.
+    explored: Vec<(Tid, Op)>,
+    /// Preemptions consumed on the path *before* this node's choice.
+    preemptions_used: usize,
+    last_running: Option<Tid>,
+}
+
+enum RunEnd {
+    Complete,
+    Pruned,
+    Fail(FailureKind),
+}
+
+enum Mode<'a> {
+    Explore(&'a mut Vec<Node>),
+    Replay(&'a [Tid]),
+}
+
+fn order_candidates(mut enabled: Vec<(Tid, Op)>, last: Option<Tid>) -> Vec<(Tid, Op)> {
+    enabled.sort_by_key(|(t, _)| *t);
+    if let Some(l) = last {
+        if let Some(pos) = enabled.iter().position(|(t, _)| *t == l) {
+            let e = enabled.remove(pos);
+            enabled.insert(0, e);
+        }
+    }
+    enabled
+}
+
+fn preemption_cost(last: Option<Tid>, choice: Tid, enabled: &[(Tid, Op)]) -> usize {
+    match last {
+        Some(l) if l != choice && enabled.iter().any(|(t, _)| *t == l) => 1,
+        _ => 0,
+    }
+}
+
+fn asleep(sleep: &[(Tid, Op)], tid: Tid) -> bool {
+    sleep.iter().any(|(t, _)| *t == tid)
+}
+
+fn format_trace(trace: &[(Tid, Op)], tail: usize, blocked: &[(Tid, Op)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let skip = trace.len().saturating_sub(tail);
+    if skip > 0 {
+        let _ = writeln!(out, "  ... {skip} earlier step(s) elided ...");
+    }
+    for (i, (tid, op)) in trace.iter().enumerate().skip(skip) {
+        let _ = writeln!(out, "  step {i:>4}: thread {tid} {}", describe(op));
+    }
+    if !blocked.is_empty() {
+        let _ = writeln!(out, "  blocked at the end:");
+        for (tid, op) in blocked {
+            let _ = writeln!(out, "    thread {tid} waiting on {}", describe(op));
+        }
+    }
+    out
+}
+
+fn describe(op: &Op) -> String {
+    use OpKind::*;
+    match op.kind {
+        MutexLock => format!("lock(m{})", op.obj),
+        MutexUnlock => format!("unlock(m{})", op.obj),
+        CvWait => format!("cv-wait(c{}, m{})", op.obj, op.obj2),
+        CvRewait => format!("cv-wake(c{}, m{})", op.obj, op.obj2),
+        CvNotifyOne => format!("notify-one(c{})", op.obj),
+        CvNotifyAll => format!("notify-all(c{})", op.obj),
+        AtomicLoad => format!("atomic-load(a{})", op.obj),
+        AtomicRmw => format!("atomic-rmw(a{})", op.obj),
+        Spawn => {
+            if op.obj == NO_OBJ {
+                "spawn".to_owned()
+            } else {
+                format!("spawn(thread {})", op.obj)
+            }
+        }
+        Join => format!("join(thread {})", op.obj),
+        Yield => "yield".to_owned(),
+        Finish => "finish".to_owned(),
+    }
+}
+
+/// Runs one schedule of `f` under the scheduler, steering by `mode`.
+fn run_one(
+    f: &Arc<dyn Fn() + Send + Sync>,
+    cfg: &Config,
+    mode: &mut Mode<'_>,
+) -> (RunEnd, Arc<Scheduler>) {
+    let sched = Scheduler::new();
+    {
+        let mut st = unpoison(sched.state.lock());
+        let root = Scheduler::register_thread(&mut st);
+        debug_assert_eq!(root, 0);
+    }
+    let root_os = {
+        let f = Arc::clone(f);
+        let s = Arc::clone(&sched);
+        std::thread::Builder::new()
+            .name("wrm-mc-root".into())
+            .spawn(move || {
+                CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&s), 0)));
+                let r = catch_unwind(AssertUnwindSafe(|| f()));
+                match &r {
+                    Ok(()) => s.finish_point(0, None),
+                    Err(p) if p.is::<SchedAbort>() => s.finish_point(0, None),
+                    Err(p) => s.finish_point(0, Some(payload_msg(p.as_ref()))),
+                }
+                CURRENT.with(|c| *c.borrow_mut() = None);
+            })
+            .expect("spawn model root thread")
+    };
+
+    let mut running_sleep: Vec<(Tid, Op)> = Vec::new();
+    let mut preemptions = 0usize;
+    let mut last_running: Option<Tid> = None;
+    let mut decision_idx = 0usize;
+    let mut replay_pos = 0usize;
+
+    let end = loop {
+        let Some(pending) = sched.wait_quiescent() else {
+            break match sched.unconsumed_panic() {
+                Some((_, msg)) => RunEnd::Fail(FailureKind::Panic(msg)),
+                None => RunEnd::Complete,
+            };
+        };
+        let enabled: Vec<(Tid, Op)> = {
+            let st = unpoison(sched.state.lock());
+            pending
+                .iter()
+                .filter(|(t, op)| Scheduler::enabled(&st, *t, op))
+                .copied()
+                .collect()
+        };
+        if enabled.is_empty() {
+            break match sched.unconsumed_panic() {
+                Some((_, msg)) => RunEnd::Fail(FailureKind::Panic(msg)),
+                None => RunEnd::Fail(FailureKind::Deadlock),
+            };
+        }
+        if sched.steps() >= cfg.max_steps {
+            break RunEnd::Fail(FailureKind::StepLimit);
+        }
+        let candidates = order_candidates(enabled, last_running);
+
+        let choice: (Tid, Op) = match mode {
+            Mode::Explore(path) => {
+                if candidates.len() == 1 {
+                    if asleep(&running_sleep, candidates[0].0) {
+                        break RunEnd::Pruned;
+                    }
+                    let c = candidates[0];
+                    running_sleep.retain(|(_, q)| independent(q, &c.1));
+                    c
+                } else if decision_idx < path.len() {
+                    let node = &path[decision_idx];
+                    if node.candidates != candidates {
+                        // Determinism violation — surface loudly.
+                        break RunEnd::Fail(FailureKind::ReplayMismatch(
+                            "exploration prefix diverged; model closure is nondeterministic \
+                             (shared state must be created inside the closure)"
+                                .to_owned(),
+                        ));
+                    }
+                    let c = node.candidates[node.chosen];
+                    let mut base = node.sleep_entry.clone();
+                    base.extend(node.explored.iter().copied());
+                    base.retain(|(_, q)| independent(q, &c.1));
+                    running_sleep = base;
+                    decision_idx += 1;
+                    c
+                } else {
+                    // New decision node: pick the first eligible choice.
+                    let mut chosen = None;
+                    for (j, (tid, _)) in candidates.iter().enumerate() {
+                        if asleep(&running_sleep, *tid) {
+                            continue;
+                        }
+                        let cost = preemption_cost(last_running, *tid, &candidates);
+                        if let Some(bound) = cfg.preemption_bound {
+                            if preemptions + cost > bound {
+                                continue;
+                            }
+                        }
+                        chosen = Some(j);
+                        break;
+                    }
+                    let Some(j) = chosen else {
+                        break RunEnd::Pruned;
+                    };
+                    let c = candidates[j];
+                    path.push(Node {
+                        candidates: candidates.clone(),
+                        chosen: j,
+                        sleep_entry: running_sleep.clone(),
+                        explored: Vec::new(),
+                        preemptions_used: preemptions,
+                        last_running,
+                    });
+                    running_sleep.retain(|(_, q)| independent(q, &c.1));
+                    decision_idx += 1;
+                    c
+                }
+            }
+            Mode::Replay(seed) => {
+                if candidates.len() == 1 {
+                    candidates[0]
+                } else if replay_pos < seed.len() {
+                    let want = seed[replay_pos];
+                    replay_pos += 1;
+                    match candidates.iter().find(|(t, _)| *t == want) {
+                        Some(c) => *c,
+                        None => {
+                            break RunEnd::Fail(FailureKind::ReplayMismatch(format!(
+                                "seed names thread {want} at step {}, but it is not enabled",
+                                sched.steps()
+                            )));
+                        }
+                    }
+                } else {
+                    break RunEnd::Fail(FailureKind::ReplayMismatch(
+                        "seed exhausted before the schedule finished".to_owned(),
+                    ));
+                }
+            }
+        };
+
+        preemptions += preemption_cost(last_running, choice.0, &candidates);
+        sched.grant(choice.0, choice.1);
+        last_running = Some(choice.0);
+    };
+
+    // Tear down: wake every parked thread so it unwinds, then reap.
+    if !matches!(end, RunEnd::Complete) {
+        sched.begin_abort(match end {
+            RunEnd::Pruned => Abort::Pruned,
+            _ => Abort::Failed,
+        });
+    }
+    sched.wait_all_finished();
+    let _ = root_os.join();
+    (end, sched)
+}
+
+/// Advances the DFS stack to the next unexplored alternative. Returns
+/// `false` when the space is exhausted.
+fn advance(path: &mut Vec<Node>, cfg: &Config) -> bool {
+    while let Some(node) = path.last_mut() {
+        let cur = node.candidates[node.chosen];
+        node.explored.push(cur);
+        let mut j = node.chosen + 1;
+        let mut advanced = false;
+        while j < node.candidates.len() {
+            let (tid, _) = node.candidates[j];
+            let in_sleep = asleep(&node.sleep_entry, tid) || asleep(&node.explored, tid);
+            let cost = preemption_cost(node.last_running, tid, &node.candidates);
+            let over_bound = cfg
+                .preemption_bound
+                .is_some_and(|b| node.preemptions_used + cost > b);
+            if !in_sleep && !over_bound {
+                node.chosen = j;
+                advanced = true;
+                break;
+            }
+            j += 1;
+        }
+        if advanced {
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+fn seed_of(path: &[Node]) -> String {
+    let tids: Vec<String> = path
+        .iter()
+        .map(|n| n.candidates[n.chosen].0.to_string())
+        .collect();
+    format!("mc1:{}", tids.join("-"))
+}
+
+fn parse_seed(seed: &str) -> Result<Vec<Tid>, String> {
+    let body = seed
+        .strip_prefix("mc1:")
+        .ok_or_else(|| format!("seed `{seed}` does not start with `mc1:`"))?;
+    if body.is_empty() {
+        return Ok(Vec::new());
+    }
+    body.split('-')
+        .map(|s| {
+            s.parse::<Tid>()
+                .map_err(|e| format!("bad seed element `{s}`: {e}"))
+        })
+        .collect()
+}
+
+struct ActiveModel;
+impl ActiveModel {
+    fn enter() -> Self {
+        MODELS_ACTIVE.fetch_add(1, AOrd::SeqCst);
+        ActiveModel
+    }
+}
+impl Drop for ActiveModel {
+    fn drop(&mut self) {
+        MODELS_ACTIVE.fetch_sub(1, AOrd::SeqCst);
+    }
+}
+
+fn failure_from(
+    end: RunEnd,
+    sched: &Scheduler,
+    seed: String,
+    schedules: usize,
+    cfg: &Config,
+) -> Failure {
+    let RunEnd::Fail(kind) = end else {
+        unreachable!("failure_from called on a non-failing run")
+    };
+    let trace = format_trace(
+        &sched.snapshot_trace(),
+        cfg.trace_tail,
+        &sched.blocked_summary(),
+    );
+    Failure {
+        kind,
+        seed,
+        trace,
+        schedules,
+    }
+}
+
+/// Exhaustively explores `f`'s bounded interleaving space. Returns the
+/// exploration report, or the first failure found.
+pub fn check<F>(cfg: Config, f: F) -> Result<Report, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let _active = ActiveModel::enter();
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut path: Vec<Node> = Vec::new();
+    let mut schedules = 0usize;
+    let mut pruned = 0usize;
+    let mut max_steps_seen = 0usize;
+    loop {
+        schedules += 1;
+        if schedules > cfg.max_schedules {
+            return Err(Failure {
+                kind: FailureKind::Budget,
+                seed: seed_of(&path),
+                trace: String::new(),
+                schedules: schedules - 1,
+            });
+        }
+        let mut mode = Mode::Explore(&mut path);
+        let (end, sched) = run_one(&f, &cfg, &mut mode);
+        max_steps_seen = max_steps_seen.max(sched.steps());
+        match end {
+            RunEnd::Complete => {}
+            RunEnd::Pruned => pruned += 1,
+            RunEnd::Fail(_) => {
+                let seed = seed_of(&path);
+                return Err(failure_from(end, &sched, seed, schedules, &cfg));
+            }
+        }
+        if !advance(&mut path, &cfg) {
+            return Ok(Report {
+                schedules,
+                pruned,
+                max_steps_seen,
+            });
+        }
+    }
+}
+
+/// Re-runs exactly the schedule a seed describes. `Ok(())` means the
+/// schedule completed without failure (i.e. the bug did NOT reproduce).
+pub fn replay<F>(seed: &str, f: F) -> Result<(), Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let decisions = parse_seed(seed).map_err(|msg| Failure {
+        kind: FailureKind::ReplayMismatch(msg),
+        seed: seed.to_owned(),
+        trace: String::new(),
+        schedules: 0,
+    })?;
+    let _active = ActiveModel::enter();
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let cfg = Config::default();
+    let mut mode = Mode::Replay(&decisions);
+    let (end, sched) = run_one(&f, &cfg, &mut mode);
+    match end {
+        RunEnd::Complete | RunEnd::Pruned => Ok(()),
+        RunEnd::Fail(_) => Err(failure_from(end, &sched, seed.to_owned(), 1, &cfg)),
+    }
+}
+
+/// Writes the failure report to `$WRM_MC_TRACE_DIR` (if set) so CI can
+/// upload failing schedules as artifacts.
+fn dump_trace(failure: &Failure) {
+    static DUMP_SEQ: AtomicUsize = AtomicUsize::new(0);
+    let Ok(dir) = std::env::var("WRM_MC_TRACE_DIR") else {
+        return;
+    };
+    let n = DUMP_SEQ.fetch_add(1, AOrd::SeqCst);
+    let path =
+        std::path::Path::new(&dir).join(format!("mc-failure-{}-{n}.txt", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    let _ = std::fs::write(&path, format!("{failure}"));
+    eprintln!("wrm-mc: wrote failing schedule to {}", path.display());
+}
+
+/// The standard entry point: explores `f` exhaustively with the default
+/// config and panics (with seed and trace) on any failure. When
+/// `WRM_MC_REPLAY` is set, runs only that schedule instead.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    if let Ok(seed) = std::env::var("WRM_MC_REPLAY") {
+        match replay(&seed, f) {
+            Ok(()) => eprintln!("wrm-mc: replayed {seed}: schedule completed without failure"),
+            Err(failure) => {
+                dump_trace(&failure);
+                panic!("{failure}");
+            }
+        }
+        return;
+    }
+    match check(Config::default(), f) {
+        Ok(_) => {}
+        Err(failure) => {
+            dump_trace(&failure);
+            panic!("{failure}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shim plumbing (used by shim_sync / shim_thread)
+// ---------------------------------------------------------------------
+
+pub(crate) fn set_current(sched: Arc<Scheduler>, tid: Tid) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// A lazily-assigned per-schedule object id, packed as
+/// `epoch << 32 | (oid + 1)` so ids cached across schedules are
+/// detected and refreshed (objects should normally be created inside
+/// the model closure, which makes assignment deterministic).
+pub(crate) struct ObjId {
+    cell: AtomicU64,
+}
+
+impl ObjId {
+    pub(crate) const fn new() -> Self {
+        Self {
+            cell: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn get(&self, sched: &Scheduler) -> Oid {
+        let epoch = sched.epoch & 0xffff_ffff;
+        loop {
+            let packed = self.cell.load(AOrd::SeqCst);
+            if packed >> 32 == epoch && packed & 0xffff_ffff != 0 {
+                return ((packed & 0xffff_ffff) - 1) as Oid;
+            }
+            let oid = sched.new_object();
+            let fresh = (epoch << 32) | (oid as u64 + 1);
+            if self
+                .cell
+                .compare_exchange(packed, fresh, AOrd::SeqCst, AOrd::SeqCst)
+                .is_ok()
+            {
+                return oid;
+            }
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! `wrm_mc`-build sync shims: std-compatible `Mutex`, `Condvar`, and
+//! atomics whose every operation is a scheduling point inside a model
+//! run, and a plain delegate to `std` outside one.
+//!
+//! The shims keep the real `std` primitive inside them for data
+//! storage; the model scheduler guarantees at most one thread runs at
+//! a time, so inside a model the inner primitive is always
+//! uncontended and the *model* lock/waiter state is what decides who
+//! may proceed. Atomics execute with `SeqCst` inside a model (the
+//! checker explores sequentially-consistent interleavings; the TSan CI
+//! job covers weak-ordering bugs).
+//!
+//! Poisoning is not modeled: `lock()` inside a model always returns
+//! `Ok`. All substrate code recovers from poison anyway
+//! (`unwrap_or_else(PoisonError::into_inner)`), so behavior matches.
+
+pub use std::sync::{LockResult, PoisonError};
+
+use crate::sched::{self, ObjId, Op, OpKind, Scheduler, Tid};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Model-aware mutex with the `std::sync::Mutex` API subset the
+/// workspace uses.
+pub struct Mutex<T: ?Sized> {
+    id: ObjId,
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex`]; releases the model lock (a scheduling point)
+/// on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+    /// `None` only transiently inside `Condvar::wait`.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// `(scheduler, owner tid, mutex oid)` when model-acquired.
+    model: Option<(Arc<Scheduler>, Tid, usize)>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Self {
+            id: ObjId::new(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match sched::current() {
+            None => {
+                let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard {
+                    mutex: self,
+                    inner: Some(inner),
+                    model: None,
+                })
+            }
+            Some((sched, tid)) => {
+                let oid = self.id.get(&sched);
+                sched.op_point(tid, Op::new(OpKind::MutexLock, oid));
+                // The model granted exclusivity; the inner lock is free
+                // except transiently during schedule teardown.
+                let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard {
+                    mutex: self,
+                    inner: Some(inner),
+                    model: Some((sched, tid, oid)),
+                })
+            }
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first; the model gate (below) is what
+        // other model threads actually wait on.
+        self.inner = None;
+        if let Some((sched, tid, oid)) = self.model.take() {
+            sched.op_point(tid, Op::new(OpKind::MutexUnlock, oid));
+        }
+    }
+}
+
+/// Model-aware condition variable.
+pub struct Condvar {
+    id: ObjId,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self {
+            id: ObjId::new(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.model.clone() {
+            None => {
+                let inner = guard.inner.take().expect("guard holds the lock");
+                let mutex = guard.mutex;
+                // Forget the shim guard: the std guard now carries the
+                // lock through the std wait.
+                std::mem::forget(guard);
+                let inner = self
+                    .inner
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard {
+                    mutex,
+                    inner: Some(inner),
+                    model: None,
+                })
+            }
+            Some((sched, tid, mutex_oid)) => {
+                let cv_oid = self.id.get(&sched);
+                // Drop the real lock, then atomically (in the model)
+                // release + enqueue + block until notified + reacquire.
+                guard.inner = None;
+                sched.op_point(tid, Op::with2(OpKind::CvWait, cv_oid, mutex_oid));
+                guard.inner = Some(
+                    guard
+                        .mutex
+                        .inner
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner),
+                );
+                Ok(guard)
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if let Some((sched, tid)) = sched::current() {
+            let oid = self.id.get(&sched);
+            sched.op_point(tid, Op::new(OpKind::CvNotifyOne, oid));
+        }
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        if let Some((sched, tid)) = sched::current() {
+            let oid = self.id.get(&sched);
+            sched.op_point(tid, Op::new(OpKind::CvNotifyAll, oid));
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::sched::{self, Op, OpKind};
+
+    macro_rules! model_atomic {
+        ($name:ident, $std:ident, $ty:ty) => {
+            /// Model-aware atomic; every access is a scheduling point
+            /// inside a model run and a plain delegate outside one.
+            pub struct $name {
+                id: crate::sched::ObjId,
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                #[must_use]
+                pub const fn new(value: $ty) -> Self {
+                    Self {
+                        id: crate::sched::ObjId::new(),
+                        inner: std::sync::atomic::$std::new(value),
+                    }
+                }
+
+                fn point(&self, kind: OpKind) -> bool {
+                    match sched::current() {
+                        None => false,
+                        Some((sched, tid)) => {
+                            let oid = self.id.get(&sched);
+                            sched.op_point(tid, Op::new(kind, oid));
+                            true
+                        }
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $ty {
+                    if self.point(OpKind::AtomicLoad) {
+                        self.inner.load(Ordering::SeqCst)
+                    } else {
+                        self.inner.load(order)
+                    }
+                }
+
+                pub fn store(&self, value: $ty, order: Ordering) {
+                    if self.point(OpKind::AtomicRmw) {
+                        self.inner.store(value, Ordering::SeqCst);
+                    } else {
+                        self.inner.store(value, order);
+                    }
+                }
+
+                pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                    if self.point(OpKind::AtomicRmw) {
+                        self.inner.swap(value, Ordering::SeqCst)
+                    } else {
+                        self.inner.swap(value, order)
+                    }
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    if self.point(OpKind::AtomicRmw) {
+                        self.inner.compare_exchange(
+                            current,
+                            new,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                    } else {
+                        self.inner.compare_exchange(current, new, success, failure)
+                    }
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    self.inner.fmt(f)
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(Default::default())
+                }
+            }
+        };
+    }
+
+    macro_rules! model_atomic_int {
+        ($name:ident, $std:ident, $ty:ty) => {
+            model_atomic!($name, $std, $ty);
+
+            impl $name {
+                pub fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                    if self.point(OpKind::AtomicRmw) {
+                        self.inner.fetch_add(value, Ordering::SeqCst)
+                    } else {
+                        self.inner.fetch_add(value, order)
+                    }
+                }
+
+                pub fn fetch_sub(&self, value: $ty, order: Ordering) -> $ty {
+                    if self.point(OpKind::AtomicRmw) {
+                        self.inner.fetch_sub(value, Ordering::SeqCst)
+                    } else {
+                        self.inner.fetch_sub(value, order)
+                    }
+                }
+            }
+        };
+    }
+
+    model_atomic_int!(AtomicUsize, AtomicUsize, usize);
+    model_atomic_int!(AtomicU64, AtomicU64, u64);
+    model_atomic_int!(AtomicU32, AtomicU32, u32);
+    model_atomic!(AtomicBool, AtomicBool, bool);
+}

@@ -1,0 +1,155 @@
+//! `wrm_mc`-build thread shims: `spawn`/`Builder`/`JoinHandle` that
+//! create scheduler-controlled model threads inside a model run and
+//! plain OS threads outside one.
+
+pub use std::thread::available_parallelism;
+
+use crate::sched::{self, Op, OpKind, SchedAbort, Scheduler, Tid};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+pub type Result<T> = std::thread::Result<T>;
+
+/// A handle to a spawned thread; the model variant parks at a `Join`
+/// scheduling point before reaping the OS thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        os: std::thread::JoinHandle<Result<T>>,
+        sched: Arc<Scheduler>,
+        tid: Tid,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model { os, sched, tid } => {
+                let (s, me) =
+                    sched::current().expect("model JoinHandle joined from outside the model");
+                debug_assert!(Arc::ptr_eq(&s, &sched));
+                // Parks until the target thread's Finish op is granted.
+                s.op_point(me, Op::new(OpKind::Join, tid));
+                match os.join() {
+                    Ok(inner) => {
+                        if inner.is_err() {
+                            // A join-delivered panic is consumed, like
+                            // std: it is the joiner's to handle, not a
+                            // model failure.
+                            sched.consume_panic(tid);
+                        }
+                        inner
+                    }
+                    Err(payload) => Err(payload),
+                }
+            }
+        }
+    }
+
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        match &self.0 {
+            Inner::Std(h) => h.is_finished(),
+            Inner::Model { sched, tid, .. } => sched.is_finished(*tid),
+        }
+    }
+}
+
+/// std-compatible named-thread builder.
+#[derive(Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[must_use]
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let mut builder = std::thread::Builder::new();
+        if let Some(name) = self.name {
+            builder = builder.name(name);
+        }
+        match sched::current() {
+            None => builder.spawn(f).map(|h| JoinHandle(Inner::Std(h))),
+            Some((sched, me)) => {
+                // The spawn itself is a scheduling point; the child tid
+                // is assigned when the op is granted, which keeps tid
+                // assignment deterministic under replay.
+                let child = sched.op_point(me, Op::new(OpKind::Spawn, sched::NO_OBJ));
+                let s2 = Arc::clone(&sched);
+                let os = builder.spawn(move || -> Result<T> {
+                    sched::set_current(Arc::clone(&s2), child);
+                    let s3 = Arc::clone(&s2);
+                    let r = catch_unwind(AssertUnwindSafe(move || {
+                        // Park before touching any user state: the parent
+                        // is still running past its Spawn grant, and two
+                        // threads in user code at once would make lazy
+                        // object-id assignment racy (nondeterministic
+                        // schedules). The startup op also lets the
+                        // explorer schedule thread startup itself.
+                        s3.op_point(child, Op::new(OpKind::Yield, sched::NO_OBJ));
+                        f()
+                    }));
+                    match &r {
+                        Ok(_) => s2.finish_point(child, None),
+                        Err(p) if p.is::<SchedAbort>() => s2.finish_point(child, None),
+                        Err(p) => s2.finish_point(child, Some(sched::payload_msg(p.as_ref()))),
+                    }
+                    sched::clear_current();
+                    r
+                })?;
+                Ok(JoinHandle(Inner::Model {
+                    os,
+                    sched,
+                    tid: child,
+                }))
+            }
+        }
+    }
+}
+
+/// Spawns a thread (a model thread inside a model run).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+/// A scheduling point inside a model; `std::thread::yield_now` outside.
+pub fn yield_now() {
+    match sched::current() {
+        None => std::thread::yield_now(),
+        Some((sched, tid)) => {
+            sched.op_point(tid, Op::new(OpKind::Yield, sched::NO_OBJ));
+        }
+    }
+}
+
+/// Inside a model, sleeping is modeled as a plain yield (model time is
+/// logical); outside, delegates to `std::thread::sleep`.
+pub fn sleep(dur: std::time::Duration) {
+    match sched::current() {
+        None => std::thread::sleep(dur),
+        Some((sched, tid)) => {
+            sched.op_point(tid, Op::new(OpKind::Yield, sched::NO_OBJ));
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Self-tests for the model checker: known-buggy programs must fail
+//! with a replayable seed, known-correct programs must pass, and the
+//! pruning machinery must actually prune.
+//!
+//! Only meaningful under `RUSTFLAGS="--cfg wrm_mc"`; in a normal build
+//! this file compiles to nothing.
+#![cfg(wrm_mc)]
+
+use std::sync::Arc;
+use wrm_mc::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use wrm_mc::sync::{Condvar, Mutex};
+use wrm_mc::{check, replay, thread, Config, FailureKind};
+
+/// The classic lost wakeup: the signaler flips an atomic flag and
+/// notifies WITHOUT holding the waiter's mutex. If the notify lands
+/// between the waiter's predicate check and its `cv.wait`, the wakeup
+/// is lost and the waiter blocks forever — which the checker must
+/// surface as a deadlock with a deterministic replay seed.
+fn lost_wakeup_program() {
+    let flag = Arc::new(AtomicBool::new(false));
+    let m = Arc::new(Mutex::new(()));
+    let cv = Arc::new(Condvar::new());
+
+    let waiter = {
+        let (flag, m, cv) = (Arc::clone(&flag), Arc::clone(&m), Arc::clone(&cv));
+        thread::spawn(move || {
+            let mut guard = m.lock().unwrap();
+            while !flag.load(Ordering::SeqCst) {
+                guard = cv.wait(guard).unwrap();
+            }
+            drop(guard);
+        })
+    };
+    let signaler = {
+        let (flag, cv) = (Arc::clone(&flag), Arc::clone(&cv));
+        thread::spawn(move || {
+            flag.store(true, Ordering::SeqCst);
+            cv.notify_one();
+        })
+    };
+    waiter.join().unwrap();
+    signaler.join().unwrap();
+}
+
+#[test]
+fn finds_lost_wakeup_and_seed_replays() {
+    let failure = check(Config::default(), lost_wakeup_program)
+        .expect_err("the lost-wakeup program must fail the model check");
+    assert_eq!(failure.kind, FailureKind::Deadlock, "{failure}");
+    assert!(
+        failure.seed.starts_with("mc1:"),
+        "seed should be printable and versioned, got {:?}",
+        failure.seed
+    );
+
+    // The seed must reproduce the same failure deterministically.
+    let again = replay(&failure.seed, lost_wakeup_program)
+        .expect_err("replaying the failing seed must reproduce the deadlock");
+    assert_eq!(again.kind, FailureKind::Deadlock, "{again}");
+    assert_eq!(again.seed, failure.seed);
+}
+
+#[test]
+fn correct_signal_protocol_passes() {
+    // Same shape, but the flag lives under the mutex and the signaler
+    // holds the lock across set+notify: no interleaving loses the wakeup.
+    let report = check(Config::default(), || {
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+
+        let waiter = {
+            let (m, cv) = (Arc::clone(&m), Arc::clone(&cv));
+            thread::spawn(move || {
+                let mut guard = m.lock().unwrap();
+                while !*guard {
+                    guard = cv.wait(guard).unwrap();
+                }
+            })
+        };
+        {
+            let mut guard = m.lock().unwrap();
+            *guard = true;
+            cv.notify_one();
+        }
+        waiter.join().unwrap();
+    })
+    .expect("the correct protocol must pass exhaustively");
+    assert!(
+        report.schedules >= 2,
+        "expected real exploration: {report:?}"
+    );
+}
+
+#[test]
+fn finds_load_store_increment_race() {
+    // Two threads doing a non-atomic read-modify-write; some
+    // interleaving drops an increment and the final assert panics.
+    let failure = check(Config::default(), || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    let v = n.load(Ordering::SeqCst);
+                    n.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2, "lost an increment");
+    })
+    .expect_err("the load/store race must be found");
+    match &failure.kind {
+        FailureKind::Panic(msg) => assert!(msg.contains("lost an increment"), "{failure}"),
+        other => panic!("expected a Panic failure, got {other:?}\n{failure}"),
+    }
+}
+
+#[test]
+fn fetch_add_counter_passes() {
+    let report = check(Config::default(), || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    })
+    .expect("fetch_add is atomic; every interleaving must pass");
+    assert!(
+        report.schedules >= 2,
+        "expected real exploration: {report:?}"
+    );
+}
+
+#[test]
+fn sleep_sets_prune_independent_threads() {
+    // Two threads touching disjoint atomics commute everywhere, so
+    // sleep sets must cut at least one of the reorderings.
+    let report = check(Config::default(), || {
+        let a = Arc::new(AtomicUsize::new(0));
+        let b = Arc::new(AtomicUsize::new(0));
+        let ha = {
+            let a = Arc::clone(&a);
+            thread::spawn(move || {
+                a.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        let hb = {
+            let b = Arc::clone(&b);
+            thread::spawn(move || {
+                b.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        ha.join().unwrap();
+        hb.join().unwrap();
+    })
+    .expect("independent threads cannot fail");
+    assert!(report.pruned >= 1, "sleep sets should prune: {report:?}");
+}
+
+#[test]
+fn nonterminating_drain_hits_step_limit() {
+    let cfg = Config {
+        max_steps: 200,
+        ..Config::default()
+    };
+    let failure = check(cfg, || {
+        let stop = Arc::new(AtomicBool::new(false));
+        let spinner = {
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                // Nobody ever sets `stop`: an unbounded drain loop.
+                while !stop.load(Ordering::SeqCst) {
+                    thread::yield_now();
+                }
+            })
+        };
+        spinner.join().unwrap();
+    })
+    .expect_err("the spin loop must exhaust the step limit");
+    assert_eq!(failure.kind, FailureKind::StepLimit, "{failure}");
+}
+
+#[test]
+fn bad_seed_is_a_replay_mismatch() {
+    let failure = replay("not-a-seed", || {}).expect_err("garbage seeds must be rejected");
+    assert!(
+        matches!(failure.kind, FailureKind::ReplayMismatch(_)),
+        "{failure}"
+    );
+}

@@ -15,9 +15,9 @@ use crate::pool::WorkerPool;
 use crate::render;
 use crate::resolve::resolve_request;
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
+use wrm_mc::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use wrm_sim::{SimOptions, SweepStats};
 
 const TEXT: &str = "text/plain; charset=utf-8";
@@ -44,6 +44,9 @@ pub struct AppState {
 pub fn respond<W: Write>(state: &AppState, req: &Request, out: &mut W) -> std::io::Result<bool> {
     let keep = !req.wants_close() && !state.shutdown.load(Ordering::SeqCst);
     let start = Instant::now();
+    // Ordering policy (docs/CONCURRENCY.md): `served` is a metrics
+    // counter, so Relaxed on both ends; `shutdown` gates control flow,
+    // so SeqCst everywhere.
     state.served.fetch_add(1, Ordering::Relaxed);
 
     // Transfer-encoded (e.g. chunked) request bodies are not parsed, so

@@ -17,9 +17,9 @@
 //! answers are identical, so the race is benign and only costs work.)
 
 use crate::resolve::Resolved;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use wrm_mc::sync::atomic::{AtomicU64, Ordering};
+use wrm_mc::sync::{Mutex, PoisonError};
 use wrm_sim::{BaseIndex, Scenario};
 use wrm_trace::Structure;
 
@@ -58,17 +58,19 @@ pub fn cache_key(workflow: &str, machine: Option<&str>) -> u64 {
     }))
 }
 
-/// A concurrency-safe LRU cache of [`ServeEntry`]s.
-pub struct IndexCache {
+/// A concurrency-safe LRU cache of [`ServeEntry`]s (generic over the
+/// value type so the model-check suite can exercise the exact LRU
+/// logic with cheap values).
+pub struct IndexCache<V = ServeEntry> {
     capacity: usize,
     /// Recency order: most recently used last.
-    entries: Mutex<Vec<(u64, Arc<ServeEntry>)>>,
+    entries: Mutex<Vec<(u64, Arc<V>)>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
 }
 
-impl IndexCache {
+impl<V> IndexCache<V> {
     /// Creates a cache holding at most `capacity` entries (floored at
     /// 1).
     #[must_use]
@@ -83,8 +85,8 @@ impl IndexCache {
     }
 
     /// Looks up `key`, refreshing its recency. Counts a hit or miss.
-    pub fn get(&self, key: u64) -> Option<Arc<ServeEntry>> {
-        let mut entries = self.entries.lock();
+    pub fn get(&self, key: u64) -> Option<Arc<V>> {
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
             let pair = entries.remove(pos);
             let entry = Arc::clone(&pair.1);
@@ -100,8 +102,8 @@ impl IndexCache {
     /// Inserts `entry` as most recent, evicting the least recently used
     /// entry if the cache is full. An existing entry under the same key
     /// is replaced (not counted as an eviction).
-    pub fn insert(&self, key: u64, entry: Arc<ServeEntry>) {
-        let mut entries = self.entries.lock();
+    pub fn insert(&self, key: u64, entry: Arc<V>) {
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
             entries.remove(pos);
         } else if entries.len() >= self.capacity {
@@ -113,9 +115,9 @@ impl IndexCache {
 
     /// Returns the entry for `key`, building and caching it on a miss.
     /// The `hit` flag reports whether the entry came out of the cache.
-    pub fn get_or_build<F>(&self, key: u64, build: F) -> Result<(Arc<ServeEntry>, bool), String>
+    pub fn get_or_build<F>(&self, key: u64, build: F) -> Result<(Arc<V>, bool), String>
     where
-        F: FnOnce() -> Result<ServeEntry, String>,
+        F: FnOnce() -> Result<V, String>,
     {
         if let Some(entry) = self.get(key) {
             return Ok((entry, true));
@@ -128,7 +130,10 @@ impl IndexCache {
     /// Number of cached entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// True when nothing is cached.

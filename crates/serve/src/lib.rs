@@ -41,4 +41,4 @@ pub mod resolve;
 mod server;
 mod signals;
 
-pub use server::{run, spawn, ServerConfig, ServerHandle};
+pub use server::{run, spawn, ActiveGuard, ServerConfig, ServerHandle};

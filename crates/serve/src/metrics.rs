@@ -9,8 +9,8 @@
 //! nearest-rank over whatever the reservoir holds.
 
 use crate::cache::IndexCache;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use wrm_mc::sync::atomic::{AtomicU64, Ordering};
+use wrm_mc::sync::{Mutex, PoisonError};
 use wrm_sim::SweepStats;
 
 /// Max latency samples kept per endpoint; recording stops beyond this
@@ -57,7 +57,10 @@ impl Metrics {
 
     /// Records one request against `endpoint`.
     pub fn record(&self, endpoint: &str, latency_us: u64, ok: bool) {
-        let mut endpoints = self.endpoints.lock();
+        let mut endpoints = self
+            .endpoints
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let stats = match endpoints.iter_mut().find(|(name, _)| name == endpoint) {
             Some((_, stats)) => stats,
             None => {
@@ -89,10 +92,13 @@ impl Metrics {
 
     /// Renders the Prometheus text exposition (`GET /metrics`).
     #[must_use]
-    pub fn prometheus(&self, cache: &IndexCache) -> String {
+    pub fn prometheus<V>(&self, cache: &IndexCache<V>) -> String {
         let mut out = String::new();
         {
-            let mut endpoints = self.endpoints.lock();
+            let mut endpoints = self
+                .endpoints
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             for (name, stats) in endpoints.iter_mut() {
                 out.push_str(&format!(
                     "wrm_requests_total{{endpoint=\"{name}\"}} {}\n",
@@ -136,10 +142,13 @@ impl Metrics {
     /// Renders the JSON snapshot (`GET /metrics/json`): per-endpoint
     /// p50/p99/mean latency, cache hit rate, sweep path mix.
     #[must_use]
-    pub fn snapshot(&self, cache: &IndexCache) -> serde_json::Value {
+    pub fn snapshot<V>(&self, cache: &IndexCache<V>) -> serde_json::Value {
         let mut endpoint_rows = Vec::new();
         {
-            let mut endpoints = self.endpoints.lock();
+            let mut endpoints = self
+                .endpoints
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             for (name, stats) in endpoints.iter_mut() {
                 stats.latencies_us.sort_unstable();
                 let mean = if stats.latencies_us.is_empty() {
@@ -212,7 +221,7 @@ mod tests {
     #[test]
     fn snapshot_reports_counts_and_paths() {
         let metrics = Metrics::new();
-        let cache = IndexCache::new(4);
+        let cache = IndexCache::<u64>::new(4);
         metrics.record("sweep", 100, true);
         metrics.record("sweep", 300, true);
         metrics.record("simulate", 50, false);

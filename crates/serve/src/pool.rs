@@ -9,7 +9,7 @@
 //! deadlock on itself regardless of queue depth.
 
 use crossbeam::channel::{unbounded, Sender};
-use std::thread::JoinHandle;
+use wrm_mc::thread::JoinHandle;
 use wrm_sim::SimArena;
 
 /// A unit of simulation work, run with a worker's warmed arena.
@@ -32,7 +32,7 @@ impl WorkerPool {
         let handles = (0..workers)
             .map(|i| {
                 let rx = rx.clone();
-                std::thread::Builder::new()
+                wrm_mc::thread::Builder::new()
                     .name(format!("wrm-sim-{i}"))
                     .spawn(move || {
                         let mut arena = SimArena::new();

@@ -17,9 +17,10 @@ use crate::pool::WorkerPool;
 use crate::signals;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use wrm_mc::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use wrm_mc::thread;
 
 /// How often the accept loop checks the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
@@ -58,7 +59,7 @@ impl Default for ServerConfig {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    join: std::thread::JoinHandle<DrainReport>,
+    join: thread::JoinHandle<DrainReport>,
 }
 
 /// What the drain saw on the way out.
@@ -97,7 +98,7 @@ pub fn spawn(config: ServerConfig) -> Result<ServerHandle, String> {
     let shutdown = Arc::new(AtomicBool::new(false));
     let state = build_state(&config, Arc::clone(&shutdown));
     let quiet = config.quiet;
-    let join = std::thread::Builder::new()
+    let join = thread::Builder::new()
         .name("wrm-serve-accept".into())
         .spawn(move || serve_until_drained(&listener, &state, quiet))
         .map_err(|e| format!("cannot spawn accept thread: {e}"))?;
@@ -123,7 +124,7 @@ pub fn run(config: ServerConfig) -> Result<(), String> {
     }
     // Bridge process signals onto the server's shutdown flag.
     while !handle.shutdown.load(Ordering::SeqCst) && !signals::triggered() {
-        std::thread::sleep(ACCEPT_POLL);
+        thread::sleep(ACCEPT_POLL);
     }
     handle.shutdown.store(true, Ordering::SeqCst);
     let report = handle.join.join().map_err(|_| "server thread panicked")?;
@@ -170,14 +171,14 @@ fn serve_until_drained(listener: &TcpListener, state: &Arc<AppState>, quiet: boo
                 // Decrement-on-drop so a panicking connection thread
                 // (or a failed spawn, which drops the closure) cannot
                 // leak the in-flight count and stall every later drain.
-                active.fetch_add(1, Ordering::SeqCst);
-                let guard = ActiveGuard(Arc::clone(&active));
-                let handle = std::thread::Builder::new()
-                    .name("wrm-serve-conn".into())
-                    .spawn(move || {
-                        let _guard = guard;
-                        handle_connection(stream, &state, quiet);
-                    });
+                let guard = ActiveGuard::new(Arc::clone(&active));
+                let handle =
+                    thread::Builder::new()
+                        .name("wrm-serve-conn".into())
+                        .spawn(move || {
+                            let _guard = guard;
+                            handle_connection(stream, &state, quiet);
+                        });
                 if let Ok(h) = handle {
                     conn_handles.push(h);
                 }
@@ -186,9 +187,9 @@ fn serve_until_drained(listener: &TcpListener, state: &Arc<AppState>, quiet: boo
                 conn_handles.retain(|h| !h.is_finished());
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
+                thread::sleep(ACCEPT_POLL);
             }
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
         }
     }
     state.shutdown.store(true, Ordering::SeqCst);
@@ -197,7 +198,7 @@ fn serve_until_drained(listener: &TcpListener, state: &Arc<AppState>, quiet: boo
     // (and idle ones hit the read timeout), so this converges fast.
     let deadline = std::time::Instant::now() + DRAIN_TIMEOUT;
     while active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
-        std::thread::sleep(ACCEPT_POLL);
+        thread::sleep(ACCEPT_POLL);
     }
     let abandoned = active.load(Ordering::SeqCst);
     for h in conn_handles {
@@ -206,14 +207,27 @@ fn serve_until_drained(listener: &TcpListener, state: &Arc<AppState>, quiet: boo
         }
     }
     DrainReport {
-        served: state.served.load(Ordering::SeqCst),
+        // `served` is a metrics counter (Relaxed on both ends); the
+        // control-flow atomics above (`shutdown`, `active`) are SeqCst.
+        served: state.served.load(Ordering::Relaxed),
         abandoned,
     }
 }
 
-/// Decrements the in-flight connection count when dropped, even if the
-/// owning thread unwinds.
-struct ActiveGuard(Arc<AtomicUsize>);
+/// Tracks one in-flight connection: increments the count on creation
+/// and decrements it when dropped, even if the owning thread unwinds.
+/// Public so the model-check suite can verify the count stays exact
+/// across panicking connection threads.
+pub struct ActiveGuard(Arc<AtomicUsize>);
+
+impl ActiveGuard {
+    /// Registers one in-flight connection on `active`.
+    #[must_use]
+    pub fn new(active: Arc<AtomicUsize>) -> Self {
+        active.fetch_add(1, Ordering::SeqCst);
+        Self(active)
+    }
+}
 
 impl Drop for ActiveGuard {
     fn drop(&mut self) {

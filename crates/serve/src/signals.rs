@@ -5,7 +5,7 @@
 //! smoke job exercises exactly this path). On non-unix targets the
 //! install is a no-op and shutdown comes from `POST /admin/shutdown`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use wrm_mc::sync::atomic::{AtomicBool, Ordering};
 
 static TERMINATED: AtomicBool = AtomicBool::new(false);
 
@@ -17,7 +17,9 @@ pub fn triggered() -> bool {
 #[cfg(unix)]
 pub fn install() {
     extern "C" fn on_signal(_signum: i32) {
-        // Async-signal-safe: a single atomic store.
+        // Async-signal-safe: a single atomic store. (The facade atomic
+        // delegates straight to `std` whenever no model run is active
+        // in the process — and real signals never fire inside one.)
         TERMINATED.store(true, Ordering::SeqCst);
     }
     extern "C" {

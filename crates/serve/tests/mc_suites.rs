@@ -1,0 +1,182 @@
+//! Model-check suites 2–4: the serve concurrency substrate.
+//!
+//! Exhaustively explores (under `RUSTFLAGS="--cfg wrm_mc"`):
+//!
+//! * **pool** — `WorkerPool::shutdown` always drains queued jobs and
+//!   joins every worker, in every interleaving;
+//! * **LRU** — `IndexCache` builds a key at most once per residency
+//!   (plus the documented benign duplicate on a same-key race), never
+//!   serves the wrong value, and keeps eviction invariants;
+//! * **ActiveGuard** — the in-flight connection count stays exact even
+//!   when a connection thread panics.
+#![cfg(wrm_mc)]
+
+use std::sync::Arc;
+use wrm_mc::sync::atomic::{AtomicUsize, Ordering};
+use wrm_mc::{model, thread};
+use wrm_serve::cache::IndexCache;
+use wrm_serve::pool::WorkerPool;
+use wrm_serve::ActiveGuard;
+
+/// Suite 2: every submitted job runs before `shutdown` returns, and the
+/// pool rejects work afterwards — across all interleavings of workers
+/// racing the queue and the disconnect.
+#[test]
+fn pool_shutdown_drains_and_joins() {
+    model(|| {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let mut pool = WorkerPool::new(2);
+        for _ in 0..2 {
+            let ran = Arc::clone(&ran);
+            assert!(pool.submit(Box::new(move |_arena| {
+                ran.fetch_add(1, Ordering::SeqCst);
+            })));
+        }
+        pool.shutdown();
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            2,
+            "shutdown must drain the queue"
+        );
+        assert!(
+            !pool.submit(Box::new(|_| {})),
+            "pool rejects after shutdown"
+        );
+    });
+}
+
+/// Suite 3a: two threads racing `get_or_build` on the SAME key. The
+/// benign race may build twice (documented), but never more, and both
+/// callers must see the correct value.
+#[test]
+fn lru_same_key_builds_at_most_twice_and_serves_right_value() {
+    model(|| {
+        let cache = Arc::new(IndexCache::<u64>::new(4));
+        let builds = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let builds = Arc::clone(&builds);
+                thread::spawn(move || {
+                    let (v, _hit) = cache
+                        .get_or_build(1, || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            Ok(7)
+                        })
+                        .unwrap();
+                    assert_eq!(*v, 7);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = builds.load(Ordering::SeqCst);
+        assert!(
+            (1..=2).contains(&n),
+            "same-key race builds once or twice, built {n}"
+        );
+        assert_eq!(cache.get(1).as_deref(), Some(&7));
+    });
+}
+
+/// Suite 3b: a resident entry is never rebuilt — concurrent readers of
+/// a warm key take the hit path in every interleaving.
+#[test]
+fn lru_resident_entry_is_never_rebuilt() {
+    model(|| {
+        let cache = Arc::new(IndexCache::<u64>::new(4));
+        cache.insert(1, Arc::new(7));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || {
+                    let (v, hit) = cache
+                        .get_or_build(1, || panic!("resident entry must not rebuild"))
+                        .unwrap();
+                    assert!(hit);
+                    assert_eq!(*v, 7);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+/// Suite 3c: capacity-1 cache under two distinct keys — whatever the
+/// interleaving, each caller gets its own key's value (an evicted entry
+/// is rebuilt, never served as another key's value), and at most one
+/// entry survives.
+#[test]
+fn lru_eviction_never_serves_wrong_value() {
+    model(|| {
+        let cache = Arc::new(IndexCache::<u64>::new(1));
+        let handles: Vec<_> = [(1u64, 10u64), (2, 20)]
+            .into_iter()
+            .map(|(k, want)| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || {
+                    let (v, _hit) = cache.get_or_build(k, || Ok(want)).unwrap();
+                    assert_eq!(*v, want, "key {k} must never see another key's value");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 1, "capacity-1 cache holds at most one entry");
+        // Whichever key survived must still map to its own value.
+        for (k, want) in [(1u64, 10u64), (2, 20)] {
+            if let Some(v) = cache.get(k) {
+                assert_eq!(*v, want);
+            }
+        }
+    });
+}
+
+/// Suite 4: the in-flight count is exact across panicking connection
+/// threads — every interleaving of a clean and a panicking guard-holder
+/// ends with the count at zero.
+#[test]
+fn active_guard_count_exact_across_panics() {
+    // The panicking thread is intentional in every explored schedule;
+    // keep the default panic hook quiet for just that payload.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let simulated = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| *m == "simulated connection panic");
+        if !simulated {
+            prev(info);
+        }
+    }));
+
+    model(|| {
+        let active = Arc::new(AtomicUsize::new(0));
+        let clean = {
+            let active = Arc::clone(&active);
+            thread::spawn(move || {
+                let _guard = ActiveGuard::new(active);
+            })
+        };
+        let panicky = {
+            let active = Arc::clone(&active);
+            thread::spawn(move || {
+                let _guard = ActiveGuard::new(active);
+                panic!("simulated connection panic");
+            })
+        };
+        clean.join().unwrap();
+        assert!(panicky.join().is_err(), "the panic must reach the joiner");
+        assert_eq!(
+            active.load(Ordering::SeqCst),
+            0,
+            "in-flight count must return to zero even across panics"
+        );
+    });
+
+    let _ = std::panic::take_hook();
+}

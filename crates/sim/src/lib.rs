@@ -75,4 +75,4 @@ pub use incremental::{
 };
 pub use index::BaseIndex;
 pub use spec::{Phase, SpecError, TaskSpec, WorkflowSpec};
-pub use sweep::{effective_workers, run_all, run_all_chunked, sweep};
+pub use sweep::{effective_workers, run_all, run_all_chunked, sweep, ChunkClaim};

@@ -10,7 +10,7 @@
 //! the caller thread with its original payload.
 
 use crate::engine::{simulate_in, Scenario, SimArena, SimError, SimResult};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use wrm_mc::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default number of scenarios a worker claims per counter increment.
 /// Small enough to balance uneven scenario costs, large enough that the
@@ -35,6 +35,44 @@ pub fn effective_workers(requested: usize, jobs: usize) -> usize {
         requested.min(cores)
     };
     want.min(jobs).max(1)
+}
+
+/// The sweep's work-stealing column claimer: a shared cursor over
+/// `total` work items, handed out in chunks of `chunk` consecutive
+/// indices per atomic increment. Extracted from the sweep loop (and
+/// built on the `wrm_mc` facade) so the model checker can verify the
+/// claiming protocol: every index is claimed exactly once, no matter
+/// how the workers interleave.
+pub struct ChunkClaim {
+    next: AtomicUsize,
+    total: usize,
+    chunk: usize,
+}
+
+impl ChunkClaim {
+    /// A cursor over `total` indices claimed `chunk` at a time
+    /// (`chunk == 0` is treated as 1).
+    #[must_use]
+    pub fn new(total: usize, chunk: usize) -> Self {
+        Self {
+            next: AtomicUsize::new(0),
+            total,
+            chunk: chunk.max(1),
+        }
+    }
+
+    /// Claims the next chunk; `None` once the range is exhausted. The
+    /// single fetch-add makes each index the property of exactly one
+    /// caller (Relaxed suffices: uniqueness comes from the RMW's
+    /// atomicity, and the scenarios read through the indices are
+    /// shared immutably).
+    pub fn next_range(&self) -> Option<std::ops::Range<usize>> {
+        let lo = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if lo >= self.total {
+            return None;
+        }
+        Some(lo..(lo + self.chunk).min(self.total))
+    }
 }
 
 /// Runs every scenario, using up to `threads` worker threads, and
@@ -68,9 +106,7 @@ pub fn run_all_chunked(
             .map(|s| simulate_in(s, &mut arena))
             .collect();
     }
-    let chunk = chunk.max(1);
-
-    let next = AtomicUsize::new(0);
+    let claim = ChunkClaim::new(scenarios.len(), chunk);
     let worker_outputs = crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -79,14 +115,9 @@ pub fn run_all_chunked(
                     // One arena per worker: every simulation after the
                     // first reuses the warmed buffers.
                     let mut arena = SimArena::new();
-                    loop {
-                        let lo = next.fetch_add(chunk, Ordering::Relaxed);
-                        if lo >= scenarios.len() {
-                            break;
-                        }
-                        let hi = (lo + chunk).min(scenarios.len());
-                        for (off, scenario) in scenarios[lo..hi].iter().enumerate() {
-                            out.push((lo + off, simulate_in(scenario, &mut arena)));
+                    while let Some(range) = claim.next_range() {
+                        for i in range {
+                            out.push((i, simulate_in(&scenarios[i], &mut arena)));
                         }
                     }
                     out

@@ -1,0 +1,65 @@
+//! Model-check suite 5: the sweep's column-claiming protocol.
+//!
+//! Exhaustively explores (under `RUSTFLAGS="--cfg wrm_mc"`) workers
+//! racing [`ChunkClaim`]: every index must be claimed exactly once —
+//! no loss, no double-claim — for chunk sizes that divide the total
+//! evenly and ones that leave a ragged tail.
+#![cfg(wrm_mc)]
+
+use std::sync::Arc;
+use wrm_mc::{model, thread};
+use wrm_sim::ChunkClaim;
+
+fn claimed_indices(total: usize, chunk: usize) -> Vec<usize> {
+    let claim = Arc::new(ChunkClaim::new(total, chunk));
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let claim = Arc::clone(&claim);
+            thread::spawn(move || {
+                let mut mine = Vec::new();
+                while let Some(range) = claim.next_range() {
+                    mine.extend(range);
+                }
+                mine
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    for w in workers {
+        all.extend(w.join().unwrap());
+    }
+    all.sort_unstable();
+    all
+}
+
+#[test]
+fn every_index_claimed_exactly_once() {
+    model(|| {
+        let all = claimed_indices(4, 2);
+        assert_eq!(all, vec![0, 1, 2, 3], "each column claimed exactly once");
+    });
+}
+
+#[test]
+fn ragged_tail_is_not_overclaimed() {
+    model(|| {
+        // Chunk does not divide the total: the last claim truncates.
+        let all = claimed_indices(3, 2);
+        assert_eq!(all, vec![0, 1, 2], "tail chunk truncates at the total");
+    });
+}
+
+#[test]
+fn exhausted_cursor_stays_exhausted() {
+    model(|| {
+        let claim = ChunkClaim::new(1, 1);
+        assert_eq!(claim.next_range(), Some(0..1));
+        let claim = Arc::new(claim);
+        let racer = {
+            let claim = Arc::clone(&claim);
+            thread::spawn(move || claim.next_range())
+        };
+        assert_eq!(racer.join().unwrap(), None);
+        assert_eq!(claim.next_range(), None);
+    });
+}

@@ -7,12 +7,15 @@
 //!   is gone (then drains the queue before reporting [`RecvError`]);
 //! * [`Sender::send`] fails only when every receiver is gone.
 //!
-//! Built on `std::sync::{Mutex, Condvar}` — adequate for job queues
-//! whose items are orders of magnitude more expensive than a lock.
+//! Built on the `wrm_mc` facade's `Mutex`/`Condvar` (plain `std` in a
+//! normal build, model-checked under `--cfg wrm_mc`) — adequate for job
+//! queues whose items are orders of magnitude more expensive than a
+//! lock.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+use wrm_mc::sync::atomic::{AtomicUsize, Ordering};
+use wrm_mc::sync::{Condvar, Mutex};
 
 /// Error returned by [`Receiver::recv`] when the channel is empty and
 /// every sender has been dropped.
@@ -101,6 +104,14 @@ impl<T> Clone for Sender<T> {
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
         if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Mutation hook: re-introduce the pre-fix notify-without-lock
+            // bug so the model-check mutation suite can prove the checker
+            // catches it (see vendor/crossbeam/tests/mc_mutation.rs).
+            #[cfg(wrm_mc)]
+            if wrm_mc::fault::armed("crossbeam_notify_without_lock") {
+                self.shared.ready.notify_all();
+                return;
+            }
             // Last sender gone: wake every blocked receiver so each can
             // observe the disconnect. The lock round-trip is required —
             // a receiver holds the mutex from its `senders` check until
@@ -222,9 +233,9 @@ mod tests {
     fn disconnect_race_wakes_blocked_receiver() {
         for _ in 0..500 {
             let (tx, rx) = unbounded::<()>();
-            let receiver = std::thread::spawn(move || rx.recv());
+            let receiver = wrm_mc::thread::spawn(move || rx.recv());
             // Race the drop against the receiver entering its wait.
-            std::thread::yield_now();
+            wrm_mc::thread::yield_now();
             drop(tx);
             assert_eq!(receiver.join().unwrap(), Err(RecvError));
         }
@@ -238,7 +249,7 @@ mod tests {
         let mut handles = Vec::new();
         for p in 0..n_producers {
             let tx = tx.clone();
-            handles.push(std::thread::spawn(move || {
+            handles.push(wrm_mc::thread::spawn(move || {
                 for i in 0..per_producer {
                     tx.send(p * per_producer + i).unwrap();
                 }
@@ -248,7 +259,7 @@ mod tests {
         let mut consumers = Vec::new();
         for _ in 0..3 {
             let rx = rx.clone();
-            consumers.push(std::thread::spawn(move || {
+            consumers.push(wrm_mc::thread::spawn(move || {
                 let mut got = Vec::new();
                 while let Ok(v) = rx.recv() {
                     got.push(v);

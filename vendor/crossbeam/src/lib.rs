@@ -43,7 +43,7 @@ where
 
 #[cfg(test)]
 mod tests {
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use wrm_mc::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn workers_run_and_join() {

@@ -1,0 +1,94 @@
+//! Model-check suite 1: the MPMC channel.
+//!
+//! Exhaustively explores the channel's interleavings under
+//! `RUSTFLAGS="--cfg wrm_mc"`: the PR-8 lost wakeup (last sender
+//! dropping against a receiver entering its wait) must be absent, and
+//! send/recv/disconnect must never lose or duplicate a message.
+#![cfg(wrm_mc)]
+
+use crossbeam::channel::{unbounded, RecvError};
+use wrm_mc::{model, thread};
+
+/// The exact PR-8 race, explored exhaustively instead of stress-raced:
+/// the last sender drops while a receiver is between its `senders`
+/// check and its `wait`. Every interleaving must end in a clean
+/// disconnect — a lost wakeup would deadlock and fail the model.
+#[test]
+fn sender_drop_never_loses_wakeup() {
+    model(|| {
+        let (tx, rx) = unbounded::<()>();
+        let receiver = thread::spawn(move || rx.recv());
+        drop(tx);
+        assert_eq!(receiver.join().unwrap(), Err(RecvError));
+    });
+}
+
+/// Messages sent before the disconnect are drained, in order, before
+/// the receiver observes `RecvError`.
+#[test]
+fn disconnect_drains_pending_messages() {
+    model(|| {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let receiver = thread::spawn(move || {
+            let a = rx.recv();
+            let b = rx.recv();
+            let end = rx.recv();
+            (a, b, end)
+        });
+        drop(tx);
+        let (a, b, end) = receiver.join().unwrap();
+        assert_eq!(a, Ok(1));
+        assert_eq!(b, Ok(2));
+        assert_eq!(end, Err(RecvError));
+    });
+}
+
+/// Two senders and two receivers: across every interleaving each
+/// message is delivered exactly once (no loss, no duplication), and
+/// both receivers terminate.
+#[test]
+fn mpmc_no_loss_no_duplication() {
+    model(|| {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+
+        let s1 = thread::spawn(move || tx.send(1).unwrap());
+        let s2 = thread::spawn(move || tx2.send(2).unwrap());
+        let r1 = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            got
+        });
+        let r2 = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx2.recv() {
+                got.push(v);
+            }
+            got
+        });
+
+        s1.join().unwrap();
+        s2.join().unwrap();
+        let mut all = r1.join().unwrap();
+        all.extend(r2.join().unwrap());
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2], "every message delivered exactly once");
+    });
+}
+
+/// `send` after the last receiver is gone fails and hands the value
+/// back, in every interleaving of the receiver drops.
+#[test]
+fn send_fails_once_receivers_are_gone() {
+    model(|| {
+        let (tx, rx) = unbounded::<u8>();
+        let dropper = thread::spawn(move || drop(rx));
+        dropper.join().unwrap();
+        assert!(tx.send(9).is_err());
+    });
+}

@@ -1,0 +1,48 @@
+//! Mutation test: prove the model checker actually catches the PR-8
+//! lost wakeup by re-introducing it behind the
+//! `crossbeam_notify_without_lock` fault flag and asserting the
+//! channel suite's key scenario now fails — with a replay seed that
+//! reproduces the failure deterministically.
+//!
+//! The fault flag is process-global, so this file must stay a single
+//! test in its own binary (sibling tests in the same binary would race
+//! the flag).
+#![cfg(wrm_mc)]
+
+use crossbeam::channel::{unbounded, RecvError};
+use wrm_mc::{check, fault, replay, thread, Config, FailureKind};
+
+const FAULT: &str = "crossbeam_notify_without_lock";
+
+fn disconnect_scenario() {
+    let (tx, rx) = unbounded::<()>();
+    let receiver = thread::spawn(move || rx.recv());
+    drop(tx);
+    assert_eq!(receiver.join().unwrap(), Err(RecvError));
+}
+
+#[test]
+fn checker_catches_the_reintroduced_lost_wakeup() {
+    // Armed: the last sender notifies without the lock round-trip, the
+    // wakeup can land between the receiver's `senders` check and its
+    // `wait`, and the checker must find the resulting deadlock.
+    fault::set(FAULT, true);
+    let failure = check(Config::default(), disconnect_scenario)
+        .expect_err("with the bug re-introduced the model check must fail");
+    assert_eq!(failure.kind, FailureKind::Deadlock, "{failure}");
+    assert!(failure.seed.starts_with("mc1:"), "{failure}");
+
+    // The printed seed reproduces exactly the failing schedule.
+    let again = replay(&failure.seed, disconnect_scenario)
+        .expect_err("the replay seed must reproduce the deadlock");
+    assert_eq!(again.kind, FailureKind::Deadlock, "{again}");
+
+    // Disarmed (the shipped code, with the d12f58b lock round-trip):
+    // the same scenario passes exhaustively, and the once-failing
+    // schedule no longer fails.
+    fault::set(FAULT, false);
+    check(Config::default(), disconnect_scenario)
+        .expect("with the fix in place the model check must pass");
+    replay(&failure.seed, disconnect_scenario)
+        .expect("the fixed code must survive the previously failing schedule");
+}
