@@ -5,13 +5,15 @@
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use wrm_bench::{
-    bag_scenario, generated_fork_join_scenario, generated_scenario, layered_scenario,
+    bag_scenario, generated_fork_join_scenario, generated_scenario, layered_scenario, mc_scenario,
     sweep_scenario,
 };
+use wrm_core::Dist;
 use wrm_sim::reference::simulate_reference;
 use wrm_sim::{
-    max_min_rates, run_all, simulate, simulate_in, simulate_summary_in, sweep_grid, FlowDemand,
-    Scenario, SchedulerPolicy, SimArena, SimOptions, SimResult, SweepGrid,
+    max_min_rates, mc_run, run_all, simulate, simulate_in, simulate_summary_in, sweep_grid,
+    FlowDemand, McOptions, McResult, Phase, Scenario, SchedulerPolicy, SimArena, SimOptions,
+    SimResult, SweepGrid,
 };
 
 fn sim_scaling(c: &mut Criterion) {
@@ -273,6 +275,119 @@ fn scaling_rows_json(rows: &[ScalingRow]) -> String {
         .join(",\n")
 }
 
+/// The naive Monte-Carlo loop the batched runner is measured against:
+/// one single-replication engine call per replication, so every rep
+/// pays index compilation and the two envelope certificates that
+/// `mc_run` amortizes across the whole batch. Seeding each call with
+/// `seed ^ rep` reproduces the batched runner's per-replication
+/// generator, so the two paths must agree bit for bit.
+fn naive_mc(scenario: &Scenario, reps: usize, seed: u64) -> Vec<f64> {
+    (0..reps)
+        .map(|rep| {
+            mc_run(
+                scenario,
+                &McOptions {
+                    reps: 1,
+                    seed: seed ^ rep as u64,
+                    threads: 1,
+                },
+            )
+            .unwrap()
+            .makespans[0]
+        })
+        .collect()
+}
+
+/// `scenario` with every phase distribution collapsed to a point mass
+/// at the phase's nominal quantity.
+fn point_mass(scenario: &Scenario) -> Scenario {
+    let mut s = scenario.clone();
+    for t in &mut s.workflow.tasks {
+        for pd in &mut t.dists {
+            let value = match &t.phases[pd.phase as usize] {
+                Phase::Compute { flops, .. } => *flops,
+                Phase::NodeData { bytes, .. } | Phase::SystemData { bytes, .. } => *bytes,
+                Phase::Overhead { seconds, .. } => *seconds,
+            };
+            pd.dist = Dist::Point { value };
+        }
+    }
+    s
+}
+
+/// Correctness gates for the Monte-Carlo engine, asserted before any
+/// timing: thread fan-out and the naive loop reproduce the batched
+/// makespans bit for bit, the analytic envelope brackets every sample,
+/// and the all-point-mass variant collapses to one replication equal to
+/// the deterministic run. Returns the batched result for reporting.
+fn assert_mc_correct(scenario: &Scenario, reps: usize, seed: u64) -> McResult {
+    let batched = mc_run(
+        scenario,
+        &McOptions {
+            reps,
+            seed,
+            threads: 1,
+        },
+    )
+    .unwrap();
+    assert_eq!(batched.makespans.len(), reps);
+
+    let threaded = mc_run(
+        scenario,
+        &McOptions {
+            reps,
+            seed,
+            threads: 2,
+        },
+    )
+    .unwrap();
+    for (i, (a, b)) in batched
+        .makespans
+        .iter()
+        .zip(&threaded.makespans)
+        .enumerate()
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "thread divergence at rep {i}");
+    }
+
+    let naive = naive_mc(scenario, reps.min(8), seed);
+    for (i, (a, b)) in batched.makespans.iter().zip(&naive).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "naive divergence at rep {i}");
+    }
+
+    for (i, &m) in batched.makespans.iter().enumerate() {
+        assert!(
+            batched.bracket_lo <= m && m <= batched.bracket_hi,
+            "rep {i} makespan {m} outside bracket [{}, {}]",
+            batched.bracket_lo,
+            batched.bracket_hi
+        );
+    }
+
+    let pm = point_mass(scenario);
+    let det = simulate_summary_in(scenario, &mut SimArena::new())
+        .unwrap()
+        .makespan;
+    let collapsed = mc_run(
+        &pm,
+        &McOptions {
+            reps: 16,
+            seed,
+            threads: 1,
+        },
+    )
+    .unwrap();
+    assert!(collapsed.degenerate, "point-mass batch did not collapse");
+    assert_eq!(collapsed.makespans.len(), 1);
+    assert_eq!(
+        collapsed.makespans[0].to_bits(),
+        det.to_bits(),
+        "degenerate replication diverges from the deterministic run"
+    );
+
+    batched
+}
+
 /// CI smoke (runs under `--test`): the 100k-task layered workload in
 /// summary mode must reproduce the full-result engine's makespan bit
 /// for bit and finish inside a generous single-CPU wall-clock budget.
@@ -365,6 +480,44 @@ fn write_baseline() {
     });
     let grid_speedup = cold_ms / inc_ms;
 
+    // The Monte-Carlo replication engine vs the naive loop that pays
+    // index compilation and envelope certification once per
+    // replication. Correctness gates run first; the naive baseline is
+    // timed before the batched runner.
+    let mc_scn = mc_scenario(10_000, 42);
+    let mc_reps = 1_000;
+    let mc_gold = assert_mc_correct(&mc_scn, mc_reps, 42);
+    let naive_ms = time_ms(1, || {
+        black_box(naive_mc(&mc_scn, mc_reps, 42).len());
+    });
+    let batched_ms = time_ms(3, || {
+        black_box(
+            mc_run(
+                &mc_scn,
+                &McOptions {
+                    reps: mc_reps,
+                    seed: 42,
+                    threads: 1,
+                },
+            )
+            .unwrap()
+            .mean,
+        );
+    });
+    let mc_speedup = naive_ms / batched_ms;
+    assert!(
+        mc_speedup >= 5.0,
+        "batched Monte-Carlo must be >= 5x the naive loop, got {mc_speedup:.2}x \
+         ({naive_ms:.0} ms vs {batched_ms:.0} ms)"
+    );
+    let (mc_p50, mc_p90, mc_p99) = (
+        mc_gold.percentiles[0].value,
+        mc_gold.percentiles[1].value,
+        mc_gold.percentiles[2].value,
+    );
+    let (mc_lo, mc_hi) = (mc_gold.bracket_lo, mc_gold.bracket_hi);
+    let mc_mean = mc_gold.mean;
+
     // Scaling curve: 10k -> 100k (full + summary, makespans asserted
     // bit-equal) -> 1M (summary only; the full-result maps are exactly
     // what summary mode exists to avoid at that size).
@@ -376,7 +529,7 @@ fn write_baseline() {
     ];
 
     let json = format!(
-        "{{\n  \"bench\": \"engine/generated\",\n  \"workload\": \"10000 tasks, 32 shared channels, seed 42 (wrm_bench::generated_scenario)\",\n  \"host_cpus\": {cpus},\n  \"makespan_s\": {:.6},\n  \"reference_ms\": {ref_ms:.2},\n  \"optimized_ms\": {opt_ms:.2},\n  \"speedup\": {speedup:.2},\n  \"sweep\": {{\n    \"workload\": \"64 scenarios x 1000 tasks, 8 channels (wrm_sim::run_all)\",\n    \"host_cpus\": {cpus},{sweep_note}\n    \"threads\": [\n{}\n    ]\n  }},\n  \"sweep_incremental\": {{\n    \"workload\": \"1000-task layered pipeline + 16-task chained archive stage (wrm_bench::sweep_scenario)\",\n    \"grid\": \"64 contention factors (0.25..3.40 on ext) x 64 node limits (256..4036), fifo\",\n    \"host_cpus\": {cpus},\n    \"threads\": 1,\n    \"cold_ms\": {cold_ms:.2},\n    \"incremental_ms\": {inc_ms:.2},\n    \"speedup\": {grid_speedup:.2},\n    \"points\": {{ \"fastpath\": {}, \"replayed\": {}, \"cold\": {}, \"reused\": {}, \"errors\": {} }},\n    \"note\": \"single-threaded by construction (algorithmic win); incremental results asserted bit-identical to cold per-point simulation before timing\"\n  }},\n  \"scaling\": {{\n    \"workload\": \"generated layered / fork-join DAGs, 32 shared channels, seed 42 (wrm_bench::generated_scenario / generated_fork_join_scenario)\",\n    \"host_cpus\": {cpus},\n    \"rows\": [\n{}\n    ],\n    \"note\": \"summary-mode makespans asserted bit-equal to the full engine wherever both run; 1M-task row is summary-only (O(channels) result memory)\"\n  }},\n  \"methodology\": \"cargo bench -p wrm-bench --bench engine; headline: best of 5 runs; sweep: best of 3 (cold grid: best of 2; 100k rows: best of 2; 1M row: single run); see docs/PERF.md\"\n}}\n",
+        "{{\n  \"bench\": \"engine/generated\",\n  \"workload\": \"10000 tasks, 32 shared channels, seed 42 (wrm_bench::generated_scenario)\",\n  \"host_cpus\": {cpus},\n  \"makespan_s\": {:.6},\n  \"reference_ms\": {ref_ms:.2},\n  \"optimized_ms\": {opt_ms:.2},\n  \"speedup\": {speedup:.2},\n  \"sweep\": {{\n    \"workload\": \"64 scenarios x 1000 tasks, 8 channels (wrm_sim::run_all)\",\n    \"host_cpus\": {cpus},{sweep_note}\n    \"threads\": [\n{}\n    ]\n  }},\n  \"sweep_incremental\": {{\n    \"workload\": \"1000-task layered pipeline + 16-task chained archive stage (wrm_bench::sweep_scenario)\",\n    \"grid\": \"64 contention factors (0.25..3.40 on ext) x 64 node limits (256..4036), fifo\",\n    \"host_cpus\": {cpus},\n    \"threads\": 1,\n    \"cold_ms\": {cold_ms:.2},\n    \"incremental_ms\": {inc_ms:.2},\n    \"speedup\": {grid_speedup:.2},\n    \"points\": {{ \"fastpath\": {}, \"replayed\": {}, \"cold\": {}, \"reused\": {}, \"errors\": {} }},\n    \"note\": \"single-threaded by construction (algorithmic win); incremental results asserted bit-identical to cold per-point simulation before timing\"\n  }},\n  \"mc\": {{\n    \"workload\": \"10000-task layered DAG, distributional durations, seed 42 (wrm_bench::mc_scenario)\",\n    \"reps\": {mc_reps},\n    \"seed\": 42,\n    \"host_cpus\": {cpus},\n    \"threads\": 1,\n    \"naive_ms\": {naive_ms:.2},\n    \"batched_ms\": {batched_ms:.2},\n    \"speedup\": {mc_speedup:.2},\n    \"makespan_mean_s\": {mc_mean:.6},\n    \"p50_s\": {mc_p50:.6},\n    \"p90_s\": {mc_p90:.6},\n    \"p99_s\": {mc_p99:.6},\n    \"bracket_s\": [{mc_lo:.6}, {mc_hi:.6}],\n    \"note\": \"naive = one single-replication engine call per rep (fresh index + envelope certificates each time); batched makespans asserted bit-identical to the naive loop and across thread counts, bracket containment and degenerate collapse asserted before timing\"\n  }},\n  \"scaling\": {{\n    \"workload\": \"generated layered / fork-join DAGs, 32 shared channels, seed 42 (wrm_bench::generated_scenario / generated_fork_join_scenario)\",\n    \"host_cpus\": {cpus},\n    \"rows\": [\n{}\n    ],\n    \"note\": \"summary-mode makespans asserted bit-equal to the full engine wherever both run; 1M-task row is summary-only (O(channels) result memory)\"\n  }},\n  \"methodology\": \"cargo bench -p wrm-bench --bench engine; headline: best of 5 runs; sweep: best of 3 (cold grid: best of 2; 100k rows: best of 2; 1M row: single run); mc: naive best of 1 (1000 replications amortize per-rep noise), batched best of 3; see docs/PERF.md\"\n}}\n",
         opt.makespan,
         sweep_json.join(",\n"),
         grid_stats.fastpath,
@@ -394,12 +547,28 @@ fn write_baseline() {
          ({cold_ms:.0} ms -> {inc_ms:.0} ms; {} fastpath / {} replayed / {} cold / {} reused)",
         grid_stats.fastpath, grid_stats.replayed, grid_stats.cold, grid_stats.reused
     );
+    println!(
+        "monte-carlo: {mc_speedup:.1}x vs naive over {mc_reps} replications \
+         ({naive_ms:.0} ms -> {batched_ms:.0} ms; p50 {mc_p50:.1} s, p99 {mc_p99:.1} s)"
+    );
+}
+
+/// CI smoke for the Monte-Carlo engine (runs under `--test`): every
+/// correctness gate on a 2000-task workload with 64 replications.
+fn mc_smoke() {
+    let scenario = mc_scenario(2_000, 42);
+    let mc = assert_mc_correct(&scenario, 64, 7);
+    println!(
+        "mc smoke: {} reps, mean {:.2} s, bracket [{:.2}, {:.2}] s",
+        mc.reps, mc.mean, mc.bracket_lo, mc.bracket_hi
+    );
 }
 
 fn main() {
     if std::env::args().any(|a| a == "--test") {
         engine();
         scaling_smoke();
+        mc_smoke();
     } else {
         // Headline timings first, in a quiet process: criterion's long
         // churn ahead of them inflates the measurements noticeably on a

@@ -13,7 +13,7 @@
 //! This library crate hosts the shared workload builders so the three
 //! bench binaries stay small and consistent.
 
-use wrm_core::{ids, BytesPerSec, Machine};
+use wrm_core::{ids, BytesPerSec, Dist, Machine};
 use wrm_sim::{Phase, Scenario, TaskSpec, WorkflowSpec};
 
 /// A synthetic bag of `n` tasks, each with an overhead phase and a
@@ -127,6 +127,72 @@ pub fn generated_fork_join_scenario(n_tasks: usize, n_channels: usize, seed: u64
         }
         for &d in &gt.deps {
             t = t.after(&tasks[d].name);
+        }
+        wf = wf.task(t);
+    }
+    Scenario::new(machine, wf)
+}
+
+/// The Monte-Carlo benchmark workload: `n_tasks` tasks from
+/// [`wrm_dag::generate::random_layered_tasks`] on a 8192-node machine
+/// with one shared 50 GB/s channel, every task's duration drawn from a
+/// distribution (uniform / lognormal / triangular / empirical,
+/// round-robin by task index) and every 64th task streaming a
+/// uniformly-distributed volume over the channel under a stream cap.
+/// The shape is deliberately calendar-dominated: per-replication work
+/// is a cheap summary-mode DES pass, so the amortized costs — index
+/// compilation and the two envelope certificates — are a meaningful
+/// fraction of a naive single-replication engine call, which is exactly
+/// what the batched runner amortizes. Deterministic per
+/// `(n_tasks, seed)`.
+pub fn mc_scenario(n_tasks: usize, seed: u64) -> Scenario {
+    let machine = Machine::builder("bench-mc", 8192)
+        .system("ch0", "Channel 0", BytesPerSec::gbps(50.0))
+        .build()
+        .expect("valid machine");
+    let tasks = wrm_dag::generate::random_layered_tasks(seed, n_tasks, 4096, 2, 20.0);
+    let mut wf = WorkflowSpec::new(format!("mc[{n_tasks}]"));
+    for (i, gt) in tasks.iter().enumerate() {
+        let d = gt.duration;
+        let dist = match i % 4 {
+            0 => Dist::Uniform {
+                lo: 0.8 * d,
+                hi: 1.2 * d,
+            },
+            1 => Dist::LogNormal {
+                median: d,
+                sigma: 0.25,
+            },
+            2 => Dist::Triangular {
+                lo: 0.7 * d,
+                mode: d,
+                hi: 1.6 * d,
+            },
+            _ => Dist::Empirical {
+                samples: vec![(0.9 * d, 1.0), (d, 2.0), (1.3 * d, 1.0)],
+            },
+        };
+        let mut t = TaskSpec::new(&gt.name, gt.nodes)
+            .phase(Phase::overhead("work", d))
+            .dist(0, dist);
+        if i % 64 == 0 {
+            let bytes = (1.0 + d) * 2e9;
+            t = t
+                .phase(Phase::SystemData {
+                    resource: "ch0".into(),
+                    bytes,
+                    stream_cap: Some(5e9),
+                })
+                .dist(
+                    1,
+                    Dist::Uniform {
+                        lo: 0.8 * bytes,
+                        hi: 1.2 * bytes,
+                    },
+                );
+        }
+        for &dep in &gt.deps {
+            t = t.after(&tasks[dep].name);
         }
         wf = wf.task(t);
     }

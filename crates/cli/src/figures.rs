@@ -394,6 +394,7 @@ fn f7c() -> Figure {
                 tps: TasksPerSec(p.tps.expect("measured").get()),
                 color: String::new(),
                 hollow: suffix == "1024",
+                whisker: None,
             });
         }
     }
@@ -480,6 +481,7 @@ fn f8() -> Figure {
                 tps: TasksPerSec(tps),
                 color: "#1565c0".into(),
                 hollow: false,
+                whisker: None,
             });
         }
     }
@@ -552,6 +554,7 @@ fn f10() -> Figure {
             tps: TasksPerSec(1.0 / projected.makespan.expect("set").get()),
             color: "#2e7d32".into(),
             hollow: true,
+            whisker: None,
         })
         .render_svg()
         .expect("has model");

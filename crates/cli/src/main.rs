@@ -103,11 +103,24 @@ fn usage() -> &'static str {
      \x20                                    directories lint every .wrm\n\
      \x20 analyze <file.wrm> [--machine M] [--simulate] [--contention r=f]\n\
      \x20         [--svg out.svg] [--html out.html] [--ascii]\n\
-     \x20                                    analyze a workflow file\n\
+     \x20         [--reps N [--seed S] [--percentiles]]\n\
+     \x20                                    analyze a workflow file; --reps\n\
+     \x20                                    adds Monte-Carlo percentile\n\
+     \x20                                    makespans and (with --simulate\n\
+     \x20                                    --svg) whiskers the measured\n\
+     \x20                                    roofline dot\n\
      \x20 simulate <file.wrm> [--gantt] [--jsonl out.jsonl] [--contention r=f]\n\
      \x20          [--summary]               streaming aggregates only —\n\
      \x20                                    O(channels) result memory, for\n\
      \x20                                    very large (100k+ task) runs\n\
+     \x20          [--reps N [--seed S] [--percentiles] [--threads N]]\n\
+     \x20                                    Monte-Carlo replication over the\n\
+     \x20                                    phase distributions: N seeded\n\
+     \x20                                    runs on one compiled index,\n\
+     \x20                                    streamed percentile makespans;\n\
+     \x20                                    --threads 0 (default) = one per\n\
+     \x20                                    CPU, byte-identical output at\n\
+     \x20                                    any thread count\n\
      \x20 sweep <file.wrm|builtin> [--resource R --factors 1.0,0.5]\n\
      \x20       [--nodes 64,128] [--policies fifo,backfill] [--threads N]\n\
      \x20       [--format json|jsonl|csv] [--out file] [--no-incremental]\n\
@@ -183,6 +196,9 @@ struct Flags {
     quiet: bool,
     addr: String,
     cache_capacity: usize,
+    reps: usize,
+    seed: u64,
+    percentiles: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -215,6 +231,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         quiet: false,
         addr: "127.0.0.1:8080".into(),
         cache_capacity: 32,
+        reps: 0,
+        seed: 0,
+        percentiles: false,
     };
     let mut i = 0;
     let mut positional = 0;
@@ -286,6 +305,17 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--incremental" => f.incremental = true,
             "--no-incremental" => f.incremental = false,
+            "--reps" => {
+                let v = value(&mut i)?;
+                f.reps = v
+                    .parse()
+                    .map_err(|_| format!("bad replication count `{v}`"))?;
+            }
+            "--seed" => {
+                let v = value(&mut i)?;
+                f.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--percentiles" => f.percentiles = true,
             "--quiet" => f.quiet = true,
             "--addr" => f.addr = value(&mut i)?,
             "--cache-capacity" => {
@@ -490,6 +520,41 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         );
     }
 
+    // --reps runs the Monte-Carlo engine over the distributional phases;
+    // the extreme percentile makespans become a throughput whisker on
+    // the roofline dot.
+    let mut whisker = None;
+    if flags.reps > 0 {
+        let scenario =
+            Scenario::new(machine.clone(), compiled.spec.clone()).with_options(sim_options(&flags));
+        let mc = wrm_sim::mc_run(
+            &scenario,
+            &wrm_sim::McOptions {
+                reps: flags.reps,
+                seed: flags.seed,
+                threads: flags.threads,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        print!(
+            "{}",
+            wrm_serve::render::mc_report(
+                &compiled.spec.name,
+                &machine.name,
+                &mc,
+                flags.percentiles
+            )
+        );
+        if let (Some(first), Some(last)) = (mc.percentiles.first(), mc.percentiles.last()) {
+            if first.value > 0.0 && last.value > 0.0 {
+                whisker = Some((
+                    wrm_core::TasksPerSec(wf.total_tasks / last.value),
+                    wrm_core::TasksPerSec(wf.total_tasks / first.value),
+                ));
+            }
+        }
+    }
+
     let model = RooflineModel::build_lenient(&machine, &wf).map_err(|e| e.to_string())?;
     print!("{}", report::render(&model));
 
@@ -497,8 +562,12 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         println!("\n{}", wrm_plot::ascii::roofline(&model, 84, 24));
     }
     if let Some(path) = &flags.svg {
-        let svg = wrm_plot::RooflinePlot::new(format!("{} on {}", wf.name, machine.name))
-            .model(&model)
+        let mut plot =
+            wrm_plot::RooflinePlot::new(format!("{} on {}", wf.name, machine.name)).model(&model);
+        if let Some((lo, hi)) = whisker {
+            plot = plot.whisker(lo, hi);
+        }
+        let svg = plot
             .render_svg()
             .ok_or_else(|| "nothing to render".to_owned())?;
         std::fs::write(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -586,6 +655,34 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let (compiled, machine) = load(&flags)?;
     let scenario =
         Scenario::new(machine.clone(), compiled.spec.clone()).with_options(sim_options(&flags));
+    if flags.reps > 0 {
+        if flags.gantt || flags.jsonl.is_some() {
+            return Err(
+                "--reps keeps no per-replication trace; it cannot be combined with \
+                        --gantt or --jsonl"
+                    .into(),
+            );
+        }
+        let mc = wrm_sim::mc_run(
+            &scenario,
+            &wrm_sim::McOptions {
+                reps: flags.reps,
+                seed: flags.seed,
+                threads: flags.threads,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        print!(
+            "{}",
+            wrm_serve::render::mc_report(
+                &compiled.spec.name,
+                &machine.name,
+                &mc,
+                flags.percentiles
+            )
+        );
+        return Ok(());
+    }
     if flags.summary {
         if flags.gantt || flags.jsonl.is_some() {
             return Err(

@@ -18,6 +18,18 @@ workflow lcls on cori-hsw {
 }
 "#;
 
+const MC_WRM: &str = r#"
+workflow lcls-mc on cori-hsw {
+  task analyze[5] {
+    nodes 32
+    system_bytes ext uniform(0.8TB, 1.2TB) cap 1GB/s
+    node_bytes dram lognormal(1024GB, 0.25)
+    overhead setup triangular(3s, 5s, 10s)
+  }
+  task merge { nodes 1 system_bytes bb empirical(4GB 1, 5GB 2, 8GB 1) after analyze }
+}
+"#;
+
 fn wrm() -> Command {
     Command::new(env!("CARGO_BIN_EXE_wrm"))
 }
@@ -110,6 +122,22 @@ fn server_responses_match_cli_output_byte_for_byte() {
     ]);
     let simulate_cli = cli_stdout(&["simulate", wf]);
     let summary_cli = cli_stdout(&["simulate", wf, "--summary"]);
+    let wf_mc_path = dir.join("lcls_mc.wrm");
+    std::fs::write(&wf_mc_path, MC_WRM).expect("write mc workflow");
+    let wf_mc = wf_mc_path.to_str().expect("utf8");
+    // Thread count must never change the bytes: ask the CLI for 4
+    // workers and the server for its single-slot default.
+    let mc_cli = cli_stdout(&[
+        "simulate",
+        wf_mc,
+        "--reps",
+        "64",
+        "--seed",
+        "7",
+        "--percentiles",
+        "--threads",
+        "4",
+    ]);
     let certify_cli = cli_stdout(&["certify", wf]);
     let lint_cli = cli_stdout(&["lint", wf, "--format", "json"]);
 
@@ -178,6 +206,29 @@ fn server_responses_match_cli_output_byte_for_byte() {
         .request("POST", "/v1/certify", Some(&source_body(LCLS_WRM, "")))
         .expect("certify");
     assert_eq!(r.body, certify_cli, "certify != CLI bytes");
+
+    let mc_body = source_body(MC_WRM, ",\"reps\":64,\"seed\":7");
+    let cold = conn
+        .request("POST", "/v1/mc", Some(&mc_body))
+        .expect("cold mc");
+    assert_eq!(cold.status, 200, "{}", cold.text());
+    assert_eq!(cold.body, mc_cli, "mc != CLI bytes");
+    let warm = conn
+        .request("POST", "/v1/mc", Some(&mc_body))
+        .expect("warm mc");
+    assert_eq!(warm.body, mc_cli, "warm-cache mc != CLI bytes");
+
+    // A distribution-free workflow degenerates to one replication that
+    // reproduces the deterministic run.
+    let r = conn
+        .request(
+            "POST",
+            "/v1/mc",
+            Some(&source_body(LCLS_WRM, ",\"reps\":16")),
+        )
+        .expect("degenerate mc");
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert!(r.text().contains("point-mass"), "{}", r.text());
 
     let lint_body = source_body(LCLS_WRM, &format!(",\"path\":{wf:?},\"format\":\"json\""));
     let r = conn

@@ -48,6 +48,7 @@
 pub mod analysis;
 pub mod attribution;
 pub mod charz;
+pub mod dist;
 pub mod error;
 pub mod fingerprint;
 pub mod machine;
@@ -61,6 +62,7 @@ pub mod units;
 
 pub use attribution::{classify, classify_terms, BindingStrength, BoundClass};
 pub use charz::{CharacterizationBuilder, TargetSpec, WorkflowCharacterization};
+pub use dist::Dist;
 pub use error::CoreError;
 pub use fingerprint::{fingerprint, fingerprint_value, Fnv1a};
 pub use machine::{Machine, MachineBuilder, NodeResource, SystemResource};

@@ -139,6 +139,83 @@ pub struct TaskAst {
     pub after: Vec<AfterRef>,
 }
 
+/// A distribution call attached to a phase quantity, e.g.
+/// `compute lognormal(4PFLOPS, 0.3)`. The quantity parameters carry the
+/// phase's unit; `sigma` and empirical weights are unit-less. The parser
+/// accepts any parameter values (the linter flags invalid ones as
+/// `E011`, the compiler backstops); the *nominal* quantity lowered into
+/// the plain phase field is the distribution mean.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistAst {
+    /// `uniform(lo, hi)`
+    Uniform {
+        /// Inclusive lower bound (phase units).
+        lo: f64,
+        /// Inclusive upper bound (phase units).
+        hi: f64,
+        /// Position of the distribution keyword.
+        span: Span,
+    },
+    /// `lognormal(median, sigma)`
+    LogNormal {
+        /// Median (phase units).
+        median: f64,
+        /// Sigma of the underlying normal (unit-less).
+        sigma: f64,
+        /// Position of the distribution keyword.
+        span: Span,
+    },
+    /// `triangular(lo, mode, hi)`
+    Triangular {
+        /// Inclusive lower bound (phase units).
+        lo: f64,
+        /// Most likely value (phase units).
+        mode: f64,
+        /// Inclusive upper bound (phase units).
+        hi: f64,
+        /// Position of the distribution keyword.
+        span: Span,
+    },
+    /// `empirical(v1 w1 v2 w2 ...)` — weighted samples.
+    Empirical {
+        /// `(value, weight)` pairs; values carry the phase unit.
+        samples: Vec<(f64, f64)>,
+        /// Position of the distribution keyword.
+        span: Span,
+    },
+}
+
+impl DistAst {
+    /// Position of the distribution keyword.
+    pub fn span(&self) -> Span {
+        match self {
+            DistAst::Uniform { span, .. }
+            | DistAst::LogNormal { span, .. }
+            | DistAst::Triangular { span, .. }
+            | DistAst::Empirical { span, .. } => *span,
+        }
+    }
+
+    /// The equivalent core distribution (spans dropped).
+    pub fn to_dist(&self) -> wrm_core::Dist {
+        match self {
+            DistAst::Uniform { lo, hi, .. } => wrm_core::Dist::Uniform { lo: *lo, hi: *hi },
+            DistAst::LogNormal { median, sigma, .. } => wrm_core::Dist::LogNormal {
+                median: *median,
+                sigma: *sigma,
+            },
+            DistAst::Triangular { lo, mode, hi, .. } => wrm_core::Dist::Triangular {
+                lo: *lo,
+                mode: *mode,
+                hi: *hi,
+            },
+            DistAst::Empirical { samples, .. } => wrm_core::Dist::Empirical {
+                samples: samples.clone(),
+            },
+        }
+    }
+}
+
 /// One phase statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhaseAst {
@@ -153,6 +230,8 @@ pub enum PhaseAst {
         span: Span,
         /// Position of the `eff` value (unknown when defaulted).
         eff_span: Span,
+        /// Monte-Carlo distribution of `flops` (None = point value).
+        dist: Option<DistAst>,
     },
     /// `node_bytes hbm 80GB [eff 0.9]`
     NodeBytes {
@@ -166,6 +245,8 @@ pub enum PhaseAst {
         span: Span,
         /// Position of the `eff` value (unknown when defaulted).
         eff_span: Span,
+        /// Monte-Carlo distribution of `bytes` (None = point value).
+        dist: Option<DistAst>,
     },
     /// `system_bytes ext 1TB [cap 1GB/s]`
     SystemBytes {
@@ -177,6 +258,8 @@ pub enum PhaseAst {
         cap: Option<f64>,
         /// Position of the phase keyword.
         span: Span,
+        /// Monte-Carlo distribution of `bytes` (None = point value).
+        dist: Option<DistAst>,
     },
     /// `overhead python 5.2s`
     Overhead {
@@ -186,6 +269,8 @@ pub enum PhaseAst {
         seconds: f64,
         /// Position of the phase keyword.
         span: Span,
+        /// Monte-Carlo distribution of `seconds` (None = point value).
+        dist: Option<DistAst>,
     },
 }
 
@@ -197,6 +282,16 @@ impl PhaseAst {
             | PhaseAst::NodeBytes { span, .. }
             | PhaseAst::SystemBytes { span, .. }
             | PhaseAst::Overhead { span, .. } => *span,
+        }
+    }
+
+    /// The phase's distribution call, if one was written.
+    pub fn dist(&self) -> Option<&DistAst> {
+        match self {
+            PhaseAst::Compute { dist, .. }
+            | PhaseAst::NodeBytes { dist, .. }
+            | PhaseAst::SystemBytes { dist, .. }
+            | PhaseAst::Overhead { dist, .. } => dist.as_ref(),
         }
     }
 }

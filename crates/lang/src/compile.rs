@@ -89,6 +89,29 @@ fn replica_name(base: &str, index: usize, count: usize) -> String {
     }
 }
 
+/// The Monte-Carlo distribution side-table for a task: one entry per
+/// phase that carries a *non-degenerate* distribution call. Point-mass
+/// and absent distributions are omitted — the plain phase quantity (the
+/// distribution mean) already describes them, which keeps the
+/// deterministic spec (and its fingerprints) byte-identical to a file
+/// written without distributions.
+fn dists_of(ast: &TaskAst) -> Vec<wrm_sim::PhaseDist> {
+    ast.phases
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| {
+            let dist = p.dist()?.to_dist();
+            if dist.as_point().is_some() {
+                return None;
+            }
+            Some(wrm_sim::PhaseDist {
+                phase: i as u32,
+                dist,
+            })
+        })
+        .collect()
+}
+
 fn phases_of(ast: &TaskAst) -> Vec<Phase> {
     ast.phases
         .iter()
@@ -149,6 +172,16 @@ fn check_values(ast: &WorkflowAst) -> Result<(), LangError> {
                     ));
                 }
             }
+            if let Some(d) = p.dist() {
+                if let Err(reason) = d.to_dist().validate() {
+                    let span = d.span();
+                    return Err(LangError::new(
+                        format!("invalid distribution: {reason}"),
+                        span.line,
+                        span.col,
+                    ));
+                }
+            }
         }
     }
     Ok(())
@@ -196,6 +229,7 @@ pub fn compile(ast: &WorkflowAst) -> Result<Compiled, LangError> {
         for i in 0..t.count {
             let mut task = TaskSpec::new(replica_name(&t.name, i, t.count), t.nodes.max(1));
             task.phases = phases_of(t);
+            task.dists = dists_of(t);
             if t.chain && i > 0 {
                 task = task.after(replica_name(&t.name, i - 1, t.count));
             }
@@ -384,6 +418,47 @@ workflow lcls on cori-hsw {
         assert_eq!((e.line, e.col), (3, 11));
         let e = compile_source("workflow w on summit {\n  task a { }\n}").unwrap_err();
         assert_eq!((e.line, e.col), (1, 15));
+    }
+
+    #[test]
+    fn distributions_lower_into_the_spec_side_table() {
+        let c = compile_source(
+            "workflow w on pm-cpu { task a[2] { nodes 1 \
+             overhead setup uniform(4s, 6s) \
+             compute 1GFLOPS \
+             overhead run lognormal(100s, 0.3) } }",
+        )
+        .unwrap();
+        // Every replica carries the same side-table; only the two
+        // distribution-bearing phases appear, keyed by phase index.
+        for t in &c.spec.tasks {
+            assert_eq!(t.dists.len(), 2);
+            assert_eq!(t.dists[0].phase, 0);
+            assert_eq!(
+                t.dists[0].dist,
+                wrm_core::Dist::Uniform { lo: 4.0, hi: 6.0 }
+            );
+            assert_eq!(t.dists[1].phase, 2);
+        }
+        // The nominal spec is deterministic: phase 0 carries the mean.
+        match &c.spec.tasks[0].phases[0] {
+            Phase::Overhead { seconds, .. } => assert_eq!(*seconds, 5.0),
+            other => panic!("expected overhead, got {other:?}"),
+        }
+        // A point-mass distribution is dropped from the side-table.
+        let c = compile_source("workflow w { task a { overhead s uniform(5s, 5s) } }").unwrap();
+        assert!(c.spec.tasks[0].dists.is_empty());
+    }
+
+    #[test]
+    fn invalid_distributions_are_rejected_with_spans() {
+        let e = compile_source("workflow w { task a {\n  compute lognormal(1PFLOPS, -0.5)\n} }")
+            .unwrap_err();
+        assert!(e.message.contains("invalid distribution"), "{e}");
+        assert!(e.message.contains("sigma"), "{e}");
+        assert_eq!(e.line, 2);
+        let e = compile_source("workflow w { task a { node_bytes hbm empirical() } }").unwrap_err();
+        assert!(e.message.contains("invalid distribution"), "{e}");
     }
 
     #[test]

@@ -128,8 +128,44 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                     len: offset - tstart,
                 });
             }
-            '0'..='9' | '.' => {
+            '(' => {
+                chars.next();
+                bump!(c);
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line: tline,
+                    col: tcol,
+                    offset: tstart,
+                    len: offset - tstart,
+                });
+            }
+            ')' => {
+                chars.next();
+                bump!(c);
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line: tline,
+                    col: tcol,
+                    offset: tstart,
+                    len: offset - tstart,
+                });
+            }
+            '0'..='9' | '.' | '-' => {
                 let mut num = String::new();
+                if c == '-' {
+                    // A leading minus starts a negative number (`-` in
+                    // the middle of an identifier is consumed by the
+                    // identifier arm below). The value is almost always
+                    // a lint error — the lexer stays permissive so the
+                    // linter can point at it.
+                    num.push('-');
+                    chars.next();
+                    bump!(c);
+                    match chars.peek() {
+                        Some(&d) if d.is_ascii_digit() || d == '.' => {}
+                        _ => return Err(LangError::new("unexpected character `-`", tline, tcol)),
+                    }
+                }
                 while let Some(&c2) = chars.peek() {
                     if c2.is_ascii_digit()
                         || c2 == '.'
@@ -324,6 +360,8 @@ mod tests {
                 TokenKind::RBrace => assert_eq!(text, "}"),
                 TokenKind::LBracket => assert_eq!(text, "["),
                 TokenKind::RBracket => assert_eq!(text, "]"),
+                TokenKind::LParen => assert_eq!(text, "("),
+                TokenKind::RParen => assert_eq!(text, ")"),
                 TokenKind::Eof => {
                     assert_eq!(t.offset, src.len());
                     assert_eq!(t.len, 0);
@@ -336,6 +374,51 @@ mod tests {
             &"cap 1.5GB/s"[toks[1].offset..toks[1].end_offset()],
             "1.5GB/s"
         );
+    }
+
+    #[test]
+    fn parens_lex_as_tokens_with_comma_separators() {
+        // Distribution calls: commas are separators, parens are tokens.
+        let k = kinds("lognormal(120s, 0.3)");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("lognormal".into()),
+                TokenKind::LParen,
+                TokenKind::Number {
+                    value: 120.0,
+                    unit: Some(Unit::Seconds)
+                },
+                TokenKind::Number {
+                    value: 0.3,
+                    unit: None
+                },
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_numbers_lex_with_optional_units() {
+        let k = kinds("-0.5 -3s");
+        assert_eq!(
+            k[0],
+            TokenKind::Number {
+                value: -0.5,
+                unit: None
+            }
+        );
+        assert_eq!(
+            k[1],
+            TokenKind::Number {
+                value: -3.0,
+                unit: Some(Unit::Seconds)
+            }
+        );
+        // A bare minus is still rejected.
+        let err = lex("a - b").unwrap_err();
+        assert!(err.message.contains("unexpected character `-`"));
     }
 
     #[test]

@@ -15,12 +15,21 @@
 //!            | "throughput" NUMBER ["per" TIME]
 //! task      := "task" IDENT ["[" INT "]"] ["chain"] "{" stmt* "}"
 //! stmt      := "nodes" INT
-//!            | "compute" FLOPS ["eff" NUMBER]
-//!            | "node_bytes" IDENT BYTES ["eff" NUMBER]
-//!            | "system_bytes" IDENT BYTES ["cap" RATE]
-//!            | "overhead" IDENT TIME
+//!            | "compute" QTY(FLOPS) ["eff" NUMBER]
+//!            | "node_bytes" IDENT QTY(BYTES) ["eff" NUMBER]
+//!            | "system_bytes" IDENT QTY(BYTES) ["cap" RATE]
+//!            | "overhead" IDENT QTY(TIME)
 //!            | "after" IDENT ["[" INT "]"]
+//! QTY(U)    := U | DIST(U)
+//! DIST(U)   := "uniform" "(" U U ")"
+//!            | "lognormal" "(" U NUMBER ")"          (median, sigma)
+//!            | "triangular" "(" U U U ")"            (lo, mode, hi)
+//!            | "empirical" "(" (U NUMBER)* ")"       (value weight ...)
 //! ```
+//!
+//! A `QTY` written as a distribution call lowers its *mean* into the
+//! phase's plain quantity (so deterministic analyses are unchanged) and
+//! records the distribution on the AST for the Monte-Carlo engine.
 //!
 //! The parser records a [`Span`] on every AST node so downstream
 //! consumers (the linter, the compiler) can anchor diagnostics. It is
@@ -28,7 +37,7 @@
 //! efficiency of 2.0 parses fine; the linter flags them (E007/E006) and
 //! the compiler rejects them as a backstop.
 
-use crate::ast::{AfterRef, MachineAst, PhaseAst, Span, TargetsAst, TaskAst, WorkflowAst};
+use crate::ast::{AfterRef, DistAst, MachineAst, PhaseAst, Span, TargetsAst, TaskAst, WorkflowAst};
 use crate::lexer::lex;
 use crate::token::{LangError, Token, TokenKind, Unit};
 
@@ -150,6 +159,116 @@ impl Parser {
         matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
     }
 
+    /// A phase quantity: a plain number, or a distribution call
+    /// (`uniform`/`lognormal`/`triangular`/`empirical` followed by
+    /// `(`). Returns the nominal value — the distribution mean for
+    /// calls, so deterministic analyses see the expected workload — and
+    /// the parsed distribution. An identifier *not* followed by `(` is
+    /// left in place (e.g. a resource that happens to be named
+    /// `uniform`).
+    fn expect_quantity(
+        &mut self,
+        unit: Option<Unit>,
+        what: &str,
+    ) -> Result<(f64, Option<DistAst>), LangError> {
+        if let TokenKind::Ident(name) = &self.peek().kind {
+            let is_dist = matches!(
+                name.as_str(),
+                "uniform" | "lognormal" | "triangular" | "empirical"
+            );
+            let next_is_paren =
+                matches!(self.tokens.get(self.pos + 1), Some(t) if t.kind == TokenKind::LParen);
+            if is_dist && next_is_paren {
+                let dist = self.parse_dist_call(unit, what)?;
+                return Ok((dist.to_dist().mean(), Some(dist)));
+            }
+        }
+        Ok((self.expect_number(unit, what)?, None))
+    }
+
+    /// One distribution call; the cursor sits on the distribution
+    /// keyword. Quantity-valued parameters are unit-checked against the
+    /// phase's unit; sigma and empirical weights are unit-less. Like
+    /// every other value position the parser is permissive about
+    /// *values* — `lognormal(10s, -1)` parses; the linter flags it
+    /// (E011) and the compiler rejects it as a backstop.
+    fn parse_dist_call(&mut self, unit: Option<Unit>, what: &str) -> Result<DistAst, LangError> {
+        let kw_span = self.pos_span();
+        let name = self.expect_ident()?;
+        self.expect_token(TokenKind::LParen)?;
+        let ast = match name.as_str() {
+            "uniform" => {
+                let lo = self.expect_number(unit, what)?;
+                let hi = self.expect_number(unit, what)?;
+                DistAst::Uniform {
+                    lo,
+                    hi,
+                    span: kw_span,
+                }
+            }
+            "lognormal" => {
+                let median = self.expect_number(unit, what)?;
+                let sigma = self.expect_number(None, "sigma")?;
+                DistAst::LogNormal {
+                    median,
+                    sigma,
+                    span: kw_span,
+                }
+            }
+            "triangular" => {
+                let lo = self.expect_number(unit, what)?;
+                let mode = self.expect_number(unit, what)?;
+                let hi = self.expect_number(unit, what)?;
+                DistAst::Triangular {
+                    lo,
+                    mode,
+                    hi,
+                    span: kw_span,
+                }
+            }
+            "empirical" => {
+                let mut samples = Vec::new();
+                while !matches!(self.peek().kind, TokenKind::RParen | TokenKind::Eof) {
+                    let v = self.expect_number(unit, what)?;
+                    let w = self.expect_number(None, "weight")?;
+                    samples.push((v, w));
+                }
+                DistAst::Empirical {
+                    samples,
+                    span: kw_span,
+                }
+            }
+            other => unreachable!("caller checked the distribution name, got `{other}`"),
+        };
+        self.expect_token(TokenKind::RParen)?;
+        // Widen the span to the whole call so diagnostics and fix-its
+        // can splice it.
+        let full = Span::with_range(
+            kw_span.line,
+            kw_span.col,
+            kw_span.offset,
+            self.prev_end() - kw_span.offset,
+        );
+        Ok(match ast {
+            DistAst::Uniform { lo, hi, .. } => DistAst::Uniform { lo, hi, span: full },
+            DistAst::LogNormal { median, sigma, .. } => DistAst::LogNormal {
+                median,
+                sigma,
+                span: full,
+            },
+            DistAst::Triangular { lo, mode, hi, .. } => DistAst::Triangular {
+                lo,
+                mode,
+                hi,
+                span: full,
+            },
+            DistAst::Empirical { samples, .. } => DistAst::Empirical {
+                samples,
+                span: full,
+            },
+        })
+    }
+
     /// `eff <number>` if present. Any value parses; the linter enforces
     /// the (0, 1] range (E006). Returns the value and its span (unknown
     /// when defaulted).
@@ -209,18 +328,21 @@ impl Parser {
                             task.nodes = self.expect_uint("nodes")?;
                         }
                         "compute" => {
-                            let flops = self.expect_number(Some(Unit::Flops), "compute")?;
+                            let (flops, dist) =
+                                self.expect_quantity(Some(Unit::Flops), "compute")?;
                             let (eff, eff_span) = self.parse_optional_eff()?;
                             task.phases.push(PhaseAst::Compute {
                                 flops,
                                 eff,
                                 span: kw_span,
                                 eff_span,
+                                dist,
                             });
                         }
                         "node_bytes" => {
                             let resource = self.expect_ident()?;
-                            let bytes = self.expect_number(Some(Unit::Bytes), "node_bytes")?;
+                            let (bytes, dist) =
+                                self.expect_quantity(Some(Unit::Bytes), "node_bytes")?;
                             let (eff, eff_span) = self.parse_optional_eff()?;
                             task.phases.push(PhaseAst::NodeBytes {
                                 resource,
@@ -228,11 +350,13 @@ impl Parser {
                                 eff,
                                 span: kw_span,
                                 eff_span,
+                                dist,
                             });
                         }
                         "system_bytes" => {
                             let resource = self.expect_ident()?;
-                            let bytes = self.expect_number(Some(Unit::Bytes), "system_bytes")?;
+                            let (bytes, dist) =
+                                self.expect_quantity(Some(Unit::Bytes), "system_bytes")?;
                             let cap = if self.peek_keyword("cap") {
                                 self.next();
                                 Some(self.expect_number(Some(Unit::BytesPerSec), "cap")?)
@@ -244,15 +368,18 @@ impl Parser {
                                 bytes,
                                 cap,
                                 span: kw_span,
+                                dist,
                             });
                         }
                         "overhead" => {
                             let label = self.expect_ident()?;
-                            let seconds = self.expect_number(Some(Unit::Seconds), "overhead")?;
+                            let (seconds, dist) =
+                                self.expect_quantity(Some(Unit::Seconds), "overhead")?;
                             task.phases.push(PhaseAst::Overhead {
                                 label,
                                 seconds,
                                 span: kw_span,
+                                dist,
                             });
                         }
                         "after" => {
@@ -650,5 +777,123 @@ workflow lcls on cori-hsw {
     fn eof_inside_block_is_an_error() {
         let e = parse("workflow w { task a {").unwrap_err();
         assert!(e.message.contains("expected a task statement"), "{e}");
+    }
+
+    #[test]
+    fn distribution_calls_parse_with_mean_as_nominal() {
+        let src = "workflow w { task a {\n\
+                   compute lognormal(4PFLOPS, 0.3) eff 0.5\n\
+                   overhead setup uniform(4s, 6s)\n\
+                   system_bytes ext triangular(1GB, 2GB, 6GB) cap 1GB/s\n\
+                   node_bytes hbm empirical(1GB 3, 2GB 1)\n\
+                   } }";
+        let ast = parse(src).unwrap();
+        let phases = &ast.tasks[0].phases;
+        match &phases[0] {
+            PhaseAst::Compute {
+                flops,
+                eff,
+                dist: Some(DistAst::LogNormal { median, sigma, .. }),
+                ..
+            } => {
+                assert_eq!(*median, 4e15);
+                assert_eq!(*sigma, 0.3);
+                assert_eq!(*eff, 0.5);
+                // Nominal = lognormal mean = median * exp(sigma^2/2).
+                assert_eq!(*flops, 4e15 * (0.5 * 0.3f64 * 0.3).exp());
+            }
+            other => panic!("expected compute with lognormal, got {other:?}"),
+        }
+        match &phases[1] {
+            PhaseAst::Overhead {
+                seconds,
+                dist: Some(DistAst::Uniform { lo, hi, .. }),
+                ..
+            } => {
+                assert_eq!((*lo, *hi), (4.0, 6.0));
+                assert_eq!(*seconds, 5.0);
+            }
+            other => panic!("expected overhead with uniform, got {other:?}"),
+        }
+        match &phases[2] {
+            PhaseAst::SystemBytes {
+                bytes,
+                cap,
+                dist: Some(DistAst::Triangular { lo, mode, hi, .. }),
+                ..
+            } => {
+                assert_eq!((*lo, *mode, *hi), (1e9, 2e9, 6e9));
+                assert_eq!(*cap, Some(1e9));
+                assert_eq!(*bytes, 3e9); // (lo + mode + hi) / 3
+            }
+            other => panic!("expected system_bytes with triangular, got {other:?}"),
+        }
+        match &phases[3] {
+            PhaseAst::NodeBytes {
+                bytes,
+                dist: Some(DistAst::Empirical { samples, .. }),
+                ..
+            } => {
+                assert_eq!(samples, &[(1e9, 3.0), (2e9, 1.0)]);
+                assert_eq!(*bytes, 1.25e9); // weighted mean
+            }
+            other => panic!("expected node_bytes with empirical, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn distribution_spans_cover_the_whole_call() {
+        let src = "workflow w { task a { overhead s uniform(4s, 6s) } }";
+        let ast = parse(src).unwrap();
+        let dist = ast.tasks[0].phases[0].dist().unwrap();
+        let s = dist.span();
+        assert_eq!(&src[s.offset..s.end_offset()], "uniform(4s, 6s)");
+    }
+
+    #[test]
+    fn distribution_quantities_are_unit_checked() {
+        // Quantity parameters carry the phase unit; sigma is unit-less.
+        let e = parse("workflow w { task a { compute lognormal(4s, 0.3) } }").unwrap_err();
+        assert!(e.message.contains("wrong unit"), "{e}");
+        let e = parse("workflow w { task a { overhead s uniform(4s 6GB) } }").unwrap_err();
+        assert!(e.message.contains("wrong unit"), "{e}");
+        // Unclosed call.
+        let e = parse("workflow w { task a { overhead s uniform(4s 6s } }").unwrap_err();
+        assert!(e.message.contains("expected `)`"), "{e}");
+    }
+
+    #[test]
+    fn suspicious_distribution_values_parse_for_the_linter() {
+        // Negative sigma and an empty empirical set are lint errors
+        // (E011), not parse errors.
+        let ast = parse("workflow w { task a { compute lognormal(1PFLOPS, -0.5) } }").unwrap();
+        match ast.tasks[0].phases[0].dist() {
+            Some(DistAst::LogNormal { sigma, .. }) => assert_eq!(*sigma, -0.5),
+            other => panic!("expected lognormal, got {other:?}"),
+        }
+        let ast = parse("workflow w { task a { node_bytes hbm empirical() } }").unwrap();
+        match ast.tasks[0].phases[0].dist() {
+            Some(DistAst::Empirical { samples, .. }) => assert!(samples.is_empty()),
+            other => panic!("expected empirical, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn an_identifier_named_like_a_distribution_is_not_a_call() {
+        // `uniform` without `(` stays a plain identifier (here a
+        // resource name).
+        let ast = parse("workflow w { task a { node_bytes uniform 4GB } }").unwrap();
+        match &ast.tasks[0].phases[0] {
+            PhaseAst::NodeBytes {
+                resource,
+                bytes,
+                dist: None,
+                ..
+            } => {
+                assert_eq!(resource, "uniform");
+                assert_eq!(*bytes, 4e9);
+            }
+            other => panic!("expected plain node_bytes, got {other:?}"),
+        }
     }
 }

@@ -46,6 +46,10 @@ pub enum TokenKind {
     LBracket,
     /// `]`
     RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
     /// `per` keyword used in throughput expressions (also an Ident, but
     /// the lexer keeps it as Ident; listed here for documentation only).
     /// End of input.
@@ -77,6 +81,8 @@ impl fmt::Display for TokenKind {
             TokenKind::RBrace => f.write_str("`}`"),
             TokenKind::LBracket => f.write_str("`[`"),
             TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
             TokenKind::Eof => f.write_str("end of input"),
         }
     }

@@ -132,6 +132,7 @@ impl AnalysisIr {
                     bytes,
                     cap,
                     span,
+                    ..
                 } = phase
                 else {
                     continue;
@@ -245,45 +246,40 @@ fn phase_bounds(
     nodes: u64,
     channels: &[ChannelIr],
 ) -> Interval {
-    let node_rate = |resource: &str, volume: f64, eff: f64| -> Interval {
+    // A phase quantity written as a distribution call contributes its
+    // whole support [lo, hi] instead of the point nominal, so interval
+    // analysis stays sound for every Monte-Carlo sample. Invalid
+    // distributions (E011) fall back to the nominal mean.
+    let (q_lo, q_hi) = quantity_bounds(phase);
+    let node_rate = |resource: &str, eff: f64| -> Interval {
         let Some(r) = machine.and_then(|m| m.node_resource(resource)) else {
             return Interval::ZERO;
         };
-        if eff <= 0.0 || eff.is_nan() || volume <= 0.0 {
+        if eff <= 0.0 || eff.is_nan() || q_hi <= 0.0 {
             return Interval::ZERO;
         }
         let rate = r.peak_per_node.magnitude() * nodes as f64 * eff;
         if rate > 0.0 {
-            Interval::point(volume / rate)
+            Interval::new(q_lo.max(0.0) / rate, q_hi / rate)
         } else {
             Interval::ZERO
         }
     };
     match phase {
-        PhaseAst::Compute { flops, eff, .. } => node_rate(wrm_core::ids::COMPUTE, *flops, *eff),
-        PhaseAst::NodeBytes {
-            resource,
-            bytes,
-            eff,
-            ..
-        } => node_rate(resource, *bytes, *eff),
-        PhaseAst::SystemBytes {
-            resource,
-            bytes,
-            cap,
-            ..
-        } => {
+        PhaseAst::Compute { eff, .. } => node_rate(wrm_core::ids::COMPUTE, *eff),
+        PhaseAst::NodeBytes { resource, eff, .. } => node_rate(resource, *eff),
+        PhaseAst::SystemBytes { resource, cap, .. } => {
             let Some(r) = machine.and_then(|m| m.system_resource(resource)) else {
                 return Interval::ZERO;
             };
-            if *bytes <= 0.0 {
+            if q_hi <= 0.0 {
                 return Interval::ZERO;
             }
             let cap = cap.unwrap_or(f64::INFINITY);
             let agg = r.aggregate_for(nodes as f64).get();
             let alone = cap.min(agg);
             let lo = if alone > 0.0 {
-                bytes / alone
+                q_lo.max(0.0) / alone
             } else {
                 f64::INFINITY
             };
@@ -293,13 +289,36 @@ fn phase_bounds(
                 .filter(|c| c.shared && c.concurrent_flows > 1)
                 .map_or(alone, |c| cap.min(c.capacity / c.concurrent_flows as f64));
             let hi = if contended > 0.0 {
-                bytes / contended
+                q_hi / contended
             } else {
                 f64::INFINITY
             };
             Interval::new(lo, hi)
         }
-        PhaseAst::Overhead { seconds, .. } => Interval::point(seconds.max(0.0)),
+        PhaseAst::Overhead { .. } => Interval::new(q_lo.max(0.0), q_hi.max(0.0)),
+    }
+}
+
+/// The phase quantity's support: the distribution bounds when a valid
+/// distribution call is attached, else the nominal point repeated.
+fn quantity_bounds(phase: &PhaseAst) -> (f64, f64) {
+    let nominal = match phase {
+        PhaseAst::Compute { flops, .. } => *flops,
+        PhaseAst::NodeBytes { bytes, .. } | PhaseAst::SystemBytes { bytes, .. } => *bytes,
+        PhaseAst::Overhead { seconds, .. } => *seconds,
+    };
+    // An invalid empirical set makes the mean NaN; treat it as no
+    // volume (E011 already reports the phase).
+    let nominal = if nominal.is_finite() { nominal } else { 0.0 };
+    match phase.dist() {
+        Some(d) => {
+            let dist = d.to_dist();
+            if dist.validate().is_err() {
+                return (nominal, nominal);
+            }
+            dist.bounds()
+        }
+        None => (nominal, nominal),
     }
 }
 

@@ -26,8 +26,9 @@
 //! | W011 | warning  | channel capacity provably reducible to the stream-cap sum without moving the certified interval |
 //! | W012 | warning  | certified lower bound unchanged with every channel zeroed — channel sweeps cannot help |
 //! | E010 | error    | makespan target infeasible under any channel provisioning (fixable) |
+//! | E011 | error    | invalid distribution call (negative sigma, empty empirical set, NaN/out-of-order parameters) |
 //!
-//! E000–E008 and W001–W005 are per-statement checks implemented here;
+//! E000–E008, E011 and W001–W005 are per-statement checks implemented here;
 //! E009, E010 and W006–W012 are the analyzer passes in [`crate::passes`],
 //! driven by the lowered IR, the DAG dataflow engine, and the
 //! simulator's two-sided makespan certificate ([`wrm_sim::certify`]).
@@ -203,6 +204,14 @@ pub const RULES: &[RuleInfo] = &[
         severity: Severity::Error,
         summary: "the makespan target is below the certified lower bound even with every \
                   channel infinitely fast; no channel provisioning can meet it",
+    },
+    RuleInfo {
+        code: "E011",
+        name: "invalid-distribution",
+        severity: Severity::Error,
+        summary: "a distribution call has invalid parameters (negative sigma, empty empirical \
+                  set, non-finite or out-of-order bounds); the Monte-Carlo engine cannot \
+                  sample it",
     },
 ];
 
@@ -544,12 +553,33 @@ fn check_phase_values(t: &TaskAst, p: &PhaseAst, out: &mut Vec<Diagnostic>) {
                 ));
             }
         };
+    // E011: a distribution call the Monte-Carlo engine cannot sample.
+    // The nominal quantity (the distribution mean) is meaningless when
+    // the parameters are invalid — possibly NaN — so skip the value
+    // checks below rather than pile derived noise onto the same phase.
+    if let Some(d) = p.dist() {
+        if let Err(reason) = d.to_dist().validate() {
+            out.push(
+                Diagnostic::error(
+                    "E011",
+                    sp(d.span()),
+                    format!("invalid distribution in task `{}`: {reason}", t.name),
+                )
+                .with_help(
+                    "distribution parameters must be finite and non-negative, bounds ordered \
+                     lo <= mode <= hi, and empirical sets non-empty with positive weights",
+                ),
+            );
+            return;
+        }
+    }
     match p {
         PhaseAst::Compute {
             flops,
             eff,
             span,
             eff_span,
+            ..
         } => {
             eff_diag(*eff, *eff_span, out);
             volume_diag("compute", *flops, *span, "volume", out);

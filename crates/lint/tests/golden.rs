@@ -163,6 +163,21 @@ const GOLDENS: &[Golden] = &[
         message: "makespan target 50s is infeasible under any channel provisioning: with every \
                   channel infinitely fast, fixed phases alone still need 100.000s",
     },
+    Golden {
+        file: "bad/negative_sigma.wrm",
+        code: "E011",
+        line: 5,
+        col: 13,
+        message: "invalid distribution in task `a`: sigma must be >= 0, got -0.5",
+    },
+    Golden {
+        file: "bad/empty_empirical.wrm",
+        code: "E011",
+        line: 5,
+        col: 21,
+        message: "invalid distribution in task `a`: empirical distribution needs at least one \
+                  sample",
+    },
 ];
 
 #[test]

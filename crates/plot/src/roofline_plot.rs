@@ -34,6 +34,9 @@ pub struct ExtraDot {
     pub color: String,
     /// Hollow (projection) instead of filled.
     pub hollow: bool,
+    /// Optional vertical throughput whisker `(lo, hi)` through the dot,
+    /// e.g. Monte-Carlo percentile makespans mapped to tasks/s.
+    pub whisker: Option<(TasksPerSec, TasksPerSec)>,
 }
 
 /// Builder for a roofline figure.
@@ -42,6 +45,7 @@ pub struct RooflinePlot {
     title: String,
     models: Vec<RooflineModel>,
     extra_dots: Vec<ExtraDot>,
+    primary_whisker: Option<(TasksPerSec, TasksPerSec)>,
     show_targets: bool,
     show_zones: bool,
     width: f64,
@@ -55,6 +59,7 @@ impl RooflinePlot {
             title: title.into(),
             models: Vec::new(),
             extra_dots: Vec::new(),
+            primary_whisker: None,
             show_targets: true,
             show_zones: false,
             width: 760.0,
@@ -71,6 +76,13 @@ impl RooflinePlot {
     /// Adds a standalone dot.
     pub fn dot(mut self, dot: ExtraDot) -> Self {
         self.extra_dots.push(dot);
+        self
+    }
+
+    /// Attaches a vertical throughput whisker to the first model's dot
+    /// (e.g. Monte-Carlo percentile makespans mapped to tasks/s).
+    pub fn whisker(mut self, lo: TasksPerSec, hi: TasksPerSec) -> Self {
+        self.primary_whisker = Some((lo, hi));
         self
     }
 
@@ -121,6 +133,14 @@ impl RooflinePlot {
         for d in &self.extra_dots {
             ys.push(d.tps.get());
             xs.push(d.x);
+            if let Some((lo, hi)) = d.whisker {
+                ys.push(lo.get());
+                ys.push(hi.get());
+            }
+        }
+        if let Some((lo, hi)) = self.primary_whisker {
+            ys.push(lo.get());
+            ys.push(hi.get());
         }
         let (x_lo, x_hi) = log_domain(xs);
         let (y_lo, y_hi) = log_domain(ys);
@@ -384,9 +404,17 @@ impl RooflinePlot {
             }
         }
 
-        // Dots: one per model plus extras.
+        // Dots: one per model plus extras. Whiskers go under the dots.
         let mut legend_y = mt + 16.0;
         let mut color_idx = 0usize;
+        let draw_whisker = |svg: &mut Svg, x: f64, lo: f64, hi: f64, color: &str| {
+            let px = sx.px(x);
+            let (py_lo, py_hi) = (sy.px(lo), sy.px(hi));
+            svg.line(px, py_lo, px, py_hi, color, 1.5, None);
+            for py in [py_lo, py_hi] {
+                svg.line(px - 5.0, py, px + 5.0, py, color, 1.5, None);
+            }
+        };
         let draw_dot = |svg: &mut Svg,
                         label: &str,
                         x: f64,
@@ -418,10 +446,15 @@ impl RooflinePlot {
             );
             *legend_y += 16.0;
         };
-        for m in &self.models {
+        for (mi, m) in self.models.iter().enumerate() {
             if let Some(d) = &m.dot {
                 let color = DOT_COLORS[color_idx % DOT_COLORS.len()];
                 color_idx += 1;
+                if mi == 0 {
+                    if let Some((lo, hi)) = self.primary_whisker {
+                        draw_whisker(&mut svg, d.x, lo.get(), hi.get(), color);
+                    }
+                }
                 draw_dot(
                     &mut svg,
                     &d.label,
@@ -441,6 +474,9 @@ impl RooflinePlot {
             } else {
                 d.color.clone()
             };
+            if let Some((lo, hi)) = d.whisker {
+                draw_whisker(&mut svg, d.x, lo.get(), hi.get(), &color);
+            }
             draw_dot(
                 &mut svg,
                 &d.label,
@@ -509,6 +545,7 @@ mod tests {
                 tps: TasksPerSec(0.01),
                 color: String::new(),
                 hollow: true,
+                whisker: None,
             })
             .dot(ExtraDot {
                 label: "fixed-color".into(),
@@ -516,6 +553,7 @@ mod tests {
                 tps: TasksPerSec(0.02),
                 color: "#123456".into(),
                 hollow: false,
+                whisker: Some((TasksPerSec(0.015), TasksPerSec(0.025))),
             })
             .targets(false)
             .size(500.0, 400.0)
@@ -525,6 +563,30 @@ mod tests {
         assert!(svg.contains("#123456"));
         assert!(!svg.contains("target throughput"));
         assert!(svg.contains("width=\"500\""));
+    }
+
+    #[test]
+    fn primary_whisker_extends_the_domain_and_draws_caps() {
+        let model = sample_model();
+        let base = RooflinePlot::new("whiskered")
+            .model(&model)
+            .render_svg()
+            .unwrap();
+        let dot = model.dot.as_ref().expect("model dot");
+        let svg = RooflinePlot::new("whiskered")
+            .model(&model)
+            .whisker(
+                TasksPerSec(dot.tps.get() * 0.5),
+                TasksPerSec(dot.tps.get() * 2.0),
+            )
+            .render_svg()
+            .unwrap();
+        assert_ne!(base, svg, "whisker left no mark");
+        // Whisker stem + two caps on top of the base figure's lines.
+        assert_eq!(
+            svg.matches("<line").count(),
+            base.matches("<line").count() + 3,
+        );
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub fn respond<W: Write>(state: &AppState, req: &Request, out: &mut W) -> std::i
             ("shutdown", Reply::ok(TEXT, "shutting down\n".into()))
         }
         ("POST", "/v1/simulate") => ("simulate", simulate(state, req)),
+        ("POST", "/v1/mc") => ("mc", mc(state, req)),
         ("POST", "/v1/certify") => ("certify", certify(state, req)),
         ("POST", "/v1/lint") => ("lint", lint(req)),
         ("POST", "/v1/sweep") => {
@@ -92,7 +93,7 @@ pub fn respond<W: Write>(state: &AppState, req: &Request, out: &mut W) -> std::i
             state.metrics.record("sweep", elapsed_us(start), ok);
             return Ok(keep && !state.shutdown.load(Ordering::SeqCst));
         }
-        ("GET", "/v1/simulate" | "/v1/certify" | "/v1/lint" | "/v1/sweep")
+        ("GET", "/v1/simulate" | "/v1/mc" | "/v1/certify" | "/v1/lint" | "/v1/sweep")
         | ("POST", "/healthz" | "/metrics" | "/metrics/json") => (
             "other",
             Reply::status(405, format!("use {} for {}", flip(&req.method), req.path)),
@@ -243,6 +244,88 @@ fn simulate(state: &AppState, req: &Request) -> Reply {
                     )
                 })
         };
+        let _ = tx.send(report);
+    }));
+    match rx.recv() {
+        Ok(Ok(report)) => Reply::ok(TEXT, report),
+        Ok(Err(e)) => Reply::bad_request(e),
+        Err(_) => Reply::status(503, "worker pool unavailable".into()),
+    }
+}
+
+/// Replication-count ceiling for one `POST /v1/mc` request; larger
+/// studies should shard across requests (each is seeded, so shards
+/// compose deterministically).
+const MC_MAX_REPS: usize = 100_000;
+
+/// `POST /v1/mc` — body equals `wrm simulate <file> --reps N [--seed S]
+/// [--percentiles] [--threads T]` stdout. The replication fan-out runs
+/// inside one pool slot: `mc_run_with_base` spawns its own scoped
+/// workers with per-worker arenas, so `"threads"` (default 1 here, to
+/// not oversubscribe the request pool) only changes wall-clock, never
+/// bytes.
+fn mc(state: &AppState, req: &Request) -> Reply {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(e) => return Reply::bad_request(e),
+    };
+    let (entry, _hit, options) = match resolve_cached(state, &body) {
+        Ok(r) => r,
+        Err(e) => return Reply::bad_request(e),
+    };
+    let reps = match body.get("reps").map(|v| {
+        v.as_u64()
+            .ok_or_else(|| "field `reps` must be a positive integer".to_owned())
+    }) {
+        None => 100,
+        Some(Ok(n)) if (1..=MC_MAX_REPS as u64).contains(&n) => n as usize,
+        Some(Ok(n)) => {
+            return Reply::bad_request(format!(
+                "field `reps` must be in 1..={MC_MAX_REPS}, got {n}"
+            ))
+        }
+        Some(Err(e)) => return Reply::bad_request(e),
+    };
+    let seed = match body.get("seed").map(|v| {
+        v.as_u64()
+            .ok_or_else(|| "field `seed` must be a non-negative integer".to_owned())
+    }) {
+        None => 0,
+        Some(Ok(s)) => s,
+        Some(Err(e)) => return Reply::bad_request(e),
+    };
+    let threads = match body.get("threads").map(|v| {
+        v.as_u64()
+            .ok_or_else(|| "field `threads` must be a non-negative integer".to_owned())
+    }) {
+        None => 1,
+        Some(Ok(t)) => t as usize,
+        Some(Err(e)) => return Reply::bad_request(e),
+    };
+    let percentiles = body
+        .get("percentiles")
+        .and_then(serde_json::Value::as_bool)
+        .unwrap_or(true);
+
+    let (tx, rx) = mpsc::channel::<Result<String, String>>();
+    let job_entry = Arc::clone(&entry);
+    state.pool.submit(Box::new(move |_arena| {
+        let scenario = job_entry.scenario.clone().with_options(options);
+        let opts = wrm_sim::McOptions {
+            reps,
+            seed,
+            threads,
+        };
+        let report = wrm_sim::mc_run_with_base(&scenario, &job_entry.base, &opts)
+            .map_err(|e| e.to_string())
+            .map(|mc| {
+                render::mc_report(
+                    &scenario.workflow.name,
+                    &scenario.machine.name,
+                    &mc,
+                    percentiles,
+                )
+            });
         let _ = tx.send(report);
     }));
     match rx.recv() {

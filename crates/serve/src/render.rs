@@ -15,7 +15,9 @@
 //! with `fifo` first — so output bytes never depend on input order,
 //! thread count, or engine.
 
-use wrm_sim::{Certificate, Scenario, SchedulerPolicy, SimError, SimResult, SimSummary, SweepGrid};
+use wrm_sim::{
+    Certificate, McResult, Scenario, SchedulerPolicy, SimError, SimResult, SimSummary, SweepGrid,
+};
 use wrm_trace::{characterize, Structure};
 
 /// Display name of a scheduler policy, as used in sweep rows and CLI
@@ -280,6 +282,54 @@ pub fn summary_report(spec_name: &str, machine_name: &str, sum: &SimSummary) -> 
     ));
     for name in &sum.critical_tail {
         out.push_str(&format!("  {name}\n"));
+    }
+    out
+}
+
+/// Percentile label: `0.5 -> "p50"`, `0.99 -> "p99"`. Round-number
+/// quantiles print without a fraction (note `0.99 * 100.0` is not
+/// exactly 99 in binary).
+fn percentile_label(q: f64) -> String {
+    let pct = q * 100.0;
+    if (pct - pct.round()).abs() < 1e-9 {
+        format!("p{:.0}", pct.round())
+    } else {
+        format!("p{pct}")
+    }
+}
+
+/// The `wrm simulate --reps N` report: streamed makespan distribution
+/// summary with the certified analytic bracket; `percentiles` adds the
+/// order-statistic percentile table with confidence intervals
+/// (`--percentiles` on the CLI, `"percentiles": true` on `POST
+/// /v1/mc`). Shared verbatim by both front ends.
+#[must_use]
+pub fn mc_report(spec_name: &str, machine_name: &str, mc: &McResult, percentiles: bool) -> String {
+    let mut out = format!(
+        "{} on {}: {} Monte-Carlo replication(s) (seed {}), makespan mean {:.2} s\n",
+        spec_name, machine_name, mc.reps, mc.seed, mc.mean
+    );
+    out.push_str(&format!(
+        "sampled range [{:.2}, {:.2}] s, certified bracket [{:.2}, {:.2}] s\n",
+        mc.min, mc.max, mc.bracket_lo, mc.bracket_hi
+    ));
+    if mc.degenerate {
+        out.push_str(
+            "all phase quantities are point-mass: one replication reproduces the \
+             deterministic run\n",
+        );
+    }
+    if percentiles {
+        out.push_str("\npercentiles (95% CI via order statistics):\n");
+        for p in &mc.percentiles {
+            out.push_str(&format!(
+                "  {:<4} {:>12.2} s  CI [{:.2}, {:.2}] s\n",
+                percentile_label(p.q),
+                p.value,
+                p.ci_lo,
+                p.ci_hi
+            ));
+        }
     }
     out
 }

@@ -204,6 +204,76 @@ fn simulate_certify_and_lint_endpoints() {
 }
 
 #[test]
+fn mc_endpoint_is_byte_stable_and_validates_reps() {
+    let mc_wrm = r#"
+workflow lcls-mc on cori-hsw {
+  task analyze[5] {
+    nodes 32
+    system_bytes ext uniform(0.8TB, 1.2TB) cap 1GB/s
+    node_bytes dram lognormal(1024GB, 0.25)
+    overhead setup triangular(3s, 5s, 10s)
+  }
+  task merge { nodes 1 system_bytes bb empirical(4GB 1, 5GB 2, 8GB 1) after analyze }
+}
+"#;
+    let server = server(4);
+    let addr = server.addr().to_string();
+
+    // Cold cache, warm cache, then a different worker count: all three
+    // must return the same bytes (fan-out order never leaks).
+    let one = source_body(mc_wrm, ",\"reps\":32,\"seed\":7,\"threads\":1");
+    let mut conn = Client::connect(&addr).expect("connect");
+    let cold = conn.request("POST", "/v1/mc", Some(&one)).expect("cold");
+    assert_eq!(cold.status, 200, "{}", cold.text());
+    let text = cold.text();
+    assert!(
+        text.contains("32 Monte-Carlo replication(s) (seed 7)"),
+        "{text}"
+    );
+    assert!(text.contains("percentiles"), "{text}");
+    assert!(text.contains("certified bracket"), "{text}");
+    let warm = conn.request("POST", "/v1/mc", Some(&one)).expect("warm");
+    assert_eq!(cold.body, warm.body, "cache hit changed the bytes");
+    let two = source_body(mc_wrm, ",\"reps\":32,\"seed\":7,\"threads\":2");
+    let r = conn
+        .request("POST", "/v1/mc", Some(&two))
+        .expect("threads 2");
+    assert_eq!(cold.body, r.body, "thread count changed the bytes");
+
+    // A different seed must actually change the answer.
+    let reseeded = source_body(mc_wrm, ",\"reps\":32,\"seed\":8,\"threads\":1");
+    let r = conn
+        .request("POST", "/v1/mc", Some(&reseeded))
+        .expect("seed 8");
+    assert_ne!(cold.body, r.body, "seed had no effect");
+
+    // percentiles:false drops the table but keeps the header lines.
+    let terse = source_body(mc_wrm, ",\"reps\":32,\"seed\":7,\"percentiles\":false");
+    let r = conn.request("POST", "/v1/mc", Some(&terse)).expect("terse");
+    assert_eq!(r.status, 200);
+    assert!(!r.text().contains("percentiles"), "{}", r.text());
+
+    // Replication count is validated, and GET is routed as 405.
+    let r = conn
+        .request("POST", "/v1/mc", Some(&source_body(mc_wrm, ",\"reps\":0")))
+        .expect("reps 0");
+    assert_eq!(r.status, 400);
+    assert!(r.text().contains("1..=100000"), "{}", r.text());
+    let r = conn
+        .request(
+            "POST",
+            "/v1/mc",
+            Some(&source_body(mc_wrm, ",\"reps\":100001")),
+        )
+        .expect("reps too large");
+    assert_eq!(r.status, 400);
+    let r = client::request(&addr, "GET", "/v1/mc", None).expect("405");
+    assert_eq!(r.status, 405);
+
+    server.shutdown();
+}
+
+#[test]
 fn lru_eviction_recompiles_evicted_specs() {
     // Capacity 1: every distinct workflow evicts the previous one.
     let server = server(1);

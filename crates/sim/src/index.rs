@@ -61,6 +61,7 @@ pub(crate) enum PhaseIx {
 /// requests concurrently via [`crate::simulate_with_base`] /
 /// [`crate::sweep_grid_with_base`]; the lowered tables themselves stay
 /// crate-private.
+#[derive(Clone)]
 pub struct BaseIndex {
     /// The machine's total node count (pool ceiling).
     pub(crate) total_nodes: u64,

@@ -49,6 +49,7 @@ pub mod engine;
 mod fastpath;
 pub mod incremental;
 mod index;
+pub mod mc;
 mod overlay;
 #[cfg(any(test, feature = "reference-engine"))]
 pub mod reference;
@@ -74,5 +75,6 @@ pub use incremental::{
     SweepStats,
 };
 pub use index::BaseIndex;
-pub use spec::{Phase, SpecError, TaskSpec, WorkflowSpec};
+pub use mc::{mc_run, mc_run_with_base, McOptions, McResult, Percentile, RepClaim};
+pub use spec::{Phase, PhaseDist, SpecError, TaskSpec, WorkflowSpec};
 pub use sweep::{effective_workers, run_all, run_all_chunked, sweep, ChunkClaim};

@@ -4,7 +4,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
-use wrm_core::Machine;
+use wrm_core::{Dist, Machine};
 use wrm_dag::{Dag, DagError};
 
 /// One execution phase of a task. Phases run in order within the task.
@@ -132,6 +132,19 @@ impl Phase {
     }
 }
 
+/// A distribution attached to one phase of a task: across Monte-Carlo
+/// replications, the phase's headline quantity (FLOPs, bytes, or
+/// seconds) is drawn from `dist` instead of using the spec's point
+/// value. The plain [`Phase`] keeps the distribution *mean* as its
+/// quantity, so deterministic `simulate`/`certify` runs are unchanged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseDist {
+    /// Index into the task's `phases` vector.
+    pub phase: u32,
+    /// The quantity distribution, in the phase's natural unit.
+    pub dist: Dist,
+}
+
 /// One task: a named phase sequence on a node allocation, gated on the
 /// completion of other tasks.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -144,6 +157,11 @@ pub struct TaskSpec {
     pub phases: Vec<Phase>,
     /// Names of tasks that must finish first.
     pub after: Vec<String>,
+    /// Monte-Carlo phase distributions (empty for deterministic tasks;
+    /// skipped in serialization so legacy JSON and fingerprints are
+    /// byte-stable).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub dists: Vec<PhaseDist>,
 }
 
 impl TaskSpec {
@@ -154,12 +172,20 @@ impl TaskSpec {
             nodes,
             phases: Vec::new(),
             after: Vec::new(),
+            dists: Vec::new(),
         }
     }
 
     /// Appends a phase.
     pub fn phase(mut self, p: Phase) -> Self {
         self.phases.push(p);
+        self
+    }
+
+    /// Attaches a quantity distribution to phase `phase` (an index into
+    /// the phases appended so far).
+    pub fn dist(mut self, phase: u32, dist: Dist) -> Self {
+        self.dists.push(PhaseDist { phase, dist });
         self
     }
 
@@ -258,6 +284,22 @@ impl WorkflowSpec {
             }
             for p in &t.phases {
                 p.validate()?;
+            }
+            for pd in &t.dists {
+                if pd.phase as usize >= t.phases.len() {
+                    return Err(SpecError::Invalid(format!(
+                        "task {} attaches a distribution to phase {} but has only {} phases",
+                        t.name,
+                        pd.phase,
+                        t.phases.len()
+                    )));
+                }
+                if let Err(reason) = pd.dist.validate() {
+                    return Err(SpecError::Invalid(format!(
+                        "task {} phase {}: invalid distribution: {reason}",
+                        t.name, pd.phase
+                    )));
+                }
             }
             for dep in &t.after {
                 if !names.contains_key(dep.as_str()) {
@@ -519,7 +561,47 @@ mod tests {
     fn serde_round_trip() {
         let wf = lcls_spec();
         let json = serde_json::to_string(&wf).unwrap();
+        assert!(
+            !json.contains("dists"),
+            "empty dist tables must not change the serialized form"
+        );
         let back: WorkflowSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(wf, back);
+    }
+
+    #[test]
+    fn dist_validation() {
+        let ok = WorkflowSpec::new("w").task(
+            TaskSpec::new("a", 1)
+                .phase(Phase::overhead("x", 5.0))
+                .dist(0, Dist::Uniform { lo: 4.0, hi: 6.0 }),
+        );
+        ok.validate().unwrap();
+
+        // Distribution index past the phase list.
+        let bad_ix = WorkflowSpec::new("w").task(
+            TaskSpec::new("a", 1)
+                .phase(Phase::overhead("x", 5.0))
+                .dist(1, Dist::Uniform { lo: 4.0, hi: 6.0 }),
+        );
+        assert!(matches!(bad_ix.validate(), Err(SpecError::Invalid(_))));
+
+        // Invalid parameters (negative sigma).
+        let bad_params = WorkflowSpec::new("w").task(
+            TaskSpec::new("a", 1).phase(Phase::overhead("x", 5.0)).dist(
+                0,
+                Dist::LogNormal {
+                    median: 5.0,
+                    sigma: -1.0,
+                },
+            ),
+        );
+        assert!(matches!(bad_params.validate(), Err(SpecError::Invalid(_))));
+
+        // Dist tables round-trip through serde.
+        let json = serde_json::to_string(&ok).unwrap();
+        assert!(json.contains("\"dist\":\"uniform\""), "{json}");
+        let back: WorkflowSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(ok, back);
     }
 }

@@ -1,0 +1,86 @@
+//! Model-check suite 6: the Monte-Carlo runner's replication claiming.
+//!
+//! Exhaustively explores (under `RUSTFLAGS="--cfg wrm_mc"`) workers
+//! racing [`RepClaim`]: every replication id must be claimed exactly
+//! once — no loss, no double-claim — so the rep-id-ordered merge is
+//! deterministic regardless of which worker ran which replication.
+#![cfg(wrm_mc)]
+
+use std::sync::Arc;
+use wrm_mc::{model, thread};
+use wrm_sim::RepClaim;
+
+fn claimed_reps(total: usize, chunk: usize) -> (Vec<usize>, Vec<Vec<usize>>) {
+    let claim = Arc::new(RepClaim::new(total, chunk));
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let claim = Arc::clone(&claim);
+            thread::spawn(move || {
+                let mut mine = Vec::new();
+                while let Some(range) = claim.next_range() {
+                    mine.extend(range);
+                }
+                mine
+            })
+        })
+        .collect();
+    let mut per_worker = Vec::new();
+    let mut all = Vec::new();
+    for w in workers {
+        let mine = w.join().unwrap();
+        all.extend(mine.iter().copied());
+        per_worker.push(mine);
+    }
+    all.sort_unstable();
+    (all, per_worker)
+}
+
+#[test]
+fn every_replication_claimed_exactly_once() {
+    model(|| {
+        let (all, _) = claimed_reps(4, 2);
+        assert_eq!(all, vec![0, 1, 2, 3], "each rep claimed exactly once");
+    });
+}
+
+#[test]
+fn ragged_tail_is_not_overclaimed() {
+    model(|| {
+        // Chunk does not divide the total: the last claim truncates.
+        let (all, _) = claimed_reps(5, 2);
+        assert_eq!(all, vec![0, 1, 2, 3, 4], "tail chunk truncates");
+    });
+}
+
+#[test]
+fn merge_order_is_schedule_independent() {
+    model(|| {
+        // However the workers interleave, sorting the merged (rep_id,
+        // payload) pairs by rep id reconstructs the same sequence —
+        // the property the mc runner's deterministic merge relies on.
+        let (_, per_worker) = claimed_reps(3, 1);
+        let mut merged: Vec<Option<usize>> = vec![None; 3];
+        for (w, mine) in per_worker.iter().enumerate() {
+            for &rep in mine {
+                assert!(merged[rep].is_none(), "rep {rep} claimed twice");
+                merged[rep] = Some(w);
+            }
+        }
+        assert!(merged.iter().all(Option::is_some), "rep lost: {merged:?}");
+    });
+}
+
+#[test]
+fn exhausted_cursor_stays_exhausted() {
+    model(|| {
+        let claim = RepClaim::new(1, 1);
+        assert_eq!(claim.next_range(), Some(0..1));
+        let claim = Arc::new(claim);
+        let racer = {
+            let claim = Arc::clone(&claim);
+            thread::spawn(move || claim.next_range())
+        };
+        assert_eq!(racer.join().unwrap(), None);
+        assert_eq!(claim.next_range(), None);
+    });
+}

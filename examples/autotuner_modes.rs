@@ -94,6 +94,7 @@ fn main() {
             tps: TasksPerSec(1.0 / projected.makespan.expect("set").get()),
             color: "#2e7d32".into(),
             hollow: true,
+            whisker: None,
         })
         .render_svg()
         .expect("has models");
